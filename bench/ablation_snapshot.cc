@@ -1,0 +1,46 @@
+// Ablation on the Proto-Faaslet restore mechanism (§5.2): copy-on-write
+// mapping of the snapshot memfd vs an eager memcpy restore, across function
+// image sizes. google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include "mem/snapshot.h"
+
+namespace faasm {
+namespace {
+
+void BM_RestoreCow(benchmark::State& state) {
+  const uint32_t pages = static_cast<uint32_t>(state.range(0));
+  auto memory = LinearMemory::Create(pages, pages * 2).value();
+  std::memset(memory->base(), 0x5C, memory->size_bytes());
+  auto snapshot = MemorySnapshot::Capture("bench", memory->base(), memory->size_bytes()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snapshot->RestoreInto(*memory).ok());
+    // Touch one byte to fault in at least one page, as a restored function's
+    // first instruction would.
+    memory->base()[0] = 1;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * memory->size_bytes());
+  state.SetLabel(std::to_string(pages * 64) + "KiB image");
+}
+
+void BM_RestoreEager(benchmark::State& state) {
+  const uint32_t pages = static_cast<uint32_t>(state.range(0));
+  auto memory = LinearMemory::Create(pages, pages * 2).value();
+  std::memset(memory->base(), 0x5C, memory->size_bytes());
+  auto snapshot = MemorySnapshot::Capture("bench", memory->base(), memory->size_bytes()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snapshot->RestoreIntoEager(*memory).ok());
+    memory->base()[0] = 1;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * memory->size_bytes());
+  state.SetLabel(std::to_string(pages * 64) + "KiB image");
+}
+
+// 64 KiB (no-op wasm) .. 16 MiB (large language-runtime image).
+BENCHMARK(BM_RestoreCow)->RangeMultiplier(4)->Range(1, 256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RestoreEager)->RangeMultiplier(4)->Range(1, 256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace faasm
+
+BENCHMARK_MAIN();

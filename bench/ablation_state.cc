@@ -1,0 +1,112 @@
+// Ablations on the two-tier state design (DESIGN.md §3):
+//   1. AsyncArray push interval (the VectorAsync consistency/traffic knob of
+//      Listing 1): network bytes vs interval for SGD.
+//   2. Chunked vs full pulls (state chunks, Fig. 4): bytes moved when workers
+//      touch column slices of a large matrix.
+#include "bench/bench_util.h"
+#include "runtime/cluster.h"
+#include "state/ddo.h"
+#include "workloads/sgd.h"
+
+namespace faasm {
+namespace {
+
+void PushIntervalAblation() {
+  PrintHeader("Ablation 1: AsyncArray push interval (SGD weight vector)");
+  std::printf("%14s | %14s %12s %14s\n", "push interval", "network (MB)", "time (ms)",
+              "final loss");
+  for (uint32_t interval : {1u, 4u, 16u, 64u, 256u}) {
+    ClusterConfig cluster_config;
+    cluster_config.hosts = 4;
+    FaasmCluster cluster(cluster_config);
+    SgdConfig config;
+    config.n_examples = 4096;
+    config.n_features = 1024;
+    config.nnz_per_example = 16;
+    config.n_workers = 8;
+    config.n_epochs = 2;
+    config.push_interval = interval;
+    SeedSgdDataset(cluster.kvs(), config);
+    (void)RegisterSgdFunctions(cluster.registry());
+    double loss = 0;
+    double seconds = 0;
+    cluster.Run([&](Frontend& frontend) {
+      const TimeNs start = cluster.clock().Now();
+      auto result = RunSgdTraining(frontend, config);
+      loss = result.ok() ? result.value() : -1;
+      seconds = static_cast<double>(cluster.clock().Now() - start) / 1e9;
+    });
+    std::printf("%14u | %14.1f %12.0f %14.4f\n", interval,
+                static_cast<double>(cluster.network_bytes()) / 1e6, seconds * 1e3, loss);
+  }
+  std::printf("(larger intervals trade weight freshness for traffic; HOGWILD tolerates it)\n");
+}
+
+void ChunkAblation() {
+  PrintHeader("Ablation 2: chunked vs full state pulls (Fig. 4 state chunks)");
+  // One big matrix; 16 workers each touch a 1/16 column slice.
+  const size_t rows = 256;
+  const size_t cols = 4096;
+  const size_t matrix_bytes = rows * cols * sizeof(double);
+
+  for (bool chunked : {true, false}) {
+    ClusterConfig cluster_config;
+    cluster_config.hosts = 4;
+    FaasmCluster cluster(cluster_config);
+    std::vector<double> matrix(rows * cols, 1.0);
+    const auto* p = reinterpret_cast<const uint8_t*>(matrix.data());
+    cluster.kvs().Set("big", Bytes(p, p + matrix_bytes));
+
+    (void)cluster.registry().RegisterNative(
+        "touch", [rows, cols, chunked](InvocationContext& ctx) {
+          ByteReader reader(ctx.Input());
+          auto slice = reader.Get<uint32_t>();
+          ReadOnlyMatrix<double> m(&ctx.state(), "big", rows, cols);
+          if (!m.Init().ok()) {
+            return 1;
+          }
+          const size_t per_slice = cols / 16;
+          Status pull = chunked
+                            ? m.PullColumns(slice.value() * per_slice,
+                                            (slice.value() + 1) * per_slice)
+                            : m.PullColumns(0, cols);  // full-value pull
+          if (!pull.ok()) {
+            return 2;
+          }
+          double sum = 0;
+          for (size_t c = slice.value() * per_slice; c < (slice.value() + 1) * per_slice; ++c) {
+            sum += m.At(0, c);
+          }
+          return sum > 0 ? 0 : 3;
+        });
+
+    cluster.Run([&](Frontend& frontend) {
+      std::vector<uint64_t> ids;
+      for (uint32_t slice = 0; slice < 16; ++slice) {
+        Bytes input;
+        ByteWriter writer(input);
+        writer.Put<uint32_t>(slice);
+        auto id = frontend.Submit("touch", std::move(input));
+        if (id.ok()) {
+          ids.push_back(id.value());
+        }
+      }
+      for (uint64_t id : ids) {
+        (void)frontend.Await(id);
+      }
+    });
+    std::printf("%-18s network %8.1f MB  (matrix is %.1f MB; 4 hosts)\n",
+                chunked ? "chunked pulls:" : "full pulls:",
+                static_cast<double>(cluster.network_bytes()) / 1e6, matrix_bytes / 1e6);
+  }
+  std::printf("(chunked pulls replicate only the columns a worker touches)\n");
+}
+
+}  // namespace
+}  // namespace faasm
+
+int main() {
+  faasm::PushIntervalAblation();
+  faasm::ChunkAblation();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's
+// tables and figures.
+#ifndef FAASM_BENCH_BENCH_UTIL_H_
+#define FAASM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+
+#include "baseline/container_model.h"
+
+namespace faasm {
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==================================================================\n");
+}
+
+// Every benchmark that uses the container baseline prints its calibration so
+// the substitution (see DESIGN.md) is explicit in the output.
+inline void PrintContainerCalibration(const ContainerModel& model) {
+  std::printf("[container model calibrated from the paper's measurements:\n");
+  std::printf("  cold start %.1f s, python cold start %.1f s, footprint %zu MB,\n",
+              model.cold_start_ns / 1e9, model.python_cold_start_ns / 1e9,
+              model.base_footprint_bytes / (1024 * 1024));
+  std::printf("  http overhead %.1f ms, daemon parallelism %d]\n",
+              model.http_overhead_ns / 1e6, model.max_concurrent_cold_starts);
+}
+
+}  // namespace faasm
+
+#endif  // FAASM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,175 @@
+// Figure 7: machine-learning inference serving — (a) median latency vs
+// throughput for cold-start ratios {0%, 2%, 20%}, (b) latency CDF at a fixed
+// rate. FAASM serves the genuine wasm MLP; the baseline serves the native
+// twin from containers with calibrated cold starts.
+#include <atomic>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "baseline/knative.h"
+#include "common/stats.h"
+#include "runtime/cluster.h"
+#include "workloads/inference.h"
+
+namespace faasm {
+namespace {
+
+constexpr int kUserPool = 64;  // pre-registered per-user functions
+
+// Registers "infer-u<i>" user functions; cold requests target fresh users.
+template <typename RegisterFn>
+void RegisterUsers(RegisterFn register_fn, int count) {
+  for (int i = 0; i < count; ++i) {
+    register_fn("infer-u" + std::to_string(i));
+  }
+}
+
+struct LoadResult {
+  Summary latency_ms;
+};
+
+// Open-loop Poisson load: each request is its own simulated activity.
+template <typename Cluster, typename Client>
+LoadResult RunLoad(Cluster& cluster, double rate_per_s, double cold_ratio, double duration_s,
+                   const std::function<uint64_t(Client&, const std::string&, Bytes)>& submit,
+                   const std::function<void(Client&, uint64_t)>& await) {
+  LoadResult result;
+  std::mutex result_mutex;
+  const MlpDims dims;
+
+  std::atomic<int> outstanding{0};
+  cluster.Run([&](Client& client) {
+    Rng rng(1234);
+    int next_cold_user = kUserPool;
+    double t = 0;
+    int request_index = 0;
+    SimClock& clock = cluster.clock();
+    while (t < duration_s) {
+      const double gap = rng.NextExponential(1.0 / rate_per_s);
+      t += gap;
+      clock.SleepFor(static_cast<TimeNs>(gap * 1e9));
+      std::string function;
+      if (rng.NextDouble() < cold_ratio) {
+        function = "infer-u" + std::to_string(next_cold_user++ % 4096);
+      } else {
+        function = "infer-u" + std::to_string(request_index % kUserPool);
+      }
+      const int index = request_index++;
+      outstanding.fetch_add(1);
+      cluster.executor().Spawn([&, function, index] {
+        Client inner_client = client;
+        const TimeNs start = cluster.clock().Now();
+        auto image = SyntheticImage(dims, index);
+        const uint64_t id = submit(inner_client, function, EncodeImage(image));
+        if (id != 0) {
+          await(inner_client, id);
+          const double ms = static_cast<double>(cluster.clock().Now() - start) / 1e6;
+          std::lock_guard<std::mutex> guard(result_mutex);
+          result.latency_ms.Add(ms);
+        }
+        outstanding.fetch_sub(1);
+      });
+    }
+    clock.WaitFor([&] { return outstanding.load() == 0; }, kMillisecond,
+                  clock.Now() + static_cast<TimeNs>(120 * 1e9));
+  });
+  return result;
+}
+
+LoadResult RunFaasm(double rate, double cold_ratio, double duration_s, int warm_pool) {
+  ClusterConfig config;
+  config.hosts = 4;
+  config.cores_per_host = 4;
+  config.max_concurrent_per_host = 256;
+  FaasmCluster cluster(config);
+  const MlpDims dims;
+  SeedMlpWeights(cluster.kvs(), dims);
+  auto module = BuildMlpWasmModule(dims).value();
+  for (int i = 0; i < 4096 + kUserPool; ++i) {
+    (void)cluster.registry().RegisterWasm("infer-u" + std::to_string(i), module);
+  }
+  // Pre-warm the steady-state user pool.
+  cluster.Run([&](Frontend& frontend) {
+    for (int i = 0; i < warm_pool; ++i) {
+      auto image = SyntheticImage(dims, i);
+      auto id = frontend.Submit("infer-u" + std::to_string(i % kUserPool), EncodeImage(image));
+      if (id.ok()) {
+        (void)frontend.Await(id.value());
+      }
+    }
+  });
+
+  return RunLoad<FaasmCluster, Frontend>(
+      cluster, rate, cold_ratio, duration_s,
+      [](Frontend& frontend, const std::string& fn, Bytes input) -> uint64_t {
+        auto id = frontend.Submit(fn, std::move(input));
+        return id.ok() ? id.value() : 0;
+      },
+      [](Frontend& frontend, uint64_t id) { (void)frontend.Await(id); });
+}
+
+LoadResult RunKnative(double rate, double cold_ratio, double duration_s, int warm_pool) {
+  ClusterConfig config;
+  config.hosts = 4;
+  config.cores_per_host = 4;
+  KnativeCluster cluster(config, ContainerModel{});
+  const MlpDims dims;
+  SeedMlpWeights(cluster.kvs(), dims);
+  for (int i = 0; i < 4096 + kUserPool; ++i) {
+    (void)cluster.registry().RegisterNative("infer-u" + std::to_string(i), MlpInferNative);
+  }
+  cluster.Run([&](KnativeCluster::Client& client) {
+    for (int i = 0; i < warm_pool; ++i) {
+      auto image = SyntheticImage(dims, i);
+      auto id = client.Submit("infer-u" + std::to_string(i % kUserPool), EncodeImage(image));
+      if (id.ok()) {
+        (void)client.Await(id.value());
+      }
+    }
+  });
+
+  return RunLoad<KnativeCluster, KnativeCluster::Client>(
+      cluster, rate, cold_ratio, duration_s,
+      [](KnativeCluster::Client& client, const std::string& fn, Bytes input) -> uint64_t {
+        auto id = client.Submit(fn, std::move(input));
+        return id.ok() ? id.value() : 0;
+      },
+      [](KnativeCluster::Client& client, uint64_t id) { (void)client.Await(id); });
+}
+
+}  // namespace
+}  // namespace faasm
+
+int main() {
+  using namespace faasm;
+  PrintHeader("Figure 7a: median inference latency vs throughput");
+  PrintContainerCalibration(ContainerModel{});
+
+  const double duration_s = 2.0;
+  std::printf("\n%10s | %12s | %14s %14s\n", "rate(req/s)", "faasm med(ms)", "kn 0%% cold",
+              "kn 20%% cold");
+  std::fflush(stdout);
+  for (double rate : {2.0, 10.0, 25.0, 50.0}) {
+    LoadResult faasm = RunFaasm(rate, 0.20, duration_s, kUserPool);  // one line covers all ratios
+    LoadResult kn0 = RunKnative(rate, 0.0, duration_s, kUserPool);
+    LoadResult kn20 = RunKnative(rate, 0.20, duration_s, kUserPool);
+    std::printf("%10.0f | %12.1f | %14.1f %14.1f\n", rate, faasm.latency_ms.Median(),
+                kn0.latency_ms.Median(), kn20.latency_ms.Median());
+    std::fflush(stdout);
+  }
+
+  PrintHeader("Figure 7b: latency CDF at 10 req/s");
+  LoadResult faasm = RunFaasm(10.0, 0.20, duration_s, kUserPool);
+  LoadResult kn2 = RunKnative(10.0, 0.02, duration_s, kUserPool);
+  LoadResult kn20 = RunKnative(10.0, 0.20, duration_s, kUserPool);
+  std::fflush(stdout);
+  std::printf("%12s %14s %14s %14s\n", "percentile", "faasm (ms)", "kn 2%% (ms)", "kn 20%% (ms)");
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    std::printf("%11.0f%% %14.1f %14.1f %14.1f\n", p, faasm.latency_ms.Percentile(p),
+                kn2.latency_ms.Percentile(p), kn20.latency_ms.Percentile(p));
+  }
+  std::printf("\nExpected shape (paper): FAASM cold starts add <1 ms, so one line covers all\n"
+              "ratios and the tail stays flat; the container baseline's median explodes once\n"
+              "cold-start queueing kicks in, with multi-second tails at 20%% cold.\n");
+  return 0;
+}

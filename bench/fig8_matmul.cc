@@ -1,0 +1,83 @@
+// Figure 8: distributed divide-and-conquer matrix multiplication — duration
+// and network transfer vs matrix size, FAASM vs container baseline. The
+// paper's headline: durations are nearly identical while FAASM ships ~13%
+// less data by keeping intermediate results in the local tier.
+//
+// Sizes are scaled down from the paper's 100..8000 sweep so that the real
+// leaf computations finish in seconds on this machine (see EXPERIMENTS.md).
+#include "bench/bench_util.h"
+#include "baseline/knative.h"
+#include "runtime/cluster.h"
+#include "workloads/matmul.h"
+
+namespace faasm {
+namespace {
+
+struct Point {
+  double seconds = 0;
+  double network_mb = 0;
+  bool ok = false;
+};
+
+ClusterConfig MakeClusterConfig() {
+  ClusterConfig config;
+  config.hosts = 8;
+  config.cores_per_host = 4;
+  config.host_memory_bytes = size_t{2} * 1024 * 1024 * 1024;
+  config.max_concurrent_per_host = 96;
+  return config;
+}
+
+Point RunFaasm(uint32_t n) {
+  FaasmCluster cluster(MakeClusterConfig());
+  MatmulConfig config;
+  config.n = n;
+  SeedMatmulInputs(cluster.kvs(), config);
+  (void)RegisterMatmulFunctions(cluster.registry());
+  Point point;
+  cluster.Run([&](Frontend& frontend) {
+    const TimeNs start = cluster.clock().Now();
+    point.ok = RunMatmul(frontend, config).ok();
+    point.seconds = static_cast<double>(cluster.clock().Now() - start) / 1e9;
+    point.network_mb = static_cast<double>(cluster.network_bytes()) / 1e6;
+  });
+  return point;
+}
+
+Point RunKnative(uint32_t n) {
+  KnativeCluster cluster(MakeClusterConfig(), ContainerModel{});
+  MatmulConfig config;
+  config.n = n;
+  SeedMatmulInputs(cluster.kvs(), config);
+  (void)RegisterMatmulFunctions(cluster.registry());
+  Point point;
+  cluster.Run([&](KnativeCluster::Client& client) {
+    const TimeNs start = cluster.clock().Now();
+    point.ok = RunMatmul(client, config).ok();
+    point.seconds = static_cast<double>(cluster.clock().Now() - start) / 1e9;
+    point.network_mb = static_cast<double>(cluster.network_bytes()) / 1e6;
+  });
+  return point;
+}
+
+}  // namespace
+}  // namespace faasm
+
+int main() {
+  using namespace faasm;
+  PrintHeader("Figure 8: distributed matmul (64 mult + 9 merge functions per multiply)");
+  PrintContainerCalibration(ContainerModel{});
+  std::printf("\n%8s | %12s %14s | %12s %14s | %10s\n", "size", "faasm_t(s)", "faasm_net(MB)",
+              "kn_t(s)", "kn_net(MB)", "traffic");
+  for (uint32_t n : {128u, 256u, 512u, 768u}) {
+    Point f = RunFaasm(n);
+    Point k = RunKnative(n);
+    std::printf("%8u | %12.2f %14.1f | %12.2f %14.1f | %8.1f%%%s\n", n, f.seconds,
+                f.network_mb, k.seconds, k.network_mb,
+                k.network_mb > 0 ? 100.0 * (k.network_mb - f.network_mb) / k.network_mb : 0.0,
+                (f.ok && k.ok) ? "" : " (FAILED)");
+  }
+  std::printf("\nExpected shape (paper): near-identical durations once warm, with FAASM\n"
+              "moving ~13%% less data across all sizes.\n");
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Table 3: Faaslets vs container cold starts (no-op function) —
+// initialisation time, CPU cycles, memory footprint, per-host capacity —
+// plus the §6.5 dynamic-language-runtime variant (CPython analogue).
+//
+// Faaslet/Proto-Faaslet numbers are real measurements on this machine;
+// Docker rows are the paper's calibrated constants (no container runtime
+// offline; see DESIGN.md).
+#include <x86intrin.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "core/faaslet.h"
+#include "core/guest_api.h"
+#include "mem/meminfo.h"
+#include "wasm/decoder.h"
+#include "workloads/minivm.h"
+
+namespace faasm {
+namespace {
+
+struct BenchEnv {
+  RealClock clock;
+  InProcNetwork network;
+  KvStore store;
+  KvsServer server;
+  KvsClient kvs;
+  LocalTier tier;
+  GlobalFileStore files;
+
+  BenchEnv()
+      : network(&clock, NoLatency()), server(&store, &network), kvs(&network, "bench-host"),
+        tier(&kvs, &clock) {}
+
+  static NetworkConfig NoLatency() {
+    NetworkConfig config;
+    config.charge_latency = false;
+    return config;
+  }
+
+  FaasletEnv Env() {
+    FaasletEnv env;
+    env.clock = &clock;
+    env.tier = &tier;
+    env.files = &files;
+    env.network = &network;
+    env.host_endpoint = "bench-host";
+    return env;
+  }
+};
+
+std::shared_ptr<const wasm::CompiledModule> NoopModule() {
+  wasm::ModuleBuilder b;
+  b.AddMemory(1, 4);
+  auto& f = b.AddFunction("main", {}, {wasm::ValType::kI32});
+  f.I32Const(0);
+  f.End();
+  auto decoded = wasm::DecodeModule(b.Build());
+  return wasm::CompileModule(std::move(decoded).value()).value();
+}
+
+struct Measurement {
+  double init_ms = 0;
+  double cycles = 0;
+  double footprint_bytes = 0;
+};
+
+// Measures median creation latency + cycles across `iters` creations.
+template <typename CreateFn>
+Measurement MeasureCreation(CreateFn create, int iters) {
+  Summary time_ns;
+  Summary cycles;
+  for (int i = 0; i < iters; ++i) {
+    const uint64_t c0 = __rdtsc();
+    Stopwatch watch;
+    auto faaslet = create();
+    time_ns.Add(static_cast<double>(watch.ElapsedNs()));
+    cycles.Add(static_cast<double>(__rdtsc() - c0));
+    if (!faaslet.ok()) {
+      std::fprintf(stderr, "creation failed: %s\n", faaslet.status().ToString().c_str());
+      return {};
+    }
+  }
+  Measurement out;
+  out.init_ms = time_ns.Median() / 1e6;
+  out.cycles = cycles.Median();
+  return out;
+}
+
+// RSS delta per instance over a batch of `count` live Faaslets.
+template <typename CreateFn>
+double MeasureFootprint(CreateFn create, int count) {
+  std::vector<std::unique_ptr<Faaslet>> live;
+  live.reserve(count);
+  const size_t before = CurrentRssBytes();
+  for (int i = 0; i < count; ++i) {
+    auto faaslet = create();
+    if (faaslet.ok()) {
+      live.push_back(std::move(faaslet).value());
+      // Touch the first page so lazily-mapped memory is resident, matching
+      // how a just-executed function would look.
+      live.back()->memory().base()[0] = 1;
+    }
+  }
+  const size_t after = CurrentRssBytes();
+  return static_cast<double>(after - before) / count;
+}
+
+}  // namespace
+}  // namespace faasm
+
+int main() {
+  using namespace faasm;
+
+  PrintHeader("Table 3: cold-start comparison, no-op function");
+  ContainerModel docker;
+  PrintContainerCalibration(docker);
+
+  BenchEnv env;
+  auto module = NoopModule();
+
+  FunctionSpec spec;
+  spec.name = "noop";
+  spec.module = module;
+
+  // --- Faaslet: fresh instantiation (decode cached; instantiate + init). ----
+  auto create_faaslet = [&] { return Faaslet::Create(spec, env.Env()); };
+  Measurement faaslet = MeasureCreation(create_faaslet, 300);
+
+  // --- Proto-Faaslet: restore from snapshot. ---------------------------------
+  auto prototype = Faaslet::Create(spec, env.Env()).value();
+  auto proto = ProtoFaaslet::CaptureFrom(*prototype).value();
+  auto create_proto = [&] { return Faaslet::CreateFromProto(spec, env.Env(), proto); };
+  Measurement proto_m = MeasureCreation(create_proto, 300);
+
+  faaslet.footprint_bytes = MeasureFootprint(create_faaslet, 200);
+  proto_m.footprint_bytes = MeasureFootprint(create_proto, 200);
+
+  const double host_memory = 16.0 * 1024 * 1024 * 1024;  // paper testbed host
+  const double docker_capacity = host_memory / docker.base_footprint_bytes;
+  const double docker_cycles = 2.6e9 * (docker.cold_start_ns / 1e9);  // 2.6 GHz testbed
+
+  std::printf("\n%-22s %14s %14s %16s %12s\n", "", "Docker(calib)", "Faaslet", "Proto-Faaslet",
+              "vs Docker");
+  std::printf("%-22s %12.1f ms %12.2f ms %14.3f ms %11.0fx\n", "Initialisation",
+              docker.cold_start_ns / 1e6, faaslet.init_ms, proto_m.init_ms,
+              (docker.cold_start_ns / 1e6) / proto_m.init_ms);
+  std::printf("%-22s %14.2e %14.2e %16.2e %11.0fx\n", "CPU cycles", docker_cycles,
+              faaslet.cycles, proto_m.cycles, docker_cycles / proto_m.cycles);
+  std::printf("%-22s %11.1f MB %12.0f KB %14.0f KB %11.0fx\n", "Memory (RSS delta)",
+              docker.base_footprint_bytes / (1024.0 * 1024.0), faaslet.footprint_bytes / 1024.0,
+              proto_m.footprint_bytes / 1024.0,
+              docker.base_footprint_bytes / proto_m.footprint_bytes);
+  std::printf("%-22s %14.0f %14.0f %16.0f %11.1fx\n", "Capacity (16GB host)", docker_capacity,
+              host_memory / faaslet.footprint_bytes, host_memory / proto_m.footprint_bytes,
+              (host_memory / proto_m.footprint_bytes) / docker_capacity);
+
+  // --- §6.5: dynamic-language-runtime no-op (CPython analogue) ----------------
+  PrintHeader("Sec 6.5: language-runtime no-op (MiniVM as the CPython analogue)");
+  const MviProgram& program = MiniVmBenchmarks()[0];
+  auto vm_module = BuildMiniVmWasm(program.code).value();
+  FunctionSpec vm_spec;
+  vm_spec.name = "minivm";
+  vm_spec.module = vm_module;
+  vm_spec.entrypoint = "run";
+
+  auto vm_prototype = Faaslet::Create(vm_spec, env.Env()).value();
+  auto vm_proto = ProtoFaaslet::CaptureFrom(*vm_prototype).value();
+  Measurement vm_cold =
+      MeasureCreation([&] { return Faaslet::Create(vm_spec, env.Env()); }, 200);
+  Measurement vm_restore = MeasureCreation(
+      [&] { return Faaslet::CreateFromProto(vm_spec, env.Env(), vm_proto); }, 200);
+
+  std::printf("%-34s %10.1f ms (calibrated python:3.7-alpine)\n", "Container initialisation",
+              docker.python_cold_start_ns / 1e6);
+  std::printf("%-34s %10.2f ms (measured)\n", "Faaslet + runtime image cold", vm_cold.init_ms);
+  std::printf("%-34s %10.3f ms (measured, %0.0fx vs container)\n", "Proto-Faaslet restore",
+              vm_restore.init_ms, (docker.python_cold_start_ns / 1e6) / vm_restore.init_ms);
+  return 0;
+}

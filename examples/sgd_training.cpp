@@ -1,0 +1,48 @@
+// Stateful serverless machine learning: distributed HOGWILD SGD with the
+// shared weights vector in two-tier state (the paper's Listing 1 workload).
+#include <cstdio>
+
+#include "runtime/cluster.h"
+#include "workloads/sgd.h"
+
+using namespace faasm;
+
+int main() {
+  ClusterConfig cluster_config;
+  cluster_config.hosts = 4;
+  FaasmCluster cluster(cluster_config);
+
+  SgdConfig config;
+  config.n_examples = 4096;
+  config.n_features = 1024;
+  config.nnz_per_example = 16;
+  config.n_workers = 8;
+  config.n_epochs = 4;
+
+  const size_t dataset_bytes = SeedSgdDataset(cluster.kvs(), config);
+  std::printf("dataset: %zu examples x %u features (%.1f MB sparse)\n",
+              static_cast<size_t>(config.n_examples), config.n_features, dataset_bytes / 1e6);
+
+  if (!RegisterSgdFunctions(cluster.registry()).ok()) {
+    return 1;
+  }
+
+  cluster.Run([&](Frontend& frontend) {
+    for (uint32_t epoch = 0; epoch < config.n_epochs; ++epoch) {
+      SgdConfig one_epoch = config;
+      one_epoch.n_epochs = 1;
+      auto loss = RunSgdTraining(frontend, one_epoch);
+      if (!loss.ok()) {
+        std::fprintf(stderr, "epoch %u failed: %s\n", epoch, loss.status().ToString().c_str());
+        return;
+      }
+      std::printf("epoch %u: mse=%.5f  (virtual time %.2f s, network %.1f MB)\n", epoch,
+                  loss.value(), cluster.clock().Now() / 1e9, cluster.network_bytes() / 1e6);
+    }
+  });
+
+  std::printf("billable memory: %.3f GB-s, cold starts: %zu, warm faaslets: %zu\n",
+              cluster.billable_gb_seconds(), cluster.cold_start_count(),
+              cluster.warm_faaslet_count());
+  return 0;
+}

@@ -1,0 +1,14 @@
+#include "common/bytes.h"
+
+namespace faasm {
+
+uint64_t HashBytes(const uint8_t* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace faasm

@@ -1,0 +1,24 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace faasm {
+
+TimeNs RealClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealClock::SleepFor(TimeNs duration_ns) {
+  if (duration_ns > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(duration_ns));
+  }
+}
+
+RealClock& RealClock::Instance() {
+  static RealClock clock;
+  return clock;
+}
+
+}  // namespace faasm

@@ -1,0 +1,59 @@
+// Clock abstraction. Runtime components never call std::chrono directly;
+// they take a Clock& so the same code runs against wall-clock time (real
+// deployments, micro-benchmarks) and against the deterministic virtual clock
+// of the cluster simulator (macro experiments).
+#ifndef FAASM_COMMON_CLOCK_H_
+#define FAASM_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace faasm {
+
+// Nanoseconds since an arbitrary epoch.
+using TimeNs = int64_t;
+
+constexpr TimeNs kMicrosecond = 1000;
+constexpr TimeNs kMillisecond = 1000 * kMicrosecond;
+constexpr TimeNs kSecond = 1000 * kMillisecond;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Current time in nanoseconds.
+  virtual TimeNs Now() const = 0;
+
+  // Block (really or virtually) for the given duration.
+  virtual void SleepFor(TimeNs duration_ns) = 0;
+};
+
+// Monotonic wall-clock implementation.
+class RealClock final : public Clock {
+ public:
+  TimeNs Now() const override;
+  void SleepFor(TimeNs duration_ns) override;
+
+  // Process-wide instance for call sites that have no injected clock.
+  static RealClock& Instance();
+};
+
+// Scoped stopwatch measuring real elapsed nanoseconds, independent of any
+// injected Clock (used to charge actually-executed compute to virtual time).
+class Stopwatch {
+ public:
+  Stopwatch() { Reset(); }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  TimeNs ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_COMMON_CLOCK_H_

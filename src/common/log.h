@@ -1,0 +1,52 @@
+// Minimal leveled logger. Serverless runtimes are latency sensitive, so log
+// calls below the configured level compile down to a level check and nothing
+// else; there is no allocation unless a message is actually emitted.
+#ifndef FAASM_COMMON_LOG_H_
+#define FAASM_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace faasm {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+// Process-wide log level; defaults to kWarn so tests and benchmarks stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+void Emit(LogLevel level, const char* file, int line, const std::string& message);
+
+class LineLogger {
+ public:
+  LineLogger(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LineLogger() { Emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace log_internal
+
+#define FAASM_LOG(level)                                   \
+  if (::faasm::GetLogLevel() <= ::faasm::LogLevel::level)  \
+  ::faasm::log_internal::LineLogger(::faasm::LogLevel::level, __FILE__, __LINE__)
+
+#define LOG_TRACE FAASM_LOG(kTrace)
+#define LOG_DEBUG FAASM_LOG(kDebug)
+#define LOG_INFO FAASM_LOG(kInfo)
+#define LOG_WARN FAASM_LOG(kWarn)
+#define LOG_ERROR FAASM_LOG(kError)
+
+}  // namespace faasm
+
+#endif  // FAASM_COMMON_LOG_H_

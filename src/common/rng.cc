@@ -1,0 +1,25 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace faasm {
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) {
+    u = 1e-12;
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 1e-12;
+  }
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace faasm

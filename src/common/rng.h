@@ -1,0 +1,59 @@
+// Deterministic, seedable PRNG (xoshiro256**). Experiments must be
+// reproducible run-to-run, so workloads never use std::random_device.
+#ifndef FAASM_COMMON_RNG_H_
+#define FAASM_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace faasm {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    uint64_t* s = state_;
+    const uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound).
+  uint64_t NextBelow(uint64_t bound) { return bound == 0 ? 0 : NextU64() % bound; }
+
+  uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Exponentially distributed value with the given mean (Poisson inter-arrivals).
+  double NextExponential(double mean);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_COMMON_RNG_H_

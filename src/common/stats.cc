@@ -1,0 +1,69 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace faasm {
+
+void Summary::Add(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+void Summary::Merge(const Summary& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_ = false;
+}
+
+void Summary::EnsureSorted() const {
+  if (!sorted_) {
+    auto& mutable_values = const_cast<std::vector<double>&>(values_);
+    std::sort(mutable_values.begin(), mutable_values.end());
+    const_cast<bool&>(sorted_) = true;
+  }
+}
+
+double Summary::Min() const {
+  EnsureSorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Summary::Max() const {
+  EnsureSorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Summary::Sum() const { return std::accumulate(values_.begin(), values_.end(), 0.0); }
+
+double Summary::Mean() const { return values_.empty() ? 0.0 : Sum() / values_.size(); }
+
+double Summary::Percentile(double p) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  if (p <= 0.0) {
+    return values_.front();
+  }
+  if (p >= 100.0) {
+    return values_.back();
+  }
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] + (values_[hi] - values_[lo]) * frac;
+}
+
+std::vector<std::pair<double, double>> Summary::Cdf() const {
+  EnsureSorted();
+  std::vector<std::pair<double, double>> out;
+  out.reserve(values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    out.emplace_back(values_[i], static_cast<double>(i + 1) / static_cast<double>(values_.size()));
+  }
+  return out;
+}
+
+}  // namespace faasm

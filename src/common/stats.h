@@ -1,0 +1,40 @@
+// Latency/throughput statistics used by the benchmark harnesses to print the
+// same series the paper reports (median, tail percentiles, CDFs).
+#ifndef FAASM_COMMON_STATS_H_
+#define FAASM_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace faasm {
+
+class Summary {
+ public:
+  void Add(double value);
+  void Merge(const Summary& other);
+
+  size_t count() const { return values_.size(); }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Sum() const;
+
+  // Interpolated percentile; p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  // CDF points as (value, fraction<=value) pairs, one per sample, sorted.
+  std::vector<std::pair<double, double>> Cdf() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_COMMON_STATS_H_

@@ -1,0 +1,140 @@
+// Status / Result<T>: error propagation without exceptions.
+//
+// Modules in this codebase never throw across library boundaries; fallible
+// operations return Status (or Result<T> when they produce a value). This is
+// the same discipline the original FAASM runtime follows for host-interface
+// calls, where a guest-visible error must become a trap, not a C++ exception.
+#ifndef FAASM_COMMON_STATUS_H_
+#define FAASM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace faasm {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+  kUnimplemented,
+  kPermissionDenied,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string m) {
+  return Status(StatusCode::kInvalidArgument, std::move(m));
+}
+inline Status NotFound(std::string m) { return Status(StatusCode::kNotFound, std::move(m)); }
+inline Status AlreadyExists(std::string m) {
+  return Status(StatusCode::kAlreadyExists, std::move(m));
+}
+inline Status OutOfRange(std::string m) { return Status(StatusCode::kOutOfRange, std::move(m)); }
+inline Status ResourceExhausted(std::string m) {
+  return Status(StatusCode::kResourceExhausted, std::move(m));
+}
+inline Status FailedPrecondition(std::string m) {
+  return Status(StatusCode::kFailedPrecondition, std::move(m));
+}
+inline Status Unavailable(std::string m) { return Status(StatusCode::kUnavailable, std::move(m)); }
+inline Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+inline Status Unimplemented(std::string m) {
+  return Status(StatusCode::kUnimplemented, std::move(m));
+}
+inline Status PermissionDenied(std::string m) {
+  return Status(StatusCode::kPermissionDenied, std::move(m));
+}
+
+// Result<T>: holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT: implicit by design
+  Result(Status status) : value_(std::move(status)) {    // NOLINT: implicit by design
+    assert(!std::get<Status>(value_).ok() && "Result<T> must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(value_);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagate a non-OK Status from an expression to the caller.
+#define FAASM_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::faasm::Status faasm_status_ = (expr);    \
+    if (!faasm_status_.ok()) {                 \
+      return faasm_status_;                    \
+    }                                          \
+  } while (0)
+
+// Evaluate an expression yielding Result<T>; on error return the Status,
+// otherwise bind the value to `lhs`.
+#define FAASM_CONCAT_INNER(a, b) a##b
+#define FAASM_CONCAT(a, b) FAASM_CONCAT_INNER(a, b)
+#define FAASM_ASSIGN_OR_RETURN(lhs, expr) \
+  FAASM_ASSIGN_OR_RETURN_IMPL(FAASM_CONCAT(faasm_result_, __COUNTER__), lhs, expr)
+#define FAASM_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                                \
+  if (!var.ok()) {                                  \
+    return var.status();                            \
+  }                                                 \
+  lhs = std::move(var).value()
+
+}  // namespace faasm
+
+#endif  // FAASM_COMMON_STATUS_H_

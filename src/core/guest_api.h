@@ -1,0 +1,117 @@
+// GuestApi: declares the full "faasm" host-interface import set on a
+// ModuleBuilder with the correct signatures, returning the import indices.
+// Guest programs authored with the builder use this to call the Table 2 API.
+#ifndef FAASM_CORE_GUEST_API_H_
+#define FAASM_CORE_GUEST_API_H_
+
+#include "wasm/builder.h"
+
+namespace faasm {
+
+struct GuestApi {
+  uint32_t input_size;
+  uint32_t read_input;
+  uint32_t write_output;
+  uint32_t chain_call;
+  uint32_t await_call;
+  uint32_t get_call_output;
+  uint32_t get_state;
+  uint32_t set_state;
+  uint32_t pull_state;
+  uint32_t push_state;
+  uint32_t pull_state_offset;
+  uint32_t push_state_offset;
+  uint32_t append_state;
+  uint32_t lock_state_read;
+  uint32_t unlock_state_read;
+  uint32_t lock_state_write;
+  uint32_t unlock_state_write;
+  uint32_t lock_state_global_read;
+  uint32_t unlock_state_global_read;
+  uint32_t lock_state_global_write;
+  uint32_t unlock_state_global_write;
+  uint32_t sbrk;
+  uint32_t socket;
+  uint32_t connect;
+  uint32_t send;
+  uint32_t recv;
+  uint32_t socket_close;
+  uint32_t open;
+  uint32_t read;
+  uint32_t write;
+  uint32_t close;
+  uint32_t dup;
+  uint32_t seek;
+  uint32_t stat_size;
+  uint32_t dlopen;
+  uint32_t dlsym;
+  uint32_t dyn_call;
+  uint32_t dlclose;
+  uint32_t gettime;
+  uint32_t getrandom;
+
+  // Must be called before any defined function is added to the builder.
+  static GuestApi ImportAll(wasm::ModuleBuilder& b) {
+    using wasm::ValType;
+    const ValType kI32 = ValType::kI32;
+    const ValType kI64 = ValType::kI64;
+    GuestApi api{};
+    auto imp = [&b](const char* name, std::vector<ValType> params,
+                    std::vector<ValType> results) {
+      return b.ImportFunction("faasm", name, params, results);
+    };
+    api.input_size = imp("input_size", {}, {kI32});
+    api.read_input = imp("read_input", {kI32, kI32}, {kI32});
+    api.write_output = imp("write_output", {kI32, kI32}, {});
+    api.chain_call = imp("chain_call", {kI32, kI32, kI32, kI32}, {kI64});
+    api.await_call = imp("await_call", {kI64}, {kI32});
+    api.get_call_output = imp("get_call_output", {kI64, kI32, kI32}, {kI32});
+    api.get_state = imp("get_state", {kI32, kI32, kI32}, {kI32});
+    api.set_state = imp("set_state", {kI32, kI32, kI32, kI32}, {});
+    api.pull_state = imp("pull_state", {kI32, kI32}, {});
+    api.push_state = imp("push_state", {kI32, kI32}, {});
+    api.pull_state_offset = imp("pull_state_offset", {kI32, kI32, kI32, kI32}, {});
+    api.push_state_offset = imp("push_state_offset", {kI32, kI32, kI32, kI32}, {});
+    api.append_state = imp("append_state", {kI32, kI32, kI32, kI32}, {});
+    api.lock_state_read = imp("lock_state_read", {kI32, kI32}, {});
+    api.unlock_state_read = imp("unlock_state_read", {kI32, kI32}, {});
+    api.lock_state_write = imp("lock_state_write", {kI32, kI32}, {});
+    api.unlock_state_write = imp("unlock_state_write", {kI32, kI32}, {});
+    api.lock_state_global_read = imp("lock_state_global_read", {kI32, kI32}, {});
+    api.unlock_state_global_read = imp("unlock_state_global_read", {kI32, kI32}, {});
+    api.lock_state_global_write = imp("lock_state_global_write", {kI32, kI32}, {});
+    api.unlock_state_global_write = imp("unlock_state_global_write", {kI32, kI32}, {});
+    api.sbrk = imp("sbrk", {kI32}, {kI32});
+    api.socket = imp("socket", {}, {kI32});
+    api.connect = imp("connect", {kI32, kI32, kI32}, {kI32});
+    api.send = imp("send", {kI32, kI32, kI32}, {kI32});
+    api.recv = imp("recv", {kI32, kI32, kI32}, {kI32});
+    api.socket_close = imp("socket_close", {kI32}, {kI32});
+    api.open = imp("open", {kI32, kI32, kI32}, {kI32});
+    api.read = imp("read", {kI32, kI32, kI32}, {kI32});
+    api.write = imp("write", {kI32, kI32, kI32}, {kI32});
+    api.close = imp("close", {kI32}, {kI32});
+    api.dup = imp("dup", {kI32}, {kI32});
+    api.seek = imp("seek", {kI32, kI32}, {kI32});
+    api.stat_size = imp("stat_size", {kI32, kI32}, {kI32});
+    api.dlopen = imp("dlopen", {kI32, kI32}, {kI32});
+    api.dlsym = imp("dlsym", {kI32, kI32, kI32}, {kI32});
+    api.dyn_call = imp("dyn_call", {kI32, kI32}, {kI32});
+    api.dlclose = imp("dlclose", {kI32}, {kI32});
+    api.gettime = imp("gettime", {}, {kI64});
+    api.getrandom = imp("getrandom", {kI32, kI32}, {kI32});
+    return api;
+  }
+};
+
+// Emits a data segment holding `text` at `offset` and returns (offset, len)
+// for passing guest strings to host-interface calls.
+inline std::pair<uint32_t, uint32_t> GuestString(wasm::ModuleBuilder& b, uint32_t offset,
+                                                 const std::string& text) {
+  b.AddData(offset, BytesFromString(text));
+  return {offset, static_cast<uint32_t>(text.size())};
+}
+
+}  // namespace faasm
+
+#endif  // FAASM_CORE_GUEST_API_H_

@@ -1,0 +1,23 @@
+#include "core/invocation_context.h"
+
+namespace faasm {
+
+Result<int> ChainAndAwaitAll(InvocationContext& ctx, const std::string& function,
+                             const std::vector<Bytes>& inputs) {
+  std::vector<uint64_t> call_ids;
+  call_ids.reserve(inputs.size());
+  for (const Bytes& input : inputs) {
+    FAASM_ASSIGN_OR_RETURN(uint64_t id, ctx.ChainCall(function, input));
+    call_ids.push_back(id);
+  }
+  int worst = 0;
+  for (uint64_t id : call_ids) {
+    FAASM_ASSIGN_OR_RETURN(int code, ctx.AwaitCall(id));
+    if (code != 0) {
+      worst = code;
+    }
+  }
+  return worst;
+}
+
+}  // namespace faasm

@@ -1,0 +1,169 @@
+#include "kvs/kv_store.h"
+
+#include <algorithm>
+
+namespace faasm {
+
+void KvStore::Set(const std::string& key, Bytes value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  shard.values[key] = std::move(value);
+}
+
+Result<Bytes> KvStore::Get(const std::string& key) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  auto it = shard.values.find(key);
+  if (it == shard.values.end()) {
+    return NotFound("kvs: no such key: " + key);
+  }
+  return it->second;
+}
+
+bool KvStore::Exists(const std::string& key) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  return shard.values.count(key) > 0;
+}
+
+Result<size_t> KvStore::Size(const std::string& key) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  auto it = shard.values.find(key);
+  if (it == shard.values.end()) {
+    return NotFound("kvs: no such key: " + key);
+  }
+  return it->second.size();
+}
+
+Status KvStore::Delete(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  return shard.values.erase(key) > 0 ? OkStatus() : NotFound("kvs: no such key: " + key);
+}
+
+Result<Bytes> KvStore::GetRange(const std::string& key, size_t offset, size_t len) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  auto it = shard.values.find(key);
+  if (it == shard.values.end()) {
+    return NotFound("kvs: no such key: " + key);
+  }
+  const Bytes& value = it->second;
+  if (offset > value.size()) {
+    return OutOfRange("kvs: range start past end of value");
+  }
+  const size_t end = std::min(value.size(), offset + len);
+  return Bytes(value.begin() + offset, value.begin() + end);
+}
+
+Status KvStore::SetRange(const std::string& key, size_t offset, const Bytes& bytes) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  Bytes& value = shard.values[key];
+  if (value.size() < offset + bytes.size()) {
+    value.resize(offset + bytes.size());
+  }
+  std::copy(bytes.begin(), bytes.end(), value.begin() + offset);
+  return OkStatus();
+}
+
+size_t KvStore::Append(const std::string& key, const Bytes& bytes) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  Bytes& value = shard.values[key];
+  value.insert(value.end(), bytes.begin(), bytes.end());
+  return value.size();
+}
+
+bool KvStore::TryLockRead(const std::string& key, const std::string& owner) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  LockState& lock = shard.locks[key];
+  if (!lock.writer.empty()) {
+    return false;
+  }
+  ++lock.readers;
+  return true;
+}
+
+bool KvStore::TryLockWrite(const std::string& key, const std::string& owner) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  LockState& lock = shard.locks[key];
+  if (!lock.writer.empty() || lock.readers > 0) {
+    return false;
+  }
+  lock.writer = owner;
+  return true;
+}
+
+Status KvStore::UnlockRead(const std::string& key, const std::string& owner) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  LockState& lock = shard.locks[key];
+  if (lock.readers <= 0) {
+    return FailedPrecondition("kvs: read-unlock without lock: " + key);
+  }
+  --lock.readers;
+  return OkStatus();
+}
+
+Status KvStore::UnlockWrite(const std::string& key, const std::string& owner) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  LockState& lock = shard.locks[key];
+  if (lock.writer != owner) {
+    return FailedPrecondition("kvs: write-unlock by non-owner: " + key);
+  }
+  lock.writer.clear();
+  return OkStatus();
+}
+
+bool KvStore::SetAdd(const std::string& key, const std::string& member) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  return shard.sets[key].insert(member).second;
+}
+
+bool KvStore::SetRemove(const std::string& key, const std::string& member) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  auto it = shard.sets.find(key);
+  if (it == shard.sets.end()) {
+    return false;
+  }
+  return it->second.erase(member) > 0;
+}
+
+std::vector<std::string> KvStore::SetMembers(const std::string& key) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  auto it = shard.sets.find(key);
+  if (it == shard.sets.end()) {
+    return {};
+  }
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+size_t KvStore::key_count() const {
+  size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    count += shard.values.size();
+  }
+  return count;
+}
+
+size_t KvStore::total_bytes() const {
+  size_t bytes = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    for (const auto& [key, value] : shard.values) {
+      bytes += value.size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace faasm

@@ -1,0 +1,77 @@
+// KvStore: the in-memory key/value store backing the global state tier
+// (the paper deploys Redis; this is the offline equivalent with the same
+// API surface the two-tier architecture needs: whole-value and ranged
+// reads/writes, append, distributed read/write locks, and the set operations
+// the Omega-style scheduler keeps its warm sets in).
+#ifndef FAASM_KVS_KV_STORE_H_
+#define FAASM_KVS_KV_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace faasm {
+
+class KvStore {
+ public:
+  static constexpr int kShards = 16;
+
+  // --- Values ---------------------------------------------------------------
+  void Set(const std::string& key, Bytes value);
+  Result<Bytes> Get(const std::string& key) const;
+  bool Exists(const std::string& key) const;
+  Result<size_t> Size(const std::string& key) const;
+  Status Delete(const std::string& key);
+
+  // Ranged access (state chunks). SetRange extends the value when needed.
+  Result<Bytes> GetRange(const std::string& key, size_t offset, size_t len) const;
+  Status SetRange(const std::string& key, size_t offset, const Bytes& bytes);
+
+  // Appends and returns the new length.
+  size_t Append(const std::string& key, const Bytes& bytes);
+
+  // --- Distributed locks -----------------------------------------------------
+  // Non-blocking; callers poll. Multiple readers or one writer per key.
+  bool TryLockRead(const std::string& key, const std::string& owner);
+  bool TryLockWrite(const std::string& key, const std::string& owner);
+  Status UnlockRead(const std::string& key, const std::string& owner);
+  Status UnlockWrite(const std::string& key, const std::string& owner);
+
+  // --- Sets (scheduler warm sets) ---------------------------------------------
+  bool SetAdd(const std::string& key, const std::string& member);     // true if new
+  bool SetRemove(const std::string& key, const std::string& member);  // true if removed
+  std::vector<std::string> SetMembers(const std::string& key) const;
+
+  // --- Introspection -----------------------------------------------------------
+  size_t key_count() const;
+  size_t total_bytes() const;
+
+ private:
+  struct LockState {
+    int readers = 0;
+    std::string writer;  // empty when unlocked
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, Bytes> values;
+    std::map<std::string, LockState> locks;
+    std::map<std::string, std::set<std::string>> sets;
+  };
+
+  Shard& ShardFor(const std::string& key) const {
+    return shards_[HashBytes(reinterpret_cast<const uint8_t*>(key.data()), key.size()) % kShards];
+  }
+
+  mutable Shard shards_[kShards];
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_KVS_KV_STORE_H_

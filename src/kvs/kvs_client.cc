@@ -1,0 +1,364 @@
+#include "kvs/kvs_client.h"
+
+#include <functional>
+
+namespace faasm {
+
+namespace {
+// Response layout: u8 status_code, then payload (op-specific).
+void WriteStatus(ByteWriter& writer, const Status& status) {
+  writer.Put<uint8_t>(static_cast<uint8_t>(status.code()));
+}
+
+Status ReadStatus(ByteReader& reader) {
+  auto code = reader.Get<uint8_t>();
+  if (!code.ok()) {
+    return Internal("kvs: malformed response");
+  }
+  const auto status_code = static_cast<StatusCode>(code.value());
+  if (status_code == StatusCode::kOk) {
+    return OkStatus();
+  }
+  return Status(status_code, "kvs remote error");
+}
+}  // namespace
+
+// --- Server -------------------------------------------------------------------
+
+KvsServer::KvsServer(KvStore* store, InProcNetwork* network, std::string endpoint)
+    : store_(store), network_(network), endpoint_(std::move(endpoint)) {
+  network_->RegisterEndpoint(endpoint_, [this](const Bytes& request) { return Handle(request); });
+}
+
+KvsServer::~KvsServer() { network_->UnregisterEndpoint(endpoint_); }
+
+Bytes KvsServer::Handle(const Bytes& request) {
+  Bytes response;
+  ByteWriter writer(response);
+  ByteReader reader(request);
+
+  auto op_byte = reader.Get<uint8_t>();
+  auto key = reader.GetString();
+  if (!op_byte.ok() || !key.ok()) {
+    WriteStatus(writer, InvalidArgument("malformed request"));
+    return response;
+  }
+
+  switch (static_cast<KvsOp>(op_byte.value())) {
+    case KvsOp::kGet: {
+      auto value = store_->Get(key.value());
+      WriteStatus(writer, value.status());
+      if (value.ok()) {
+        writer.PutBytes(value.value());
+      }
+      break;
+    }
+    case KvsOp::kSet: {
+      auto value = reader.GetBytes();
+      if (!value.ok()) {
+        WriteStatus(writer, value.status());
+        break;
+      }
+      store_->Set(key.value(), std::move(value).value());
+      WriteStatus(writer, OkStatus());
+      break;
+    }
+    case KvsOp::kGetRange: {
+      auto offset = reader.Get<uint64_t>();
+      auto len = reader.Get<uint64_t>();
+      if (!offset.ok() || !len.ok()) {
+        WriteStatus(writer, InvalidArgument("malformed range"));
+        break;
+      }
+      auto value = store_->GetRange(key.value(), offset.value(), len.value());
+      WriteStatus(writer, value.status());
+      if (value.ok()) {
+        writer.PutBytes(value.value());
+      }
+      break;
+    }
+    case KvsOp::kSetRange: {
+      auto offset = reader.Get<uint64_t>();
+      auto value = reader.GetBytes();
+      if (!offset.ok() || !value.ok()) {
+        WriteStatus(writer, InvalidArgument("malformed range write"));
+        break;
+      }
+      WriteStatus(writer, store_->SetRange(key.value(), offset.value(), value.value()));
+      break;
+    }
+    case KvsOp::kAppend: {
+      auto value = reader.GetBytes();
+      if (!value.ok()) {
+        WriteStatus(writer, value.status());
+        break;
+      }
+      const size_t new_len = store_->Append(key.value(), value.value());
+      WriteStatus(writer, OkStatus());
+      writer.Put<uint64_t>(new_len);
+      break;
+    }
+    case KvsOp::kDelete:
+      WriteStatus(writer, store_->Delete(key.value()));
+      break;
+    case KvsOp::kExists:
+      WriteStatus(writer, OkStatus());
+      writer.Put<uint8_t>(store_->Exists(key.value()) ? 1 : 0);
+      break;
+    case KvsOp::kSize: {
+      auto size = store_->Size(key.value());
+      WriteStatus(writer, size.status());
+      if (size.ok()) {
+        writer.Put<uint64_t>(size.value());
+      }
+      break;
+    }
+    case KvsOp::kLockRead:
+    case KvsOp::kLockWrite: {
+      auto owner = reader.GetString();
+      if (!owner.ok()) {
+        WriteStatus(writer, owner.status());
+        break;
+      }
+      const bool acquired = op_byte.value() == static_cast<uint8_t>(KvsOp::kLockRead)
+                                ? store_->TryLockRead(key.value(), owner.value())
+                                : store_->TryLockWrite(key.value(), owner.value());
+      WriteStatus(writer, OkStatus());
+      writer.Put<uint8_t>(acquired ? 1 : 0);
+      break;
+    }
+    case KvsOp::kUnlockRead:
+    case KvsOp::kUnlockWrite: {
+      auto owner = reader.GetString();
+      if (!owner.ok()) {
+        WriteStatus(writer, owner.status());
+        break;
+      }
+      WriteStatus(writer, op_byte.value() == static_cast<uint8_t>(KvsOp::kUnlockRead)
+                              ? store_->UnlockRead(key.value(), owner.value())
+                              : store_->UnlockWrite(key.value(), owner.value()));
+      break;
+    }
+    case KvsOp::kSetAdd:
+    case KvsOp::kSetRemove: {
+      auto member = reader.GetString();
+      if (!member.ok()) {
+        WriteStatus(writer, member.status());
+        break;
+      }
+      const bool changed = op_byte.value() == static_cast<uint8_t>(KvsOp::kSetAdd)
+                               ? store_->SetAdd(key.value(), member.value())
+                               : store_->SetRemove(key.value(), member.value());
+      WriteStatus(writer, OkStatus());
+      writer.Put<uint8_t>(changed ? 1 : 0);
+      break;
+    }
+    case KvsOp::kSetMembers: {
+      auto members = store_->SetMembers(key.value());
+      WriteStatus(writer, OkStatus());
+      writer.Put<uint32_t>(static_cast<uint32_t>(members.size()));
+      for (const std::string& member : members) {
+        writer.PutString(member);
+      }
+      break;
+    }
+    default:
+      WriteStatus(writer, InvalidArgument("unknown kvs op"));
+      break;
+  }
+  return response;
+}
+
+// --- Client -------------------------------------------------------------------
+
+KvsClient::KvsClient(InProcNetwork* network, std::string source, std::string server)
+    : network_(network), source_(std::move(source)), server_(std::move(server)) {}
+
+Result<Bytes> KvsClient::Invoke(KvsOp op, const std::function<void(ByteWriter&)>& write_args) {
+  Bytes request;
+  ByteWriter writer(request);
+  writer.Put<uint8_t>(static_cast<uint8_t>(op));
+  write_args(writer);
+  return network_->Call(source_, server_, request);
+}
+
+Status KvsClient::Set(const std::string& key, const Bytes& value) {
+  auto response = Invoke(KvsOp::kSet, [&](ByteWriter& w) {
+    w.PutString(key);
+    w.PutBytes(value);
+  });
+  if (!response.ok()) {
+    return response.status();
+  }
+  ByteReader reader(response.value());
+  return ReadStatus(reader);
+}
+
+Result<Bytes> KvsClient::Get(const std::string& key) {
+  auto response = Invoke(KvsOp::kGet, [&](ByteWriter& w) { w.PutString(key); });
+  if (!response.ok()) {
+    return response.status();
+  }
+  ByteReader reader(response.value());
+  FAASM_RETURN_IF_ERROR(ReadStatus(reader));
+  return reader.GetBytes();
+}
+
+Result<Bytes> KvsClient::GetRange(const std::string& key, uint64_t offset, uint64_t len) {
+  auto response = Invoke(KvsOp::kGetRange, [&](ByteWriter& w) {
+    w.PutString(key);
+    w.Put<uint64_t>(offset);
+    w.Put<uint64_t>(len);
+  });
+  if (!response.ok()) {
+    return response.status();
+  }
+  ByteReader reader(response.value());
+  FAASM_RETURN_IF_ERROR(ReadStatus(reader));
+  return reader.GetBytes();
+}
+
+Status KvsClient::SetRange(const std::string& key, uint64_t offset, const Bytes& bytes) {
+  auto response = Invoke(KvsOp::kSetRange, [&](ByteWriter& w) {
+    w.PutString(key);
+    w.Put<uint64_t>(offset);
+    w.PutBytes(bytes);
+  });
+  if (!response.ok()) {
+    return response.status();
+  }
+  ByteReader reader(response.value());
+  return ReadStatus(reader);
+}
+
+Result<uint64_t> KvsClient::Append(const std::string& key, const Bytes& bytes) {
+  auto response = Invoke(KvsOp::kAppend, [&](ByteWriter& w) {
+    w.PutString(key);
+    w.PutBytes(bytes);
+  });
+  if (!response.ok()) {
+    return response.status();
+  }
+  ByteReader reader(response.value());
+  FAASM_RETURN_IF_ERROR(ReadStatus(reader));
+  return reader.Get<uint64_t>();
+}
+
+Status KvsClient::Delete(const std::string& key) {
+  auto response = Invoke(KvsOp::kDelete, [&](ByteWriter& w) { w.PutString(key); });
+  if (!response.ok()) {
+    return response.status();
+  }
+  ByteReader reader(response.value());
+  return ReadStatus(reader);
+}
+
+Result<bool> KvsClient::Exists(const std::string& key) {
+  auto response = Invoke(KvsOp::kExists, [&](ByteWriter& w) { w.PutString(key); });
+  if (!response.ok()) {
+    return response.status();
+  }
+  ByteReader reader(response.value());
+  FAASM_RETURN_IF_ERROR(ReadStatus(reader));
+  auto flag = reader.Get<uint8_t>();
+  if (!flag.ok()) {
+    return flag.status();
+  }
+  return flag.value() != 0;
+}
+
+Result<uint64_t> KvsClient::Size(const std::string& key) {
+  auto response = Invoke(KvsOp::kSize, [&](ByteWriter& w) { w.PutString(key); });
+  if (!response.ok()) {
+    return response.status();
+  }
+  ByteReader reader(response.value());
+  FAASM_RETURN_IF_ERROR(ReadStatus(reader));
+  return reader.Get<uint64_t>();
+}
+
+namespace {
+Result<bool> BoolOp(KvsClient* client, InProcNetwork* network, const std::string& source,
+                    const std::string& server, KvsOp op, const std::string& key,
+                    const std::string& arg) {
+  Bytes request;
+  ByteWriter writer(request);
+  writer.Put<uint8_t>(static_cast<uint8_t>(op));
+  writer.PutString(key);
+  writer.PutString(arg);
+  auto response = network->Call(source, server, request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  ByteReader reader(response.value());
+  FAASM_RETURN_IF_ERROR(ReadStatus(reader));
+  auto flag = reader.Get<uint8_t>();
+  if (!flag.ok()) {
+    return flag.status();
+  }
+  return flag.value() != 0;
+}
+}  // namespace
+
+Result<bool> KvsClient::TryLockRead(const std::string& key) {
+  return BoolOp(this, network_, source_, server_, KvsOp::kLockRead, key, source_);
+}
+Result<bool> KvsClient::TryLockWrite(const std::string& key) {
+  return BoolOp(this, network_, source_, server_, KvsOp::kLockWrite, key, source_);
+}
+
+Status KvsClient::UnlockRead(const std::string& key) {
+  auto response = Invoke(KvsOp::kUnlockRead, [&](ByteWriter& w) {
+    w.PutString(key);
+    w.PutString(source_);
+  });
+  if (!response.ok()) {
+    return response.status();
+  }
+  ByteReader reader(response.value());
+  return ReadStatus(reader);
+}
+
+Status KvsClient::UnlockWrite(const std::string& key) {
+  auto response = Invoke(KvsOp::kUnlockWrite, [&](ByteWriter& w) {
+    w.PutString(key);
+    w.PutString(source_);
+  });
+  if (!response.ok()) {
+    return response.status();
+  }
+  ByteReader reader(response.value());
+  return ReadStatus(reader);
+}
+
+Result<bool> KvsClient::SetAdd(const std::string& key, const std::string& member) {
+  return BoolOp(this, network_, source_, server_, KvsOp::kSetAdd, key, member);
+}
+Result<bool> KvsClient::SetRemove(const std::string& key, const std::string& member) {
+  return BoolOp(this, network_, source_, server_, KvsOp::kSetRemove, key, member);
+}
+
+Result<std::vector<std::string>> KvsClient::SetMembers(const std::string& key) {
+  auto response = Invoke(KvsOp::kSetMembers, [&](ByteWriter& w) { w.PutString(key); });
+  if (!response.ok()) {
+    return response.status();
+  }
+  ByteReader reader(response.value());
+  FAASM_RETURN_IF_ERROR(ReadStatus(reader));
+  auto count = reader.Get<uint32_t>();
+  if (!count.ok()) {
+    return count.status();
+  }
+  std::vector<std::string> members;
+  members.reserve(count.value());
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    auto member = reader.GetString();
+    if (!member.ok()) {
+      return member.status();
+    }
+    members.push_back(std::move(member).value());
+  }
+  return members;
+}
+
+}  // namespace faasm

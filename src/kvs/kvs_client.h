@@ -1,0 +1,86 @@
+// KvsServer / KvsClient: the wire between hosts and the global tier. Every
+// remote state access is serialised through InProcNetwork so the experiments'
+// network-transfer numbers include global-tier traffic, exactly as the
+// paper's Redis deployment would.
+#ifndef FAASM_KVS_KVS_CLIENT_H_
+#define FAASM_KVS_KVS_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "kvs/kv_store.h"
+#include "net/network.h"
+
+namespace faasm {
+
+// Operation codes shared by client and server.
+enum class KvsOp : uint8_t {
+  kGet = 1,
+  kSet = 2,
+  kGetRange = 3,
+  kSetRange = 4,
+  kAppend = 5,
+  kDelete = 6,
+  kExists = 7,
+  kSize = 8,
+  kLockRead = 9,
+  kLockWrite = 10,
+  kUnlockRead = 11,
+  kUnlockWrite = 12,
+  kSetAdd = 13,
+  kSetRemove = 14,
+  kSetMembers = 15,
+};
+
+// Registers an RPC endpoint (default name "kvs") that serves a KvStore.
+class KvsServer {
+ public:
+  KvsServer(KvStore* store, InProcNetwork* network, std::string endpoint = "kvs");
+  ~KvsServer();
+
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  Bytes Handle(const Bytes& request);
+
+  KvStore* store_;
+  InProcNetwork* network_;
+  std::string endpoint_;
+};
+
+// Client stub. `source` is the calling host's endpoint name (for accounting).
+class KvsClient {
+ public:
+  KvsClient(InProcNetwork* network, std::string source, std::string server = "kvs");
+
+  Status Set(const std::string& key, const Bytes& value);
+  Result<Bytes> Get(const std::string& key);
+  Result<Bytes> GetRange(const std::string& key, uint64_t offset, uint64_t len);
+  Status SetRange(const std::string& key, uint64_t offset, const Bytes& bytes);
+  Result<uint64_t> Append(const std::string& key, const Bytes& bytes);
+  Status Delete(const std::string& key);
+  Result<bool> Exists(const std::string& key);
+  Result<uint64_t> Size(const std::string& key);
+
+  Result<bool> TryLockRead(const std::string& key);
+  Result<bool> TryLockWrite(const std::string& key);
+  Status UnlockRead(const std::string& key);
+  Status UnlockWrite(const std::string& key);
+
+  Result<bool> SetAdd(const std::string& key, const std::string& member);
+  Result<bool> SetRemove(const std::string& key, const std::string& member);
+  Result<std::vector<std::string>> SetMembers(const std::string& key);
+
+  const std::string& source() const { return source_; }
+
+ private:
+  Result<Bytes> Invoke(KvsOp op, const std::function<void(ByteWriter&)>& write_args);
+
+  InProcNetwork* network_;
+  std::string source_;
+  std::string server_;
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_KVS_KVS_CLIENT_H_

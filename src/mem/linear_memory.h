@@ -1,0 +1,109 @@
+// LinearMemory: a WebAssembly linear memory backed by a large PROT_NONE
+// virtual reservation. Pages are committed on memory.grow; shared regions
+// (memfd-backed) can be mapped MAP_SHARED | MAP_FIXED at wasm-page-aligned
+// guest offsets so the function sees one dense linear address space whose
+// tail pages alias shared physical memory (paper §3.3, Fig. 2).
+//
+// All guest accesses are explicitly bounds checked against the committed
+// size; out-of-bounds accesses surface as traps in the interpreter, never as
+// signals.
+#ifndef FAASM_MEM_LINEAR_MEMORY_H_
+#define FAASM_MEM_LINEAR_MEMORY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "mem/page.h"
+#include "mem/shared_region.h"
+
+namespace faasm {
+
+class LinearMemory {
+ public:
+  // Reservation large enough for a full 32-bit wasm address space.
+  static constexpr size_t kReservationBytes = size_t{1} << 32;
+
+  // `initial_pages`/`max_pages` are wasm (64 KiB) pages. `max_pages` is the
+  // per-function memory limit enforced on grow (§3.2 "Memory").
+  static Result<std::unique_ptr<LinearMemory>> Create(uint32_t initial_pages, uint32_t max_pages);
+
+  ~LinearMemory();
+
+  LinearMemory(const LinearMemory&) = delete;
+  LinearMemory& operator=(const LinearMemory&) = delete;
+
+  uint32_t size_pages() const { return size_pages_; }
+  uint32_t max_pages() const { return max_pages_; }
+  size_t size_bytes() const { return static_cast<size_t>(size_pages_) * kWasmPageBytes; }
+
+  // memory.grow semantics: returns previous size in pages, or -1 (as u32)
+  // when the limit would be exceeded.
+  uint32_t Grow(uint32_t delta_pages);
+
+  // Bounds check a guest range [offset, offset+len).
+  bool InBounds(uint64_t offset, uint64_t len) const {
+    return offset + len <= size_bytes() && offset + len >= offset;
+  }
+
+  // Raw base pointer; callers must bounds check first (the interpreter and
+  // host interface do so on every access).
+  uint8_t* base() { return base_; }
+  const uint8_t* base() const { return base_; }
+
+  // Checked typed accessors used by the host interface.
+  Status Read(uint64_t offset, void* dst, size_t len) const;
+  Status Write(uint64_t offset, const void* src, size_t len);
+
+  // Reads a NUL-terminated guest string with an upper bound.
+  Result<std::string> ReadCString(uint32_t offset, uint32_t max_len = 4096) const;
+
+  // --- Shared regions -------------------------------------------------------
+  //
+  // Extends the linear memory by `region->size()` (rounded up to whole wasm
+  // pages) and maps the region's pages at the new offset. Returns the guest
+  // offset at which the region is visible. The mapping is recorded so that
+  // snapshots and resets can restore a pristine private memory.
+  Result<uint32_t> MapSharedRegion(std::shared_ptr<SharedRegion> region);
+
+  // Removes all shared-region mappings and shrinks memory back to the private
+  // prefix, restoring anonymous pages underneath. Used on Faaslet reset.
+  Status UnmapSharedRegions();
+
+  struct SharedMapping {
+    uint32_t guest_offset;
+    uint32_t mapped_pages;  // wasm pages
+    std::shared_ptr<SharedRegion> region;
+  };
+  const std::vector<SharedMapping>& shared_mappings() const { return shared_mappings_; }
+
+  // Size of the private region (bytes before the first shared mapping).
+  size_t private_bytes() const;
+
+  // --- Snapshot support -----------------------------------------------------
+  //
+  // Restores the first `len` bytes from `src` and zeroes the rest of the
+  // committed private prefix. Grows if needed. Used by memcpy-based restore.
+  Status RestoreFromBytes(const uint8_t* src, size_t len);
+
+  // Maps `fd` (a snapshot memfd of `len` bytes) copy-on-write over the start
+  // of memory. Pages are shared with the snapshot until first write.
+  Status RestoreCopyOnWrite(int fd, size_t len);
+
+ private:
+  LinearMemory(uint8_t* base, uint32_t initial_pages, uint32_t max_pages)
+      : base_(base), size_pages_(initial_pages), max_pages_(max_pages) {}
+
+  Status CommitPages(size_t from_byte, size_t to_byte);
+
+  uint8_t* base_;
+  uint32_t size_pages_;
+  uint32_t max_pages_;
+  std::vector<SharedMapping> shared_mappings_;
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_MEM_LINEAR_MEMORY_H_

@@ -1,0 +1,42 @@
+#include "mem/meminfo.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace faasm {
+
+size_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  long total = 0;
+  long resident = 0;
+  const int n = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (n != 2) {
+    return 0;
+  }
+  return static_cast<size_t>(resident) * static_cast<size_t>(sysconf(_SC_PAGESIZE));
+}
+
+size_t CurrentPssBytes() {
+  FILE* f = std::fopen("/proc/self/smaps_rollup", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  size_t pss_kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "Pss:", 4) == 0) {
+      std::sscanf(line + 4, "%zu", &pss_kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return pss_kb * 1024;
+}
+
+}  // namespace faasm

@@ -1,0 +1,20 @@
+// Process memory accounting helpers used by the Table 3 benchmark (RSS/PSS
+// deltas per Faaslet) — reads /proc, Linux only.
+#ifndef FAASM_MEM_MEMINFO_H_
+#define FAASM_MEM_MEMINFO_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace faasm {
+
+// Resident set size of the current process in bytes (from /proc/self/statm).
+size_t CurrentRssBytes();
+
+// Proportional set size in bytes (from /proc/self/smaps_rollup); returns 0 if
+// unavailable.
+size_t CurrentPssBytes();
+
+}  // namespace faasm
+
+#endif  // FAASM_MEM_MEMINFO_H_

@@ -1,0 +1,59 @@
+// MemorySnapshot: the byte image behind a Proto-Faaslet (§5.2). The snapshot
+// lives in a memfd so restores can be zero-copy: a MAP_PRIVATE mapping of the
+// snapshot gives the new Faaslet copy-on-write pages that alias the snapshot
+// until first write. Snapshots are OS-thread independent and serialisable, so
+// the runtime can ship them across (simulated) hosts.
+#ifndef FAASM_MEM_SNAPSHOT_H_
+#define FAASM_MEM_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "mem/linear_memory.h"
+
+namespace faasm {
+
+class MemorySnapshot {
+ public:
+  // Captures `len` bytes from `src` into a new snapshot memfd.
+  static Result<std::unique_ptr<MemorySnapshot>> Capture(const std::string& name,
+                                                         const uint8_t* src, size_t len);
+
+  // Rebuilds a snapshot from serialised bytes (cross-host restore).
+  static Result<std::unique_ptr<MemorySnapshot>> Deserialize(const std::string& name,
+                                                             const Bytes& bytes);
+
+  ~MemorySnapshot();
+
+  MemorySnapshot(const MemorySnapshot&) = delete;
+  MemorySnapshot& operator=(const MemorySnapshot&) = delete;
+
+  size_t size() const { return size_; }
+  int fd() const { return fd_; }
+
+  // Copy-on-write restore into `memory` (preferred, sub-millisecond).
+  Status RestoreInto(LinearMemory& memory) const;
+
+  // Eager memcpy restore, kept for the ablation benchmark.
+  Status RestoreIntoEager(LinearMemory& memory) const;
+
+  // Serialises the image so it can be stored in the global tier and restored
+  // on another host.
+  Bytes Serialize() const;
+
+ private:
+  MemorySnapshot(int fd, size_t size, const uint8_t* view)
+      : fd_(fd), size_(size), view_(view) {}
+
+  int fd_;
+  size_t size_;
+  const uint8_t* view_;  // read-only host view of the snapshot contents
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_MEM_SNAPSHOT_H_

@@ -1,0 +1,98 @@
+#include "net/network.h"
+
+#include <cmath>
+
+namespace faasm {
+
+InProcNetwork::InProcNetwork(Clock* clock, NetworkConfig config)
+    : clock_(clock), config_(config) {}
+
+void InProcNetwork::RegisterEndpoint(const std::string& name, RpcHandler handler) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  endpoints_[name] = std::move(handler);
+}
+
+void InProcNetwork::UnregisterEndpoint(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  endpoints_.erase(name);
+}
+
+void InProcNetwork::ChargeTransfer(size_t bytes) {
+  if (!config_.charge_latency) {
+    return;
+  }
+  const double transfer_s = static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+  const TimeNs delay =
+      config_.base_latency_ns + static_cast<TimeNs>(std::llround(transfer_s * 1e9));
+  clock_->SleepFor(delay);
+}
+
+void InProcNetwork::AccountLocked(const std::string& from, const std::string& to, size_t bytes) {
+  stats_[from].tx_bytes += bytes;
+  stats_[from].tx_messages += 1;
+  stats_[to].rx_bytes += bytes;
+  stats_[to].rx_messages += 1;
+  total_bytes_ += bytes;
+}
+
+Result<Bytes> InProcNetwork::Call(const std::string& from, const std::string& to,
+                                  const Bytes& request) {
+  RpcHandler handler;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      return Unavailable("no endpoint registered: " + to);
+    }
+    handler = it->second;
+    AccountLocked(from, to, request.size());
+  }
+  ChargeTransfer(request.size());
+  Bytes response = handler(request);
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    AccountLocked(to, from, response.size());
+  }
+  ChargeTransfer(response.size());
+  return response;
+}
+
+Status InProcNetwork::Send(const std::string& from, const std::string& to, Bytes message) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    AccountLocked(from, to, message.size());
+    mailboxes_[to].push_back(std::move(message));
+  }
+  ChargeTransfer(0);  // latency only; payload accounted above
+  return OkStatus();
+}
+
+std::optional<Bytes> InProcNetwork::Poll(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = mailboxes_.find(name);
+  if (it == mailboxes_.end() || it->second.empty()) {
+    return std::nullopt;
+  }
+  Bytes message = std::move(it->second.front());
+  it->second.pop_front();
+  return message;
+}
+
+uint64_t InProcNetwork::total_bytes() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return total_bytes_;
+}
+
+EndpointStats InProcNetwork::StatsFor(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = stats_.find(name);
+  return it == stats_.end() ? EndpointStats{} : it->second;
+}
+
+void InProcNetwork::ResetStats() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  stats_.clear();
+  total_bytes_ = 0;
+}
+
+}  // namespace faasm

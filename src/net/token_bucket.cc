@@ -1,0 +1,36 @@
+#include "net/token_bucket.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faasm {
+
+void TokenBucket::Refill(TimeNs now_ns) {
+  if (now_ns <= last_refill_ns_) {
+    return;
+  }
+  const double elapsed_s = static_cast<double>(now_ns - last_refill_ns_) / 1e9;
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+  last_refill_ns_ = now_ns;
+}
+
+bool TokenBucket::TryConsume(double bytes, TimeNs now_ns) {
+  Refill(now_ns);
+  if (tokens_ >= bytes) {
+    tokens_ -= bytes;
+    return true;
+  }
+  return false;
+}
+
+TimeNs TokenBucket::NextAvailable(double bytes, TimeNs now_ns) {
+  Refill(now_ns);
+  if (tokens_ >= bytes) {
+    return now_ns;
+  }
+  const double deficit = bytes - tokens_;
+  const double wait_s = deficit / rate_;
+  return now_ns + static_cast<TimeNs>(std::ceil(wait_s * 1e9));
+}
+
+}  // namespace faasm

@@ -1,0 +1,38 @@
+// TokenBucket: per-Faaslet traffic shaping. The paper shapes each Faaslet's
+// virtual network interface with tc; this is the userspace equivalent the
+// simulated interfaces enforce (§3.1 "secure and fair network access").
+#ifndef FAASM_NET_TOKEN_BUCKET_H_
+#define FAASM_NET_TOKEN_BUCKET_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace faasm {
+
+class TokenBucket {
+ public:
+  // `rate_bytes_per_sec` refills the bucket; `burst_bytes` is its capacity.
+  TokenBucket(double rate_bytes_per_sec, double burst_bytes)
+      : rate_(rate_bytes_per_sec), burst_(burst_bytes), tokens_(burst_bytes) {}
+
+  // Attempts to consume `bytes` at time `now_ns`; returns true on success.
+  bool TryConsume(double bytes, TimeNs now_ns);
+
+  // Returns the earliest time at which `bytes` tokens will be available.
+  TimeNs NextAvailable(double bytes, TimeNs now_ns);
+
+  double tokens() const { return tokens_; }
+
+ private:
+  void Refill(TimeNs now_ns);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  TimeNs last_refill_ns_ = 0;
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_NET_TOKEN_BUCKET_H_

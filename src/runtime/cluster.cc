@@ -1,0 +1,76 @@
+#include "runtime/cluster.h"
+
+#include <chrono>
+#include <thread>
+
+namespace faasm {
+
+FaasmCluster::FaasmCluster(ClusterConfig config)
+    : config_(config),
+      network_(std::make_unique<InProcNetwork>(&executor_.clock(), config.network)),
+      kvs_server_(std::make_unique<KvsServer>(&kvs_, network_.get())),
+      calls_(&executor_.clock()) {
+  for (int i = 0; i < config.hosts; ++i) {
+    HostConfig host_config;
+    host_config.name = "host-" + std::to_string(i);
+    host_config.cores = config.cores_per_host;
+    host_config.memory_bytes = config.host_memory_bytes;
+    host_config.max_concurrent_calls = config.max_concurrent_per_host;
+    hosts_.push_back(std::make_unique<FaasmInstance>(host_config, &executor_, network_.get(),
+                                                     &registry_, &calls_, &files_));
+  }
+  for (auto& host : hosts_) {
+    host->Start();
+  }
+}
+
+FaasmCluster::~FaasmCluster() { Shutdown(); }
+
+void FaasmCluster::Shutdown() {
+  if (shut_down_) {
+    return;
+  }
+  shut_down_ = true;
+  for (auto& host : hosts_) {
+    host->Stop();
+  }
+  executor_.JoinAll();
+}
+
+void FaasmCluster::Run(const std::function<void(Frontend&)>& driver) {
+  std::atomic<bool> done{false};
+  executor_.Spawn([this, &driver, &done] {
+    Frontend frontend(&hosts_, &calls_);
+    driver(frontend);
+    done.store(true);
+  });
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+double FaasmCluster::billable_gb_seconds() const {
+  double total = 0;
+  for (const auto& host : hosts_) {
+    total += const_cast<FaasmInstance&>(*host).memory_accountant().GbSeconds();
+  }
+  return total;
+}
+
+size_t FaasmCluster::cold_start_count() const {
+  size_t count = 0;
+  for (const auto& host : hosts_) {
+    count += host->cold_start_count();
+  }
+  return count;
+}
+
+size_t FaasmCluster::warm_faaslet_count() const {
+  size_t count = 0;
+  for (const auto& host : hosts_) {
+    count += host->warm_faaslet_count();
+  }
+  return count;
+}
+
+}  // namespace faasm

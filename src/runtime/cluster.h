@@ -1,0 +1,102 @@
+// FaasmCluster: the whole deployment — N FaasmInstance hosts, the global
+// tier (KvStore behind a byte-accounted KvsServer), a global file store, the
+// function registry and the shared virtual-time executor. Benchmarks drive
+// it through Frontend, a simulated external client.
+#ifndef FAASM_RUNTIME_CLUSTER_H_
+#define FAASM_RUNTIME_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/vfs.h"
+#include "kvs/kvs_client.h"
+#include "net/network.h"
+#include "runtime/call_table.h"
+#include "runtime/instance.h"
+#include "runtime/registry.h"
+#include "sim/sim_clock.h"
+
+namespace faasm {
+
+struct ClusterConfig {
+  int hosts = 4;
+  int cores_per_host = 4;
+  size_t host_memory_bytes = size_t{16} * 1024 * 1024 * 1024;
+  int max_concurrent_per_host = 64;
+  NetworkConfig network;
+};
+
+// Simulated external client (e.g. the platform's HTTP frontend): submits
+// calls round-robin across hosts, as Knative's default endpoints do (§6.1).
+class Frontend {
+ public:
+  Frontend(std::vector<std::unique_ptr<FaasmInstance>>* hosts, CallTable* calls)
+      : hosts_(hosts), calls_(calls) {}
+
+  Result<uint64_t> Submit(const std::string& function, Bytes input) {
+    FaasmInstance& host = *(*hosts_)[next_++ % hosts_->size()];
+    return host.Submit(function, std::move(input));
+  }
+
+  Result<int> Await(uint64_t call_id) { return (*hosts_)[0]->Await(call_id); }
+
+  Result<int> Invoke(const std::string& function, Bytes input) {
+    FAASM_ASSIGN_OR_RETURN(uint64_t id, Submit(function, std::move(input)));
+    return Await(id);
+  }
+
+  Result<Bytes> Output(uint64_t call_id) { return calls_->Output(call_id); }
+
+ private:
+  std::vector<std::unique_ptr<FaasmInstance>>* hosts_;
+  CallTable* calls_;
+  size_t next_ = 0;
+};
+
+class FaasmCluster {
+ public:
+  explicit FaasmCluster(ClusterConfig config = {});
+  ~FaasmCluster();
+
+  FaasmCluster(const FaasmCluster&) = delete;
+  FaasmCluster& operator=(const FaasmCluster&) = delete;
+
+  // --- Components ---------------------------------------------------------------
+  FunctionRegistry& registry() { return registry_; }
+  GlobalFileStore& files() { return files_; }
+  KvStore& kvs() { return kvs_; }  // direct, unaccounted (dataset seeding)
+  InProcNetwork& network() { return *network_; }
+  SimClock& clock() { return executor_.clock(); }
+  SimExecutor& executor() { return executor_; }
+  CallTable& calls() { return calls_; }
+  FaasmInstance& host(size_t index) { return *hosts_[index]; }
+  size_t host_count() const { return hosts_.size(); }
+
+  // Runs `driver` as a simulated client activity and blocks (in real time)
+  // until it completes. Virtual time advances as needed.
+  void Run(const std::function<void(Frontend&)>& driver);
+
+  // --- Cluster-wide metrics --------------------------------------------------------
+  uint64_t network_bytes() const { return network_->total_bytes(); }
+  double billable_gb_seconds() const;
+  size_t cold_start_count() const;
+  size_t warm_faaslet_count() const;
+
+  void Shutdown();
+
+ private:
+  ClusterConfig config_;
+  SimExecutor executor_;
+  std::unique_ptr<InProcNetwork> network_;
+  KvStore kvs_;
+  std::unique_ptr<KvsServer> kvs_server_;
+  GlobalFileStore files_;
+  FunctionRegistry registry_;
+  CallTable calls_;
+  std::vector<std::unique_ptr<FaasmInstance>> hosts_;
+  bool shut_down_ = false;
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_RUNTIME_CLUSTER_H_

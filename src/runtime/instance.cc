@@ -1,0 +1,339 @@
+#include "runtime/instance.h"
+
+#include "common/log.h"
+
+namespace faasm {
+
+namespace {
+// Wire format of a shared call: id, function, input.
+Bytes EncodeSharedCall(uint64_t id, const std::string& function, const Bytes& input) {
+  Bytes out;
+  ByteWriter writer(out);
+  writer.Put<uint64_t>(id);
+  writer.PutString(function);
+  writer.PutBytes(input);
+  return out;
+}
+
+struct SharedCall {
+  uint64_t id;
+  std::string function;
+  Bytes input;
+};
+
+Result<SharedCall> DecodeSharedCall(const Bytes& bytes) {
+  SharedCall call;
+  ByteReader reader(bytes);
+  FAASM_ASSIGN_OR_RETURN(call.id, reader.Get<uint64_t>());
+  FAASM_ASSIGN_OR_RETURN(call.function, reader.GetString());
+  FAASM_ASSIGN_OR_RETURN(call.input, reader.GetBytes());
+  return call;
+}
+}  // namespace
+
+FaasmInstance::FaasmInstance(HostConfig config, SimExecutor* executor, InProcNetwork* network,
+                             FunctionRegistry* registry, CallTable* calls,
+                             GlobalFileStore* files)
+    : config_(std::move(config)),
+      executor_(executor),
+      network_(network),
+      registry_(registry),
+      calls_(calls),
+      files_(files),
+      kvs_(network, config_.name),
+      tier_(std::make_unique<LocalTier>(&kvs_, &executor->clock())),
+      memory_(&executor->clock(), config_.memory_bytes),
+      cpu_(&executor->clock(), config_.cores),
+      share_rng_(HashBytes(reinterpret_cast<const uint8_t*>(config_.name.data()),
+                           config_.name.size())) {}
+
+FaasmInstance::~FaasmInstance() { Stop(); }
+
+void FaasmInstance::Start() {
+  if (started_.exchange(true)) {
+    return;
+  }
+  // The host endpoint answers nothing synchronously; work sharing uses the
+  // mailbox. Registering makes the name routable for accounting.
+  network_->RegisterEndpoint(config_.name, [](const Bytes&) { return Bytes{}; });
+  executor_->Spawn([this] { DispatchLoop(); });
+}
+
+void FaasmInstance::Stop() { stop_.store(true); }
+
+void FaasmInstance::DispatchLoop() {
+  SimClock& clock = executor_->clock();
+  while (!stop_.load()) {
+    auto message = network_->Poll(config_.name);
+    if (!message.has_value()) {
+      clock.SleepFor(200 * kMicrosecond);
+      continue;
+    }
+    auto call = DecodeSharedCall(*message);
+    if (!call.ok()) {
+      LOG_ERROR << config_.name << ": bad shared-call message: " << call.status().ToString();
+      continue;
+    }
+    ExecuteLocal(call.value().id, call.value().function, std::move(call.value().input));
+  }
+}
+
+Result<uint64_t> FaasmInstance::Submit(const std::string& function, Bytes input) {
+  if (!registry_->Contains(function)) {
+    return NotFound("no function named '" + function + "'");
+  }
+  const uint64_t id = calls_->Create(function, Bytes{});  // input travels with the schedule
+  FAASM_RETURN_IF_ERROR(ScheduleCall(id, function, std::move(input)));
+  return id;
+}
+
+Status FaasmInstance::ScheduleCall(uint64_t call_id, const std::string& function, Bytes input) {
+  // Omega-style shared-state decision (§5.1): execute locally when this host
+  // is warm for the function and has capacity; otherwise share with a warm
+  // host found in the global tier; otherwise cold start locally.
+  bool warm_here = false;
+  {
+    std::lock_guard<std::mutex> guard(pools_mutex_);
+    auto it = pools_.find(function);
+    warm_here = it != pools_.end() && it->second.total > 0;
+  }
+  const bool has_capacity = running_calls_.load() < config_.max_concurrent_calls;
+  if (warm_here && has_capacity) {
+    ExecuteLocal(call_id, function, std::move(input));
+    return OkStatus();
+  }
+
+  // Not warm (or saturated): look for another warm host in the global tier.
+  FAASM_ASSIGN_OR_RETURN(auto warm_hosts, kvs_.SetMembers("warm:" + function));
+  std::vector<std::string> others;
+  for (const std::string& host : warm_hosts) {
+    if (host != config_.name) {
+      others.push_back(host);
+    }
+  }
+  if (!others.empty()) {
+    // Share with a random warm host (paper: "share it with another warm host
+    // if one exists").
+    const std::string& target = others[share_rng_.NextBelow(others.size())];
+    return network_->Send(config_.name, target, EncodeSharedCall(call_id, function, input));
+  }
+
+  // No warm host anywhere: cold start locally.
+  ExecuteLocal(call_id, function, std::move(input));
+  return OkStatus();
+}
+
+void FaasmInstance::UpdateWarmAdvertisement() {
+  const bool saturated = running_calls_.load() >= config_.max_concurrent_calls;
+  if (advertised_saturated_.exchange(saturated) == saturated) {
+    return;
+  }
+  std::vector<std::string> functions;
+  {
+    std::lock_guard<std::mutex> guard(pools_mutex_);
+    for (const auto& [name, pool] : pools_) {
+      if (pool.total > 0) {
+        functions.push_back(name);
+      }
+    }
+  }
+  for (const std::string& function : functions) {
+    if (saturated) {
+      (void)kvs_.SetRemove("warm:" + function, config_.name);
+    } else {
+      (void)kvs_.SetAdd("warm:" + function, config_.name);
+    }
+  }
+}
+
+void FaasmInstance::ExecuteLocal(uint64_t call_id, const std::string& function, Bytes input) {
+  executor_->Spawn([this, call_id, function, input = std::move(input)]() mutable {
+    SimClock& clock = executor_->clock();
+    running_calls_.fetch_add(1);
+    UpdateWarmAdvertisement();
+
+    bool cold = false;
+    auto faaslet = AcquireFaaslet(function, &cold);
+    if (!faaslet.ok()) {
+      (void)calls_->Fail(call_id, faaslet.status().ToString());
+      running_calls_.fetch_sub(1);
+      return;
+    }
+    (void)calls_->MarkRunning(call_id, config_.name, cold);
+    clock.SleepFor(config_.per_call_overhead_ns);
+
+    Faaslet& f = *faaslet.value();
+    Result<int> code = 0;
+    {
+      HostCpuModel::Running running(cpu_);
+      Stopwatch execute_watch;
+      code = f.Execute(std::move(input));
+      if (f.is_wasm()) {
+        // Wasm functions cannot self-report compute; charge the measured
+        // interpreter time (native functions call ChargeCompute themselves).
+        cpu_.Charge(execute_watch.ElapsedNs());
+      }
+    }
+    if (code.ok()) {
+      (void)calls_->Complete(call_id, code.value(), f.TakeOutput());
+    } else {
+      (void)calls_->Fail(call_id, code.status().ToString());
+    }
+    executed_calls_.fetch_add(1);
+
+    // Reset from the creation snapshot so the next call (possibly another
+    // tenant) sees a pristine Faaslet; charge the real restore cost.
+    Stopwatch reset_watch;
+    Status reset = f.Reset();
+    clock.SleepFor(reset_watch.ElapsedNs());
+    if (reset.ok()) {
+      ReleaseFaaslet(std::move(faaslet).value());
+    } else {
+      LOG_WARN << config_.name << ": faaslet reset failed: " << reset.ToString();
+      memory_.Release(f.FootprintBytes());
+    }
+    SyncTierAccounting();
+    running_calls_.fetch_sub(1);
+    UpdateWarmAdvertisement();
+  });
+}
+
+FaasletEnv FaasmInstance::MakeEnv() {
+  FaasletEnv env;
+  env.clock = &executor_->clock();
+  env.tier = tier_.get();
+  env.files = files_;
+  env.network = network_;
+  env.host_endpoint = config_.name;
+  env.cpu = &cpu_;
+  env.chain = [this](const std::string& fn, Bytes in) { return Submit(fn, std::move(in)); };
+  env.await = [this](uint64_t id) { return Await(id); };
+  env.get_output = [this](uint64_t id) { return calls_->Output(id); };
+  return env;
+}
+
+Result<std::unique_ptr<Faaslet>> FaasmInstance::ColdStart(const FunctionSpec& spec) {
+  SimClock& clock = executor_->clock();
+  cold_starts_.fetch_add(1);
+
+  // Proto-Faaslets capture initialised wasm images (§5.2); native stand-in
+  // functions have nothing worth snapshotting globally, so skip the global
+  // tier for them (they still keep a local creation snapshot for resets).
+  const bool use_global_proto = spec.module != nullptr;
+
+  // Prefer a Proto-Faaslet: local cache first, then the global tier (§5.2:
+  // snapshots restore across hosts).
+  std::shared_ptr<const ProtoFaaslet> proto;
+  {
+    std::lock_guard<std::mutex> guard(pools_mutex_);
+    auto it = proto_cache_.find(spec.name);
+    if (it != proto_cache_.end()) {
+      proto = it->second;
+    }
+  }
+  if (proto == nullptr && use_global_proto) {
+    auto remote = kvs_.Get("proto:" + spec.name);
+    if (remote.ok()) {
+      auto parsed = ProtoFaaslet::Deserialize(remote.value());
+      if (parsed.ok()) {
+        proto = parsed.value();
+        std::lock_guard<std::mutex> guard(pools_mutex_);
+        proto_cache_[spec.name] = proto;
+      }
+    }
+  }
+
+  Stopwatch watch;
+  Result<std::unique_ptr<Faaslet>> faaslet =
+      proto != nullptr ? Faaslet::CreateFromProto(spec, MakeEnv(), proto)
+                       : Faaslet::Create(spec, MakeEnv());
+  // Charge the real creation cost to virtual time (simulated_init_ns inside
+  // Create slept virtually already).
+  clock.SleepFor(watch.ElapsedNs());
+  if (!faaslet.ok()) {
+    return faaslet.status();
+  }
+
+  if (proto == nullptr) {
+    // First instantiation anywhere: publish the snapshot for other hosts.
+    auto captured = ProtoFaaslet::CaptureFrom(*faaslet.value());
+    if (captured.ok()) {
+      {
+        std::lock_guard<std::mutex> guard(pools_mutex_);
+        proto_cache_[spec.name] = captured.value();
+      }
+      if (use_global_proto) {
+        (void)kvs_.Set("proto:" + spec.name, captured.value()->Serialize());
+      }
+    }
+  }
+  return faaslet;
+}
+
+Result<std::unique_ptr<Faaslet>> FaasmInstance::AcquireFaaslet(const std::string& function,
+                                                               bool* cold) {
+  {
+    std::lock_guard<std::mutex> guard(pools_mutex_);
+    auto it = pools_.find(function);
+    if (it != pools_.end() && !it->second.idle.empty()) {
+      auto faaslet = std::move(it->second.idle.back());
+      it->second.idle.pop_back();
+      *cold = false;
+      return faaslet;
+    }
+  }
+  *cold = true;
+  FAASM_ASSIGN_OR_RETURN(FunctionSpec spec, registry_->Lookup(function));
+  FAASM_ASSIGN_OR_RETURN(auto faaslet, ColdStart(spec));
+  FAASM_RETURN_IF_ERROR(memory_.Allocate(faaslet->FootprintBytes()));
+  {
+    std::lock_guard<std::mutex> guard(pools_mutex_);
+    pools_[function].total += 1;
+  }
+  // Advertise this host as warm for the function (unless saturated).
+  if (!advertised_saturated_.load()) {
+    (void)kvs_.SetAdd("warm:" + function, config_.name);
+  }
+  return faaslet;
+}
+
+void FaasmInstance::ReleaseFaaslet(std::unique_ptr<Faaslet> faaslet) {
+  std::lock_guard<std::mutex> guard(pools_mutex_);
+  pools_[faaslet->function()].idle.push_back(std::move(faaslet));
+}
+
+Result<int> FaasmInstance::Await(uint64_t call_id) {
+  SimClock& clock = executor_->clock();
+  clock.WaitFor([this, call_id] { return calls_->IsFinished(call_id); }, 200 * kMicrosecond);
+  FAASM_ASSIGN_OR_RETURN(CallRecord record, calls_->Get(call_id));
+  if (record.state == CallState::kFailed) {
+    return Internal("call #" + std::to_string(call_id) + " failed: " + record.error);
+  }
+  return record.return_code;
+}
+
+void FaasmInstance::SyncTierAccounting() {
+  const size_t now_bytes = tier_->resident_bytes();
+  const size_t before = tier_bytes_accounted_.exchange(now_bytes);
+  if (now_bytes > before) {
+    // Local tier growth counts against host memory; on overflow we log but do
+    // not fail the call (the state already exists in the region).
+    Status status = memory_.Allocate(now_bytes - before);
+    if (!status.ok()) {
+      LOG_WARN << config_.name << ": local tier exceeds host memory";
+    }
+  } else if (before > now_bytes) {
+    memory_.Release(before - now_bytes);
+  }
+}
+
+size_t FaasmInstance::warm_faaslet_count() const {
+  std::lock_guard<std::mutex> guard(pools_mutex_);
+  size_t count = 0;
+  for (const auto& [name, pool] : pools_) {
+    count += pool.total;
+  }
+  return count;
+}
+
+}  // namespace faasm

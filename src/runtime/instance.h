@@ -1,0 +1,117 @@
+// FaasmInstance: one FAASM runtime per host (§5). Manages a pool of warm
+// Faaslets, schedules calls with the Omega-style shared-state policy
+// (execute locally when warm with capacity, otherwise share with a warm host
+// discovered through the global tier), performs cold starts — preferring
+// cross-host Proto-Faaslet restores — and accounts host memory.
+#ifndef FAASM_RUNTIME_INSTANCE_H_
+#define FAASM_RUNTIME_INSTANCE_H_
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/faaslet.h"
+#include "kvs/kvs_client.h"
+#include "runtime/call_table.h"
+#include "runtime/memory_accountant.h"
+#include "runtime/registry.h"
+#include "sim/sim_clock.h"
+
+namespace faasm {
+
+struct HostConfig {
+  std::string name = "host-0";
+  int cores = 4;
+  size_t memory_bytes = size_t{16} * 1024 * 1024 * 1024;  // paper testbed: 16 GB
+  int max_concurrent_calls = 64;
+  // Execution overhead charged per call (runtime dispatch, thread wake-up).
+  TimeNs per_call_overhead_ns = 50 * kMicrosecond;
+};
+
+class FaasmInstance {
+ public:
+  FaasmInstance(HostConfig config, SimExecutor* executor, InProcNetwork* network,
+                FunctionRegistry* registry, CallTable* calls, GlobalFileStore* files);
+  ~FaasmInstance();
+
+  FaasmInstance(const FaasmInstance&) = delete;
+  FaasmInstance& operator=(const FaasmInstance&) = delete;
+
+  // Registers the host endpoint and starts the dispatcher.
+  void Start();
+  // Stops the dispatcher (idempotent).
+  void Stop();
+
+  // Submits a call (from a frontend or a chained call on this host) and
+  // schedules it per the distributed policy. Returns the call id.
+  Result<uint64_t> Submit(const std::string& function, Bytes input);
+
+  // Blocks (virtually) until the call finishes; returns its exit code.
+  Result<int> Await(uint64_t call_id);
+
+  const std::string& name() const { return config_.name; }
+  LocalTier& tier() { return *tier_; }
+  MemoryAccountant& memory_accountant() { return memory_; }
+  HostCpuModel& cpu() { return cpu_; }
+
+  size_t warm_faaslet_count() const;
+  size_t cold_start_count() const { return cold_starts_.load(); }
+  size_t executed_call_count() const { return executed_calls_.load(); }
+
+ private:
+  struct FunctionPool {
+    std::vector<std::unique_ptr<Faaslet>> idle;
+    int total = 0;  // idle + busy
+  };
+
+  void DispatchLoop();
+  // Placement decision for a submitted call.
+  Status ScheduleCall(uint64_t call_id, const std::string& function, Bytes input);
+  // Runs the call on this host (spawning an execution activity).
+  void ExecuteLocal(uint64_t call_id, const std::string& function, Bytes input);
+
+  // Pops or creates a Faaslet for `function`; sets `cold` when created.
+  Result<std::unique_ptr<Faaslet>> AcquireFaaslet(const std::string& function, bool* cold);
+  void ReleaseFaaslet(std::unique_ptr<Faaslet> faaslet);
+  Result<std::unique_ptr<Faaslet>> ColdStart(const FunctionSpec& spec);
+
+  // Omega-style shared state hygiene: a saturated host withdraws itself from
+  // the warm sets so peers cold start elsewhere instead of piling work onto
+  // it; it re-advertises when capacity frees up.
+  void UpdateWarmAdvertisement();
+
+  FaasletEnv MakeEnv();
+  void SyncTierAccounting();
+
+  HostConfig config_;
+  SimExecutor* executor_;
+  InProcNetwork* network_;
+  FunctionRegistry* registry_;
+  CallTable* calls_;
+  GlobalFileStore* files_;
+
+  KvsClient kvs_;
+  std::unique_ptr<LocalTier> tier_;
+  MemoryAccountant memory_;
+  HostCpuModel cpu_;
+
+  mutable std::mutex pools_mutex_;
+  std::map<std::string, FunctionPool> pools_;
+  std::map<std::string, std::shared_ptr<const ProtoFaaslet>> proto_cache_;
+
+  std::atomic<int> running_calls_{0};
+  std::atomic<bool> advertised_saturated_{false};
+  std::atomic<size_t> cold_starts_{0};
+  std::atomic<size_t> executed_calls_{0};
+  std::atomic<size_t> tier_bytes_accounted_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  Rng share_rng_;
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_RUNTIME_INSTANCE_H_

@@ -1,0 +1,76 @@
+// MemoryAccountant: integrates a host's memory usage over (virtual) time to
+// produce the "billable memory" metric of §6.1 (GB-seconds), and enforces the
+// host memory capacity that makes the container baseline exhaust memory at
+// high parallelism (Fig. 6).
+#ifndef FAASM_RUNTIME_MEMORY_ACCOUNTANT_H_
+#define FAASM_RUNTIME_MEMORY_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace faasm {
+
+class MemoryAccountant {
+ public:
+  MemoryAccountant(Clock* clock, size_t capacity_bytes)
+      : clock_(clock), capacity_(capacity_bytes) {}
+
+  // Reserves `bytes`; fails when the host would exceed physical memory.
+  Status Allocate(size_t bytes) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    AccumulateLocked();
+    if (current_ + bytes > capacity_) {
+      return ResourceExhausted("host out of memory");
+    }
+    current_ += bytes;
+    peak_ = std::max(peak_, current_);
+    return OkStatus();
+  }
+
+  void Release(size_t bytes) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    AccumulateLocked();
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+
+  size_t current_bytes() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return current_;
+  }
+
+  size_t peak_bytes() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return peak_;
+  }
+
+  size_t capacity_bytes() const { return capacity_; }
+
+  // Billable memory so far, in GB-seconds.
+  double GbSeconds() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    const_cast<MemoryAccountant*>(this)->AccumulateLocked();
+    return byte_ns_ / (1e9 * 1024.0 * 1024.0 * 1024.0);
+  }
+
+ private:
+  void AccumulateLocked() {
+    const TimeNs now = clock_->Now();
+    byte_ns_ += static_cast<double>(current_) * static_cast<double>(now - last_change_);
+    last_change_ = now;
+  }
+
+  Clock* clock_;
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  size_t current_ = 0;
+  size_t peak_ = 0;
+  TimeNs last_change_ = 0;
+  double byte_ns_ = 0;
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_RUNTIME_MEMORY_ACCOUNTANT_H_

@@ -1,0 +1,52 @@
+// HostCpuModel: userspace stand-in for the cgroup cpu-shares isolation of
+// §3.1. Each Faaslet's measured compute is charged to virtual time inflated
+// by the host's current oversubscription factor (active runners / cores),
+// approximating the Linux CFS fair share each thread would receive.
+#ifndef FAASM_SIM_CPU_MODEL_H_
+#define FAASM_SIM_CPU_MODEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace faasm {
+
+class HostCpuModel {
+ public:
+  HostCpuModel(Clock* clock, int cores) : clock_(clock), cores_(cores) {}
+
+  // Charges `compute_ns` of CPU work under fair sharing: with more active
+  // runners than cores, each runner progresses proportionally slower.
+  void Charge(TimeNs compute_ns) {
+    const int active = active_.load(std::memory_order_relaxed);
+    const double factor =
+        active > cores_ ? static_cast<double>(active) / static_cast<double>(cores_) : 1.0;
+    clock_->SleepFor(static_cast<TimeNs>(static_cast<double>(compute_ns) * factor));
+  }
+
+  // RAII marker for "this activity is on-CPU".
+  class Running {
+   public:
+    explicit Running(HostCpuModel& model) : model_(model) {
+      model_.active_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~Running() { model_.active_.fetch_sub(1, std::memory_order_relaxed); }
+    Running(const Running&) = delete;
+    Running& operator=(const Running&) = delete;
+
+   private:
+    HostCpuModel& model_;
+  };
+
+  int cores() const { return cores_; }
+
+ private:
+  Clock* clock_;
+  int cores_;
+  std::atomic<int> active_{0};
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_SIM_CPU_MODEL_H_

@@ -1,0 +1,42 @@
+#include "state/local_tier.h"
+
+namespace faasm {
+
+std::shared_ptr<StateKeyValue> LocalTier::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = values_.find(key);
+  if (it != values_.end()) {
+    return it->second;
+  }
+  auto value = std::make_shared<StateKeyValue>(key, kvs_, clock_);
+  values_[key] = value;
+  return value;
+}
+
+bool LocalTier::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return values_.count(key) > 0;
+}
+
+size_t LocalTier::resident_bytes() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  size_t bytes = 0;
+  for (const auto& [key, value] : values_) {
+    if (value->allocated()) {
+      bytes += value->size();
+    }
+  }
+  return bytes;
+}
+
+size_t LocalTier::key_count() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return values_.size();
+}
+
+void LocalTier::Clear() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  values_.clear();
+}
+
+}  // namespace faasm

@@ -1,0 +1,46 @@
+// LocalTier: the per-host registry of state replicas (Fig. 4). All Faaslets
+// on a host share one LocalTier, which is exactly what lets them share
+// replicas in memory instead of holding private copies.
+#ifndef FAASM_STATE_LOCAL_TIER_H_
+#define FAASM_STATE_LOCAL_TIER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "state/state_key_value.h"
+
+namespace faasm {
+
+class LocalTier {
+ public:
+  LocalTier(KvsClient* kvs, Clock* clock) : kvs_(kvs), clock_(clock) {}
+
+  // Returns (creating on demand) the replica handle for `key`.
+  std::shared_ptr<StateKeyValue> Lookup(const std::string& key);
+
+  // True if a replica for `key` exists on this host.
+  bool Contains(const std::string& key) const;
+
+  // Total bytes held in this host's local tier (for footprint accounting).
+  size_t resident_bytes() const;
+
+  size_t key_count() const;
+
+  // Drops every replica (host teardown in tests).
+  void Clear();
+
+  KvsClient* kvs() { return kvs_; }
+  Clock* clock() { return clock_; }
+
+ private:
+  KvsClient* kvs_;
+  Clock* clock_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<StateKeyValue>> values_;
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_STATE_LOCAL_TIER_H_

@@ -1,0 +1,161 @@
+#include "state/state_key_value.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace faasm {
+
+StateKeyValue::StateKeyValue(std::string key, KvsClient* kvs, Clock* clock)
+    : key_(std::move(key)), kvs_(kvs), clock_(clock), local_lock_(clock) {}
+
+Status StateKeyValue::EnsureCapacity(size_t size) {
+  if (region_ != nullptr) {
+    if (size > region_->mapped_size()) {
+      return ResourceExhausted("state value '" + key_ + "' exceeds replica capacity");
+    }
+    size_ = std::max(size_, size);
+    return OkStatus();
+  }
+  FAASM_ASSIGN_OR_RETURN(auto region, SharedRegion::Create("state:" + key_, size));
+  region_ = std::move(region);
+  size_ = size;
+  {
+    std::lock_guard<std::mutex> guard(pages_mutex_);
+    page_present_.assign((size + kStatePageBytes - 1) / kStatePageBytes, false);
+  }
+  return OkStatus();
+}
+
+uint8_t* StateKeyValue::data() { return region_ == nullptr ? nullptr : region_->host_view(); }
+
+Status StateKeyValue::FetchRange(size_t offset, size_t len) {
+  FAASM_ASSIGN_OR_RETURN(Bytes chunk, kvs_->GetRange(key_, offset, len));
+  if (offset + chunk.size() > region_->mapped_size()) {
+    return Internal("state fetch larger than replica");
+  }
+  LockWrite();
+  std::memcpy(region_->host_view() + offset, chunk.data(), chunk.size());
+  UnlockWrite();
+  return OkStatus();
+}
+
+Status StateKeyValue::Pull() {
+  FAASM_ASSIGN_OR_RETURN(uint64_t global_size, kvs_->Size(key_));
+  FAASM_RETURN_IF_ERROR(EnsureCapacity(global_size));
+  return PullChunk(0, global_size);
+}
+
+Status StateKeyValue::PullChunk(size_t offset, size_t len) {
+  if (region_ == nullptr) {
+    // Chunked access without prior sizing: allocate at the global size.
+    FAASM_ASSIGN_OR_RETURN(uint64_t global_size, kvs_->Size(key_));
+    FAASM_RETURN_IF_ERROR(EnsureCapacity(global_size));
+  }
+  if (len == 0) {
+    return OkStatus();
+  }
+  if (offset + len > size_) {
+    return OutOfRange("pull chunk past end of state value '" + key_ + "'");
+  }
+  const size_t first_page = offset / kStatePageBytes;
+  const size_t last_page = (offset + len - 1) / kStatePageBytes;
+
+  // Coalesce runs of missing pages into single ranged fetches.
+  size_t run_start = SIZE_MAX;
+  for (size_t page = first_page; page <= last_page + 1; ++page) {
+    bool missing = false;
+    if (page <= last_page) {
+      std::lock_guard<std::mutex> guard(pages_mutex_);
+      missing = !page_present_[page];
+    }
+    if (missing && run_start == SIZE_MAX) {
+      run_start = page;
+    } else if (!missing && run_start != SIZE_MAX) {
+      const size_t byte_start = run_start * kStatePageBytes;
+      const size_t byte_end = std::min(size_, page * kStatePageBytes);
+      FAASM_RETURN_IF_ERROR(FetchRange(byte_start, byte_end - byte_start));
+      {
+        std::lock_guard<std::mutex> guard(pages_mutex_);
+        for (size_t p = run_start; p < page; ++p) {
+          page_present_[p] = true;
+        }
+      }
+      run_start = SIZE_MAX;
+    }
+  }
+  return OkStatus();
+}
+
+Status StateKeyValue::Push() { return PushChunk(0, size_); }
+
+Status StateKeyValue::PushChunk(size_t offset, size_t len) {
+  if (region_ == nullptr) {
+    return FailedPrecondition("push before any local write to '" + key_ + "'");
+  }
+  if (offset + len > size_) {
+    return OutOfRange("push chunk past end of state value '" + key_ + "'");
+  }
+  Bytes staging(len);
+  LockRead();
+  std::memcpy(staging.data(), region_->host_view() + offset, len);
+  UnlockRead();
+  FAASM_RETURN_IF_ERROR(kvs_->SetRange(key_, offset, staging));
+  // Everything we pushed is by definition in sync with the global tier.
+  std::lock_guard<std::mutex> guard(pages_mutex_);
+  if (len > 0) {
+    const size_t first_page = offset / kStatePageBytes;
+    const size_t last_page = (offset + len - 1) / kStatePageBytes;
+    for (size_t p = first_page; p <= last_page && p < page_present_.size(); ++p) {
+      page_present_[p] = true;
+    }
+  }
+  return OkStatus();
+}
+
+Status StateKeyValue::Append(const Bytes& bytes) {
+  auto result = kvs_->Append(key_ + ":log", bytes);
+  return result.status();
+}
+
+Result<Bytes> StateKeyValue::ReadAppended() { return kvs_->Get(key_ + ":log"); }
+
+Status StateKeyValue::LockGlobalRead() {
+  while (true) {
+    FAASM_ASSIGN_OR_RETURN(bool acquired, kvs_->TryLockRead(key_));
+    if (acquired) {
+      return OkStatus();
+    }
+    clock_->SleepFor(100 * kMicrosecond);
+  }
+}
+
+Status StateKeyValue::LockGlobalWrite() {
+  while (true) {
+    FAASM_ASSIGN_OR_RETURN(bool acquired, kvs_->TryLockWrite(key_));
+    if (acquired) {
+      return OkStatus();
+    }
+    clock_->SleepFor(100 * kMicrosecond);
+  }
+}
+
+Status StateKeyValue::UnlockGlobalRead() { return kvs_->UnlockRead(key_); }
+Status StateKeyValue::UnlockGlobalWrite() { return kvs_->UnlockWrite(key_); }
+
+void StateKeyValue::InvalidateReplica() {
+  std::lock_guard<std::mutex> guard(pages_mutex_);
+  std::fill(page_present_.begin(), page_present_.end(), false);
+}
+
+size_t StateKeyValue::resident_pages() const {
+  std::lock_guard<std::mutex> guard(pages_mutex_);
+  size_t count = 0;
+  for (bool present : page_present_) {
+    count += present ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace faasm

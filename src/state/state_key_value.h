@@ -1,0 +1,100 @@
+// StateKeyValue: one state value's local-tier replica (§4.2).
+//
+// The replica lives in a memfd-backed SharedRegion, so (i) every Faaslet on
+// the host that maps the key sees the same bytes with zero copies, and
+// (ii) the bytes can be mapped directly into a Faaslet's wasm linear memory
+// (get_state returns a pointer, not a copy — §3.3).
+//
+// Synchronisation with the authoritative copy in the global tier (the KVS)
+// is explicit via push/pull, full-value or chunked; chunk tracking is page
+// granular so sparse access patterns (e.g. the SGD training matrix columns)
+// transfer only what they touch. Local consistency uses a clock-aware
+// readers/writer lock; global consistency uses the KVS distributed locks.
+#ifndef FAASM_STATE_STATE_KEY_VALUE_H_
+#define FAASM_STATE_STATE_KEY_VALUE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/poll_lock.h"
+#include "common/status.h"
+#include "kvs/kvs_client.h"
+#include "mem/shared_region.h"
+
+namespace faasm {
+
+class StateKeyValue {
+ public:
+  // Pull/push granularity for chunk tracking.
+  static constexpr size_t kStatePageBytes = 4096;
+
+  StateKeyValue(std::string key, KvsClient* kvs, Clock* clock);
+
+  const std::string& key() const { return key_; }
+  size_t size() const { return size_; }
+  bool allocated() const { return region_ != nullptr; }
+
+  // Allocates (or verifies) the replica with capacity for `size` bytes.
+  // The first allocation fixes the capacity: other Faaslets may already have
+  // the region mapped, so it can never move.
+  Status EnsureCapacity(size_t size);
+
+  // Direct pointer into the replica (host view). Callers needing consistency
+  // guard accesses with the local lock; HOGWILD-style code reads/writes racily
+  // by design.
+  uint8_t* data();
+  std::shared_ptr<SharedRegion> region() { return region_; }
+
+  // --- Local tier locks (lock_state_read / lock_state_write) -----------------
+  void LockRead() { local_lock_.LockRead(); }
+  void UnlockRead() { local_lock_.UnlockRead(); }
+  void LockWrite() { local_lock_.LockWrite(); }
+  void UnlockWrite() { local_lock_.UnlockWrite(); }
+
+  // --- Two-tier synchronisation ------------------------------------------------
+  // Pull the whole value; allocates the replica at the global size if needed.
+  // No-op (beyond a size check) if every page is already present.
+  Status Pull();
+  // Pull only [offset, offset+len); fetches just the missing state pages.
+  Status PullChunk(size_t offset, size_t len);
+  // Push the whole value / a chunk to the global tier.
+  Status Push();
+  Status PushChunk(size_t offset, size_t len);
+  // Append bytes to the global value (event-stream style; bypasses replica).
+  Status Append(const Bytes& bytes);
+  Result<Bytes> ReadAppended();
+
+  // --- Global locks (lock_state_global_read / write) -----------------------------
+  Status LockGlobalRead();
+  Status LockGlobalWrite();
+  Status UnlockGlobalRead();
+  Status UnlockGlobalWrite();
+
+  // Marks all pages absent so the next pull refetches (used by tests and
+  // consistency-sensitive DDOs).
+  void InvalidateReplica();
+
+  // Number of state pages currently resident in the local tier.
+  size_t resident_pages() const;
+
+ private:
+  // Fetches [offset,len) from the global tier into the replica.
+  Status FetchRange(size_t offset, size_t len);
+
+  std::string key_;
+  KvsClient* kvs_;
+  Clock* clock_;
+
+  std::shared_ptr<SharedRegion> region_;
+  size_t size_ = 0;
+
+  PollLock local_lock_;
+  mutable std::mutex pages_mutex_;
+  std::vector<bool> page_present_;
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_STATE_STATE_KEY_VALUE_H_

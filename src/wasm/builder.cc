@@ -1,0 +1,323 @@
+#include "wasm/builder.h"
+
+#include <cassert>
+
+#include "wasm/encoder.h"
+#include "wasm/leb128.h"
+
+namespace faasm::wasm {
+
+// --- FunctionBuilder ----------------------------------------------------------
+
+uint32_t FunctionBuilder::AddLocal(ValType type) {
+  extra_locals_.push_back(type);
+  return param_count_ + static_cast<uint32_t>(extra_locals_.size()) - 1;
+}
+
+void FunctionBuilder::I32Const(int32_t v) {
+  EmitByte(Op::kI32Const);
+  WriteVarS32(body_, v);
+}
+void FunctionBuilder::I64Const(int64_t v) {
+  EmitByte(Op::kI64Const);
+  WriteVarS64(body_, v);
+}
+void FunctionBuilder::F32Const(float v) {
+  EmitByte(Op::kF32Const);
+  AppendScalar(body_, v);
+}
+void FunctionBuilder::F64Const(double v) {
+  EmitByte(Op::kF64Const);
+  AppendScalar(body_, v);
+}
+void FunctionBuilder::LocalGet(uint32_t index) {
+  EmitByte(Op::kLocalGet);
+  WriteVarU32(body_, index);
+}
+void FunctionBuilder::LocalSet(uint32_t index) {
+  EmitByte(Op::kLocalSet);
+  WriteVarU32(body_, index);
+}
+void FunctionBuilder::LocalTee(uint32_t index) {
+  EmitByte(Op::kLocalTee);
+  WriteVarU32(body_, index);
+}
+void FunctionBuilder::GlobalGet(uint32_t index) {
+  EmitByte(Op::kGlobalGet);
+  WriteVarU32(body_, index);
+}
+void FunctionBuilder::GlobalSet(uint32_t index) {
+  EmitByte(Op::kGlobalSet);
+  WriteVarU32(body_, index);
+}
+
+void FunctionBuilder::Emit(Op op) { EmitByte(op); }
+
+namespace {
+uint32_t NaturalAlignLog2(Op op) {
+  switch (op) {
+    case Op::kI32Load8S:
+    case Op::kI32Load8U:
+    case Op::kI64Load8S:
+    case Op::kI64Load8U:
+    case Op::kI32Store8:
+    case Op::kI64Store8:
+      return 0;
+    case Op::kI32Load16S:
+    case Op::kI32Load16U:
+    case Op::kI64Load16S:
+    case Op::kI64Load16U:
+    case Op::kI32Store16:
+    case Op::kI64Store16:
+      return 1;
+    case Op::kI64Load:
+    case Op::kF64Load:
+    case Op::kI64Store:
+    case Op::kF64Store:
+      return 3;
+    default:
+      return 2;
+  }
+}
+}  // namespace
+
+void FunctionBuilder::Load(Op op, uint32_t offset) {
+  EmitByte(op);
+  WriteVarU32(body_, NaturalAlignLog2(op));
+  WriteVarU32(body_, offset);
+}
+void FunctionBuilder::Store(Op op, uint32_t offset) {
+  EmitByte(op);
+  WriteVarU32(body_, NaturalAlignLog2(op));
+  WriteVarU32(body_, offset);
+}
+void FunctionBuilder::MemorySize() {
+  EmitByte(Op::kMemorySize);
+  body_.push_back(0);
+}
+void FunctionBuilder::MemoryGrow() {
+  EmitByte(Op::kMemoryGrow);
+  body_.push_back(0);
+}
+
+namespace {
+void EmitBlockType(Bytes& body, BlockType type) {
+  body.push_back(type.has_result ? static_cast<uint8_t>(type.result) : kBlockTypeEmpty);
+}
+}  // namespace
+
+void FunctionBuilder::Block(BlockType type) {
+  EmitByte(Op::kBlock);
+  EmitBlockType(body_, type);
+  ++open_frames_;
+}
+void FunctionBuilder::Loop(BlockType type) {
+  EmitByte(Op::kLoop);
+  EmitBlockType(body_, type);
+  ++open_frames_;
+}
+void FunctionBuilder::If(BlockType type) {
+  EmitByte(Op::kIf);
+  EmitBlockType(body_, type);
+  ++open_frames_;
+}
+void FunctionBuilder::Else() { EmitByte(Op::kElse); }
+void FunctionBuilder::End() {
+  EmitByte(Op::kEnd);
+  --open_frames_;
+}
+void FunctionBuilder::Br(uint32_t depth) {
+  EmitByte(Op::kBr);
+  WriteVarU32(body_, depth);
+}
+void FunctionBuilder::BrIf(uint32_t depth) {
+  EmitByte(Op::kBrIf);
+  WriteVarU32(body_, depth);
+}
+void FunctionBuilder::BrTable(const std::vector<uint32_t>& depths, uint32_t default_depth) {
+  EmitByte(Op::kBrTable);
+  WriteVarU32(body_, static_cast<uint32_t>(depths.size()));
+  for (uint32_t d : depths) {
+    WriteVarU32(body_, d);
+  }
+  WriteVarU32(body_, default_depth);
+}
+void FunctionBuilder::Return() { EmitByte(Op::kReturn); }
+void FunctionBuilder::Unreachable() { EmitByte(Op::kUnreachable); }
+void FunctionBuilder::Drop() { EmitByte(Op::kDrop); }
+void FunctionBuilder::Select() { EmitByte(Op::kSelect); }
+void FunctionBuilder::Call(uint32_t func_index) {
+  EmitByte(Op::kCall);
+  WriteVarU32(body_, func_index);
+}
+void FunctionBuilder::CallIndirect(uint32_t type_index) {
+  EmitByte(Op::kCallIndirect);
+  WriteVarU32(body_, type_index);
+  body_.push_back(0);  // reserved table index
+}
+
+void FunctionBuilder::ForLocalLimit(uint32_t i_local, int32_t start, uint32_t limit_local,
+                                    const std::function<void()>& body, int32_t step) {
+  I32Const(start);
+  LocalSet(i_local);
+  Block();
+  Loop();
+  LocalGet(i_local);
+  LocalGet(limit_local);
+  Emit(Op::kI32GeS);
+  BrIf(1);  // exit the block when i >= limit
+  body();
+  LocalGet(i_local);
+  I32Const(step);
+  Emit(Op::kI32Add);
+  LocalSet(i_local);
+  Br(0);  // continue the loop
+  End();
+  End();
+}
+
+void FunctionBuilder::ForConstLimit(uint32_t i_local, int32_t start, int32_t limit,
+                                    const std::function<void()>& body, int32_t step) {
+  I32Const(start);
+  LocalSet(i_local);
+  Block();
+  Loop();
+  LocalGet(i_local);
+  I32Const(limit);
+  Emit(Op::kI32GeS);
+  BrIf(1);
+  body();
+  LocalGet(i_local);
+  I32Const(step);
+  Emit(Op::kI32Add);
+  LocalSet(i_local);
+  Br(0);
+  End();
+  End();
+}
+
+void FunctionBuilder::While(const std::function<void()>& cond, const std::function<void()>& body) {
+  Block();
+  Loop();
+  cond();
+  Emit(Op::kI32Eqz);
+  BrIf(1);  // exit when condition is false
+  body();
+  Br(0);
+  End();
+  End();
+}
+
+// --- ModuleBuilder -----------------------------------------------------------
+
+ModuleBuilder::ModuleBuilder() = default;
+
+uint32_t ModuleBuilder::AddType(const std::vector<ValType>& params,
+                                const std::vector<ValType>& results) {
+  FuncType type{params, results};
+  for (uint32_t i = 0; i < module_.types.size(); ++i) {
+    if (module_.types[i] == type) {
+      return i;
+    }
+  }
+  module_.types.push_back(std::move(type));
+  return static_cast<uint32_t>(module_.types.size() - 1);
+}
+
+uint32_t ModuleBuilder::ImportFunction(const std::string& module, const std::string& name,
+                                       const std::vector<ValType>& params,
+                                       const std::vector<ValType>& results) {
+  assert(functions_.empty() && "imports must be declared before defined functions");
+  Import import;
+  import.module = module;
+  import.name = name;
+  import.kind = ExternalKind::kFunction;
+  import.type_index = AddType(params, results);
+  module_.imports.push_back(std::move(import));
+  return static_cast<uint32_t>(module_.imports.size() - 1);
+}
+
+FunctionBuilder& ModuleBuilder::AddFunction(const std::string& export_name,
+                                            const std::vector<ValType>& params,
+                                            const std::vector<ValType>& results) {
+  const uint32_t type_index = AddType(params, results);
+  const uint32_t func_index =
+      static_cast<uint32_t>(module_.imports.size() + functions_.size());
+  module_.function_types.push_back(type_index);
+  functions_.push_back(std::unique_ptr<FunctionBuilder>(
+      new FunctionBuilder(func_index, static_cast<uint32_t>(params.size()), params)));
+  if (!export_name.empty()) {
+    ExportFunction(export_name, func_index);
+  }
+  return *functions_.back();
+}
+
+void ModuleBuilder::AddMemory(uint32_t min_pages, uint32_t max_pages) {
+  Limits limits;
+  limits.min = min_pages;
+  limits.has_max = true;
+  limits.max = max_pages;
+  module_.memory = limits;
+}
+
+void ModuleBuilder::ExportMemory(const std::string& name) {
+  module_.exports.push_back(Export{name, ExternalKind::kMemory, 0});
+}
+
+uint32_t ModuleBuilder::AddGlobal(ValType type, bool mutable_, Value init) {
+  module_.globals.push_back(GlobalDef{type, mutable_, init});
+  return static_cast<uint32_t>(module_.globals.size() - 1);
+}
+
+void ModuleBuilder::AddData(uint32_t offset, Bytes bytes) {
+  module_.data.push_back(DataSegment{0, offset, std::move(bytes)});
+}
+
+void ModuleBuilder::AddTable(uint32_t min_entries) {
+  Limits limits;
+  limits.min = min_entries;
+  limits.has_max = true;
+  limits.max = min_entries;
+  module_.table = limits;
+}
+
+void ModuleBuilder::AddElementSegment(uint32_t offset,
+                                      const std::vector<uint32_t>& func_indices) {
+  module_.elements.push_back(ElementSegment{0, offset, func_indices});
+}
+
+void ModuleBuilder::SetStart(uint32_t func_index) { module_.start_function = func_index; }
+
+void ModuleBuilder::ExportFunction(const std::string& name, uint32_t func_index) {
+  module_.exports.push_back(Export{name, ExternalKind::kFunction, func_index});
+}
+
+Module ModuleBuilder::BuildModule() {
+  Module out = module_;
+  out.bodies.clear();
+  for (const auto& fn : functions_) {
+    FunctionBody body;
+    // Compress locals into (count, type) runs.
+    size_t i = 0;
+    while (i < fn->extra_locals_.size()) {
+      size_t j = i;
+      while (j < fn->extra_locals_.size() && fn->extra_locals_[j] == fn->extra_locals_[i]) {
+        ++j;
+      }
+      body.locals.emplace_back(static_cast<uint32_t>(j - i), fn->extra_locals_[i]);
+      i = j;
+    }
+    body.code = fn->body_;
+    // Close any control frames (including the function frame) the author
+    // left open; keeps BuildModule idempotent by not touching fn->body_.
+    for (int d = 0; d < fn->open_frames_; ++d) {
+      body.code.push_back(static_cast<uint8_t>(Op::kEnd));
+    }
+    out.bodies.push_back(std::move(body));
+  }
+  return out;
+}
+
+Bytes ModuleBuilder::Build() { return EncodeModule(BuildModule()); }
+
+}  // namespace faasm::wasm

@@ -1,0 +1,136 @@
+// ModuleBuilder / FunctionBuilder: an in-process assembler for WebAssembly
+// binaries. The offline environment has no C-to-wasm toolchain, so kernels,
+// guest programs and test modules are authored with this DSL, encoded to real
+// wasm bytes, and then decoded + validated + executed exactly like an
+// uploaded binary would be (paper §3.4 pipeline).
+#ifndef FAASM_WASM_BUILDER_H_
+#define FAASM_WASM_BUILDER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "wasm/module.h"
+#include "wasm/opcodes.h"
+
+namespace faasm::wasm {
+
+class ModuleBuilder;
+
+// Emits the raw body bytes of one function. Low-level methods map 1:1 to
+// instructions; the For* helpers emit the standard counted-loop skeleton.
+class FunctionBuilder {
+ public:
+  uint32_t index() const { return index_; }
+
+  // Declares an additional (non-parameter) local; returns its index.
+  uint32_t AddLocal(ValType type);
+
+  // --- Constants / variables ---
+  void I32Const(int32_t v);
+  void I64Const(int64_t v);
+  void F32Const(float v);
+  void F64Const(double v);
+  void LocalGet(uint32_t index);
+  void LocalSet(uint32_t index);
+  void LocalTee(uint32_t index);
+  void GlobalGet(uint32_t index);
+  void GlobalSet(uint32_t index);
+
+  // --- Generic operator with no immediate (arithmetic, comparison, etc.) ---
+  void Emit(Op op);
+
+  // --- Memory ---
+  void Load(Op op, uint32_t offset = 0);
+  void Store(Op op, uint32_t offset = 0);
+  void MemorySize();
+  void MemoryGrow();
+
+  // --- Control ---
+  void Block(BlockType type = BlockType::Empty());
+  void Loop(BlockType type = BlockType::Empty());
+  void If(BlockType type = BlockType::Empty());
+  void Else();
+  void End();
+  void Br(uint32_t depth);
+  void BrIf(uint32_t depth);
+  void BrTable(const std::vector<uint32_t>& depths, uint32_t default_depth);
+  void Return();
+  void Unreachable();
+  void Drop();
+  void Select();
+  void Call(uint32_t func_index);
+  void CallIndirect(uint32_t type_index);
+
+  // --- Structured helpers ---
+  //
+  // for (i = start; i < limit_local; i += step) { body(); }
+  void ForLocalLimit(uint32_t i_local, int32_t start, uint32_t limit_local,
+                     const std::function<void()>& body, int32_t step = 1);
+  // for (i = start; i < limit; i += step) { body(); }
+  void ForConstLimit(uint32_t i_local, int32_t start, int32_t limit,
+                     const std::function<void()>& body, int32_t step = 1);
+  // while (cond()) { body(); }  — cond must leave one i32 on the stack.
+  void While(const std::function<void()>& cond, const std::function<void()>& body);
+
+  const Bytes& body() const { return body_; }
+
+ private:
+  friend class ModuleBuilder;
+  FunctionBuilder(uint32_t index, uint32_t param_count, std::vector<ValType> param_types)
+      : index_(index), param_count_(param_count), param_types_(std::move(param_types)) {}
+
+  void EmitByte(Op op) { body_.push_back(static_cast<uint8_t>(op)); }
+
+  uint32_t index_;
+  uint32_t param_count_;
+  std::vector<ValType> param_types_;
+  std::vector<ValType> extra_locals_;
+  Bytes body_;
+  // Open control frames (function frame included); BuildModule closes any
+  // that the author left open with implicit `end`s.
+  int open_frames_ = 1;
+};
+
+class ModuleBuilder {
+ public:
+  ModuleBuilder();
+
+  // Returns (possibly deduplicated) type index.
+  uint32_t AddType(const std::vector<ValType>& params, const std::vector<ValType>& results);
+
+  // Function imports must be declared before any defined function.
+  uint32_t ImportFunction(const std::string& module, const std::string& name,
+                          const std::vector<ValType>& params,
+                          const std::vector<ValType>& results);
+
+  // Defines a function; `export_name` empty means unexported.
+  FunctionBuilder& AddFunction(const std::string& export_name, const std::vector<ValType>& params,
+                               const std::vector<ValType>& results);
+
+  void AddMemory(uint32_t min_pages, uint32_t max_pages);
+  void ExportMemory(const std::string& name);
+  uint32_t AddGlobal(ValType type, bool mutable_, Value init);
+  void AddData(uint32_t offset, Bytes bytes);
+  void AddTable(uint32_t min_entries);
+  void AddElementSegment(uint32_t offset, const std::vector<uint32_t>& func_indices);
+  void SetStart(uint32_t func_index);
+  void ExportFunction(const std::string& name, uint32_t func_index);
+
+  uint32_t num_imports() const { return static_cast<uint32_t>(module_.imports.size()); }
+
+  // Assembles the module structure.
+  Module BuildModule();
+  // Assembles and encodes to wasm binary bytes.
+  Bytes Build();
+
+ private:
+  Module module_;
+  std::vector<std::unique_ptr<FunctionBuilder>> functions_;
+};
+
+}  // namespace faasm::wasm
+
+#endif  // FAASM_WASM_BUILDER_H_

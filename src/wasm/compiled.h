@@ -1,0 +1,68 @@
+// Preprocessed ("code generated") form of a validated module. Mirrors the
+// paper's §3.4 pipeline: untrusted binary -> validation -> machine-executable
+// object. Compiled modules are immutable and shared by all Faaslets running
+// the same function, which is what keeps per-Faaslet footprints in the
+// hundreds-of-KB range (Table 3).
+#ifndef FAASM_WASM_COMPILED_H_
+#define FAASM_WASM_COMPILED_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "wasm/module.h"
+#include "wasm/opcodes.h"
+
+namespace faasm::wasm {
+
+// One preprocessed instruction. Branches carry resolved target pcs and the
+// operand-stack unwind info computed by the validator, so the interpreter
+// never re-derives control structure at run time.
+struct Instr {
+  uint16_t op = 0;   // Op (0x00-0xFF) or IOp (>= 0x100)
+  uint32_t a = 0;    // branch target pc / function index / local index / ...
+  uint32_t b = 0;    // branch arity / ...
+  uint64_t imm = 0;  // constant bits / memory offset / branch unwind height
+};
+
+struct BrTableTarget {
+  uint32_t pc = 0;
+  uint32_t height = 0;  // operand stack height to unwind to
+};
+
+struct BrTableData {
+  std::vector<BrTableTarget> targets;  // last entry is the default label
+  uint32_t arity = 0;
+};
+
+struct CompiledFunction {
+  uint32_t type_index = 0;
+  uint32_t param_count = 0;
+  uint32_t local_count = 0;   // excluding params
+  uint32_t result_arity = 0;  // 0 or 1 (MVP)
+  uint32_t max_operand_height = 0;
+  std::vector<ValType> locals;  // expanded, excluding params
+  std::vector<Instr> code;
+  std::vector<BrTableData> br_tables;
+};
+
+struct CompiledModule {
+  Module module;  // decoded module (types, imports, exports, globals, data)
+  std::vector<CompiledFunction> functions;  // defined functions only
+
+  const CompiledFunction& function(uint32_t func_index) const {
+    return functions[func_index - module.num_imported_functions()];
+  }
+  bool is_import(uint32_t func_index) const {
+    return func_index < module.num_imported_functions();
+  }
+};
+
+// Validates every function body and produces preprocessed code. Returns an
+// error for any module that violates the WebAssembly validation rules; such
+// modules are rejected at upload time and never reach a Faaslet.
+Result<std::shared_ptr<const CompiledModule>> CompileModule(Module module);
+
+}  // namespace faasm::wasm
+
+#endif  // FAASM_WASM_COMPILED_H_

@@ -1,0 +1,541 @@
+#include "wasm/decoder.h"
+
+#include "wasm/leb128.h"
+#include "wasm/opcodes.h"
+
+namespace faasm::wasm {
+
+namespace {
+
+constexpr uint8_t kSectionCustom = 0;
+constexpr uint8_t kSectionType = 1;
+constexpr uint8_t kSectionImport = 2;
+constexpr uint8_t kSectionFunction = 3;
+constexpr uint8_t kSectionTable = 4;
+constexpr uint8_t kSectionMemory = 5;
+constexpr uint8_t kSectionGlobal = 6;
+constexpr uint8_t kSectionExport = 7;
+constexpr uint8_t kSectionStart = 8;
+constexpr uint8_t kSectionElement = 9;
+constexpr uint8_t kSectionCode = 10;
+constexpr uint8_t kSectionData = 11;
+
+Result<ValType> ReadValType(ByteCursor& cursor) {
+  auto byte = cursor.ReadByte();
+  if (!byte.ok()) {
+    return byte.status();
+  }
+  if (!IsValidValType(byte.value())) {
+    return InvalidArgument("invalid value type byte");
+  }
+  return static_cast<ValType>(byte.value());
+}
+
+Result<Limits> ReadLimits(ByteCursor& cursor) {
+  auto flags = cursor.ReadByte();
+  if (!flags.ok()) {
+    return flags.status();
+  }
+  if (flags.value() > 1) {
+    return InvalidArgument("invalid limits flags");
+  }
+  Limits limits;
+  auto min = cursor.ReadVarU32();
+  if (!min.ok()) {
+    return min.status();
+  }
+  limits.min = min.value();
+  if (flags.value() == 1) {
+    auto max = cursor.ReadVarU32();
+    if (!max.ok()) {
+      return max.status();
+    }
+    limits.has_max = true;
+    limits.max = max.value();
+    if (limits.max < limits.min) {
+      return InvalidArgument("limits: max < min");
+    }
+  }
+  return limits;
+}
+
+// Constant initialiser expressions: `<t.const v> end` (MVP subset).
+Result<Value> ReadConstExpr(ByteCursor& cursor, ValType expected) {
+  auto op = cursor.ReadByte();
+  if (!op.ok()) {
+    return op.status();
+  }
+  Value value{};
+  switch (static_cast<Op>(op.value())) {
+    case Op::kI32Const: {
+      if (expected != ValType::kI32) {
+        return InvalidArgument("init expr type mismatch");
+      }
+      auto v = cursor.ReadVarS32();
+      if (!v.ok()) {
+        return v.status();
+      }
+      value = MakeI32(static_cast<uint32_t>(v.value()));
+      break;
+    }
+    case Op::kI64Const: {
+      if (expected != ValType::kI64) {
+        return InvalidArgument("init expr type mismatch");
+      }
+      auto v = cursor.ReadVarS64();
+      if (!v.ok()) {
+        return v.status();
+      }
+      value = MakeI64(static_cast<uint64_t>(v.value()));
+      break;
+    }
+    case Op::kF32Const: {
+      if (expected != ValType::kF32) {
+        return InvalidArgument("init expr type mismatch");
+      }
+      float f;
+      FAASM_RETURN_IF_ERROR(cursor.ReadRaw(&f, 4));
+      value = MakeF32(f);
+      break;
+    }
+    case Op::kF64Const: {
+      if (expected != ValType::kF64) {
+        return InvalidArgument("init expr type mismatch");
+      }
+      double d;
+      FAASM_RETURN_IF_ERROR(cursor.ReadRaw(&d, 8));
+      value = MakeF64(d);
+      break;
+    }
+    default:
+      return Unimplemented("unsupported init expression opcode");
+  }
+  auto end = cursor.ReadByte();
+  if (!end.ok()) {
+    return end.status();
+  }
+  if (static_cast<Op>(end.value()) != Op::kEnd) {
+    return InvalidArgument("init expression missing end");
+  }
+  return value;
+}
+
+Status DecodeTypeSection(ByteCursor& cursor, Module& module) {
+  auto count = cursor.ReadVarU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    auto tag = cursor.ReadByte();
+    if (!tag.ok()) {
+      return tag.status();
+    }
+    if (tag.value() != kFuncTypeTag) {
+      return InvalidArgument("type section: expected functype tag 0x60");
+    }
+    FuncType type;
+    auto n_params = cursor.ReadVarU32();
+    if (!n_params.ok()) {
+      return n_params.status();
+    }
+    for (uint32_t p = 0; p < n_params.value(); ++p) {
+      FAASM_ASSIGN_OR_RETURN(ValType t, ReadValType(cursor));
+      type.params.push_back(t);
+    }
+    auto n_results = cursor.ReadVarU32();
+    if (!n_results.ok()) {
+      return n_results.status();
+    }
+    if (n_results.value() > 1) {
+      return Unimplemented("multi-value results not supported (MVP)");
+    }
+    for (uint32_t r = 0; r < n_results.value(); ++r) {
+      FAASM_ASSIGN_OR_RETURN(ValType t, ReadValType(cursor));
+      type.results.push_back(t);
+    }
+    module.types.push_back(std::move(type));
+  }
+  return OkStatus();
+}
+
+Status DecodeImportSection(ByteCursor& cursor, Module& module) {
+  auto count = cursor.ReadVarU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    Import import;
+    FAASM_ASSIGN_OR_RETURN(import.module, cursor.ReadName());
+    FAASM_ASSIGN_OR_RETURN(import.name, cursor.ReadName());
+    auto kind = cursor.ReadByte();
+    if (!kind.ok()) {
+      return kind.status();
+    }
+    import.kind = static_cast<ExternalKind>(kind.value());
+    if (import.kind != ExternalKind::kFunction) {
+      return Unimplemented("only function imports are supported");
+    }
+    auto type_index = cursor.ReadVarU32();
+    if (!type_index.ok()) {
+      return type_index.status();
+    }
+    if (type_index.value() >= module.types.size()) {
+      return InvalidArgument("import references unknown type");
+    }
+    import.type_index = type_index.value();
+    module.imports.push_back(std::move(import));
+  }
+  return OkStatus();
+}
+
+Status DecodeFunctionSection(ByteCursor& cursor, Module& module) {
+  auto count = cursor.ReadVarU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    auto type_index = cursor.ReadVarU32();
+    if (!type_index.ok()) {
+      return type_index.status();
+    }
+    if (type_index.value() >= module.types.size()) {
+      return InvalidArgument("function references unknown type");
+    }
+    module.function_types.push_back(type_index.value());
+  }
+  return OkStatus();
+}
+
+Status DecodeTableSection(ByteCursor& cursor, Module& module) {
+  auto count = cursor.ReadVarU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  if (count.value() > 1) {
+    return InvalidArgument("at most one table (MVP)");
+  }
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    auto elem_type = cursor.ReadByte();
+    if (!elem_type.ok()) {
+      return elem_type.status();
+    }
+    if (elem_type.value() != kFuncRefTag) {
+      return InvalidArgument("table element type must be funcref");
+    }
+    FAASM_ASSIGN_OR_RETURN(Limits limits, ReadLimits(cursor));
+    module.table = limits;
+  }
+  return OkStatus();
+}
+
+Status DecodeMemorySection(ByteCursor& cursor, Module& module) {
+  auto count = cursor.ReadVarU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  if (count.value() > 1) {
+    return InvalidArgument("at most one memory (MVP)");
+  }
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    FAASM_ASSIGN_OR_RETURN(Limits limits, ReadLimits(cursor));
+    module.memory = limits;
+  }
+  return OkStatus();
+}
+
+Status DecodeGlobalSection(ByteCursor& cursor, Module& module) {
+  auto count = cursor.ReadVarU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    GlobalDef global;
+    FAASM_ASSIGN_OR_RETURN(global.type, ReadValType(cursor));
+    auto mutability = cursor.ReadByte();
+    if (!mutability.ok()) {
+      return mutability.status();
+    }
+    if (mutability.value() > 1) {
+      return InvalidArgument("invalid global mutability");
+    }
+    global.mutable_ = mutability.value() == 1;
+    FAASM_ASSIGN_OR_RETURN(global.init, ReadConstExpr(cursor, global.type));
+    module.globals.push_back(global);
+  }
+  return OkStatus();
+}
+
+Status DecodeExportSection(ByteCursor& cursor, Module& module) {
+  auto count = cursor.ReadVarU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    Export exp;
+    FAASM_ASSIGN_OR_RETURN(exp.name, cursor.ReadName());
+    auto kind = cursor.ReadByte();
+    if (!kind.ok()) {
+      return kind.status();
+    }
+    if (kind.value() > 3) {
+      return InvalidArgument("invalid export kind");
+    }
+    exp.kind = static_cast<ExternalKind>(kind.value());
+    auto index = cursor.ReadVarU32();
+    if (!index.ok()) {
+      return index.status();
+    }
+    exp.index = index.value();
+    switch (exp.kind) {
+      case ExternalKind::kFunction:
+        if (exp.index >= module.num_functions()) {
+          return InvalidArgument("export of unknown function");
+        }
+        break;
+      case ExternalKind::kMemory:
+        if (!module.memory.has_value() || exp.index != 0) {
+          return InvalidArgument("export of unknown memory");
+        }
+        break;
+      case ExternalKind::kTable:
+        if (!module.table.has_value() || exp.index != 0) {
+          return InvalidArgument("export of unknown table");
+        }
+        break;
+      case ExternalKind::kGlobal:
+        if (exp.index >= module.globals.size()) {
+          return InvalidArgument("export of unknown global");
+        }
+        break;
+    }
+    module.exports.push_back(std::move(exp));
+  }
+  return OkStatus();
+}
+
+Status DecodeElementSection(ByteCursor& cursor, Module& module) {
+  auto count = cursor.ReadVarU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    ElementSegment segment;
+    auto table_index = cursor.ReadVarU32();
+    if (!table_index.ok()) {
+      return table_index.status();
+    }
+    segment.table_index = table_index.value();
+    if (segment.table_index != 0 || !module.table.has_value()) {
+      return InvalidArgument("element segment references unknown table");
+    }
+    FAASM_ASSIGN_OR_RETURN(Value offset, ReadConstExpr(cursor, ValType::kI32));
+    segment.offset = offset.i32;
+    auto n = cursor.ReadVarU32();
+    if (!n.ok()) {
+      return n.status();
+    }
+    for (uint32_t j = 0; j < n.value(); ++j) {
+      auto func_index = cursor.ReadVarU32();
+      if (!func_index.ok()) {
+        return func_index.status();
+      }
+      if (func_index.value() >= module.num_functions()) {
+        return InvalidArgument("element segment references unknown function");
+      }
+      segment.func_indices.push_back(func_index.value());
+    }
+    module.elements.push_back(std::move(segment));
+  }
+  return OkStatus();
+}
+
+Status DecodeCodeSection(ByteCursor& cursor, Module& module) {
+  auto count = cursor.ReadVarU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  if (count.value() != module.function_types.size()) {
+    return InvalidArgument("code section count != function section count");
+  }
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    auto body_size = cursor.ReadVarU32();
+    if (!body_size.ok()) {
+      return body_size.status();
+    }
+    if (cursor.remaining() < body_size.value()) {
+      return OutOfRange("function body extends past end of binary");
+    }
+    const size_t body_end = cursor.position() + body_size.value();
+
+    FunctionBody body;
+    auto n_local_runs = cursor.ReadVarU32();
+    if (!n_local_runs.ok()) {
+      return n_local_runs.status();
+    }
+    uint64_t total_locals = 0;
+    for (uint32_t r = 0; r < n_local_runs.value(); ++r) {
+      auto run_count = cursor.ReadVarU32();
+      if (!run_count.ok()) {
+        return run_count.status();
+      }
+      FAASM_ASSIGN_OR_RETURN(ValType t, ReadValType(cursor));
+      total_locals += run_count.value();
+      if (total_locals > 50000) {
+        return ResourceExhausted("too many locals");
+      }
+      body.locals.emplace_back(run_count.value(), t);
+    }
+    if (cursor.position() > body_end) {
+      return OutOfRange("locals extend past declared body size");
+    }
+    const size_t code_len = body_end - cursor.position();
+    body.code.assign(cursor.current(), cursor.current() + code_len);
+    FAASM_RETURN_IF_ERROR(cursor.Skip(code_len));
+    module.bodies.push_back(std::move(body));
+  }
+  return OkStatus();
+}
+
+Status DecodeDataSection(ByteCursor& cursor, Module& module) {
+  auto count = cursor.ReadVarU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    DataSegment segment;
+    auto memory_index = cursor.ReadVarU32();
+    if (!memory_index.ok()) {
+      return memory_index.status();
+    }
+    segment.memory_index = memory_index.value();
+    if (segment.memory_index != 0 || !module.memory.has_value()) {
+      return InvalidArgument("data segment references unknown memory");
+    }
+    FAASM_ASSIGN_OR_RETURN(Value offset, ReadConstExpr(cursor, ValType::kI32));
+    segment.offset = offset.i32;
+    auto n = cursor.ReadVarU32();
+    if (!n.ok()) {
+      return n.status();
+    }
+    if (cursor.remaining() < n.value()) {
+      return OutOfRange("data segment extends past end of binary");
+    }
+    segment.bytes.assign(cursor.current(), cursor.current() + n.value());
+    FAASM_RETURN_IF_ERROR(cursor.Skip(n.value()));
+    module.data.push_back(std::move(segment));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<Module> DecodeModule(const uint8_t* data, size_t size) {
+  ByteCursor cursor(data, size);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  FAASM_RETURN_IF_ERROR(cursor.ReadRaw(&magic, 4));
+  FAASM_RETURN_IF_ERROR(cursor.ReadRaw(&version, 4));
+  if (magic != kWasmMagic) {
+    return InvalidArgument("bad wasm magic number");
+  }
+  if (version != kWasmVersion) {
+    return InvalidArgument("unsupported wasm version");
+  }
+
+  Module module;
+  int last_section = 0;
+  while (!cursor.done()) {
+    auto section_id = cursor.ReadByte();
+    if (!section_id.ok()) {
+      return section_id.status();
+    }
+    auto section_size = cursor.ReadVarU32();
+    if (!section_size.ok()) {
+      return section_size.status();
+    }
+    if (cursor.remaining() < section_size.value()) {
+      return OutOfRange("section extends past end of binary");
+    }
+    const size_t section_end = cursor.position() + section_size.value();
+
+    if (section_id.value() != kSectionCustom) {
+      if (section_id.value() <= last_section) {
+        return InvalidArgument("sections out of order or duplicated");
+      }
+      last_section = section_id.value();
+    }
+
+    Status status = OkStatus();
+    switch (section_id.value()) {
+      case kSectionCustom: {
+        CustomSection custom;
+        auto name = cursor.ReadName();
+        if (!name.ok()) {
+          return name.status();
+        }
+        custom.name = name.value();
+        const size_t payload = section_end - cursor.position();
+        custom.bytes.assign(cursor.current(), cursor.current() + payload);
+        status = cursor.Skip(payload);
+        module.custom_sections.push_back(std::move(custom));
+        break;
+      }
+      case kSectionType:
+        status = DecodeTypeSection(cursor, module);
+        break;
+      case kSectionImport:
+        status = DecodeImportSection(cursor, module);
+        break;
+      case kSectionFunction:
+        status = DecodeFunctionSection(cursor, module);
+        break;
+      case kSectionTable:
+        status = DecodeTableSection(cursor, module);
+        break;
+      case kSectionMemory:
+        status = DecodeMemorySection(cursor, module);
+        break;
+      case kSectionGlobal:
+        status = DecodeGlobalSection(cursor, module);
+        break;
+      case kSectionExport:
+        status = DecodeExportSection(cursor, module);
+        break;
+      case kSectionStart: {
+        auto index = cursor.ReadVarU32();
+        if (!index.ok()) {
+          return index.status();
+        }
+        if (index.value() >= module.num_functions()) {
+          return InvalidArgument("start function index out of range");
+        }
+        module.start_function = index.value();
+        break;
+      }
+      case kSectionElement:
+        status = DecodeElementSection(cursor, module);
+        break;
+      case kSectionCode:
+        status = DecodeCodeSection(cursor, module);
+        break;
+      case kSectionData:
+        status = DecodeDataSection(cursor, module);
+        break;
+      default:
+        return InvalidArgument("unknown section id");
+    }
+    FAASM_RETURN_IF_ERROR(status);
+    if (cursor.position() != section_end) {
+      return InvalidArgument("section size mismatch");
+    }
+  }
+
+  if (module.function_types.size() != module.bodies.size()) {
+    return InvalidArgument("function declarations without bodies");
+  }
+  return module;
+}
+
+Result<Module> DecodeModule(const Bytes& binary) { return DecodeModule(binary.data(), binary.size()); }
+
+}  // namespace faasm::wasm

@@ -1,0 +1,20 @@
+// Binary decoder: wasm bytes -> Module (spec §5.5). Performs structural
+// validation (section order, counts, types); full code validation happens in
+// the compiler. This is the first step of the trusted "code generation"
+// phase of §3.4: user-supplied binaries are never executed before passing
+// both this decoder and the validator.
+#ifndef FAASM_WASM_DECODER_H_
+#define FAASM_WASM_DECODER_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "wasm/module.h"
+
+namespace faasm::wasm {
+
+Result<Module> DecodeModule(const Bytes& binary);
+Result<Module> DecodeModule(const uint8_t* data, size_t size);
+
+}  // namespace faasm::wasm
+
+#endif  // FAASM_WASM_DECODER_H_

@@ -1,0 +1,207 @@
+#include "wasm/encoder.h"
+
+#include "wasm/leb128.h"
+#include "wasm/opcodes.h"
+
+namespace faasm::wasm {
+
+namespace {
+
+void WriteName(Bytes& out, const std::string& name) {
+  WriteVarU32(out, static_cast<uint32_t>(name.size()));
+  out.insert(out.end(), name.begin(), name.end());
+}
+
+void WriteLimits(Bytes& out, const Limits& limits) {
+  out.push_back(limits.has_max ? 1 : 0);
+  WriteVarU32(out, limits.min);
+  if (limits.has_max) {
+    WriteVarU32(out, limits.max);
+  }
+}
+
+void WriteConstExpr(Bytes& out, ValType type, Value value) {
+  switch (type) {
+    case ValType::kI32:
+      out.push_back(static_cast<uint8_t>(Op::kI32Const));
+      WriteVarS32(out, static_cast<int32_t>(value.i32));
+      break;
+    case ValType::kI64:
+      out.push_back(static_cast<uint8_t>(Op::kI64Const));
+      WriteVarS64(out, static_cast<int64_t>(value.i64));
+      break;
+    case ValType::kF32:
+      out.push_back(static_cast<uint8_t>(Op::kF32Const));
+      AppendScalar(out, value.f32);
+      break;
+    case ValType::kF64:
+      out.push_back(static_cast<uint8_t>(Op::kF64Const));
+      AppendScalar(out, value.f64);
+      break;
+  }
+  out.push_back(static_cast<uint8_t>(Op::kEnd));
+}
+
+void WriteSection(Bytes& out, uint8_t id, const Bytes& payload) {
+  if (payload.empty()) {
+    return;
+  }
+  out.push_back(id);
+  WriteVarU32(out, static_cast<uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+}  // namespace
+
+Bytes EncodeModule(const Module& module) {
+  Bytes out;
+  AppendScalar(out, kWasmMagic);
+  AppendScalar(out, kWasmVersion);
+
+  // Type section.
+  if (!module.types.empty()) {
+    Bytes payload;
+    WriteVarU32(payload, static_cast<uint32_t>(module.types.size()));
+    for (const auto& type : module.types) {
+      payload.push_back(kFuncTypeTag);
+      WriteVarU32(payload, static_cast<uint32_t>(type.params.size()));
+      for (ValType t : type.params) {
+        payload.push_back(static_cast<uint8_t>(t));
+      }
+      WriteVarU32(payload, static_cast<uint32_t>(type.results.size()));
+      for (ValType t : type.results) {
+        payload.push_back(static_cast<uint8_t>(t));
+      }
+    }
+    WriteSection(out, 1, payload);
+  }
+
+  // Import section.
+  if (!module.imports.empty()) {
+    Bytes payload;
+    WriteVarU32(payload, static_cast<uint32_t>(module.imports.size()));
+    for (const auto& import : module.imports) {
+      WriteName(payload, import.module);
+      WriteName(payload, import.name);
+      payload.push_back(static_cast<uint8_t>(import.kind));
+      WriteVarU32(payload, import.type_index);
+    }
+    WriteSection(out, 2, payload);
+  }
+
+  // Function section.
+  if (!module.function_types.empty()) {
+    Bytes payload;
+    WriteVarU32(payload, static_cast<uint32_t>(module.function_types.size()));
+    for (uint32_t type_index : module.function_types) {
+      WriteVarU32(payload, type_index);
+    }
+    WriteSection(out, 3, payload);
+  }
+
+  // Table section.
+  if (module.table.has_value()) {
+    Bytes payload;
+    WriteVarU32(payload, 1);
+    payload.push_back(kFuncRefTag);
+    WriteLimits(payload, *module.table);
+    WriteSection(out, 4, payload);
+  }
+
+  // Memory section.
+  if (module.memory.has_value()) {
+    Bytes payload;
+    WriteVarU32(payload, 1);
+    WriteLimits(payload, *module.memory);
+    WriteSection(out, 5, payload);
+  }
+
+  // Global section.
+  if (!module.globals.empty()) {
+    Bytes payload;
+    WriteVarU32(payload, static_cast<uint32_t>(module.globals.size()));
+    for (const auto& global : module.globals) {
+      payload.push_back(static_cast<uint8_t>(global.type));
+      payload.push_back(global.mutable_ ? 1 : 0);
+      WriteConstExpr(payload, global.type, global.init);
+    }
+    WriteSection(out, 6, payload);
+  }
+
+  // Export section.
+  if (!module.exports.empty()) {
+    Bytes payload;
+    WriteVarU32(payload, static_cast<uint32_t>(module.exports.size()));
+    for (const auto& exp : module.exports) {
+      WriteName(payload, exp.name);
+      payload.push_back(static_cast<uint8_t>(exp.kind));
+      WriteVarU32(payload, exp.index);
+    }
+    WriteSection(out, 7, payload);
+  }
+
+  // Start section.
+  if (module.start_function.has_value()) {
+    Bytes payload;
+    WriteVarU32(payload, *module.start_function);
+    WriteSection(out, 8, payload);
+  }
+
+  // Element section.
+  if (!module.elements.empty()) {
+    Bytes payload;
+    WriteVarU32(payload, static_cast<uint32_t>(module.elements.size()));
+    for (const auto& segment : module.elements) {
+      WriteVarU32(payload, segment.table_index);
+      WriteConstExpr(payload, ValType::kI32, MakeI32(segment.offset));
+      WriteVarU32(payload, static_cast<uint32_t>(segment.func_indices.size()));
+      for (uint32_t func_index : segment.func_indices) {
+        WriteVarU32(payload, func_index);
+      }
+    }
+    WriteSection(out, 9, payload);
+  }
+
+  // Code section.
+  if (!module.bodies.empty()) {
+    Bytes payload;
+    WriteVarU32(payload, static_cast<uint32_t>(module.bodies.size()));
+    for (const auto& body : module.bodies) {
+      Bytes body_bytes;
+      WriteVarU32(body_bytes, static_cast<uint32_t>(body.locals.size()));
+      for (const auto& [count, type] : body.locals) {
+        WriteVarU32(body_bytes, count);
+        body_bytes.push_back(static_cast<uint8_t>(type));
+      }
+      body_bytes.insert(body_bytes.end(), body.code.begin(), body.code.end());
+      WriteVarU32(payload, static_cast<uint32_t>(body_bytes.size()));
+      payload.insert(payload.end(), body_bytes.begin(), body_bytes.end());
+    }
+    WriteSection(out, 10, payload);
+  }
+
+  // Data section.
+  if (!module.data.empty()) {
+    Bytes payload;
+    WriteVarU32(payload, static_cast<uint32_t>(module.data.size()));
+    for (const auto& segment : module.data) {
+      WriteVarU32(payload, segment.memory_index);
+      WriteConstExpr(payload, ValType::kI32, MakeI32(segment.offset));
+      WriteVarU32(payload, static_cast<uint32_t>(segment.bytes.size()));
+      payload.insert(payload.end(), segment.bytes.begin(), segment.bytes.end());
+    }
+    WriteSection(out, 11, payload);
+  }
+
+  // Custom sections are appended at the end (legal anywhere).
+  for (const auto& custom : module.custom_sections) {
+    Bytes payload;
+    WriteName(payload, custom.name);
+    payload.insert(payload.end(), custom.bytes.begin(), custom.bytes.end());
+    WriteSection(out, 0, payload);
+  }
+
+  return out;
+}
+
+}  // namespace faasm::wasm

@@ -1,0 +1,16 @@
+// Binary encoder: Module -> wasm bytes. Together with the decoder this gives
+// full round-trip capability, which the upload service and the cross-host
+// Proto-Faaslet path rely on, and which the tests exercise heavily.
+#ifndef FAASM_WASM_ENCODER_H_
+#define FAASM_WASM_ENCODER_H_
+
+#include "common/bytes.h"
+#include "wasm/module.h"
+
+namespace faasm::wasm {
+
+Bytes EncodeModule(const Module& module);
+
+}  // namespace faasm::wasm
+
+#endif  // FAASM_WASM_ENCODER_H_

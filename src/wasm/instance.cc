@@ -1,0 +1,1353 @@
+#include "wasm/instance.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace faasm::wasm {
+
+namespace {
+
+constexpr uint32_t kNullFunc = UINT32_MAX;
+
+// --- Float helpers implementing wasm NaN / signed-zero semantics ------------
+
+template <typename F>
+F WasmFMin(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<F>::quiet_NaN();
+  }
+  if (a == b) {
+    return std::signbit(a) ? a : b;  // min(+0,-0) = -0
+  }
+  return a < b ? a : b;
+}
+
+template <typename F>
+F WasmFMax(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<F>::quiet_NaN();
+  }
+  if (a == b) {
+    return std::signbit(a) ? b : a;  // max(+0,-0) = +0
+  }
+  return a > b ? a : b;
+}
+
+template <typename F, typename I>
+Status TruncChecked(F value, F lo, F hi, bool lo_inclusive, I* out) {
+  if (std::isnan(value)) {
+    return TrapStatus(TrapKind::kInvalidConversion);
+  }
+  const bool lo_ok = lo_inclusive ? value >= lo : value > lo;
+  if (!lo_ok || !(value < hi)) {
+    return TrapStatus(TrapKind::kIntegerOverflow);
+  }
+  *out = static_cast<I>(std::trunc(value));
+  return OkStatus();
+}
+
+}  // namespace
+
+// --- MapImportResolver -------------------------------------------------------
+
+void MapImportResolver::Register(const std::string& module, const std::string& name, HostFn fn) {
+  entries_.emplace_back(module, name, std::move(fn));
+}
+
+Result<HostFn> MapImportResolver::Resolve(const Import& import, const FuncType& type) {
+  for (const auto& [module, name, fn] : entries_) {
+    if (module == import.module && name == import.name) {
+      return fn;
+    }
+  }
+  return NotFound("unresolved import " + import.module + "." + import.name);
+}
+
+// --- Instantiation -----------------------------------------------------------
+
+Result<std::unique_ptr<Instance>> Instance::Create(std::shared_ptr<const CompiledModule> compiled,
+                                                   ImportResolver* resolver,
+                                                   LinearMemory* external_memory,
+                                                   const InstanceOptions& options) {
+  auto instance = std::unique_ptr<Instance>(new Instance(std::move(compiled), options));
+  FAASM_RETURN_IF_ERROR(instance->Instantiate(resolver, external_memory));
+  return instance;
+}
+
+Status Instance::Instantiate(ImportResolver* resolver, LinearMemory* external_memory) {
+  const Module& module = compiled_->module;
+
+  // Imports.
+  for (const Import& import : module.imports) {
+    if (resolver == nullptr) {
+      return InvalidArgument("module has imports but no resolver given");
+    }
+    const FuncType& type = module.types[import.type_index];
+    if (type.params.size() > 32) {
+      return Unimplemented("imports with >32 params unsupported");
+    }
+    FAASM_ASSIGN_OR_RETURN(HostFn fn, resolver->Resolve(import, type));
+    host_functions_.push_back(std::move(fn));
+  }
+
+  // Memory.
+  if (external_memory != nullptr) {
+    memory_ = external_memory;
+    if (module.memory.has_value() && memory_->size_pages() < module.memory->min) {
+      const uint32_t delta = module.memory->min - memory_->size_pages();
+      if (memory_->Grow(delta) == UINT32_MAX) {
+        return ResourceExhausted("external memory smaller than module minimum");
+      }
+    }
+  } else if (module.memory.has_value()) {
+    const uint32_t max_pages =
+        module.memory->has_max ? module.memory->max : options_.default_max_pages;
+    FAASM_ASSIGN_OR_RETURN(owned_memory_, LinearMemory::Create(module.memory->min, max_pages));
+    memory_ = owned_memory_.get();
+  }
+
+  // Data segments.
+  for (const DataSegment& segment : module.data) {
+    if (memory_ == nullptr) {
+      return InvalidArgument("data segment without memory");
+    }
+    FAASM_RETURN_IF_ERROR(memory_->Write(segment.offset, segment.bytes.data(),
+                                         segment.bytes.size()));
+  }
+
+  // Globals.
+  globals_.reserve(module.globals.size());
+  for (const GlobalDef& global : module.globals) {
+    globals_.push_back(global.init);
+  }
+
+  // Table + element segments.
+  if (module.table.has_value()) {
+    table_.assign(module.table->min, kNullFunc);
+    for (const ElementSegment& segment : module.elements) {
+      const uint64_t end = static_cast<uint64_t>(segment.offset) + segment.func_indices.size();
+      if (end > table_.size()) {
+        return OutOfRange("element segment out of table bounds");
+      }
+      for (size_t i = 0; i < segment.func_indices.size(); ++i) {
+        table_[segment.offset + i] = segment.func_indices[i];
+      }
+    }
+  }
+
+  stack_.resize(4096);
+
+  // Start function.
+  if (module.start_function.has_value()) {
+    auto result = CallFunction(*module.start_function, {});
+    FAASM_RETURN_IF_ERROR(result.status());
+  }
+  return OkStatus();
+}
+
+Status Instance::SetGlobals(std::vector<Value> globals) {
+  if (globals.size() != globals_.size()) {
+    return InvalidArgument("global count mismatch on restore");
+  }
+  globals_ = std::move(globals);
+  return OkStatus();
+}
+
+bool Instance::EnsureStack(size_t needed_slots) {
+  if (needed_slots <= stack_.size()) {
+    return true;
+  }
+  if (needed_slots > options_.max_stack_values) {
+    return false;
+  }
+  size_t new_size = stack_.size() * 2;
+  while (new_size < needed_slots) {
+    new_size *= 2;
+  }
+  stack_.resize(std::min<size_t>(new_size, options_.max_stack_values));
+  return true;
+}
+
+Status Instance::PushFrame(uint32_t func_index) {
+  if (frames_.size() >= options_.max_call_depth) {
+    return TrapStatus(TrapKind::kCallStackExhausted);
+  }
+  const CompiledFunction& fn = compiled_->function(func_index);
+  const uint32_t locals_base = static_cast<uint32_t>(sp_ - fn.param_count);
+  if (!EnsureStack(sp_ + fn.local_count + fn.max_operand_height + 8)) {
+    return TrapStatus(TrapKind::kValueStackExhausted);
+  }
+  // Zero-initialise locals.
+  for (uint32_t i = 0; i < fn.local_count; ++i) {
+    stack_[sp_++] = MakeI64(0);
+  }
+  frames_.push_back(Frame{&fn, 0, locals_base, static_cast<uint32_t>(sp_)});
+  return OkStatus();
+}
+
+Status Instance::CallHostFunction(uint32_t func_index) {
+  const FuncType& type = compiled_->module.function_type(func_index);
+  const size_t n_args = type.params.size();
+  Value args[32];
+  for (size_t i = 0; i < n_args; ++i) {
+    args[i] = stack_[sp_ - n_args + i];
+  }
+  sp_ -= n_args;
+  Value results[2] = {};
+  Status status = host_functions_[func_index](*this, args, n_args, results);
+  if (!status.ok()) {
+    return IsTrap(status) ? status : TrapStatus(TrapKind::kHostError, status.ToString());
+  }
+  if (!type.results.empty()) {
+    if (!EnsureStack(sp_ + 1)) {
+      return TrapStatus(TrapKind::kValueStackExhausted);
+    }
+    stack_[sp_++] = results[0];
+  }
+  return OkStatus();
+}
+
+Result<std::vector<Value>> Instance::CallExport(const std::string& name, std::vector<Value> args) {
+  auto index = compiled_->module.FindExport(name, ExternalKind::kFunction);
+  if (!index.has_value()) {
+    return NotFound("no exported function named '" + name + "'");
+  }
+  return CallFunction(*index, std::move(args));
+}
+
+Result<std::vector<Value>> Instance::CallFunction(uint32_t func_index, std::vector<Value> args) {
+  if (func_index >= compiled_->module.num_functions()) {
+    return InvalidArgument("function index out of range");
+  }
+  const FuncType& type = compiled_->module.function_type(func_index);
+  if (args.size() != type.params.size()) {
+    return InvalidArgument("argument count mismatch: expected " +
+                           std::to_string(type.params.size()));
+  }
+
+  const size_t saved_sp = sp_;
+  const size_t saved_frames = frames_.size();
+
+  if (!EnsureStack(sp_ + args.size())) {
+    return TrapStatus(TrapKind::kValueStackExhausted);
+  }
+  for (const Value& v : args) {
+    stack_[sp_++] = v;
+  }
+
+  Status status;
+  if (compiled_->is_import(func_index)) {
+    status = CallHostFunction(func_index);
+  } else {
+    status = PushFrame(func_index);
+    if (status.ok()) {
+      status = Run();
+    }
+  }
+  if (!status.ok()) {
+    sp_ = saved_sp;
+    frames_.resize(saved_frames);
+    return status;
+  }
+
+  std::vector<Value> results;
+  for (size_t i = 0; i < type.results.size(); ++i) {
+    results.push_back(stack_[sp_ - type.results.size() + i]);
+  }
+  sp_ -= type.results.size();
+  return results;
+}
+
+// --- Interpreter core ---------------------------------------------------------
+
+Status Instance::Run() {
+  const size_t entry_depth = frames_.size() - 1;
+  Frame* frame = &frames_.back();
+  const Instr* code = frame->fn->code.data();
+
+  uint64_t fuel = fuel_limit_ == 0 ? UINT64_MAX : fuel_limit_;
+  uint64_t retired = 0;
+
+  LinearMemory* mem = memory_;
+
+// Convenience accessors over the operand stack.
+#define TOP() stack_[sp_ - 1]
+#define TOP2() stack_[sp_ - 2]
+#define POP() stack_[--sp_]
+#define PUSH(v)                                     \
+  do {                                              \
+    stack_[sp_++] = (v);                            \
+  } while (0)
+
+#define MEM_CHECK(addr64, len)                                       \
+  if (mem == nullptr || !mem->InBounds((addr64), (len))) {           \
+    instructions_retired_ += retired;                                \
+    return TrapStatus(TrapKind::kMemoryOutOfBounds);                 \
+  }
+
+  for (;;) {
+    if (--fuel == 0) {
+      instructions_retired_ += retired;
+      return TrapStatus(TrapKind::kFuelExhausted);
+    }
+    ++retired;
+    const Instr ins = code[frame->pc++];
+    switch (ins.op) {
+      case static_cast<uint16_t>(Op::kUnreachable):
+        instructions_retired_ += retired;
+        return TrapStatus(TrapKind::kUnreachable);
+
+      case static_cast<uint16_t>(IOp::kJump):
+        frame->pc = ins.a;
+        break;
+      case static_cast<uint16_t>(IOp::kJumpIfZero): {
+        const uint32_t cond = POP().i32;
+        if (cond == 0) {
+          frame->pc = ins.a;
+        }
+        break;
+      }
+
+      case static_cast<uint16_t>(Op::kBr): {
+        const uint32_t arity = ins.b;
+        const size_t target_sp = frame->operand_base + ins.imm;
+        for (uint32_t i = 0; i < arity; ++i) {
+          stack_[target_sp + i] = stack_[sp_ - arity + i];
+        }
+        sp_ = target_sp + arity;
+        frame->pc = ins.a;
+        break;
+      }
+      case static_cast<uint16_t>(Op::kBrIf): {
+        const uint32_t cond = POP().i32;
+        if (cond != 0) {
+          const uint32_t arity = ins.b;
+          const size_t target_sp = frame->operand_base + ins.imm;
+          for (uint32_t i = 0; i < arity; ++i) {
+            stack_[target_sp + i] = stack_[sp_ - arity + i];
+          }
+          sp_ = target_sp + arity;
+          frame->pc = ins.a;
+        }
+        break;
+      }
+      case static_cast<uint16_t>(Op::kBrTable): {
+        const BrTableData& table = frame->fn->br_tables[ins.a];
+        uint32_t index = POP().i32;
+        if (index >= table.targets.size() - 1) {
+          index = static_cast<uint32_t>(table.targets.size() - 1);  // default
+        }
+        const BrTableTarget& target = table.targets[index];
+        const uint32_t arity = table.arity;
+        const size_t target_sp = frame->operand_base + target.height;
+        for (uint32_t i = 0; i < arity; ++i) {
+          stack_[target_sp + i] = stack_[sp_ - arity + i];
+        }
+        sp_ = target_sp + arity;
+        frame->pc = target.pc;
+        break;
+      }
+
+      case static_cast<uint16_t>(Op::kReturn):
+      case static_cast<uint16_t>(IOp::kReturnEnd): {
+        const uint32_t arity =
+            ins.op == static_cast<uint16_t>(Op::kReturn) ? ins.b : frame->fn->result_arity;
+        const size_t result_base = frame->locals_base;
+        for (uint32_t i = 0; i < arity; ++i) {
+          stack_[result_base + i] = stack_[sp_ - arity + i];
+        }
+        sp_ = result_base + arity;
+        frames_.pop_back();
+        if (frames_.size() == entry_depth) {
+          instructions_retired_ += retired;
+          return OkStatus();
+        }
+        frame = &frames_.back();
+        code = frame->fn->code.data();
+        break;
+      }
+
+      case static_cast<uint16_t>(Op::kCall): {
+        const uint32_t callee = ins.a;
+        if (compiled_->is_import(callee)) {
+          Status status = CallHostFunction(callee);
+          if (!status.ok()) {
+            instructions_retired_ += retired;
+            return status;
+          }
+        } else {
+          Status status = PushFrame(callee);
+          if (!status.ok()) {
+            instructions_retired_ += retired;
+            return status;
+          }
+          frame = &frames_.back();
+          code = frame->fn->code.data();
+        }
+        break;
+      }
+      case static_cast<uint16_t>(Op::kCallIndirect): {
+        const uint32_t table_slot = POP().i32;
+        if (table_slot >= table_.size()) {
+          instructions_retired_ += retired;
+          return TrapStatus(TrapKind::kUndefinedElement);
+        }
+        const uint32_t callee = table_[table_slot];
+        if (callee == kNullFunc) {
+          instructions_retired_ += retired;
+          return TrapStatus(TrapKind::kUninitializedElement);
+        }
+        const FuncType& expected = compiled_->module.types[ins.a];
+        const FuncType& actual = compiled_->module.function_type(callee);
+        if (!(expected == actual)) {
+          instructions_retired_ += retired;
+          return TrapStatus(TrapKind::kIndirectCallTypeMismatch);
+        }
+        if (compiled_->is_import(callee)) {
+          Status status = CallHostFunction(callee);
+          if (!status.ok()) {
+            instructions_retired_ += retired;
+            return status;
+          }
+        } else {
+          Status status = PushFrame(callee);
+          if (!status.ok()) {
+            instructions_retired_ += retired;
+            return status;
+          }
+          frame = &frames_.back();
+          code = frame->fn->code.data();
+        }
+        break;
+      }
+
+      case static_cast<uint16_t>(Op::kDrop):
+        --sp_;
+        break;
+      case static_cast<uint16_t>(Op::kSelect): {
+        const uint32_t cond = POP().i32;
+        const Value b = POP();
+        if (cond == 0) {
+          TOP() = b;
+        }
+        break;
+      }
+
+      case static_cast<uint16_t>(Op::kLocalGet):
+        PUSH(stack_[frame->locals_base + ins.a]);
+        break;
+      case static_cast<uint16_t>(Op::kLocalSet):
+        stack_[frame->locals_base + ins.a] = POP();
+        break;
+      case static_cast<uint16_t>(Op::kLocalTee):
+        stack_[frame->locals_base + ins.a] = TOP();
+        break;
+      case static_cast<uint16_t>(Op::kGlobalGet):
+        PUSH(globals_[ins.a]);
+        break;
+      case static_cast<uint16_t>(Op::kGlobalSet):
+        globals_[ins.a] = POP();
+        break;
+
+      // --- Loads ------------------------------------------------------------
+      case static_cast<uint16_t>(Op::kI32Load): {
+        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
+        MEM_CHECK(addr, 4);
+        uint32_t v;
+        std::memcpy(&v, mem->base() + addr, 4);
+        TOP() = MakeI32(v);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Load): {
+        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
+        MEM_CHECK(addr, 8);
+        uint64_t v;
+        std::memcpy(&v, mem->base() + addr, 8);
+        TOP() = MakeI64(v);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32Load): {
+        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
+        MEM_CHECK(addr, 4);
+        float v;
+        std::memcpy(&v, mem->base() + addr, 4);
+        TOP() = MakeF32(v);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Load): {
+        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
+        MEM_CHECK(addr, 8);
+        double v;
+        std::memcpy(&v, mem->base() + addr, 8);
+        TOP() = MakeF64(v);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32Load8S): {
+        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
+        MEM_CHECK(addr, 1);
+        int8_t v;
+        std::memcpy(&v, mem->base() + addr, 1);
+        TOP() = MakeI32(static_cast<uint32_t>(static_cast<int32_t>(v)));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32Load8U): {
+        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
+        MEM_CHECK(addr, 1);
+        uint8_t v;
+        std::memcpy(&v, mem->base() + addr, 1);
+        TOP() = MakeI32(v);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32Load16S): {
+        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
+        MEM_CHECK(addr, 2);
+        int16_t v;
+        std::memcpy(&v, mem->base() + addr, 2);
+        TOP() = MakeI32(static_cast<uint32_t>(static_cast<int32_t>(v)));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32Load16U): {
+        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
+        MEM_CHECK(addr, 2);
+        uint16_t v;
+        std::memcpy(&v, mem->base() + addr, 2);
+        TOP() = MakeI32(v);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Load8S): {
+        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
+        MEM_CHECK(addr, 1);
+        int8_t v;
+        std::memcpy(&v, mem->base() + addr, 1);
+        TOP() = MakeI64(static_cast<uint64_t>(static_cast<int64_t>(v)));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Load8U): {
+        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
+        MEM_CHECK(addr, 1);
+        uint8_t v;
+        std::memcpy(&v, mem->base() + addr, 1);
+        TOP() = MakeI64(v);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Load16S): {
+        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
+        MEM_CHECK(addr, 2);
+        int16_t v;
+        std::memcpy(&v, mem->base() + addr, 2);
+        TOP() = MakeI64(static_cast<uint64_t>(static_cast<int64_t>(v)));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Load16U): {
+        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
+        MEM_CHECK(addr, 2);
+        uint16_t v;
+        std::memcpy(&v, mem->base() + addr, 2);
+        TOP() = MakeI64(v);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Load32S): {
+        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
+        MEM_CHECK(addr, 4);
+        int32_t v;
+        std::memcpy(&v, mem->base() + addr, 4);
+        TOP() = MakeI64(static_cast<uint64_t>(static_cast<int64_t>(v)));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Load32U): {
+        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
+        MEM_CHECK(addr, 4);
+        uint32_t v;
+        std::memcpy(&v, mem->base() + addr, 4);
+        TOP() = MakeI64(v);
+        break;
+      }
+
+      // --- Stores -------------------------------------------------------------
+      case static_cast<uint16_t>(Op::kI32Store): {
+        const Value v = POP();
+        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
+        MEM_CHECK(addr, 4);
+        std::memcpy(mem->base() + addr, &v.i32, 4);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Store): {
+        const Value v = POP();
+        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
+        MEM_CHECK(addr, 8);
+        std::memcpy(mem->base() + addr, &v.i64, 8);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32Store): {
+        const Value v = POP();
+        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
+        MEM_CHECK(addr, 4);
+        std::memcpy(mem->base() + addr, &v.f32, 4);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Store): {
+        const Value v = POP();
+        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
+        MEM_CHECK(addr, 8);
+        std::memcpy(mem->base() + addr, &v.f64, 8);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32Store8): {
+        const Value v = POP();
+        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
+        MEM_CHECK(addr, 1);
+        const uint8_t byte = static_cast<uint8_t>(v.i32);
+        std::memcpy(mem->base() + addr, &byte, 1);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32Store16): {
+        const Value v = POP();
+        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
+        MEM_CHECK(addr, 2);
+        const uint16_t half = static_cast<uint16_t>(v.i32);
+        std::memcpy(mem->base() + addr, &half, 2);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Store8): {
+        const Value v = POP();
+        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
+        MEM_CHECK(addr, 1);
+        const uint8_t byte = static_cast<uint8_t>(v.i64);
+        std::memcpy(mem->base() + addr, &byte, 1);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Store16): {
+        const Value v = POP();
+        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
+        MEM_CHECK(addr, 2);
+        const uint16_t half = static_cast<uint16_t>(v.i64);
+        std::memcpy(mem->base() + addr, &half, 2);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Store32): {
+        const Value v = POP();
+        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
+        MEM_CHECK(addr, 4);
+        const uint32_t word = static_cast<uint32_t>(v.i64);
+        std::memcpy(mem->base() + addr, &word, 4);
+        break;
+      }
+
+      case static_cast<uint16_t>(Op::kMemorySize):
+        PUSH(MakeI32(mem != nullptr ? mem->size_pages() : 0));
+        break;
+      case static_cast<uint16_t>(Op::kMemoryGrow): {
+        const uint32_t delta = TOP().i32;
+        TOP() = MakeI32(mem != nullptr ? mem->Grow(delta) : UINT32_MAX);
+        break;
+      }
+
+      // --- Constants ----------------------------------------------------------
+      case static_cast<uint16_t>(Op::kI32Const):
+        PUSH(MakeI32(static_cast<uint32_t>(ins.imm)));
+        break;
+      case static_cast<uint16_t>(Op::kI64Const):
+        PUSH(MakeI64(ins.imm));
+        break;
+      case static_cast<uint16_t>(Op::kF32Const): {
+        float f;
+        const uint32_t bits = static_cast<uint32_t>(ins.imm);
+        std::memcpy(&f, &bits, 4);
+        PUSH(MakeF32(f));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Const): {
+        double d;
+        std::memcpy(&d, &ins.imm, 8);
+        PUSH(MakeF64(d));
+        break;
+      }
+
+      // --- i32 comparisons ------------------------------------------------------
+      case static_cast<uint16_t>(Op::kI32Eqz):
+        TOP() = MakeI32(TOP().i32 == 0);
+        break;
+      case static_cast<uint16_t>(Op::kI32Eq): {
+        const uint32_t b = POP().i32;
+        TOP() = MakeI32(TOP().i32 == b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32Ne): {
+        const uint32_t b = POP().i32;
+        TOP() = MakeI32(TOP().i32 != b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32LtS): {
+        const int32_t b = static_cast<int32_t>(POP().i32);
+        TOP() = MakeI32(static_cast<int32_t>(TOP().i32) < b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32LtU): {
+        const uint32_t b = POP().i32;
+        TOP() = MakeI32(TOP().i32 < b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32GtS): {
+        const int32_t b = static_cast<int32_t>(POP().i32);
+        TOP() = MakeI32(static_cast<int32_t>(TOP().i32) > b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32GtU): {
+        const uint32_t b = POP().i32;
+        TOP() = MakeI32(TOP().i32 > b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32LeS): {
+        const int32_t b = static_cast<int32_t>(POP().i32);
+        TOP() = MakeI32(static_cast<int32_t>(TOP().i32) <= b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32LeU): {
+        const uint32_t b = POP().i32;
+        TOP() = MakeI32(TOP().i32 <= b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32GeS): {
+        const int32_t b = static_cast<int32_t>(POP().i32);
+        TOP() = MakeI32(static_cast<int32_t>(TOP().i32) >= b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32GeU): {
+        const uint32_t b = POP().i32;
+        TOP() = MakeI32(TOP().i32 >= b);
+        break;
+      }
+
+      // --- i64 comparisons ------------------------------------------------------
+      case static_cast<uint16_t>(Op::kI64Eqz):
+        TOP() = MakeI32(TOP().i64 == 0);
+        break;
+      case static_cast<uint16_t>(Op::kI64Eq): {
+        const uint64_t b = POP().i64;
+        TOP() = MakeI32(TOP().i64 == b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Ne): {
+        const uint64_t b = POP().i64;
+        TOP() = MakeI32(TOP().i64 != b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64LtS): {
+        const int64_t b = static_cast<int64_t>(POP().i64);
+        TOP() = MakeI32(static_cast<int64_t>(TOP().i64) < b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64LtU): {
+        const uint64_t b = POP().i64;
+        TOP() = MakeI32(TOP().i64 < b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64GtS): {
+        const int64_t b = static_cast<int64_t>(POP().i64);
+        TOP() = MakeI32(static_cast<int64_t>(TOP().i64) > b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64GtU): {
+        const uint64_t b = POP().i64;
+        TOP() = MakeI32(TOP().i64 > b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64LeS): {
+        const int64_t b = static_cast<int64_t>(POP().i64);
+        TOP() = MakeI32(static_cast<int64_t>(TOP().i64) <= b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64LeU): {
+        const uint64_t b = POP().i64;
+        TOP() = MakeI32(TOP().i64 <= b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64GeS): {
+        const int64_t b = static_cast<int64_t>(POP().i64);
+        TOP() = MakeI32(static_cast<int64_t>(TOP().i64) >= b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64GeU): {
+        const uint64_t b = POP().i64;
+        TOP() = MakeI32(TOP().i64 >= b);
+        break;
+      }
+
+      // --- float comparisons -----------------------------------------------------
+      case static_cast<uint16_t>(Op::kF32Eq): {
+        const float b = POP().f32;
+        TOP() = MakeI32(TOP().f32 == b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32Ne): {
+        const float b = POP().f32;
+        TOP() = MakeI32(TOP().f32 != b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32Lt): {
+        const float b = POP().f32;
+        TOP() = MakeI32(TOP().f32 < b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32Gt): {
+        const float b = POP().f32;
+        TOP() = MakeI32(TOP().f32 > b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32Le): {
+        const float b = POP().f32;
+        TOP() = MakeI32(TOP().f32 <= b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32Ge): {
+        const float b = POP().f32;
+        TOP() = MakeI32(TOP().f32 >= b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Eq): {
+        const double b = POP().f64;
+        TOP() = MakeI32(TOP().f64 == b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Ne): {
+        const double b = POP().f64;
+        TOP() = MakeI32(TOP().f64 != b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Lt): {
+        const double b = POP().f64;
+        TOP() = MakeI32(TOP().f64 < b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Gt): {
+        const double b = POP().f64;
+        TOP() = MakeI32(TOP().f64 > b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Le): {
+        const double b = POP().f64;
+        TOP() = MakeI32(TOP().f64 <= b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Ge): {
+        const double b = POP().f64;
+        TOP() = MakeI32(TOP().f64 >= b);
+        break;
+      }
+
+      // --- i32 arithmetic --------------------------------------------------------
+      case static_cast<uint16_t>(Op::kI32Clz):
+        TOP() = MakeI32(TOP().i32 == 0 ? 32 : std::countl_zero(TOP().i32));
+        break;
+      case static_cast<uint16_t>(Op::kI32Ctz):
+        TOP() = MakeI32(TOP().i32 == 0 ? 32 : std::countr_zero(TOP().i32));
+        break;
+      case static_cast<uint16_t>(Op::kI32Popcnt):
+        TOP() = MakeI32(std::popcount(TOP().i32));
+        break;
+      case static_cast<uint16_t>(Op::kI32Add): {
+        const uint32_t b = POP().i32;
+        TOP() = MakeI32(TOP().i32 + b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32Sub): {
+        const uint32_t b = POP().i32;
+        TOP() = MakeI32(TOP().i32 - b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32Mul): {
+        const uint32_t b = POP().i32;
+        TOP() = MakeI32(TOP().i32 * b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32DivS): {
+        const int32_t b = static_cast<int32_t>(POP().i32);
+        const int32_t a = static_cast<int32_t>(TOP().i32);
+        if (b == 0) {
+          instructions_retired_ += retired;
+          return TrapStatus(TrapKind::kIntegerDivideByZero);
+        }
+        if (a == INT32_MIN && b == -1) {
+          instructions_retired_ += retired;
+          return TrapStatus(TrapKind::kIntegerOverflow);
+        }
+        TOP() = MakeI32(static_cast<uint32_t>(a / b));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32DivU): {
+        const uint32_t b = POP().i32;
+        if (b == 0) {
+          instructions_retired_ += retired;
+          return TrapStatus(TrapKind::kIntegerDivideByZero);
+        }
+        TOP() = MakeI32(TOP().i32 / b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32RemS): {
+        const int32_t b = static_cast<int32_t>(POP().i32);
+        const int32_t a = static_cast<int32_t>(TOP().i32);
+        if (b == 0) {
+          instructions_retired_ += retired;
+          return TrapStatus(TrapKind::kIntegerDivideByZero);
+        }
+        TOP() = MakeI32(static_cast<uint32_t>(b == -1 ? 0 : a % b));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32RemU): {
+        const uint32_t b = POP().i32;
+        if (b == 0) {
+          instructions_retired_ += retired;
+          return TrapStatus(TrapKind::kIntegerDivideByZero);
+        }
+        TOP() = MakeI32(TOP().i32 % b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32And): {
+        const uint32_t b = POP().i32;
+        TOP() = MakeI32(TOP().i32 & b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32Or): {
+        const uint32_t b = POP().i32;
+        TOP() = MakeI32(TOP().i32 | b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32Xor): {
+        const uint32_t b = POP().i32;
+        TOP() = MakeI32(TOP().i32 ^ b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32Shl): {
+        const uint32_t b = POP().i32 & 31;
+        TOP() = MakeI32(TOP().i32 << b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32ShrS): {
+        const uint32_t b = POP().i32 & 31;
+        TOP() = MakeI32(static_cast<uint32_t>(static_cast<int32_t>(TOP().i32) >> b));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32ShrU): {
+        const uint32_t b = POP().i32 & 31;
+        TOP() = MakeI32(TOP().i32 >> b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32Rotl): {
+        const uint32_t b = POP().i32 & 31;
+        TOP() = MakeI32(std::rotl(TOP().i32, static_cast<int>(b)));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32Rotr): {
+        const uint32_t b = POP().i32 & 31;
+        TOP() = MakeI32(std::rotr(TOP().i32, static_cast<int>(b)));
+        break;
+      }
+
+      // --- i64 arithmetic --------------------------------------------------------
+      case static_cast<uint16_t>(Op::kI64Clz):
+        TOP() = MakeI64(TOP().i64 == 0 ? 64 : std::countl_zero(TOP().i64));
+        break;
+      case static_cast<uint16_t>(Op::kI64Ctz):
+        TOP() = MakeI64(TOP().i64 == 0 ? 64 : std::countr_zero(TOP().i64));
+        break;
+      case static_cast<uint16_t>(Op::kI64Popcnt):
+        TOP() = MakeI64(std::popcount(TOP().i64));
+        break;
+      case static_cast<uint16_t>(Op::kI64Add): {
+        const uint64_t b = POP().i64;
+        TOP() = MakeI64(TOP().i64 + b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Sub): {
+        const uint64_t b = POP().i64;
+        TOP() = MakeI64(TOP().i64 - b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Mul): {
+        const uint64_t b = POP().i64;
+        TOP() = MakeI64(TOP().i64 * b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64DivS): {
+        const int64_t b = static_cast<int64_t>(POP().i64);
+        const int64_t a = static_cast<int64_t>(TOP().i64);
+        if (b == 0) {
+          instructions_retired_ += retired;
+          return TrapStatus(TrapKind::kIntegerDivideByZero);
+        }
+        if (a == INT64_MIN && b == -1) {
+          instructions_retired_ += retired;
+          return TrapStatus(TrapKind::kIntegerOverflow);
+        }
+        TOP() = MakeI64(static_cast<uint64_t>(a / b));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64DivU): {
+        const uint64_t b = POP().i64;
+        if (b == 0) {
+          instructions_retired_ += retired;
+          return TrapStatus(TrapKind::kIntegerDivideByZero);
+        }
+        TOP() = MakeI64(TOP().i64 / b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64RemS): {
+        const int64_t b = static_cast<int64_t>(POP().i64);
+        const int64_t a = static_cast<int64_t>(TOP().i64);
+        if (b == 0) {
+          instructions_retired_ += retired;
+          return TrapStatus(TrapKind::kIntegerDivideByZero);
+        }
+        TOP() = MakeI64(static_cast<uint64_t>(b == -1 ? 0 : a % b));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64RemU): {
+        const uint64_t b = POP().i64;
+        if (b == 0) {
+          instructions_retired_ += retired;
+          return TrapStatus(TrapKind::kIntegerDivideByZero);
+        }
+        TOP() = MakeI64(TOP().i64 % b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64And): {
+        const uint64_t b = POP().i64;
+        TOP() = MakeI64(TOP().i64 & b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Or): {
+        const uint64_t b = POP().i64;
+        TOP() = MakeI64(TOP().i64 | b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Xor): {
+        const uint64_t b = POP().i64;
+        TOP() = MakeI64(TOP().i64 ^ b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Shl): {
+        const uint64_t b = POP().i64 & 63;
+        TOP() = MakeI64(TOP().i64 << b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64ShrS): {
+        const uint64_t b = POP().i64 & 63;
+        TOP() = MakeI64(static_cast<uint64_t>(static_cast<int64_t>(TOP().i64) >> b));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64ShrU): {
+        const uint64_t b = POP().i64 & 63;
+        TOP() = MakeI64(TOP().i64 >> b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Rotl): {
+        const uint64_t b = POP().i64 & 63;
+        TOP() = MakeI64(std::rotl(TOP().i64, static_cast<int>(b)));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64Rotr): {
+        const uint64_t b = POP().i64 & 63;
+        TOP() = MakeI64(std::rotr(TOP().i64, static_cast<int>(b)));
+        break;
+      }
+
+      // --- f32 arithmetic --------------------------------------------------------
+      case static_cast<uint16_t>(Op::kF32Abs):
+        TOP() = MakeF32(std::fabs(TOP().f32));
+        break;
+      case static_cast<uint16_t>(Op::kF32Neg):
+        TOP() = MakeF32(-TOP().f32);
+        break;
+      case static_cast<uint16_t>(Op::kF32Ceil):
+        TOP() = MakeF32(std::ceil(TOP().f32));
+        break;
+      case static_cast<uint16_t>(Op::kF32Floor):
+        TOP() = MakeF32(std::floor(TOP().f32));
+        break;
+      case static_cast<uint16_t>(Op::kF32Trunc):
+        TOP() = MakeF32(std::trunc(TOP().f32));
+        break;
+      case static_cast<uint16_t>(Op::kF32Nearest):
+        TOP() = MakeF32(std::nearbyintf(TOP().f32));
+        break;
+      case static_cast<uint16_t>(Op::kF32Sqrt):
+        TOP() = MakeF32(std::sqrt(TOP().f32));
+        break;
+      case static_cast<uint16_t>(Op::kF32Add): {
+        const float b = POP().f32;
+        TOP() = MakeF32(TOP().f32 + b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32Sub): {
+        const float b = POP().f32;
+        TOP() = MakeF32(TOP().f32 - b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32Mul): {
+        const float b = POP().f32;
+        TOP() = MakeF32(TOP().f32 * b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32Div): {
+        const float b = POP().f32;
+        TOP() = MakeF32(TOP().f32 / b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32Min): {
+        const float b = POP().f32;
+        TOP() = MakeF32(WasmFMin(TOP().f32, b));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32Max): {
+        const float b = POP().f32;
+        TOP() = MakeF32(WasmFMax(TOP().f32, b));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32Copysign): {
+        const float b = POP().f32;
+        TOP() = MakeF32(std::copysign(TOP().f32, b));
+        break;
+      }
+
+      // --- f64 arithmetic --------------------------------------------------------
+      case static_cast<uint16_t>(Op::kF64Abs):
+        TOP() = MakeF64(std::fabs(TOP().f64));
+        break;
+      case static_cast<uint16_t>(Op::kF64Neg):
+        TOP() = MakeF64(-TOP().f64);
+        break;
+      case static_cast<uint16_t>(Op::kF64Ceil):
+        TOP() = MakeF64(std::ceil(TOP().f64));
+        break;
+      case static_cast<uint16_t>(Op::kF64Floor):
+        TOP() = MakeF64(std::floor(TOP().f64));
+        break;
+      case static_cast<uint16_t>(Op::kF64Trunc):
+        TOP() = MakeF64(std::trunc(TOP().f64));
+        break;
+      case static_cast<uint16_t>(Op::kF64Nearest):
+        TOP() = MakeF64(std::nearbyint(TOP().f64));
+        break;
+      case static_cast<uint16_t>(Op::kF64Sqrt):
+        TOP() = MakeF64(std::sqrt(TOP().f64));
+        break;
+      case static_cast<uint16_t>(Op::kF64Add): {
+        const double b = POP().f64;
+        TOP() = MakeF64(TOP().f64 + b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Sub): {
+        const double b = POP().f64;
+        TOP() = MakeF64(TOP().f64 - b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Mul): {
+        const double b = POP().f64;
+        TOP() = MakeF64(TOP().f64 * b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Div): {
+        const double b = POP().f64;
+        TOP() = MakeF64(TOP().f64 / b);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Min): {
+        const double b = POP().f64;
+        TOP() = MakeF64(WasmFMin(TOP().f64, b));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Max): {
+        const double b = POP().f64;
+        TOP() = MakeF64(WasmFMax(TOP().f64, b));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64Copysign): {
+        const double b = POP().f64;
+        TOP() = MakeF64(std::copysign(TOP().f64, b));
+        break;
+      }
+
+      // --- Conversions -------------------------------------------------------------
+      case static_cast<uint16_t>(Op::kI32WrapI64):
+        TOP() = MakeI32(static_cast<uint32_t>(TOP().i64));
+        break;
+      case static_cast<uint16_t>(Op::kI32TruncF32S): {
+        int32_t out;
+        Status s = TruncChecked<float, int32_t>(TOP().f32, -2147483648.0f, 2147483648.0f, true, &out);
+        if (!s.ok()) {
+          instructions_retired_ += retired;
+          return s;
+        }
+        TOP() = MakeI32(static_cast<uint32_t>(out));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32TruncF32U): {
+        uint32_t out;
+        Status s = TruncChecked<float, uint32_t>(TOP().f32, -1.0f, 4294967296.0f, false, &out);
+        if (!s.ok()) {
+          instructions_retired_ += retired;
+          return s;
+        }
+        TOP() = MakeI32(out);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32TruncF64S): {
+        int32_t out;
+        Status s = TruncChecked<double, int32_t>(TOP().f64, -2147483649.0, 2147483648.0, false, &out);
+        if (!s.ok()) {
+          instructions_retired_ += retired;
+          return s;
+        }
+        TOP() = MakeI32(static_cast<uint32_t>(out));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI32TruncF64U): {
+        uint32_t out;
+        Status s = TruncChecked<double, uint32_t>(TOP().f64, -1.0, 4294967296.0, false, &out);
+        if (!s.ok()) {
+          instructions_retired_ += retired;
+          return s;
+        }
+        TOP() = MakeI32(out);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64ExtendI32S):
+        TOP() = MakeI64(static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(TOP().i32))));
+        break;
+      case static_cast<uint16_t>(Op::kI64ExtendI32U):
+        TOP() = MakeI64(TOP().i32);
+        break;
+      case static_cast<uint16_t>(Op::kI64TruncF32S): {
+        int64_t out;
+        Status s = TruncChecked<float, int64_t>(TOP().f32, -9223372036854775808.0f,
+                                                9223372036854775808.0f, true, &out);
+        if (!s.ok()) {
+          instructions_retired_ += retired;
+          return s;
+        }
+        TOP() = MakeI64(static_cast<uint64_t>(out));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64TruncF32U): {
+        uint64_t out;
+        Status s = TruncChecked<float, uint64_t>(TOP().f32, -1.0f, 18446744073709551616.0f, false,
+                                                 &out);
+        if (!s.ok()) {
+          instructions_retired_ += retired;
+          return s;
+        }
+        TOP() = MakeI64(out);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64TruncF64S): {
+        int64_t out;
+        Status s = TruncChecked<double, int64_t>(TOP().f64, -9223372036854775808.0,
+                                                 9223372036854775808.0, true, &out);
+        if (!s.ok()) {
+          instructions_retired_ += retired;
+          return s;
+        }
+        TOP() = MakeI64(static_cast<uint64_t>(out));
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64TruncF64U): {
+        uint64_t out;
+        Status s = TruncChecked<double, uint64_t>(TOP().f64, -1.0, 18446744073709551616.0, false,
+                                                  &out);
+        if (!s.ok()) {
+          instructions_retired_ += retired;
+          return s;
+        }
+        TOP() = MakeI64(out);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32ConvertI32S):
+        TOP() = MakeF32(static_cast<float>(static_cast<int32_t>(TOP().i32)));
+        break;
+      case static_cast<uint16_t>(Op::kF32ConvertI32U):
+        TOP() = MakeF32(static_cast<float>(TOP().i32));
+        break;
+      case static_cast<uint16_t>(Op::kF32ConvertI64S):
+        TOP() = MakeF32(static_cast<float>(static_cast<int64_t>(TOP().i64)));
+        break;
+      case static_cast<uint16_t>(Op::kF32ConvertI64U):
+        TOP() = MakeF32(static_cast<float>(TOP().i64));
+        break;
+      case static_cast<uint16_t>(Op::kF32DemoteF64):
+        TOP() = MakeF32(static_cast<float>(TOP().f64));
+        break;
+      case static_cast<uint16_t>(Op::kF64ConvertI32S):
+        TOP() = MakeF64(static_cast<double>(static_cast<int32_t>(TOP().i32)));
+        break;
+      case static_cast<uint16_t>(Op::kF64ConvertI32U):
+        TOP() = MakeF64(static_cast<double>(TOP().i32));
+        break;
+      case static_cast<uint16_t>(Op::kF64ConvertI64S):
+        TOP() = MakeF64(static_cast<double>(static_cast<int64_t>(TOP().i64)));
+        break;
+      case static_cast<uint16_t>(Op::kF64ConvertI64U):
+        TOP() = MakeF64(static_cast<double>(TOP().i64));
+        break;
+      case static_cast<uint16_t>(Op::kF64PromoteF32):
+        TOP() = MakeF64(static_cast<double>(TOP().f32));
+        break;
+      case static_cast<uint16_t>(Op::kI32ReinterpretF32): {
+        uint32_t bits;
+        std::memcpy(&bits, &TOP().f32, 4);
+        TOP() = MakeI32(bits);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kI64ReinterpretF64): {
+        uint64_t bits;
+        std::memcpy(&bits, &TOP().f64, 8);
+        TOP() = MakeI64(bits);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF32ReinterpretI32): {
+        float f;
+        std::memcpy(&f, &TOP().i32, 4);
+        TOP() = MakeF32(f);
+        break;
+      }
+      case static_cast<uint16_t>(Op::kF64ReinterpretI64): {
+        double d;
+        std::memcpy(&d, &TOP().i64, 8);
+        TOP() = MakeF64(d);
+        break;
+      }
+
+      case static_cast<uint16_t>(Op::kI32Extend8S):
+        TOP() = MakeI32(static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(TOP().i32))));
+        break;
+      case static_cast<uint16_t>(Op::kI32Extend16S):
+        TOP() =
+            MakeI32(static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(TOP().i32))));
+        break;
+      case static_cast<uint16_t>(Op::kI64Extend8S):
+        TOP() = MakeI64(static_cast<uint64_t>(static_cast<int64_t>(static_cast<int8_t>(TOP().i64))));
+        break;
+      case static_cast<uint16_t>(Op::kI64Extend16S):
+        TOP() =
+            MakeI64(static_cast<uint64_t>(static_cast<int64_t>(static_cast<int16_t>(TOP().i64))));
+        break;
+      case static_cast<uint16_t>(Op::kI64Extend32S):
+        TOP() =
+            MakeI64(static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(TOP().i64))));
+        break;
+
+      default:
+        instructions_retired_ += retired;
+        return Internal("interpreter: unknown preprocessed opcode " + std::to_string(ins.op));
+    }
+  }
+
+#undef TOP
+#undef TOP2
+#undef POP
+#undef PUSH
+#undef MEM_CHECK
+}
+
+}  // namespace faasm::wasm

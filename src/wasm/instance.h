@@ -1,0 +1,126 @@
+// Instance: an executing instantiation of a compiled module — globals, table,
+// linear memory and a value/call stack. One Faaslet owns one Instance; many
+// instances share one immutable CompiledModule.
+//
+// Execution is a pre-decoded switch interpreter. It enforces the wasm
+// security model at run time: every memory access is bounds checked against
+// the Faaslet's LinearMemory, control flow can only follow validated edges,
+// and indirect calls check signatures. An optional fuel limit bounds
+// execution for tests and fair scheduling.
+#ifndef FAASM_WASM_INSTANCE_H_
+#define FAASM_WASM_INSTANCE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mem/linear_memory.h"
+#include "wasm/compiled.h"
+
+namespace faasm::wasm {
+
+class Instance;
+
+// A host function made available to the guest as a function import. `args`
+// holds `n_args` values in declaration order; results (0 or 1) are written to
+// `results`. A non-OK return becomes a trap in the guest.
+using HostFn = std::function<Status(Instance&, const Value* args, size_t n_args, Value* results)>;
+
+// Resolves module/name import pairs to host functions at instantiation time.
+class ImportResolver {
+ public:
+  virtual ~ImportResolver() = default;
+  virtual Result<HostFn> Resolve(const Import& import, const FuncType& type) = 0;
+};
+
+// Convenience resolver backed by a map of "module.name" -> HostFn.
+class MapImportResolver : public ImportResolver {
+ public:
+  void Register(const std::string& module, const std::string& name, HostFn fn);
+  Result<HostFn> Resolve(const Import& import, const FuncType& type) override;
+
+ private:
+  std::vector<std::tuple<std::string, std::string, HostFn>> entries_;
+};
+
+struct InstanceOptions {
+  // Maximum call-frame depth before a stack-exhaustion trap.
+  uint32_t max_call_depth = 1024;
+  // Maximum operand stack entries (8 bytes each).
+  uint32_t max_stack_values = 1u << 20;
+  // Default memory max (wasm pages) when the module declares none.
+  uint32_t default_max_pages = 1u << 12;  // 256 MiB
+};
+
+class Instance {
+ public:
+  // `external_memory` lets the embedder (the Faaslet) own the linear memory;
+  // when null the instance creates and owns one from the module's limits.
+  static Result<std::unique_ptr<Instance>> Create(
+      std::shared_ptr<const CompiledModule> compiled, ImportResolver* resolver,
+      LinearMemory* external_memory = nullptr, const InstanceOptions& options = {});
+
+  // Invokes an exported function.
+  Result<std::vector<Value>> CallExport(const std::string& name, std::vector<Value> args);
+
+  // Invokes any function by index (imports included).
+  Result<std::vector<Value>> CallFunction(uint32_t func_index, std::vector<Value> args);
+
+  LinearMemory& memory() { return *memory_; }
+  const CompiledModule& compiled() const { return *compiled_; }
+
+  // --- Globals (snapshot support) -------------------------------------------
+  const std::vector<Value>& globals() const { return globals_; }
+  Status SetGlobals(std::vector<Value> globals);
+
+  // --- Execution accounting --------------------------------------------------
+  // 0 disables the limit. The budget applies per CallExport/CallFunction.
+  void set_fuel_limit(uint64_t fuel) { fuel_limit_ = fuel; }
+  uint64_t instructions_retired() const { return instructions_retired_; }
+
+ private:
+  struct Frame {
+    const CompiledFunction* fn;
+    uint32_t pc;
+    uint32_t locals_base;   // stack index of param 0
+    uint32_t operand_base;  // stack index of the first operand slot
+  };
+
+  Instance(std::shared_ptr<const CompiledModule> compiled, const InstanceOptions& options)
+      : compiled_(std::move(compiled)), options_(options) {}
+
+  Status Instantiate(ImportResolver* resolver, LinearMemory* external_memory);
+
+  // Runs the interpreter until the entry frame returns.
+  Status Run();
+
+  Status CallHostFunction(uint32_t func_index);
+
+  // Pushes a wasm call frame; args must already be on the stack.
+  Status PushFrame(uint32_t func_index);
+
+  bool EnsureStack(size_t needed_slots);
+
+  std::shared_ptr<const CompiledModule> compiled_;
+  InstanceOptions options_;
+
+  std::unique_ptr<LinearMemory> owned_memory_;
+  LinearMemory* memory_ = nullptr;
+
+  std::vector<Value> globals_;
+  std::vector<uint32_t> table_;  // function indices; UINT32_MAX = null
+  std::vector<HostFn> host_functions_;
+
+  std::vector<Value> stack_;
+  size_t sp_ = 0;
+  std::vector<Frame> frames_;
+
+  uint64_t fuel_limit_ = 0;
+  uint64_t instructions_retired_ = 0;
+};
+
+}  // namespace faasm::wasm
+
+#endif  // FAASM_WASM_INSTANCE_H_

@@ -1,0 +1,172 @@
+// LEB128 variable-length integer encoding (spec §5.2.2).
+#ifndef FAASM_WASM_LEB128_H_
+#define FAASM_WASM_LEB128_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace faasm::wasm {
+
+// --- Encoding ---------------------------------------------------------------
+
+inline void WriteVarU32(Bytes& out, uint32_t value) {
+  do {
+    uint8_t byte = value & 0x7F;
+    value >>= 7;
+    if (value != 0) {
+      byte |= 0x80;
+    }
+    out.push_back(byte);
+  } while (value != 0);
+}
+
+inline void WriteVarU64(Bytes& out, uint64_t value) {
+  do {
+    uint8_t byte = value & 0x7F;
+    value >>= 7;
+    if (value != 0) {
+      byte |= 0x80;
+    }
+    out.push_back(byte);
+  } while (value != 0);
+}
+
+inline void WriteVarS64(Bytes& out, int64_t value) {
+  bool more = true;
+  while (more) {
+    uint8_t byte = value & 0x7F;
+    value >>= 7;  // arithmetic shift
+    if ((value == 0 && (byte & 0x40) == 0) || (value == -1 && (byte & 0x40) != 0)) {
+      more = false;
+    } else {
+      byte |= 0x80;
+    }
+    out.push_back(byte);
+  }
+}
+
+inline void WriteVarS32(Bytes& out, int32_t value) { WriteVarS64(out, value); }
+
+// --- Decoding ---------------------------------------------------------------
+
+// Cursor over a byte span with bounds-checked LEB reads. Shared by the binary
+// decoder and the function-body compiler.
+class ByteCursor {
+ public:
+  ByteCursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ >= size_; }
+
+  Result<uint8_t> ReadByte() {
+    if (pos_ >= size_) {
+      return OutOfRange("unexpected end of wasm binary");
+    }
+    return data_[pos_++];
+  }
+
+  Status ReadRaw(void* dst, size_t len) {
+    if (remaining() < len) {
+      return OutOfRange("unexpected end of wasm binary");
+    }
+    std::memcpy(dst, data_ + pos_, len);
+    pos_ += len;
+    return OkStatus();
+  }
+
+  Status Skip(size_t len) {
+    if (remaining() < len) {
+      return OutOfRange("unexpected end of wasm binary");
+    }
+    pos_ += len;
+    return OkStatus();
+  }
+
+  Result<uint32_t> ReadVarU32() {
+    uint32_t result = 0;
+    for (int shift = 0; shift < 35; shift += 7) {
+      auto byte = ReadByte();
+      if (!byte.ok()) {
+        return byte.status();
+      }
+      result |= static_cast<uint32_t>(byte.value() & 0x7F) << shift;
+      if ((byte.value() & 0x80) == 0) {
+        return result;
+      }
+    }
+    return InvalidArgument("varuint32 too long");
+  }
+
+  Result<uint64_t> ReadVarU64() {
+    uint64_t result = 0;
+    for (int shift = 0; shift < 70; shift += 7) {
+      auto byte = ReadByte();
+      if (!byte.ok()) {
+        return byte.status();
+      }
+      result |= static_cast<uint64_t>(byte.value() & 0x7F) << shift;
+      if ((byte.value() & 0x80) == 0) {
+        return result;
+      }
+    }
+    return InvalidArgument("varuint64 too long");
+  }
+
+  Result<int64_t> ReadVarS64() {
+    int64_t result = 0;
+    int shift = 0;
+    while (shift < 70) {
+      auto byte = ReadByte();
+      if (!byte.ok()) {
+        return byte.status();
+      }
+      result |= static_cast<int64_t>(byte.value() & 0x7F) << shift;
+      shift += 7;
+      if ((byte.value() & 0x80) == 0) {
+        if (shift < 64 && (byte.value() & 0x40) != 0) {
+          result |= -(int64_t{1} << shift);  // sign extend
+        }
+        return result;
+      }
+    }
+    return InvalidArgument("varint64 too long");
+  }
+
+  Result<int32_t> ReadVarS32() {
+    auto v = ReadVarS64();
+    if (!v.ok()) {
+      return v.status();
+    }
+    if (v.value() < INT32_MIN || v.value() > INT32_MAX) {
+      return InvalidArgument("varint32 out of range");
+    }
+    return static_cast<int32_t>(v.value());
+  }
+
+  Result<std::string> ReadName() {
+    auto len = ReadVarU32();
+    if (!len.ok()) {
+      return len.status();
+    }
+    if (remaining() < len.value()) {
+      return OutOfRange("name extends past end of binary");
+    }
+    std::string name(reinterpret_cast<const char*>(data_ + pos_), len.value());
+    pos_ += len.value();
+    return name;
+  }
+
+  const uint8_t* current() const { return data_ + pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace faasm::wasm
+
+#endif  // FAASM_WASM_LEB128_H_

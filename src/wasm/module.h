@@ -1,0 +1,105 @@
+// In-memory representation of a decoded WebAssembly module (spec §2.5).
+// Function bodies are kept as raw expression bytes; the compiler
+// (compiler.h) validates them and produces preprocessed code.
+#ifndef FAASM_WASM_MODULE_H_
+#define FAASM_WASM_MODULE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "wasm/types.h"
+
+namespace faasm::wasm {
+
+constexpr uint32_t kWasmMagic = 0x6d736100;  // "\0asm"
+constexpr uint32_t kWasmVersion = 1;
+
+enum class ExternalKind : uint8_t { kFunction = 0, kTable = 1, kMemory = 2, kGlobal = 3 };
+
+struct Import {
+  std::string module;
+  std::string name;
+  ExternalKind kind = ExternalKind::kFunction;
+  uint32_t type_index = 0;  // for kFunction
+};
+
+struct Export {
+  std::string name;
+  ExternalKind kind = ExternalKind::kFunction;
+  uint32_t index = 0;
+};
+
+struct FunctionBody {
+  // Locals as (count, type) runs, exactly as encoded.
+  std::vector<std::pair<uint32_t, ValType>> locals;
+  // Raw expression bytes, including the terminating `end`.
+  Bytes code;
+};
+
+struct GlobalDef {
+  ValType type = ValType::kI32;
+  bool mutable_ = false;
+  Value init{};  // constant initialiser value
+};
+
+struct ElementSegment {
+  uint32_t table_index = 0;
+  uint32_t offset = 0;  // from i32.const initialiser
+  std::vector<uint32_t> func_indices;
+};
+
+struct DataSegment {
+  uint32_t memory_index = 0;
+  uint32_t offset = 0;  // from i32.const initialiser
+  Bytes bytes;
+};
+
+struct CustomSection {
+  std::string name;
+  Bytes bytes;
+};
+
+struct Module {
+  std::vector<FuncType> types;
+  std::vector<Import> imports;           // function imports only (this embedder)
+  std::vector<uint32_t> function_types;  // type index per defined function
+  std::vector<FunctionBody> bodies;      // parallel to function_types
+  std::optional<Limits> table;           // single funcref table (MVP)
+  std::optional<Limits> memory;          // single linear memory (MVP)
+  std::vector<GlobalDef> globals;
+  std::vector<Export> exports;
+  std::optional<uint32_t> start_function;
+  std::vector<ElementSegment> elements;
+  std::vector<DataSegment> data;
+  std::vector<CustomSection> custom_sections;
+
+  uint32_t num_imported_functions() const { return static_cast<uint32_t>(imports.size()); }
+  uint32_t num_functions() const {
+    return num_imported_functions() + static_cast<uint32_t>(function_types.size());
+  }
+
+  // Type of function `index` (imports first, then defined functions).
+  const FuncType& function_type(uint32_t index) const {
+    if (index < num_imported_functions()) {
+      return types[imports[index].type_index];
+    }
+    return types[function_types[index - num_imported_functions()]];
+  }
+
+  // Finds an export by name and kind; returns its index space position.
+  std::optional<uint32_t> FindExport(const std::string& name, ExternalKind kind) const {
+    for (const auto& e : exports) {
+      if (e.kind == kind && e.name == name) {
+        return e.index;
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace faasm::wasm
+
+#endif  // FAASM_WASM_MODULE_H_

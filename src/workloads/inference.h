@@ -1,0 +1,51 @@
+// Machine-learning inference serving (§6.3). The paper serves MobileNet with
+// TensorFlow Lite; the offline stand-in is a 784-128-64-10 MLP classifier
+// whose weights live in FAASM state (pulled once per host into the shared
+// local tier, mapped zero-copy into each Faaslet's linear memory).
+//
+// Two implementations of the same model:
+//   - a genuine WebAssembly function authored with the module builder, which
+//     exercises get_state/pull_state/read_input/write_output from guest code;
+//   - a native twin used by the container baseline (and for correctness
+//     cross-checks).
+#ifndef FAASM_WORKLOADS_INFERENCE_H_
+#define FAASM_WORKLOADS_INFERENCE_H_
+
+#include "core/invocation_context.h"
+#include "kvs/kv_store.h"
+#include "runtime/registry.h"
+#include "wasm/compiled.h"
+
+namespace faasm {
+
+struct MlpDims {
+  uint32_t input = 784;
+  uint32_t hidden1 = 128;
+  uint32_t hidden2 = 64;
+  uint32_t output = 10;
+};
+
+// Seeds random-but-deterministic weights into the global tier; returns bytes.
+size_t SeedMlpWeights(KvStore& kvs, const MlpDims& dims, uint64_t seed = 99);
+
+// Builds the wasm inference module (entrypoint "main").
+Result<std::shared_ptr<const wasm::CompiledModule>> BuildMlpWasmModule(const MlpDims& dims);
+
+// Native twin ("infer" on the container baseline).
+int MlpInferNative(InvocationContext& ctx);
+
+// Reference forward pass for correctness checks.
+uint32_t MlpReference(const KvStore& kvs, const MlpDims& dims, const std::vector<float>& image);
+
+// Deterministic synthetic "image" for request i.
+std::vector<float> SyntheticImage(const MlpDims& dims, uint64_t index);
+Bytes EncodeImage(const std::vector<float>& image);
+
+// Registers the wasm function under `name` on a FAASM registry.
+Status RegisterMlpWasm(FunctionRegistry& registry, const std::string& name, const MlpDims& dims);
+// Registers the native twin under `name` (baseline registry).
+Status RegisterMlpNative(FunctionRegistry& registry, const std::string& name);
+
+}  // namespace faasm
+
+#endif  // FAASM_WORKLOADS_INFERENCE_H_

@@ -1,0 +1,39 @@
+// Polybench-style compute kernels (§6.4, Fig. 9a): each kernel exists twice —
+// a native C++ implementation and a genuine WebAssembly module authored with
+// the builder and executed by the interpreter. Both run the same arithmetic
+// in the same order and return a checksum, so tests can verify bit-level
+// agreement and the benchmark can report wasm-vs-native ratios.
+//
+// The paper runs the 23-kernel Polybench/C suite through clang->wasm; with
+// no offline toolchain this is a representative 8-kernel subset spanning the
+// suite's categories (linear algebra BLAS, solvers, stencils).
+#ifndef FAASM_WORKLOADS_KERNELS_H_
+#define FAASM_WORKLOADS_KERNELS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wasm/compiled.h"
+
+namespace faasm {
+
+struct Kernel {
+  std::string name;
+  // Runs natively; returns the checksum.
+  std::function<double(uint32_t n)> native;
+  // Builds the wasm twin (exports "run": (i32) -> f64).
+  std::function<Result<std::shared_ptr<const wasm::CompiledModule>>()> build_wasm;
+};
+
+// The kernel suite (gemm, atax, bicg, mvt, gesummv, jacobi-1d, jacobi-2d,
+// trisolv).
+const std::vector<Kernel>& PolybenchKernels();
+
+// Instantiates the module and invokes run(n); returns the checksum.
+Result<double> RunKernelWasm(std::shared_ptr<const wasm::CompiledModule> module, uint32_t n);
+
+}  // namespace faasm
+
+#endif  // FAASM_WORKLOADS_KERNELS_H_

@@ -1,0 +1,66 @@
+// Distributed divide-and-conquer matrix multiplication (§6.4, Fig. 8).
+// A multiplication recursively splits into quadrant products chained as
+// serverless functions: with two levels of splitting each multiplication
+// uses 64 leaf multiplication functions and 9 merging functions, exactly the
+// shape the paper reports. Inputs live in the global tier; workers pull only
+// the block rows/columns they need; intermediate results flow through state.
+#ifndef FAASM_WORKLOADS_MATMUL_H_
+#define FAASM_WORKLOADS_MATMUL_H_
+
+#include "core/invocation_context.h"
+#include "kvs/kv_store.h"
+#include "runtime/registry.h"
+
+namespace faasm {
+
+struct MatmulConfig {
+  uint32_t n = 256;        // matrix dimension (n x n doubles)
+  uint32_t split_levels = 2;  // 8^levels leaf multiplications
+  uint64_t seed = 7;
+};
+
+inline const char* kMatmulAKey = "mm:A";
+inline const char* kMatmulBKey = "mm:B";
+inline const char* kMatmulOutPrefix = "mm:out:";
+
+// Seeds A and B (row-major n*n doubles); returns bytes written.
+size_t SeedMatmulInputs(KvStore& kvs, const MatmulConfig& config);
+
+// "mm_div": multiplies an (size x size) block pair; recursion by chaining.
+// Input: u32 n, u32 size, u32 a_row, u32 a_col, u32 b_row, u32 b_col,
+//        u32 levels_left, string out_key.
+int MatmulDivideFunction(InvocationContext& ctx);
+
+// "mm_merge": out = sum of two child products per quadrant placement.
+// Input: u32 size, string out_key, 8x string child keys (quadrant-major:
+// q0t0 q0t1 q1t0 q1t1 ...).
+int MatmulMergeFunction(InvocationContext& ctx);
+
+Status RegisterMatmulFunctions(FunctionRegistry& registry);
+
+Bytes EncodeMatmulDivideInput(uint32_t n, uint32_t size, uint32_t a_row, uint32_t a_col,
+                              uint32_t b_row, uint32_t b_col, uint32_t levels_left,
+                              const std::string& out_key);
+
+// Reference single-node multiply for correctness checks.
+std::vector<double> ReferenceMatmul(const std::vector<double>& a, const std::vector<double>& b,
+                                    uint32_t n);
+
+// Drives one full multiplication; returns the out key holding C.
+template <typename Client>
+Result<std::string> RunMatmul(Client& client, const MatmulConfig& config) {
+  const std::string out_key = std::string(kMatmulOutPrefix) + "root";
+  FAASM_ASSIGN_OR_RETURN(
+      uint64_t id,
+      client.Submit("mm_div", EncodeMatmulDivideInput(config.n, config.n, 0, 0, 0, 0,
+                                                      config.split_levels, out_key)));
+  FAASM_ASSIGN_OR_RETURN(int code, client.Await(id));
+  if (code != 0) {
+    return Internal("mm_div failed with code " + std::to_string(code));
+  }
+  return out_key;
+}
+
+}  // namespace faasm
+
+#endif  // FAASM_WORKLOADS_MATMUL_H_

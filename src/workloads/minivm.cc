@@ -1,0 +1,774 @@
+#include "workloads/minivm.h"
+
+#include <cstring>
+#include <map>
+
+#include "wasm/builder.h"
+#include "wasm/decoder.h"
+#include "wasm/instance.h"
+
+namespace faasm {
+
+// --- Assembler -------------------------------------------------------------------
+
+void MviAssembler::Push(int32_t value) {
+  code_.push_back(static_cast<uint8_t>(MviOp::kPush));
+  AppendScalar(code_, value);
+}
+void MviAssembler::Load(uint8_t global) {
+  code_.push_back(static_cast<uint8_t>(MviOp::kLoad));
+  code_.push_back(global);
+}
+void MviAssembler::Store(uint8_t global) {
+  code_.push_back(static_cast<uint8_t>(MviOp::kStore));
+  code_.push_back(global);
+}
+void MviAssembler::Op(MviOp op) { code_.push_back(static_cast<uint8_t>(op)); }
+void MviAssembler::Label(const std::string& name) {
+  labels_[name] = static_cast<uint16_t>(code_.size());
+}
+void MviAssembler::Jmp(const std::string& label) {
+  code_.push_back(static_cast<uint8_t>(MviOp::kJmp));
+  fixups_.emplace_back(code_.size(), label);
+  AppendScalar<uint16_t>(code_, 0);
+}
+void MviAssembler::Jz(const std::string& label) {
+  code_.push_back(static_cast<uint8_t>(MviOp::kJz));
+  fixups_.emplace_back(code_.size(), label);
+  AppendScalar<uint16_t>(code_, 0);
+}
+void MviAssembler::Halt() { code_.push_back(static_cast<uint8_t>(MviOp::kHalt)); }
+
+Result<Bytes> MviAssembler::Assemble() {
+  for (const auto& [position, label] : fixups_) {
+    auto it = labels_.find(label);
+    if (it == labels_.end()) {
+      return NotFound("minivm: undefined label '" + label + "'");
+    }
+    std::memcpy(code_.data() + position, &it->second, 2);
+  }
+  return code_;
+}
+
+// --- Native interpreter --------------------------------------------------------------
+
+Result<int32_t> RunMiniVmNative(const Bytes& program, uint64_t max_steps) {
+  std::vector<int32_t> stack;
+  stack.reserve(256);
+  std::vector<int32_t> globals(kMviGlobalSlots, 0);
+  std::vector<int32_t> heap(kMviHeapSlots, 0);
+
+  size_t pc = 0;
+  auto pop = [&stack]() {
+    const int32_t v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+
+  for (uint64_t step = 0; step < max_steps; ++step) {
+    if (pc >= program.size()) {
+      return OutOfRange("minivm: pc past end of program");
+    }
+    const MviOp op = static_cast<MviOp>(program[pc++]);
+    switch (op) {
+      case MviOp::kHalt:
+        return stack.empty() ? 0 : pop();
+      case MviOp::kPush: {
+        int32_t imm;
+        std::memcpy(&imm, program.data() + pc, 4);
+        pc += 4;
+        stack.push_back(imm);
+        break;
+      }
+      case MviOp::kLoad:
+        stack.push_back(globals[program[pc++] % kMviGlobalSlots]);
+        break;
+      case MviOp::kStore:
+        globals[program[pc++] % kMviGlobalSlots] = pop();
+        break;
+      case MviOp::kAdd: {
+        const int32_t b = pop();
+        // Two's-complement wrap-around, matching wasm i32 semantics.
+        stack.back() = static_cast<int32_t>(static_cast<uint32_t>(stack.back()) +
+                                            static_cast<uint32_t>(b));
+        break;
+      }
+      case MviOp::kSub: {
+        const int32_t b = pop();
+        stack.back() = static_cast<int32_t>(static_cast<uint32_t>(stack.back()) -
+                                            static_cast<uint32_t>(b));
+        break;
+      }
+      case MviOp::kMul: {
+        const int32_t b = pop();
+        stack.back() = static_cast<int32_t>(static_cast<uint32_t>(stack.back()) *
+                                            static_cast<uint32_t>(b));
+        break;
+      }
+      case MviOp::kDiv: {
+        const int32_t b = pop();
+        if (b == 0) {
+          return InvalidArgument("minivm: divide by zero");
+        }
+        stack.back() /= b;
+        break;
+      }
+      case MviOp::kMod: {
+        const int32_t b = pop();
+        if (b == 0) {
+          return InvalidArgument("minivm: modulo by zero");
+        }
+        stack.back() %= b;
+        break;
+      }
+      case MviOp::kEq: {
+        const int32_t b = pop();
+        stack.back() = stack.back() == b ? 1 : 0;
+        break;
+      }
+      case MviOp::kNe: {
+        const int32_t b = pop();
+        stack.back() = stack.back() != b ? 1 : 0;
+        break;
+      }
+      case MviOp::kLt: {
+        const int32_t b = pop();
+        stack.back() = stack.back() < b ? 1 : 0;
+        break;
+      }
+      case MviOp::kLe: {
+        const int32_t b = pop();
+        stack.back() = stack.back() <= b ? 1 : 0;
+        break;
+      }
+      case MviOp::kGt: {
+        const int32_t b = pop();
+        stack.back() = stack.back() > b ? 1 : 0;
+        break;
+      }
+      case MviOp::kGe: {
+        const int32_t b = pop();
+        stack.back() = stack.back() >= b ? 1 : 0;
+        break;
+      }
+      case MviOp::kJmp: {
+        uint16_t target;
+        std::memcpy(&target, program.data() + pc, 2);
+        pc = target;
+        break;
+      }
+      case MviOp::kJz: {
+        uint16_t target;
+        std::memcpy(&target, program.data() + pc, 2);
+        pc += 2;
+        if (pop() == 0) {
+          pc = target;
+        }
+        break;
+      }
+      case MviOp::kALoad: {
+        const uint32_t index = static_cast<uint32_t>(pop()) % kMviHeapSlots;
+        stack.push_back(heap[index]);
+        break;
+      }
+      case MviOp::kAStore: {
+        const int32_t value = pop();
+        const uint32_t index = static_cast<uint32_t>(pop()) % kMviHeapSlots;
+        heap[index] = value;
+        break;
+      }
+      default:
+        return InvalidArgument("minivm: bad opcode");
+    }
+  }
+  return ResourceExhausted("minivm: step limit exceeded");
+}
+
+// --- Guest-wasm interpreter -------------------------------------------------------------
+
+namespace {
+// Guest memory layout of the MiniVM interpreter module.
+constexpr uint32_t kCodeOff = 0x1000;
+constexpr uint32_t kGlobalsOff = 0x10000;
+constexpr uint32_t kStackOff = 0x11000;
+constexpr uint32_t kHeapOff = 0x20000;
+}  // namespace
+
+Result<std::shared_ptr<const wasm::CompiledModule>> BuildMiniVmWasm(const Bytes& program) {
+  using wasm::BlockType;
+  using wasm::Op;
+  using wasm::ValType;
+
+  if (program.size() > 0xE000) {
+    return InvalidArgument("minivm: program too large for guest image");
+  }
+
+  wasm::ModuleBuilder b;
+  // Heap ends at kHeapOff + 64K slots * 4B = 0x20000 + 0x40000.
+  b.AddMemory(8, 8);  // 512 KiB
+  b.AddData(kCodeOff, program);
+
+  auto& f = b.AddFunction("run", {}, {ValType::kI32});
+  const uint32_t pc = f.AddLocal(ValType::kI32);
+  const uint32_t sp = f.AddLocal(ValType::kI32);
+  const uint32_t va = f.AddLocal(ValType::kI32);
+  const uint32_t vb = f.AddLocal(ValType::kI32);
+  const uint32_t result = f.AddLocal(ValType::kI32);
+
+  f.I32Const(static_cast<int32_t>(kCodeOff));
+  f.LocalSet(pc);
+
+  // vm_pop -> leaves value in va (and decrements sp)
+  auto emit_pop_to = [&](uint32_t dst) {
+    f.LocalGet(sp);
+    f.I32Const(1);
+    f.Emit(Op::kI32Sub);
+    f.LocalTee(sp);
+    f.I32Const(4);
+    f.Emit(Op::kI32Mul);
+    f.Load(Op::kI32Load, kStackOff);
+    f.LocalSet(dst);
+  };
+  // vm_push from expression already emitted? We need addr before value: use
+  // helper that wraps: push(expr_emitter).
+  auto emit_push = [&](const std::function<void()>& value) {
+    f.LocalGet(sp);
+    f.I32Const(4);
+    f.Emit(Op::kI32Mul);
+    value();
+    f.Store(Op::kI32Store, kStackOff);
+    f.LocalGet(sp);
+    f.I32Const(1);
+    f.Emit(Op::kI32Add);
+    f.LocalSet(sp);
+  };
+
+  // Dispatch structure: exit block, loop, default block, one block per op.
+  f.Block();  // exit
+  f.Loop();   // top
+  f.Block();  // bad opcode
+  for (int k = 0; k < kMviOpCount; ++k) {
+    f.Block();
+  }
+  // Fetch opcode, advance pc.
+  f.LocalGet(pc);
+  f.Load(Op::kI32Load8U);
+  f.LocalGet(pc);
+  f.I32Const(1);
+  f.Emit(Op::kI32Add);
+  f.LocalSet(pc);
+  std::vector<uint32_t> depths(kMviOpCount);
+  for (int k = 0; k < kMviOpCount; ++k) {
+    depths[k] = static_cast<uint32_t>(k);
+  }
+  f.BrTable(depths, kMviOpCount);  // default -> bad-opcode block
+
+  // Handler for op k is emitted after closing block k. Open blocks at that
+  // point: remaining op blocks + bad + top + exit.
+  auto br_top = [&](int k) { return static_cast<uint32_t>(kMviOpCount - k - 1 + 1); };
+  auto br_exit = [&](int k) { return static_cast<uint32_t>(kMviOpCount - k - 1 + 2); };
+
+  auto binary_op = [&](int k, Op op) {
+    f.End();
+    emit_pop_to(vb);
+    emit_pop_to(va);
+    emit_push([&] {
+      f.LocalGet(va);
+      f.LocalGet(vb);
+      f.Emit(op);
+    });
+    f.Br(br_top(k));
+  };
+
+  // 0 HALT: result = pop; br exit.
+  f.End();
+  emit_pop_to(result);
+  f.Br(br_exit(0));
+
+  // 1 PUSH imm32.
+  f.End();
+  emit_push([&] {
+    f.LocalGet(pc);
+    f.Load(Op::kI32Load);
+  });
+  f.LocalGet(pc);
+  f.I32Const(4);
+  f.Emit(Op::kI32Add);
+  f.LocalSet(pc);
+  f.Br(br_top(1));
+
+  // 2 LOAD g.
+  f.End();
+  emit_push([&] {
+    f.LocalGet(pc);
+    f.Load(Op::kI32Load8U);
+    f.I32Const(4);
+    f.Emit(Op::kI32Mul);
+    f.Load(Op::kI32Load, kGlobalsOff);
+  });
+  f.LocalGet(pc);
+  f.I32Const(1);
+  f.Emit(Op::kI32Add);
+  f.LocalSet(pc);
+  f.Br(br_top(2));
+
+  // 3 STORE g.
+  f.End();
+  emit_pop_to(va);
+  f.LocalGet(pc);
+  f.Load(Op::kI32Load8U);
+  f.I32Const(4);
+  f.Emit(Op::kI32Mul);
+  f.LocalGet(va);
+  f.Store(Op::kI32Store, kGlobalsOff);
+  f.LocalGet(pc);
+  f.I32Const(1);
+  f.Emit(Op::kI32Add);
+  f.LocalSet(pc);
+  f.Br(br_top(3));
+
+  binary_op(4, Op::kI32Add);
+  binary_op(5, Op::kI32Sub);
+  binary_op(6, Op::kI32Mul);
+  binary_op(7, Op::kI32DivS);
+  binary_op(8, Op::kI32RemS);
+  binary_op(9, Op::kI32Eq);
+  binary_op(10, Op::kI32Ne);
+  binary_op(11, Op::kI32LtS);
+  binary_op(12, Op::kI32LeS);
+  binary_op(13, Op::kI32GtS);
+  binary_op(14, Op::kI32GeS);
+
+  // 15 JMP target16: pc = code_base + target.
+  f.End();
+  f.LocalGet(pc);
+  f.Load(Op::kI32Load16U);
+  f.I32Const(static_cast<int32_t>(kCodeOff));
+  f.Emit(Op::kI32Add);
+  f.LocalSet(pc);
+  f.Br(br_top(15));
+
+  // 16 JZ target16.
+  f.End();
+  f.LocalGet(pc);
+  f.Load(Op::kI32Load16U);
+  f.LocalSet(vb);  // target (relative to code base)
+  f.LocalGet(pc);
+  f.I32Const(2);
+  f.Emit(Op::kI32Add);
+  f.LocalSet(pc);
+  emit_pop_to(va);
+  f.LocalGet(va);
+  f.Emit(Op::kI32Eqz);
+  f.If();
+  f.LocalGet(vb);
+  f.I32Const(static_cast<int32_t>(kCodeOff));
+  f.Emit(Op::kI32Add);
+  f.LocalSet(pc);
+  f.End();
+  f.Br(br_top(16));
+
+  // 17 ALOAD: idx = pop; push heap[idx].
+  f.End();
+  emit_pop_to(va);
+  emit_push([&] {
+    f.LocalGet(va);
+    f.I32Const(static_cast<int32_t>(kMviHeapSlots - 1));
+    f.Emit(Op::kI32And);
+    f.I32Const(4);
+    f.Emit(Op::kI32Mul);
+    f.Load(Op::kI32Load, kHeapOff);
+  });
+  f.Br(br_top(17));
+
+  // 18 ASTORE: value = pop; idx = pop; heap[idx] = value.
+  f.End();
+  emit_pop_to(vb);  // value
+  emit_pop_to(va);  // index
+  f.LocalGet(va);
+  f.I32Const(static_cast<int32_t>(kMviHeapSlots - 1));
+  f.Emit(Op::kI32And);
+  f.I32Const(4);
+  f.Emit(Op::kI32Mul);
+  f.LocalGet(vb);
+  f.Store(Op::kI32Store, kHeapOff);
+  f.Br(br_top(18));
+
+  // Bad opcode block.
+  f.End();
+  f.Unreachable();
+  f.End();  // loop
+  f.End();  // exit
+  f.LocalGet(result);
+  f.End();  // function
+
+  FAASM_ASSIGN_OR_RETURN(wasm::Module module, wasm::DecodeModule(b.Build()));
+  return wasm::CompileModule(std::move(module));
+}
+
+Result<int32_t> RunMiniVmWasm(const Bytes& program) {
+  FAASM_ASSIGN_OR_RETURN(auto module, BuildMiniVmWasm(program));
+  FAASM_ASSIGN_OR_RETURN(auto instance, wasm::Instance::Create(std::move(module), nullptr));
+  auto out = instance->CallExport("run", {});
+  if (!out.ok()) {
+    return out.status();
+  }
+  return static_cast<int32_t>(out.value()[0].i32);
+}
+
+// --- Benchmark programs ---------------------------------------------------------------------
+
+namespace {
+
+// g0 = result accumulator by convention.
+Bytes FibProgram(int32_t n) {
+  // a=0 b=1; repeat n: t=a+b; a=b; b=t. result = a (mod arithmetic wraps).
+  MviAssembler a;
+  a.Push(0);
+  a.Store(0);  // a
+  a.Push(1);
+  a.Store(1);  // b
+  a.Push(n);
+  a.Store(2);  // counter
+  a.Label("loop");
+  a.Load(2);
+  a.Jz("done");
+  a.Load(0);
+  a.Load(1);
+  a.Op(MviOp::kAdd);
+  a.Store(3);  // t
+  a.Load(1);
+  a.Store(0);
+  a.Load(3);
+  a.Store(1);
+  a.Load(2);
+  a.Push(1);
+  a.Op(MviOp::kSub);
+  a.Store(2);
+  a.Jmp("loop");
+  a.Label("done");
+  a.Load(0);
+  a.Halt();
+  return a.Assemble().value();
+}
+
+Bytes SieveProgram(int32_t n) {
+  // Classic sieve over heap[2..n); result = prime count.
+  MviAssembler a;
+  a.Push(2);
+  a.Store(0);  // i
+  a.Label("outer");
+  a.Load(0);
+  a.Push(n);
+  a.Op(MviOp::kLt);
+  a.Jz("count");
+  // if heap[i] == 0 (not marked): mark multiples
+  a.Load(0);
+  a.Op(MviOp::kALoad);
+  a.Jz("mark");
+  a.Jmp("next");
+  a.Label("mark");
+  a.Load(0);
+  a.Load(0);
+  a.Op(MviOp::kMul);
+  a.Store(1);  // j = i*i
+  a.Label("mark_loop");
+  a.Load(1);
+  a.Push(n);
+  a.Op(MviOp::kLt);
+  a.Jz("next");
+  a.Load(1);
+  a.Push(1);
+  a.Op(MviOp::kAStore);  // heap[j] = 1
+  a.Load(1);
+  a.Load(0);
+  a.Op(MviOp::kAdd);
+  a.Store(1);
+  a.Jmp("mark_loop");
+  a.Label("next");
+  a.Load(0);
+  a.Push(1);
+  a.Op(MviOp::kAdd);
+  a.Store(0);
+  a.Jmp("outer");
+  // Count unmarked entries in [2, n).
+  a.Label("count");
+  a.Push(2);
+  a.Store(0);
+  a.Push(0);
+  a.Store(2);  // count
+  a.Label("count_loop");
+  a.Load(0);
+  a.Push(n);
+  a.Op(MviOp::kLt);
+  a.Jz("done");
+  a.Load(0);
+  a.Op(MviOp::kALoad);
+  a.Jz("is_prime");
+  a.Jmp("count_next");
+  a.Label("is_prime");
+  a.Load(2);
+  a.Push(1);
+  a.Op(MviOp::kAdd);
+  a.Store(2);
+  a.Label("count_next");
+  a.Load(0);
+  a.Push(1);
+  a.Op(MviOp::kAdd);
+  a.Store(0);
+  a.Jmp("count_loop");
+  a.Label("done");
+  a.Load(2);
+  a.Halt();
+  return a.Assemble().value();
+}
+
+Bytes CollatzProgram(int32_t seeds) {
+  // total steps to reach 1 for every seed in [1, seeds].
+  MviAssembler a;
+  a.Push(1);
+  a.Store(0);  // seed
+  a.Push(0);
+  a.Store(1);  // total
+  a.Label("seed_loop");
+  a.Load(0);
+  a.Push(seeds);
+  a.Op(MviOp::kLe);
+  a.Jz("done");
+  a.Load(0);
+  a.Store(2);  // n = seed
+  a.Label("collatz");
+  a.Load(2);
+  a.Push(1);
+  a.Op(MviOp::kEq);
+  a.Jz("step");
+  a.Jmp("next_seed");
+  a.Label("step");
+  a.Load(2);
+  a.Push(2);
+  a.Op(MviOp::kMod);
+  a.Jz("even");
+  // odd: n = 3n + 1
+  a.Load(2);
+  a.Push(3);
+  a.Op(MviOp::kMul);
+  a.Push(1);
+  a.Op(MviOp::kAdd);
+  a.Store(2);
+  a.Jmp("bump");
+  a.Label("even");
+  a.Load(2);
+  a.Push(2);
+  a.Op(MviOp::kDiv);
+  a.Store(2);
+  a.Label("bump");
+  a.Load(1);
+  a.Push(1);
+  a.Op(MviOp::kAdd);
+  a.Store(1);
+  a.Jmp("collatz");
+  a.Label("next_seed");
+  a.Load(0);
+  a.Push(1);
+  a.Op(MviOp::kAdd);
+  a.Store(0);
+  a.Jmp("seed_loop");
+  a.Label("done");
+  a.Load(1);
+  a.Halt();
+  return a.Assemble().value();
+}
+
+Bytes GcdSumProgram(int32_t n) {
+  // sum of gcd(i, 123456) for i in [1, n].
+  MviAssembler a;
+  a.Push(1);
+  a.Store(0);  // i
+  a.Push(0);
+  a.Store(1);  // sum
+  a.Label("loop");
+  a.Load(0);
+  a.Push(n);
+  a.Op(MviOp::kLe);
+  a.Jz("done");
+  a.Load(0);
+  a.Store(2);  // x = i
+  a.Push(123456);
+  a.Store(3);  // y
+  a.Label("gcd");
+  a.Load(3);
+  a.Jz("gcd_done");
+  a.Load(2);
+  a.Load(3);
+  a.Op(MviOp::kMod);
+  a.Store(4);  // t = x % y
+  a.Load(3);
+  a.Store(2);  // x = y
+  a.Load(4);
+  a.Store(3);  // y = t
+  a.Jmp("gcd");
+  a.Label("gcd_done");
+  a.Load(1);
+  a.Load(2);
+  a.Op(MviOp::kAdd);
+  a.Store(1);
+  a.Load(0);
+  a.Push(1);
+  a.Op(MviOp::kAdd);
+  a.Store(0);
+  a.Jmp("loop");
+  a.Label("done");
+  a.Load(1);
+  a.Halt();
+  return a.Assemble().value();
+}
+
+Bytes MatmulIntProgram(int32_t n) {
+  // C = A*B for n x n i32 matrices on the heap; A at 0, B at n*n, C at 2n*n.
+  // A[i][j] = (i + 2j) % 7, B[i][j] = (3i + j) % 5. Result = sum(C).
+  MviAssembler a;
+  const int32_t nn = n * n;
+  // init loops
+  a.Push(0);
+  a.Store(0);  // i
+  a.Label("init_i");
+  a.Load(0);
+  a.Push(n);
+  a.Op(MviOp::kLt);
+  a.Jz("mul_start");
+  a.Push(0);
+  a.Store(1);  // j
+  a.Label("init_j");
+  a.Load(1);
+  a.Push(n);
+  a.Op(MviOp::kLt);
+  a.Jz("init_i_next");
+  // A[i*n+j] = (i + 2j) % 7
+  a.Load(0);
+  a.Push(n);
+  a.Op(MviOp::kMul);
+  a.Load(1);
+  a.Op(MviOp::kAdd);
+  a.Load(0);
+  a.Load(1);
+  a.Push(2);
+  a.Op(MviOp::kMul);
+  a.Op(MviOp::kAdd);
+  a.Push(7);
+  a.Op(MviOp::kMod);
+  a.Op(MviOp::kAStore);
+  // B[nn + i*n+j] = (3i + j) % 5
+  a.Load(0);
+  a.Push(n);
+  a.Op(MviOp::kMul);
+  a.Load(1);
+  a.Op(MviOp::kAdd);
+  a.Push(nn);
+  a.Op(MviOp::kAdd);
+  a.Load(0);
+  a.Push(3);
+  a.Op(MviOp::kMul);
+  a.Load(1);
+  a.Op(MviOp::kAdd);
+  a.Push(5);
+  a.Op(MviOp::kMod);
+  a.Op(MviOp::kAStore);
+  a.Load(1);
+  a.Push(1);
+  a.Op(MviOp::kAdd);
+  a.Store(1);
+  a.Jmp("init_j");
+  a.Label("init_i_next");
+  a.Load(0);
+  a.Push(1);
+  a.Op(MviOp::kAdd);
+  a.Store(0);
+  a.Jmp("init_i");
+  // triple loop: g0=i g1=j g2=k g3=acc g5=sum
+  a.Label("mul_start");
+  a.Push(0);
+  a.Store(5);  // sum
+  a.Push(0);
+  a.Store(0);
+  a.Label("mi");
+  a.Load(0);
+  a.Push(n);
+  a.Op(MviOp::kLt);
+  a.Jz("done");
+  a.Push(0);
+  a.Store(1);
+  a.Label("mj");
+  a.Load(1);
+  a.Push(n);
+  a.Op(MviOp::kLt);
+  a.Jz("mi_next");
+  a.Push(0);
+  a.Store(3);  // acc
+  a.Push(0);
+  a.Store(2);
+  a.Label("mk");
+  a.Load(2);
+  a.Push(n);
+  a.Op(MviOp::kLt);
+  a.Jz("mj_store");
+  // acc += A[i*n+k] * B[nn + k*n+j]
+  a.Load(3);
+  a.Load(0);
+  a.Push(n);
+  a.Op(MviOp::kMul);
+  a.Load(2);
+  a.Op(MviOp::kAdd);
+  a.Op(MviOp::kALoad);
+  a.Load(2);
+  a.Push(n);
+  a.Op(MviOp::kMul);
+  a.Load(1);
+  a.Op(MviOp::kAdd);
+  a.Push(nn);
+  a.Op(MviOp::kAdd);
+  a.Op(MviOp::kALoad);
+  a.Op(MviOp::kMul);
+  a.Op(MviOp::kAdd);
+  a.Store(3);
+  a.Load(2);
+  a.Push(1);
+  a.Op(MviOp::kAdd);
+  a.Store(2);
+  a.Jmp("mk");
+  a.Label("mj_store");
+  // sum += acc  (C not stored separately; checksum accumulates directly)
+  a.Load(5);
+  a.Load(3);
+  a.Op(MviOp::kAdd);
+  a.Store(5);
+  a.Load(1);
+  a.Push(1);
+  a.Op(MviOp::kAdd);
+  a.Store(1);
+  a.Jmp("mj");
+  a.Label("mi_next");
+  a.Load(0);
+  a.Push(1);
+  a.Op(MviOp::kAdd);
+  a.Store(0);
+  a.Jmp("mi");
+  a.Label("done");
+  a.Load(5);
+  a.Halt();
+  return a.Assemble().value();
+}
+
+}  // namespace
+
+const std::vector<MviProgram>& MiniVmBenchmarks() {
+  static const std::vector<MviProgram> programs = {
+      {"fib", FibProgram(100000)},
+      {"sieve", SieveProgram(20000)},
+      {"collatz", CollatzProgram(3000)},
+      {"gcd", GcdSumProgram(20000)},
+      {"matmul-int", MatmulIntProgram(24)},
+  };
+  return programs;
+}
+
+}  // namespace faasm

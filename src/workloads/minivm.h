@@ -1,0 +1,90 @@
+// MiniVM (§6.4 substitute for CPython-in-a-Faaslet): a small stack-bytecode
+// language runtime implemented twice —
+//   1. natively in C++ (the "CPython on the host" side), and
+//   2. as a *guest WebAssembly program*: a bytecode interpreter authored with
+//      the module builder that executes the same bytecode inside a Faaslet's
+//      linear memory (the "CPython compiled to wasm" side).
+// Running the same benchmark programs on both reproduces the structure of
+// the paper's Python Performance Benchmark experiment: a dynamic language
+// runtime double-interpreted under wasm vs running natively.
+#ifndef FAASM_WORKLOADS_MINIVM_H_
+#define FAASM_WORKLOADS_MINIVM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "wasm/compiled.h"
+
+namespace faasm {
+
+// Bytecode opcodes.
+enum class MviOp : uint8_t {
+  kHalt = 0,   // result = pop
+  kPush = 1,   // imm i32 (little endian)
+  kLoad = 2,   // global index u8
+  kStore = 3,  // global index u8
+  kAdd = 4,
+  kSub = 5,
+  kMul = 6,
+  kDiv = 7,
+  kMod = 8,
+  kEq = 9,
+  kNe = 10,
+  kLt = 11,
+  kLe = 12,
+  kGt = 13,
+  kGe = 14,
+  kJmp = 15,  // absolute target u16
+  kJz = 16,   // absolute target u16; pops condition
+  kALoad = 17,   // pop idx; push heap[idx]
+  kAStore = 18,  // pop value, pop idx; heap[idx] = value
+};
+
+constexpr int kMviOpCount = 19;
+constexpr uint32_t kMviGlobalSlots = 64;
+constexpr uint32_t kMviHeapSlots = 1u << 16;
+
+// Tiny assembler with label fix-ups.
+class MviAssembler {
+ public:
+  void Push(int32_t value);
+  void Load(uint8_t global);
+  void Store(uint8_t global);
+  void Op(MviOp op);
+  // Control flow via named labels.
+  void Label(const std::string& name);
+  void Jmp(const std::string& label);
+  void Jz(const std::string& label);
+  void Halt();
+
+  Result<Bytes> Assemble();
+
+ private:
+  Bytes code_;
+  std::map<std::string, uint16_t> labels_;
+  std::vector<std::pair<size_t, std::string>> fixups_;
+};
+
+// Native reference interpreter; returns the program result.
+Result<int32_t> RunMiniVmNative(const Bytes& program, uint64_t max_steps = 500'000'000);
+
+// Builds the guest-wasm MiniVM: a module whose "run" export interprets the
+// program placed in its memory as a data segment. One module per program.
+Result<std::shared_ptr<const wasm::CompiledModule>> BuildMiniVmWasm(const Bytes& program);
+
+// Runs the program on the guest-wasm interpreter.
+Result<int32_t> RunMiniVmWasm(const Bytes& program);
+
+// Benchmark programs (the "Python performance suite" stand-ins).
+struct MviProgram {
+  std::string name;
+  Bytes code;
+};
+const std::vector<MviProgram>& MiniVmBenchmarks();
+
+}  // namespace faasm
+
+#endif  // FAASM_WORKLOADS_MINIVM_H_

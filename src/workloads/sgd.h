@@ -1,0 +1,95 @@
+// Distributed HOGWILD SGD (§6.2, Listing 1): sparse linear-model training
+// with a shared weights vector updated racily by parallel workers, batched
+// to the global tier through an AsyncArray (the paper's VectorAsync).
+//
+// The dataset is a synthetic stand-in for Reuters RCV1 with the same shape:
+// a sparse CSC feature matrix plus a dense label vector (see DESIGN.md
+// substitutions). Functions are written against InvocationContext so the
+// identical code runs on FAASM and on the container baseline.
+#ifndef FAASM_WORKLOADS_SGD_H_
+#define FAASM_WORKLOADS_SGD_H_
+
+#include <string>
+
+#include "core/invocation_context.h"
+#include "kvs/kv_store.h"
+#include "runtime/registry.h"
+
+namespace faasm {
+
+struct SgdConfig {
+  uint32_t n_examples = 8192;    // columns of the CSC matrix
+  uint32_t n_features = 2048;    // rows
+  uint32_t nnz_per_example = 16; // sparsity (RCV1 is ~0.16% dense)
+  uint32_t n_workers = 8;
+  uint32_t n_epochs = 3;
+  float learning_rate = 0.05f;
+  uint32_t push_interval = 64;   // AsyncArray batching of weight pushes
+  uint64_t seed = 42;
+};
+
+// State keys used by the workload.
+inline const char* kSgdMatrixKey = "training_a";   // CSC triple under :vals/:rows/:cols
+inline const char* kSgdLabelsKey = "training_b";
+inline const char* kSgdWeightsKey = "weights";
+inline const char* kSgdLossKey = "losses";
+
+// Generates the synthetic dataset, computes ground-truth-ish weights and
+// seeds the global tier directly (datasets pre-exist in storage; seeding is
+// not experiment traffic). Returns total dataset bytes.
+size_t SeedSgdDataset(KvStore& kvs, const SgdConfig& config);
+
+// The worker function body ("sgd_update"): trains on a column range.
+// Input: u32 col_start, u32 col_end, f32 learning_rate, u32 push_interval.
+int SgdUpdateFunction(InvocationContext& ctx);
+
+// Computes mean squared error over the full dataset ("sgd_loss").
+int SgdLossFunction(InvocationContext& ctx);
+
+// Registers "sgd_update" and "sgd_loss" with a registry (both platforms).
+Status RegisterSgdFunctions(FunctionRegistry& registry);
+
+// Encodes a worker input.
+Bytes EncodeSgdWorkerInput(uint32_t col_start, uint32_t col_end, float learning_rate,
+                           uint32_t push_interval);
+
+// Drives one full training run through a platform client (Frontend or
+// KnativeCluster::Client): chains n_workers updates per epoch and awaits
+// them, Listing-1 style. Returns final loss.
+template <typename Client>
+Result<double> RunSgdTraining(Client& client, const SgdConfig& config) {
+  double final_loss = 0;
+  for (uint32_t epoch = 0; epoch < config.n_epochs; ++epoch) {
+    const uint32_t per_worker = config.n_examples / config.n_workers;
+    std::vector<uint64_t> ids;
+    for (uint32_t w = 0; w < config.n_workers; ++w) {
+      const uint32_t start = w * per_worker;
+      const uint32_t end =
+          w + 1 == config.n_workers ? config.n_examples : start + per_worker;
+      FAASM_ASSIGN_OR_RETURN(
+          uint64_t id,
+          client.Submit("sgd_update", EncodeSgdWorkerInput(start, end, config.learning_rate,
+                                                           config.push_interval)));
+      ids.push_back(id);
+    }
+    for (uint64_t id : ids) {
+      FAASM_ASSIGN_OR_RETURN(int code, client.Await(id));
+      if (code != 0) {
+        return Internal("sgd_update failed with code " + std::to_string(code));
+      }
+    }
+    FAASM_ASSIGN_OR_RETURN(uint64_t loss_id, client.Submit("sgd_loss", Bytes{}));
+    FAASM_ASSIGN_OR_RETURN(int loss_code, client.Await(loss_id));
+    if (loss_code != 0) {
+      return Internal("sgd_loss failed");
+    }
+    FAASM_ASSIGN_OR_RETURN(Bytes loss_bytes, client.Output(loss_id));
+    ByteReader reader(loss_bytes);
+    FAASM_ASSIGN_OR_RETURN(final_loss, reader.Get<double>());
+  }
+  return final_loss;
+}
+
+}  // namespace faasm
+
+#endif  // FAASM_WORKLOADS_SGD_H_

@@ -1,0 +1,67 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace faasm {
+namespace {
+
+TEST(BytesTest, WriterReaderRoundTrip) {
+  Bytes buffer;
+  ByteWriter writer(buffer);
+  writer.Put<uint32_t>(0xdeadbeef);
+  writer.Put<int64_t>(-7);
+  writer.Put<double>(3.25);
+  writer.PutString("faaslet");
+  writer.PutBytes(Bytes{1, 2, 3});
+
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.Get<uint32_t>().value(), 0xdeadbeefu);
+  EXPECT_EQ(reader.Get<int64_t>().value(), -7);
+  EXPECT_EQ(reader.Get<double>().value(), 3.25);
+  EXPECT_EQ(reader.GetString().value(), "faaslet");
+  EXPECT_EQ(reader.GetBytes().value(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(BytesTest, TruncatedReadsFail) {
+  Bytes buffer{1, 2};
+  ByteReader reader(buffer);
+  EXPECT_FALSE(reader.Get<uint64_t>().ok());
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  Bytes buffer;
+  ByteWriter writer(buffer);
+  writer.Put<uint32_t>(100);  // claims 100 bytes follow
+  buffer.push_back('x');
+  ByteReader reader(buffer);
+  EXPECT_FALSE(reader.GetString().ok());
+}
+
+TEST(BytesTest, StringConversions) {
+  EXPECT_EQ(StringFromBytes(BytesFromString("abc")), "abc");
+  EXPECT_TRUE(BytesFromString("").empty());
+}
+
+TEST(BytesTest, HashIsStableAndDiscriminates) {
+  const Bytes a = BytesFromString("state-key-a");
+  const Bytes b = BytesFromString("state-key-b");
+  EXPECT_EQ(HashBytes(a), HashBytes(a));
+  EXPECT_NE(HashBytes(a), HashBytes(b));
+  EXPECT_EQ(HashBytes(Bytes{}), 0xcbf29ce484222325ull);
+}
+
+TEST(BytesTest, ReaderPositionTracking) {
+  Bytes buffer;
+  ByteWriter writer(buffer);
+  writer.Put<uint16_t>(7);
+  writer.Put<uint16_t>(9);
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.position(), 0u);
+  ASSERT_TRUE(reader.Get<uint16_t>().ok());
+  EXPECT_EQ(reader.position(), 2u);
+  EXPECT_EQ(reader.remaining(), 2u);
+}
+
+}  // namespace
+}  // namespace faasm

@@ -1,0 +1,81 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace faasm {
+namespace {
+
+TEST(SummaryTest, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Median(), 0.0);
+  EXPECT_EQ(s.Mean(), 0.0);
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_EQ(s.Min(), 1.0);
+  EXPECT_EQ(s.Max(), 5.0);
+  EXPECT_EQ(s.Mean(), 3.0);
+  EXPECT_EQ(s.Median(), 3.0);
+  EXPECT_EQ(s.Sum(), 15.0);
+}
+
+TEST(SummaryTest, PercentileInterpolates) {
+  Summary s;
+  s.Add(0.0);
+  s.Add(10.0);
+  EXPECT_EQ(s.Percentile(0), 0.0);
+  EXPECT_EQ(s.Percentile(50), 5.0);
+  EXPECT_EQ(s.Percentile(100), 10.0);
+  EXPECT_NEAR(s.Percentile(90), 9.0, 1e-9);
+}
+
+TEST(SummaryTest, TailPercentile) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_NEAR(s.Percentile(99), 99.01, 0.05);
+  EXPECT_EQ(s.Max(), 100.0);
+}
+
+TEST(SummaryTest, MergeCombines) {
+  Summary a;
+  Summary b;
+  a.Add(1.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.Mean(), 2.0);
+}
+
+TEST(SummaryTest, CdfIsMonotone) {
+  Summary s;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    s.Add(v);
+  }
+  auto cdf = s.Cdf();
+  ASSERT_EQ(cdf.size(), 5u);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LT(cdf[i - 1].second, cdf[i].second);
+  }
+  EXPECT_EQ(cdf.back().second, 1.0);
+}
+
+TEST(SummaryTest, AddAfterQueryResorts) {
+  Summary s;
+  s.Add(10.0);
+  EXPECT_EQ(s.Median(), 10.0);
+  s.Add(0.0);
+  EXPECT_EQ(s.Min(), 0.0);
+  EXPECT_EQ(s.Median(), 5.0);
+}
+
+}  // namespace
+}  // namespace faasm

@@ -1,0 +1,125 @@
+#include "core/vfs.h"
+
+#include <gtest/gtest.h>
+
+namespace faasm {
+namespace {
+
+TEST(VfsTest, ReadGlobalFile) {
+  GlobalFileStore global;
+  global.Put("/lib/model.bin", Bytes{1, 2, 3, 4});
+  VirtualFilesystem vfs(&global);
+
+  auto fd = vfs.Open("/lib/model.bin", VirtualFilesystem::kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  uint8_t buffer[8] = {};
+  EXPECT_EQ(vfs.Read(fd.value(), buffer, 2).value(), 2u);
+  EXPECT_EQ(buffer[0], 1);
+  EXPECT_EQ(vfs.Read(fd.value(), buffer, 8).value(), 2u);  // remainder
+  EXPECT_EQ(vfs.Read(fd.value(), buffer, 8).value(), 0u);  // EOF
+  ASSERT_TRUE(vfs.Close(fd.value()).ok());
+}
+
+TEST(VfsTest, MissingFileFails) {
+  GlobalFileStore global;
+  VirtualFilesystem vfs(&global);
+  EXPECT_EQ(vfs.Open("/nope", VirtualFilesystem::kOpenRead).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(VfsTest, WriteLocalOverlayShadowsGlobal) {
+  GlobalFileStore global;
+  global.Put("/data.txt", BytesFromString("global"));
+  VirtualFilesystem vfs(&global);
+
+  // Writes land in the overlay, not the global store.
+  auto wfd = vfs.Open("/data.txt", VirtualFilesystem::kOpenWrite | VirtualFilesystem::kOpenCreate);
+  ASSERT_TRUE(wfd.ok());
+  const std::string text = "local";
+  ASSERT_TRUE(vfs.Write(wfd.value(), reinterpret_cast<const uint8_t*>(text.data()), 5).ok());
+  ASSERT_TRUE(vfs.Close(wfd.value()).ok());
+
+  auto rfd = vfs.Open("/data.txt", VirtualFilesystem::kOpenRead);
+  ASSERT_TRUE(rfd.ok());
+  uint8_t buffer[16] = {};
+  EXPECT_EQ(vfs.Read(rfd.value(), buffer, 16).value(), 5u);
+  EXPECT_EQ(std::string(buffer, buffer + 5), "local");
+  // Global store untouched (read-global, write-local).
+  EXPECT_EQ(StringFromBytes(global.Get("/data.txt").value()), "global");
+}
+
+TEST(VfsTest, WriteToReadOnlyFdRejected) {
+  GlobalFileStore global;
+  global.Put("/f", Bytes{1});
+  VirtualFilesystem vfs(&global);
+  auto fd = vfs.Open("/f", VirtualFilesystem::kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  uint8_t byte = 0;
+  EXPECT_EQ(vfs.Write(fd.value(), &byte, 1).status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(VfsTest, FdsAreCapabilities) {
+  GlobalFileStore global;
+  global.Put("/f", Bytes{1});
+  VirtualFilesystem vfs(&global);
+  uint8_t buffer;
+  // Unopened fd values are unusable (unforgeable handles).
+  EXPECT_FALSE(vfs.Read(7, &buffer, 1).ok());
+  EXPECT_FALSE(vfs.Close(99).ok());
+  EXPECT_FALSE(vfs.Dup(42).ok());
+}
+
+TEST(VfsTest, DupSharesPathButNotCursorState) {
+  GlobalFileStore global;
+  global.Put("/f", Bytes{10, 20, 30});
+  VirtualFilesystem vfs(&global);
+  auto fd = vfs.Open("/f", VirtualFilesystem::kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  uint8_t buffer;
+  ASSERT_TRUE(vfs.Read(fd.value(), &buffer, 1).ok());
+  auto dup_fd = vfs.Dup(fd.value());
+  ASSERT_TRUE(dup_fd.ok());
+  EXPECT_NE(dup_fd.value(), fd.value());
+  // The duplicate starts from the duplicated cursor position.
+  ASSERT_TRUE(vfs.Read(dup_fd.value(), &buffer, 1).ok());
+  EXPECT_EQ(buffer, 20);
+}
+
+TEST(VfsTest, SeekRepositionsCursor) {
+  GlobalFileStore global;
+  global.Put("/f", Bytes{10, 20, 30});
+  VirtualFilesystem vfs(&global);
+  auto fd = vfs.Open("/f", VirtualFilesystem::kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs.Seek(fd.value(), 2).ok());
+  uint8_t buffer;
+  ASSERT_TRUE(vfs.Read(fd.value(), &buffer, 1).ok());
+  EXPECT_EQ(buffer, 30);
+}
+
+TEST(VfsTest, StatReportsSizeAndWritability) {
+  GlobalFileStore global;
+  global.Put("/g", Bytes(100));
+  VirtualFilesystem vfs(&global);
+  auto stat = vfs.StatPath("/g");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat.value().size, 100u);
+  EXPECT_FALSE(stat.value().writable);
+  EXPECT_FALSE(vfs.StatPath("/missing").ok());
+}
+
+TEST(VfsTest, ResetClearsOverlayAndFds) {
+  GlobalFileStore global;
+  global.Put("/f", Bytes{1});
+  VirtualFilesystem vfs(&global);
+  auto wfd = vfs.Open("/tmp/x", VirtualFilesystem::kOpenWrite | VirtualFilesystem::kOpenCreate);
+  ASSERT_TRUE(wfd.ok());
+  EXPECT_EQ(vfs.open_fd_count(), 1u);
+  vfs.Reset();
+  EXPECT_EQ(vfs.open_fd_count(), 0u);
+  EXPECT_FALSE(vfs.StatPath("/tmp/x").ok());  // overlay gone
+  EXPECT_TRUE(vfs.StatPath("/f").ok());       // global untouched
+}
+
+}  // namespace
+}  // namespace faasm

@@ -1,0 +1,86 @@
+#include "kvs/kv_store.h"
+
+#include <gtest/gtest.h>
+
+namespace faasm {
+namespace {
+
+TEST(KvStoreTest, SetGetDelete) {
+  KvStore store;
+  store.Set("k", Bytes{1, 2, 3});
+  EXPECT_TRUE(store.Exists("k"));
+  EXPECT_EQ(store.Get("k").value(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(store.Size("k").value(), 3u);
+  ASSERT_TRUE(store.Delete("k").ok());
+  EXPECT_FALSE(store.Exists("k"));
+  EXPECT_EQ(store.Get("k").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Delete("k").code(), StatusCode::kNotFound);
+}
+
+TEST(KvStoreTest, RangeReadWrite) {
+  KvStore store;
+  store.Set("k", Bytes{0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(store.GetRange("k", 2, 3).value(), (Bytes{2, 3, 4}));
+  // Range past end is clamped.
+  EXPECT_EQ(store.GetRange("k", 6, 100).value(), (Bytes{6, 7}));
+  EXPECT_EQ(store.GetRange("k", 9, 1).status().code(), StatusCode::kOutOfRange);
+
+  // SetRange extends the value.
+  ASSERT_TRUE(store.SetRange("k", 10, Bytes{9, 9}).ok());
+  EXPECT_EQ(store.Size("k").value(), 12u);
+  EXPECT_EQ(store.GetRange("k", 10, 2).value(), (Bytes{9, 9}));
+  // SetRange on a missing key creates it.
+  ASSERT_TRUE(store.SetRange("new", 4, Bytes{1}).ok());
+  EXPECT_EQ(store.Size("new").value(), 5u);
+}
+
+TEST(KvStoreTest, Append) {
+  KvStore store;
+  EXPECT_EQ(store.Append("log", Bytes{1}), 1u);
+  EXPECT_EQ(store.Append("log", Bytes{2, 3}), 3u);
+  EXPECT_EQ(store.Get("log").value(), (Bytes{1, 2, 3}));
+}
+
+TEST(KvStoreTest, ReadWriteLocks) {
+  KvStore store;
+  EXPECT_TRUE(store.TryLockRead("k", "a"));
+  EXPECT_TRUE(store.TryLockRead("k", "b"));   // shared readers
+  EXPECT_FALSE(store.TryLockWrite("k", "c"));  // blocked by readers
+  ASSERT_TRUE(store.UnlockRead("k", "a").ok());
+  ASSERT_TRUE(store.UnlockRead("k", "b").ok());
+  EXPECT_TRUE(store.TryLockWrite("k", "c"));
+  EXPECT_FALSE(store.TryLockRead("k", "a"));   // blocked by writer
+  EXPECT_FALSE(store.TryLockWrite("k", "d"));  // exclusive
+  EXPECT_EQ(store.UnlockWrite("k", "other").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(store.UnlockWrite("k", "c").ok());
+  EXPECT_TRUE(store.TryLockRead("k", "a"));
+}
+
+TEST(KvStoreTest, UnlockWithoutLockFails) {
+  KvStore store;
+  EXPECT_EQ(store.UnlockRead("k", "a").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(KvStoreTest, SetOperations) {
+  KvStore store;
+  EXPECT_TRUE(store.SetAdd("warm:f", "host-1"));
+  EXPECT_FALSE(store.SetAdd("warm:f", "host-1"));  // duplicate
+  EXPECT_TRUE(store.SetAdd("warm:f", "host-2"));
+  auto members = store.SetMembers("warm:f");
+  EXPECT_EQ(members.size(), 2u);
+  EXPECT_TRUE(store.SetRemove("warm:f", "host-1"));
+  EXPECT_FALSE(store.SetRemove("warm:f", "host-1"));
+  EXPECT_EQ(store.SetMembers("warm:f").size(), 1u);
+  EXPECT_TRUE(store.SetMembers("nonexistent").empty());
+}
+
+TEST(KvStoreTest, Accounting) {
+  KvStore store;
+  store.Set("a", Bytes(100));
+  store.Set("b", Bytes(50));
+  EXPECT_EQ(store.key_count(), 2u);
+  EXPECT_EQ(store.total_bytes(), 150u);
+}
+
+}  // namespace
+}  // namespace faasm

@@ -1,0 +1,94 @@
+#include "kvs/kvs_client.h"
+
+#include <gtest/gtest.h>
+
+namespace faasm {
+namespace {
+
+class KvsClientTest : public ::testing::Test {
+ protected:
+  KvsClientTest() : network_(&clock_, NoLatency()), server_(&store_, &network_) {}
+
+  static NetworkConfig NoLatency() {
+    NetworkConfig config;
+    config.charge_latency = false;
+    return config;
+  }
+
+  RealClock clock_;
+  InProcNetwork network_;
+  KvStore store_;
+  KvsServer server_;
+};
+
+TEST_F(KvsClientTest, SetGetRoundTrip) {
+  KvsClient client(&network_, "host-0");
+  ASSERT_TRUE(client.Set("key", Bytes{5, 6, 7}).ok());
+  EXPECT_EQ(client.Get("key").value(), (Bytes{5, 6, 7}));
+  EXPECT_EQ(store_.Get("key").value(), (Bytes{5, 6, 7}));  // really server-side
+}
+
+TEST_F(KvsClientTest, MissingKeyPropagatesNotFound) {
+  KvsClient client(&network_, "host-0");
+  EXPECT_EQ(client.Get("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(client.Size("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(KvsClientTest, RangedOps) {
+  KvsClient client(&network_, "host-0");
+  ASSERT_TRUE(client.Set("key", Bytes{0, 1, 2, 3, 4}).ok());
+  EXPECT_EQ(client.GetRange("key", 1, 3).value(), (Bytes{1, 2, 3}));
+  ASSERT_TRUE(client.SetRange("key", 4, Bytes{9, 9}).ok());
+  EXPECT_EQ(client.Size("key").value(), 6u);
+}
+
+TEST_F(KvsClientTest, AppendReturnsNewLength) {
+  KvsClient client(&network_, "host-0");
+  EXPECT_EQ(client.Append("log", Bytes{1, 2}).value(), 2u);
+  EXPECT_EQ(client.Append("log", Bytes{3}).value(), 3u);
+}
+
+TEST_F(KvsClientTest, ExistsAndDelete) {
+  KvsClient client(&network_, "host-0");
+  EXPECT_FALSE(client.Exists("k").value());
+  ASSERT_TRUE(client.Set("k", Bytes{1}).ok());
+  EXPECT_TRUE(client.Exists("k").value());
+  ASSERT_TRUE(client.Delete("k").ok());
+  EXPECT_FALSE(client.Exists("k").value());
+}
+
+TEST_F(KvsClientTest, DistributedLocks) {
+  KvsClient host_a(&network_, "host-a");
+  KvsClient host_b(&network_, "host-b");
+  EXPECT_TRUE(host_a.TryLockWrite("key").value());
+  EXPECT_FALSE(host_b.TryLockWrite("key").value());
+  EXPECT_FALSE(host_b.TryLockRead("key").value());
+  ASSERT_TRUE(host_a.UnlockWrite("key").ok());
+  EXPECT_TRUE(host_b.TryLockRead("key").value());
+  ASSERT_TRUE(host_b.UnlockRead("key").ok());
+}
+
+TEST_F(KvsClientTest, SetOps) {
+  KvsClient client(&network_, "host-0");
+  EXPECT_TRUE(client.SetAdd("warm:f", "host-0").value());
+  EXPECT_FALSE(client.SetAdd("warm:f", "host-0").value());
+  auto members = client.SetMembers("warm:f");
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members.value(), (std::vector<std::string>{"host-0"}));
+  EXPECT_TRUE(client.SetRemove("warm:f", "host-0").value());
+}
+
+TEST_F(KvsClientTest, TrafficIsAccounted) {
+  KvsClient client(&network_, "host-0");
+  network_.ResetStats();
+  ASSERT_TRUE(client.Set("key", Bytes(1000)).ok());
+  // Request carries at least the 1000-byte value.
+  EXPECT_GT(network_.StatsFor("host-0").tx_bytes, 1000u);
+  const uint64_t after_set = network_.total_bytes();
+  auto value = client.Get("key");
+  ASSERT_TRUE(value.ok());
+  EXPECT_GT(network_.total_bytes(), after_set + 1000);  // response carries value
+}
+
+}  // namespace
+}  // namespace faasm

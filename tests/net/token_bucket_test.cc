@@ -1,0 +1,56 @@
+#include "net/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace faasm {
+namespace {
+
+TEST(TokenBucketTest, BurstAllowsImmediateConsumption) {
+  TokenBucket bucket(/*rate=*/1000.0, /*burst=*/500.0);
+  EXPECT_TRUE(bucket.TryConsume(500.0, 0));
+  EXPECT_FALSE(bucket.TryConsume(1.0, 0));
+}
+
+TEST(TokenBucketTest, RefillsOverTime) {
+  TokenBucket bucket(/*rate=*/1000.0, /*burst=*/1000.0);
+  EXPECT_TRUE(bucket.TryConsume(1000.0, 0));
+  EXPECT_FALSE(bucket.TryConsume(100.0, 0));
+  // 100 ms at 1000 B/s refills 100 bytes.
+  EXPECT_TRUE(bucket.TryConsume(100.0, 100 * kMillisecond));
+  EXPECT_FALSE(bucket.TryConsume(1.0, 100 * kMillisecond));
+}
+
+TEST(TokenBucketTest, RefillCapsAtBurst) {
+  TokenBucket bucket(/*rate=*/1000.0, /*burst=*/100.0);
+  EXPECT_TRUE(bucket.TryConsume(100.0, 0));
+  // After 10 seconds the bucket holds only `burst` tokens.
+  EXPECT_TRUE(bucket.TryConsume(100.0, 10 * kSecond));
+  EXPECT_FALSE(bucket.TryConsume(1.0, 10 * kSecond));
+}
+
+TEST(TokenBucketTest, NextAvailableComputesWait) {
+  TokenBucket bucket(/*rate=*/1000.0, /*burst=*/1000.0);
+  EXPECT_EQ(bucket.NextAvailable(500.0, 0), 0);
+  EXPECT_TRUE(bucket.TryConsume(1000.0, 0));
+  // Needs 250 more tokens at 1000/s -> 250 ms.
+  const TimeNs t = bucket.NextAvailable(250.0, 0);
+  EXPECT_EQ(t, 250 * kMillisecond);
+  // At that time, consumption succeeds.
+  EXPECT_TRUE(bucket.TryConsume(250.0, t));
+}
+
+TEST(TokenBucketTest, ShapingEnforcesLongTermRate) {
+  // Consume in a loop; total consumed over 10 s must not exceed rate * 10 + burst.
+  TokenBucket bucket(/*rate=*/1e6, /*burst=*/1e5);
+  double consumed = 0;
+  for (TimeNs now = 0; now <= 10 * kSecond; now += kMillisecond) {
+    if (bucket.TryConsume(2000.0, now)) {
+      consumed += 2000.0;
+    }
+  }
+  EXPECT_LE(consumed, 1e6 * 10 + 1e5 + 2000.0);
+  EXPECT_GT(consumed, 1e6 * 10 * 0.95);
+}
+
+}  // namespace
+}  // namespace faasm

@@ -1,0 +1,142 @@
+// Unit tests for the runtime's bookkeeping components: call lifecycle,
+// billable-memory accounting, function registry semantics.
+#include <gtest/gtest.h>
+
+#include "runtime/call_table.h"
+#include "runtime/memory_accountant.h"
+#include "runtime/registry.h"
+#include "sim/sim_clock.h"
+
+namespace faasm {
+namespace {
+
+TEST(CallTableTest, LifecycleTimestamps) {
+  SimExecutor executor;
+  CallTable table(&executor.clock());
+  uint64_t id = 0;
+  executor.Spawn([&] {
+    id = table.Create("fn", Bytes{1, 2});
+    EXPECT_FALSE(table.IsFinished(id));
+    executor.clock().SleepFor(5 * kMillisecond);
+    ASSERT_TRUE(table.MarkRunning(id, "host-0", true).ok());
+    executor.clock().SleepFor(10 * kMillisecond);
+    ASSERT_TRUE(table.Complete(id, 0, Bytes{9}).ok());
+  });
+  executor.JoinAll();
+
+  auto record = table.Get(id);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record.value().state, CallState::kDone);
+  EXPECT_TRUE(record.value().cold_start);
+  EXPECT_EQ(record.value().executed_on, "host-0");
+  EXPECT_EQ(record.value().started_at - record.value().submitted_at, 5 * kMillisecond);
+  EXPECT_EQ(record.value().finished_at - record.value().started_at, 10 * kMillisecond);
+  EXPECT_EQ(table.Output(id).value(), (Bytes{9}));
+}
+
+TEST(CallTableTest, TakeInputConsumesOnce) {
+  SimExecutor executor;
+  CallTable table(&executor.clock());
+  const uint64_t id = table.Create("fn", Bytes{1, 2, 3});
+  EXPECT_EQ(table.TakeInput(id).value(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(table.TakeInput(id).value().empty());  // moved out
+}
+
+TEST(CallTableTest, FailureRecorded) {
+  SimExecutor executor;
+  CallTable table(&executor.clock());
+  const uint64_t id = table.Create("fn", {});
+  ASSERT_TRUE(table.Fail(id, "exploded").ok());
+  EXPECT_TRUE(table.IsFinished(id));
+  auto record = table.Get(id);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record.value().state, CallState::kFailed);
+  EXPECT_EQ(record.value().error, "exploded");
+  // Output of a failed call is a precondition error, not garbage.
+  EXPECT_EQ(table.Output(id).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CallTableTest, UnknownIdsRejected) {
+  SimExecutor executor;
+  CallTable table(&executor.clock());
+  EXPECT_FALSE(table.MarkRunning(42, "h", false).ok());
+  EXPECT_FALSE(table.Complete(42, 0, {}).ok());
+  EXPECT_FALSE(table.Fail(42, "x").ok());
+  EXPECT_FALSE(table.Get(42).ok());
+  EXPECT_FALSE(table.IsFinished(42));
+}
+
+TEST(CallTableTest, FinishedRecordsAndColdCounts) {
+  SimExecutor executor;
+  CallTable table(&executor.clock());
+  const uint64_t a = table.Create("fn", {});
+  const uint64_t b = table.Create("fn", {});
+  const uint64_t c = table.Create("fn", {});
+  (void)table.MarkRunning(a, "h", true);
+  (void)table.Complete(a, 0, {});
+  (void)table.MarkRunning(b, "h", false);
+  (void)table.Fail(b, "x");
+  (void)c;  // still pending
+  EXPECT_EQ(table.FinishedRecords().size(), 2u);
+  EXPECT_EQ(table.cold_start_count(), 1u);
+}
+
+TEST(MemoryAccountantTest, CapacityEnforced) {
+  SimExecutor executor;
+  MemoryAccountant accountant(&executor.clock(), 1000);
+  EXPECT_TRUE(accountant.Allocate(600).ok());
+  EXPECT_TRUE(accountant.Allocate(400).ok());
+  EXPECT_EQ(accountant.Allocate(1).code(), StatusCode::kResourceExhausted);
+  accountant.Release(500);
+  EXPECT_TRUE(accountant.Allocate(100).ok());
+  EXPECT_EQ(accountant.current_bytes(), 600u);
+  EXPECT_EQ(accountant.peak_bytes(), 1000u);
+}
+
+TEST(MemoryAccountantTest, GbSecondsIntegratesOverVirtualTime) {
+  SimExecutor executor;
+  MemoryAccountant accountant(&executor.clock(), size_t{4} * 1024 * 1024 * 1024);
+  executor.Spawn([&] {
+    ASSERT_TRUE(accountant.Allocate(size_t{2} * 1024 * 1024 * 1024).ok());  // 2 GB
+    executor.clock().SleepFor(3 * kSecond);
+    accountant.Release(size_t{2} * 1024 * 1024 * 1024);
+    executor.clock().SleepFor(10 * kSecond);  // idle time contributes nothing
+  });
+  executor.JoinAll();
+  EXPECT_NEAR(accountant.GbSeconds(), 6.0, 0.01);  // 2 GB x 3 s
+}
+
+TEST(MemoryAccountantTest, ReleaseClampsAtZero) {
+  SimExecutor executor;
+  MemoryAccountant accountant(&executor.clock(), 1000);
+  ASSERT_TRUE(accountant.Allocate(100).ok());
+  accountant.Release(500);  // over-release must not underflow
+  EXPECT_EQ(accountant.current_bytes(), 0u);
+}
+
+TEST(RegistryTest, DuplicateNamesRejected) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry.RegisterNative("fn", [](InvocationContext&) { return 0; }).ok());
+  EXPECT_EQ(registry.RegisterNative("fn", [](InvocationContext&) { return 1; }).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(RegistryTest, LookupReturnsSpecCopy) {
+  FunctionRegistry registry;
+  FunctionOptions options;
+  options.max_memory_pages = 77;
+  options.simulated_init_ns = 5 * kMillisecond;
+  ASSERT_TRUE(
+      registry.RegisterNative("fn", [](InvocationContext&) { return 0; }, options).ok());
+  auto spec = registry.Lookup("fn");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().max_memory_pages, 77u);
+  EXPECT_EQ(spec.value().simulated_init_ns, 5 * kMillisecond);
+  EXPECT_FALSE(registry.Lookup("other").ok());
+  EXPECT_TRUE(registry.Contains("fn"));
+  EXPECT_FALSE(registry.Contains("other"));
+}
+
+}  // namespace
+}  // namespace faasm

@@ -1,0 +1,129 @@
+// DDO tests: typed views over the two-tier state (Listing 1 analogues).
+#include "state/ddo.h"
+
+#include <gtest/gtest.h>
+
+namespace faasm {
+namespace {
+
+class DdoTest : public ::testing::Test {
+ protected:
+  DdoTest()
+      : network_(&clock_, NoLatency()),
+        server_(&store_, &network_),
+        kvs_(&network_, "host-0"),
+        tier_(&kvs_, &clock_) {}
+
+  static NetworkConfig NoLatency() {
+    NetworkConfig config;
+    config.charge_latency = false;
+    return config;
+  }
+
+  RealClock clock_;
+  InProcNetwork network_;
+  KvStore store_;
+  KvsServer server_;
+  KvsClient kvs_;
+  LocalTier tier_;
+};
+
+TEST_F(DdoTest, SharedArrayInitPushPull) {
+  SharedArray<double> array(&tier_, "vec");
+  ASSERT_TRUE(array.Init(100).ok());
+  for (size_t i = 0; i < 100; ++i) {
+    array[i] = static_cast<double>(i);
+  }
+  ASSERT_TRUE(array.Push().ok());
+  EXPECT_EQ(store_.Size("vec").value(), 800u);
+
+  // A second view (another function on the same host) sees the same memory.
+  SharedArray<double> view(&tier_, "vec");
+  ASSERT_TRUE(view.Init(100).ok());
+  EXPECT_EQ(view[42], 42.0);
+  view[42] = -1.0;
+  EXPECT_EQ(array[42], -1.0);  // zero-copy sharing
+}
+
+TEST_F(DdoTest, SharedArrayAttachFromGlobal) {
+  std::vector<double> seed(50, 3.25);
+  const auto* p = reinterpret_cast<const uint8_t*>(seed.data());
+  store_.Set("vec", Bytes(p, p + 50 * sizeof(double)));
+
+  SharedArray<double> array(&tier_, "vec");
+  ASSERT_TRUE(array.Attach().ok());
+  EXPECT_EQ(array.size(), 50u);
+  EXPECT_EQ(array[49], 3.25);
+}
+
+TEST_F(DdoTest, AsyncArrayBatchesPushes) {
+  AsyncArray<double> array(&tier_, "weights", /*push_interval=*/4);
+  ASSERT_TRUE(array.Init(10).ok());
+  network_.ResetStats();
+  for (int update = 0; update < 3; ++update) {
+    array[0] += 1.0;
+    ASSERT_TRUE(array.MaybePush().ok());
+  }
+  EXPECT_EQ(network_.total_bytes(), 0u);  // below interval: fully local
+  array[0] += 1.0;
+  ASSERT_TRUE(array.MaybePush().ok());  // 4th update triggers the push
+  EXPECT_GT(network_.total_bytes(), 10 * sizeof(double));
+  EXPECT_EQ(store_.Size("weights").value(), 10 * sizeof(double));
+}
+
+TEST_F(DdoTest, ReadOnlyMatrixPullsColumnRanges) {
+  const size_t rows = 64;
+  const size_t cols = 512;
+  std::vector<double> m(rows * cols);
+  for (size_t c = 0; c < cols; ++c) {
+    for (size_t r = 0; r < rows; ++r) {
+      m[c * rows + r] = static_cast<double>(c * 1000 + r);
+    }
+  }
+  const auto* p = reinterpret_cast<const uint8_t*>(m.data());
+  store_.Set("matrix", Bytes(p, p + m.size() * sizeof(double)));
+
+  ReadOnlyMatrix<double> matrix(&tier_, "matrix", rows, cols);
+  ASSERT_TRUE(matrix.Init().ok());
+  network_.ResetStats();
+  ASSERT_TRUE(matrix.PullColumns(100, 110).ok());
+  EXPECT_EQ(matrix.At(5, 105), 105005.0);
+  // Only ~10 columns of 512 transferred (+ small protocol envelope).
+  EXPECT_LT(network_.total_bytes(), 16 * rows * sizeof(double) + 512);
+}
+
+TEST_F(DdoTest, SparseMatrixPullsColumnSlices) {
+  // 3 columns: col0 = {(0, 1.0)}, col1 = {(1, 2.0), (2, 3.0)}, col2 = {}.
+  std::vector<double> vals = {1.0, 2.0, 3.0};
+  std::vector<uint32_t> rows = {0, 1, 2};
+  std::vector<uint64_t> cols = {0, 1, 3, 3};
+  auto put = [this](const std::string& key, const void* data, size_t bytes) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    store_.Set(key, Bytes(p, p + bytes));
+  };
+  put("sm:vals", vals.data(), vals.size() * sizeof(double));
+  put("sm:rows", rows.data(), rows.size() * sizeof(uint32_t));
+  put("sm:cols", cols.data(), cols.size() * sizeof(uint64_t));
+
+  SparseMatrixCsc matrix(&tier_, "sm");
+  ASSERT_TRUE(matrix.Attach().ok());
+  EXPECT_EQ(matrix.num_cols(), 3u);
+  ASSERT_TRUE(matrix.PullColumns(1, 2).ok());
+  EXPECT_EQ(matrix.col_ptr()[1], 1u);
+  EXPECT_EQ(matrix.values()[1], 2.0);
+  EXPECT_EQ(matrix.values()[2], 3.0);
+  EXPECT_EQ(matrix.row_indices()[2], 2u);
+}
+
+TEST_F(DdoTest, AppendLogRoundTrip) {
+  AppendLog<double> log(&tier_, "losses");
+  EXPECT_TRUE(log.ReadAll().value().empty());
+  ASSERT_TRUE(log.Append(0.5).ok());
+  ASSERT_TRUE(log.Append(0.25).ok());
+  auto records = log.ReadAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records.value(), (std::vector<double>{0.5, 0.25}));
+}
+
+}  // namespace
+}  // namespace faasm

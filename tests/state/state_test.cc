@@ -1,0 +1,168 @@
+// Two-tier state tests: replica lifecycle, push/pull (full + chunked), page
+// tracking, local and global locks, append.
+#include <gtest/gtest.h>
+
+#include "state/local_tier.h"
+
+namespace faasm {
+namespace {
+
+class StateTest : public ::testing::Test {
+ protected:
+  StateTest()
+      : network_(&clock_, NoLatency()),
+        server_(&store_, &network_),
+        kvs_(&network_, "host-0"),
+        tier_(&kvs_, &clock_) {}
+
+  static NetworkConfig NoLatency() {
+    NetworkConfig config;
+    config.charge_latency = false;
+    return config;
+  }
+
+  void SeedGlobal(const std::string& key, size_t size, uint8_t fill) {
+    store_.Set(key, Bytes(size, fill));
+  }
+
+  RealClock clock_;
+  InProcNetwork network_;
+  KvStore store_;
+  KvsServer server_;
+  KvsClient kvs_;
+  LocalTier tier_;
+};
+
+TEST_F(StateTest, PullCreatesSizedReplica) {
+  SeedGlobal("k", 10000, 0x5A);
+  auto kv = tier_.Lookup("k");
+  EXPECT_FALSE(kv->allocated());
+  ASSERT_TRUE(kv->Pull().ok());
+  EXPECT_TRUE(kv->allocated());
+  EXPECT_EQ(kv->size(), 10000u);
+  EXPECT_EQ(kv->data()[0], 0x5A);
+  EXPECT_EQ(kv->data()[9999], 0x5A);
+}
+
+TEST_F(StateTest, LookupIsSharedPerKey) {
+  auto a = tier_.Lookup("k");
+  auto b = tier_.Lookup("k");
+  EXPECT_EQ(a.get(), b.get());  // same replica object: in-memory sharing
+  EXPECT_NE(tier_.Lookup("other").get(), a.get());
+}
+
+TEST_F(StateTest, PushWritesGlobal) {
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->EnsureCapacity(128).ok());
+  std::memset(kv->data(), 0x7B, 128);
+  ASSERT_TRUE(kv->Push().ok());
+  EXPECT_EQ(store_.Get("k").value(), Bytes(128, 0x7B));
+}
+
+TEST_F(StateTest, ChunkedPullFetchesOnlyTouchedPages) {
+  const size_t size = 64 * StateKeyValue::kStatePageBytes;
+  SeedGlobal("big", size, 0x11);
+  auto kv = tier_.Lookup("big");
+  network_.ResetStats();
+  // Pull a 2-page window in the middle.
+  ASSERT_TRUE(kv->PullChunk(10 * StateKeyValue::kStatePageBytes, 2 * StateKeyValue::kStatePageBytes)
+                  .ok());
+  EXPECT_EQ(kv->resident_pages(), 2u);
+  const uint64_t bytes_after_chunk = network_.total_bytes();
+  // Two pages (+ size probe) — far less than the full 256 KiB value.
+  EXPECT_LT(bytes_after_chunk, 3 * StateKeyValue::kStatePageBytes);
+  EXPECT_EQ(kv->data()[10 * StateKeyValue::kStatePageBytes], 0x11);
+
+  // Re-pulling the same chunk is free (pages resident).
+  ASSERT_TRUE(kv->PullChunk(10 * StateKeyValue::kStatePageBytes, StateKeyValue::kStatePageBytes)
+                  .ok());
+  EXPECT_EQ(network_.total_bytes(), bytes_after_chunk);
+}
+
+TEST_F(StateTest, PullAfterInvalidateRefetches) {
+  SeedGlobal("k", StateKeyValue::kStatePageBytes, 0x22);
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->Pull().ok());
+  store_.Set("k", Bytes(StateKeyValue::kStatePageBytes, 0x33));
+  ASSERT_TRUE(kv->Pull().ok());
+  EXPECT_EQ(kv->data()[0], 0x22);  // cached: pages resident, no refetch
+  kv->InvalidateReplica();
+  ASSERT_TRUE(kv->Pull().ok());
+  EXPECT_EQ(kv->data()[0], 0x33);
+}
+
+TEST_F(StateTest, PushChunkWritesRange) {
+  SeedGlobal("k", 8192, 0x00);
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->Pull().ok());
+  std::memset(kv->data() + 4096, 0xEE, 100);
+  ASSERT_TRUE(kv->PushChunk(4096, 100).ok());
+  auto global = store_.Get("k").value();
+  EXPECT_EQ(global[4095], 0x00);
+  EXPECT_EQ(global[4096], 0xEE);
+  EXPECT_EQ(global[4195], 0xEE);
+  EXPECT_EQ(global[4196], 0x00);
+}
+
+TEST_F(StateTest, OutOfRangeChunksRejected) {
+  SeedGlobal("k", 100, 0x01);
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->Pull().ok());
+  EXPECT_EQ(kv->PullChunk(90, 20).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(kv->PushChunk(90, 20).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(StateTest, PushBeforeAllocationFails) {
+  auto kv = tier_.Lookup("k");
+  EXPECT_EQ(kv->Push().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(StateTest, CapacityIsFixedByFirstAllocation) {
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->EnsureCapacity(4096).ok());
+  EXPECT_TRUE(kv->EnsureCapacity(2000).ok());  // shrink request is fine
+  EXPECT_EQ(kv->EnsureCapacity(1 << 20).code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(StateTest, AppendBypassesReplica) {
+  auto kv = tier_.Lookup("events");
+  ASSERT_TRUE(kv->Append(Bytes{1, 2}).ok());
+  ASSERT_TRUE(kv->Append(Bytes{3}).ok());
+  EXPECT_EQ(kv->ReadAppended().value(), (Bytes{1, 2, 3}));
+}
+
+TEST_F(StateTest, GlobalLocksSerialiseAcrossTiers) {
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->LockGlobalWrite().ok());
+  // Another host cannot take the lock now.
+  KvsClient other(&network_, "host-1");
+  EXPECT_FALSE(other.TryLockWrite("k").value());
+  ASSERT_TRUE(kv->UnlockGlobalWrite().ok());
+  EXPECT_TRUE(other.TryLockWrite("k").value());
+  ASSERT_TRUE(other.UnlockWrite("k").ok());
+}
+
+TEST_F(StateTest, LocalLocksAllowSharedReaders) {
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->EnsureCapacity(16).ok());
+  kv->LockRead();
+  kv->LockRead();  // second reader does not deadlock
+  kv->UnlockRead();
+  kv->UnlockRead();
+  kv->LockWrite();
+  kv->UnlockWrite();
+}
+
+TEST_F(StateTest, TierAccounting) {
+  SeedGlobal("a", 1000, 1);
+  SeedGlobal("b", 2000, 2);
+  ASSERT_TRUE(tier_.Lookup("a")->Pull().ok());
+  ASSERT_TRUE(tier_.Lookup("b")->Pull().ok());
+  EXPECT_EQ(tier_.key_count(), 2u);
+  EXPECT_EQ(tier_.resident_bytes(), 3000u);
+  tier_.Clear();
+  EXPECT_EQ(tier_.key_count(), 0u);
+}
+
+}  // namespace
+}  // namespace faasm

@@ -1,0 +1,290 @@
+// Control-flow tests: blocks, loops, branches with value transfer, br_table,
+// early return, nested structures — the parts that exercise the validator's
+// preprocessed branch targets.
+#include "tests/wasm/wasm_test_util.h"
+
+namespace faasm::wasm {
+namespace {
+
+TEST(ControlTest, BlockWithResult) {
+  auto instance = SingleFunction({}, {ValType::kI32}, [](FunctionBuilder& f) {
+    f.Block(BlockType::Of(ValType::kI32));
+    f.I32Const(42);
+    f.End();
+    f.End();
+  });
+  EXPECT_EQ(RunUnary(*instance, MakeI32(0)).status().code(), StatusCode::kInvalidArgument);
+  auto out = instance->CallExport("f", {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].i32, 42u);
+}
+
+TEST(ControlTest, BrWithValueUnwindsStack) {
+  // Push extra operands, then branch out of the block carrying one value; the
+  // extra operands must be discarded.
+  auto instance = SingleFunction({}, {ValType::kI32}, [](FunctionBuilder& f) {
+    f.Block(BlockType::Of(ValType::kI32));
+    f.I32Const(111);  // clutter
+    f.I32Const(222);  // clutter
+    f.I32Const(7);    // branch value
+    f.Br(0);
+    f.End();
+    f.End();
+  });
+  auto out = instance->CallExport("f", {});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value()[0].i32, 7u);
+}
+
+TEST(ControlTest, BrIfTakenAndNotTaken) {
+  auto instance = SingleFunction({ValType::kI32}, {ValType::kI32}, [](FunctionBuilder& f) {
+    f.Block();
+    f.LocalGet(0);
+    f.BrIf(0);       // skip the overwrite when arg != 0
+    f.I32Const(99);
+    f.Return();
+    f.End();
+    f.I32Const(1);
+    f.End();
+  });
+  EXPECT_EQ(RunUnary(*instance, MakeI32(1)).value().i32, 1u);
+  EXPECT_EQ(RunUnary(*instance, MakeI32(0)).value().i32, 99u);
+}
+
+TEST(ControlTest, LoopCountsToTen) {
+  auto instance = SingleFunction({}, {ValType::kI32}, [](FunctionBuilder& f) {
+    uint32_t i = f.AddLocal(ValType::kI32);
+    f.ForConstLimit(i, 0, 10, [&] {});
+    f.LocalGet(i);
+    f.End();
+  });
+  auto out = instance->CallExport("f", {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].i32, 10u);
+}
+
+TEST(ControlTest, NestedLoopsComputeProduct) {
+  auto instance = SingleFunction({ValType::kI32, ValType::kI32}, {ValType::kI32},
+                                 [](FunctionBuilder& f) {
+    uint32_t i = f.AddLocal(ValType::kI32);
+    uint32_t j = f.AddLocal(ValType::kI32);
+    uint32_t acc = f.AddLocal(ValType::kI32);
+    f.ForLocalLimit(i, 0, 0, [&] {
+      f.ForLocalLimit(j, 0, 1, [&] {
+        f.LocalGet(acc);
+        f.I32Const(1);
+        f.Emit(Op::kI32Add);
+        f.LocalSet(acc);
+      });
+    });
+    f.LocalGet(acc);
+    f.End();
+  });
+  EXPECT_EQ(RunBinary(*instance, MakeI32(7), MakeI32(6)).value().i32, 42u);
+  EXPECT_EQ(RunBinary(*instance, MakeI32(0), MakeI32(100)).value().i32, 0u);
+}
+
+TEST(ControlTest, WhileHelper) {
+  // Collatz step count for 27 (known: 111 steps).
+  auto instance = SingleFunction({ValType::kI32}, {ValType::kI32}, [](FunctionBuilder& f) {
+    uint32_t n = 0;
+    uint32_t steps = f.AddLocal(ValType::kI32);
+    f.While(
+        [&] {
+          f.LocalGet(n);
+          f.I32Const(1);
+          f.Emit(Op::kI32Ne);
+        },
+        [&] {
+          f.LocalGet(n);
+          f.I32Const(1);
+          f.Emit(Op::kI32And);
+          f.If();
+          // odd: n = 3n + 1
+          f.LocalGet(n);
+          f.I32Const(3);
+          f.Emit(Op::kI32Mul);
+          f.I32Const(1);
+          f.Emit(Op::kI32Add);
+          f.LocalSet(n);
+          f.Else();
+          // even: n = n / 2
+          f.LocalGet(n);
+          f.I32Const(1);
+          f.Emit(Op::kI32ShrU);
+          f.LocalSet(n);
+          f.End();
+          f.LocalGet(steps);
+          f.I32Const(1);
+          f.Emit(Op::kI32Add);
+          f.LocalSet(steps);
+        });
+    f.LocalGet(steps);
+    f.End();
+  });
+  EXPECT_EQ(RunUnary(*instance, MakeI32(27)).value().i32, 111u);
+  EXPECT_EQ(RunUnary(*instance, MakeI32(1)).value().i32, 0u);
+}
+
+TEST(ControlTest, BrTableSelectsArm) {
+  auto instance = SingleFunction({ValType::kI32}, {ValType::kI32}, [](FunctionBuilder& f) {
+    f.Block();  // depth 2 at br_table -> returns 30
+    f.Block();  // depth 1 -> returns 20
+    f.Block();  // depth 0 -> returns 10
+    f.LocalGet(0);
+    f.BrTable({0, 1}, 2);
+    f.End();
+    f.I32Const(10);
+    f.Return();
+    f.End();
+    f.I32Const(20);
+    f.Return();
+    f.End();
+    f.I32Const(30);
+    f.End();
+  });
+  EXPECT_EQ(RunUnary(*instance, MakeI32(0)).value().i32, 10u);
+  EXPECT_EQ(RunUnary(*instance, MakeI32(1)).value().i32, 20u);
+  EXPECT_EQ(RunUnary(*instance, MakeI32(2)).value().i32, 30u);   // default
+  EXPECT_EQ(RunUnary(*instance, MakeI32(99)).value().i32, 30u);  // default clamps
+}
+
+TEST(ControlTest, BrToLoopHeadRepeats) {
+  // Explicit br-to-loop (not via helper): sum 1..n.
+  auto instance = SingleFunction({ValType::kI32}, {ValType::kI32}, [](FunctionBuilder& f) {
+    uint32_t sum = f.AddLocal(ValType::kI32);
+    uint32_t i = f.AddLocal(ValType::kI32);
+    f.Block();
+    f.Loop();
+    f.LocalGet(i);
+    f.LocalGet(0);
+    f.Emit(Op::kI32GeS);
+    f.BrIf(1);
+    f.LocalGet(i);
+    f.I32Const(1);
+    f.Emit(Op::kI32Add);
+    f.LocalTee(i);
+    f.LocalGet(sum);
+    f.Emit(Op::kI32Add);
+    f.LocalSet(sum);
+    f.Br(0);
+    f.End();
+    f.End();
+    f.LocalGet(sum);
+    f.End();
+  });
+  EXPECT_EQ(RunUnary(*instance, MakeI32(100)).value().i32, 5050u);
+  EXPECT_EQ(RunUnary(*instance, MakeI32(0)).value().i32, 0u);
+}
+
+TEST(ControlTest, EarlyReturnFromNestedBlocks) {
+  auto instance = SingleFunction({ValType::kI32}, {ValType::kI32}, [](FunctionBuilder& f) {
+    f.Block();
+    f.Block();
+    f.Block();
+    f.LocalGet(0);
+    f.If();
+    f.I32Const(1);
+    f.Return();  // return from three levels deep
+    f.End();
+    f.End();
+    f.End();
+    f.End();
+    f.I32Const(2);
+    f.End();
+  });
+  EXPECT_EQ(RunUnary(*instance, MakeI32(1)).value().i32, 1u);
+  EXPECT_EQ(RunUnary(*instance, MakeI32(0)).value().i32, 2u);
+}
+
+TEST(ControlTest, IfWithoutElseNoResult) {
+  auto instance = SingleFunction({ValType::kI32}, {ValType::kI32}, [](FunctionBuilder& f) {
+    uint32_t out = f.AddLocal(ValType::kI32);
+    f.I32Const(5);
+    f.LocalSet(out);
+    f.LocalGet(0);
+    f.If();
+    f.I32Const(6);
+    f.LocalSet(out);
+    f.End();
+    f.LocalGet(out);
+    f.End();
+  });
+  EXPECT_EQ(RunUnary(*instance, MakeI32(1)).value().i32, 6u);
+  EXPECT_EQ(RunUnary(*instance, MakeI32(0)).value().i32, 5u);
+}
+
+TEST(ControlTest, SelectPicksOperand) {
+  auto instance = SingleFunction({ValType::kI32}, {ValType::kI32}, [](FunctionBuilder& f) {
+    f.I32Const(100);
+    f.I32Const(200);
+    f.LocalGet(0);
+    f.Select();
+    f.End();
+  });
+  EXPECT_EQ(RunUnary(*instance, MakeI32(1)).value().i32, 100u);
+  EXPECT_EQ(RunUnary(*instance, MakeI32(0)).value().i32, 200u);
+}
+
+TEST(ControlTest, DeeplyNestedBlocks) {
+  auto instance = SingleFunction({}, {ValType::kI32}, [](FunctionBuilder& f) {
+    constexpr int kDepth = 100;
+    for (int i = 0; i < kDepth; ++i) {
+      f.Block();
+    }
+    f.I32Const(1);
+    f.If();
+    f.Br(kDepth - 1);  // jump almost all the way out
+    f.End();
+    for (int i = 0; i < kDepth; ++i) {
+      f.End();
+    }
+    f.I32Const(123);
+    f.End();
+  });
+  auto out = instance->CallExport("f", {});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value()[0].i32, 123u);
+}
+
+TEST(ControlTest, MutualRecursion) {
+  // is_even / is_odd via mutual recursion.
+  ModuleBuilder b;
+  uint32_t even_index = b.num_imports() + 0;
+  uint32_t odd_index = b.num_imports() + 1;
+  auto& even = b.AddFunction("is_even", {ValType::kI32}, {ValType::kI32});
+  even.LocalGet(0);
+  even.Emit(Op::kI32Eqz);
+  even.If(BlockType::Of(ValType::kI32));
+  even.I32Const(1);
+  even.Else();
+  even.LocalGet(0);
+  even.I32Const(1);
+  even.Emit(Op::kI32Sub);
+  even.Call(odd_index);
+  even.End();
+  even.End();
+  auto& odd = b.AddFunction("is_odd", {ValType::kI32}, {ValType::kI32});
+  odd.LocalGet(0);
+  odd.Emit(Op::kI32Eqz);
+  odd.If(BlockType::Of(ValType::kI32));
+  odd.I32Const(0);
+  odd.Else();
+  odd.LocalGet(0);
+  odd.I32Const(1);
+  odd.Emit(Op::kI32Sub);
+  odd.Call(even_index);
+  odd.End();
+  odd.End();
+
+  auto instance = InstantiateBuilder(b);
+  auto out = instance->CallExport("is_even", {MakeI32(10)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].i32, 1u);
+  out = instance->CallExport("is_even", {MakeI32(7)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].i32, 0u);
+}
+
+}  // namespace
+}  // namespace faasm::wasm

@@ -1,0 +1,108 @@
+#include "wasm/leb128.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace faasm::wasm {
+namespace {
+
+TEST(Leb128Test, U32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 127u, 128u, 300u, 16384u, 0xFFFFFFFFu, 624485u}) {
+    Bytes out;
+    WriteVarU32(out, v);
+    ByteCursor cursor(out.data(), out.size());
+    auto back = cursor.ReadVarU32();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), v);
+    EXPECT_TRUE(cursor.done());
+  }
+}
+
+TEST(Leb128Test, S64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{63}, int64_t{64}, int64_t{-64}, int64_t{-65},
+                    int64_t{INT64_MAX}, int64_t{INT64_MIN}, int64_t{-123456789}}) {
+    Bytes out;
+    WriteVarS64(out, v);
+    ByteCursor cursor(out.data(), out.size());
+    auto back = cursor.ReadVarS64();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), v);
+    EXPECT_TRUE(cursor.done());
+  }
+}
+
+TEST(Leb128Test, KnownEncodings) {
+  // 624485 encodes as E5 8E 26 (classic LEB example).
+  Bytes out;
+  WriteVarU32(out, 624485);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 0xE5);
+  EXPECT_EQ(out[1], 0x8E);
+  EXPECT_EQ(out[2], 0x26);
+  // -123456 encodes as C0 BB 78.
+  Bytes neg;
+  WriteVarS64(neg, -123456);
+  ASSERT_EQ(neg.size(), 3u);
+  EXPECT_EQ(neg[0], 0xC0);
+  EXPECT_EQ(neg[1], 0xBB);
+  EXPECT_EQ(neg[2], 0x78);
+}
+
+TEST(Leb128Test, TruncatedInputFails) {
+  Bytes out;
+  WriteVarU32(out, 1u << 30);
+  out.pop_back();
+  ByteCursor cursor(out.data(), out.size());
+  EXPECT_FALSE(cursor.ReadVarU32().ok());
+}
+
+TEST(Leb128Test, OverlongU32Rejected) {
+  // Six continuation bytes exceed the 35-bit budget for u32.
+  Bytes out{0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+  ByteCursor cursor(out.data(), out.size());
+  EXPECT_FALSE(cursor.ReadVarU32().ok());
+}
+
+class LebPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LebPropertyTest, U64RoundTrip) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  for (int i = 0; i < 1000; ++i) {
+    // Bias towards interesting widths.
+    const int shift = static_cast<int>(rng.NextBelow(64));
+    const uint64_t v = rng.NextU64() >> shift;
+    Bytes out;
+    WriteVarU64(out, v);
+    ByteCursor cursor(out.data(), out.size());
+    auto back = cursor.ReadVarU64();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), v);
+
+    const int64_t s = static_cast<int64_t>(rng.NextU64()) >> shift;
+    Bytes sout;
+    WriteVarS64(sout, s);
+    ByteCursor scursor(sout.data(), sout.size());
+    auto sback = scursor.ReadVarS64();
+    ASSERT_TRUE(sback.ok());
+    EXPECT_EQ(sback.value(), s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LebPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Leb128Test, ReadName) {
+  Bytes out;
+  WriteVarU32(out, 5);
+  for (char c : std::string("hello")) {
+    out.push_back(static_cast<uint8_t>(c));
+  }
+  ByteCursor cursor(out.data(), out.size());
+  auto name = cursor.ReadName();
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name.value(), "hello");
+}
+
+}  // namespace
+}  // namespace faasm::wasm

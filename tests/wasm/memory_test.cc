@@ -1,0 +1,179 @@
+// Guest memory semantics: loads/stores of every width, offset immediates,
+// bounds traps at exact page edges, memory.grow behaviour.
+#include "tests/wasm/wasm_test_util.h"
+
+#include "mem/page.h"
+
+namespace faasm::wasm {
+namespace {
+
+std::unique_ptr<Instance> StoreLoadPair(Op store, Op load) {
+  // f(addr, value) -> load(addr) after store(addr, value)
+  return SingleFunction(
+      {ValType::kI32, ValType::kI64}, {ValType::kI64},
+      [&](FunctionBuilder& f) {
+        f.LocalGet(0);
+        f.LocalGet(1);
+        f.Store(store);
+        f.LocalGet(0);
+        f.Load(load);
+        f.End();
+      },
+      /*with_memory=*/true);
+}
+
+TEST(MemoryTest, StoreLoadAllI64Widths) {
+  struct Case {
+    Op store;
+    Op load;
+    uint64_t in;
+    uint64_t expect;
+  };
+  const Case cases[] = {
+      {Op::kI64Store, Op::kI64Load, 0x1122334455667788ull, 0x1122334455667788ull},
+      {Op::kI64Store8, Op::kI64Load8U, 0x1FF, 0xFF},
+      {Op::kI64Store8, Op::kI64Load8S, 0x80, 0xFFFFFFFFFFFFFF80ull},
+      {Op::kI64Store16, Op::kI64Load16U, 0x18000, 0x8000},
+      {Op::kI64Store16, Op::kI64Load16S, 0x8000, 0xFFFFFFFFFFFF8000ull},
+      {Op::kI64Store32, Op::kI64Load32U, 0x180000000ull, 0x80000000ull},
+      {Op::kI64Store32, Op::kI64Load32S, 0x80000000ull, 0xFFFFFFFF80000000ull},
+  };
+  for (const Case& c : cases) {
+    auto instance = StoreLoadPair(c.store, c.load);
+    auto out = RunBinary(*instance, MakeI32(256), MakeI64(c.in));
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(out.value().i64, c.expect);
+  }
+}
+
+TEST(MemoryTest, FloatStoreLoad) {
+  auto instance = SingleFunction(
+      {ValType::kI32, ValType::kF64}, {ValType::kF64},
+      [](FunctionBuilder& f) {
+        f.LocalGet(0);
+        f.LocalGet(1);
+        f.Store(Op::kF64Store);
+        f.LocalGet(0);
+        f.Load(Op::kF64Load);
+        f.End();
+      },
+      /*with_memory=*/true);
+  auto out = RunBinary(*instance, MakeI32(8), MakeF64(-2.5e300));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().f64, -2.5e300);
+}
+
+TEST(MemoryTest, OffsetImmediateAdds) {
+  auto instance = SingleFunction(
+      {}, {ValType::kI32},
+      [](FunctionBuilder& f) {
+        f.I32Const(100);
+        f.I32Const(0xAB);
+        f.Store(Op::kI32Store8, /*offset=*/16);  // writes to 116
+        f.I32Const(116);
+        f.Load(Op::kI32Load8U);
+        f.End();
+      },
+      /*with_memory=*/true);
+  auto out = instance->CallExport("f", {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].i32, 0xABu);
+}
+
+TEST(MemoryTest, OutOfBoundsLoadTraps) {
+  auto instance = SingleFunction(
+      {ValType::kI32}, {ValType::kI32},
+      [](FunctionBuilder& f) {
+        f.LocalGet(0);
+        f.Load(Op::kI32Load);
+        f.End();
+      },
+      /*with_memory=*/true);
+  // One page: last valid 4-byte load is at 65532.
+  EXPECT_TRUE(RunUnary(*instance, MakeI32(kWasmPageBytes - 4)).ok());
+  auto trap = RunUnary(*instance, MakeI32(kWasmPageBytes - 3));
+  ASSERT_FALSE(trap.ok());
+  EXPECT_NE(trap.status().message().find("out of bounds"), std::string::npos);
+  EXPECT_FALSE(RunUnary(*instance, MakeI32(0xFFFFFFFF)).ok());
+}
+
+TEST(MemoryTest, OffsetOverflowTraps) {
+  // addr + offset overflowing 32 bits must trap, not wrap.
+  auto instance = SingleFunction(
+      {ValType::kI32}, {ValType::kI32},
+      [](FunctionBuilder& f) {
+        f.LocalGet(0);
+        f.Load(Op::kI32Load, /*offset=*/0xFFFFFFFF);
+        f.End();
+      },
+      /*with_memory=*/true);
+  EXPECT_FALSE(RunUnary(*instance, MakeI32(100)).ok());
+}
+
+TEST(MemoryTest, MemorySizeAndGrow) {
+  auto instance = SingleFunction(
+      {ValType::kI32}, {ValType::kI32},
+      [](FunctionBuilder& f) {
+        f.LocalGet(0);
+        f.MemoryGrow();
+        f.Drop();
+        f.MemorySize();
+        f.End();
+      },
+      /*with_memory=*/true);  // min 1, max 4
+  EXPECT_EQ(RunUnary(*instance, MakeI32(0)).value().i32, 1u);
+  EXPECT_EQ(RunUnary(*instance, MakeI32(2)).value().i32, 3u);
+  // Growing past max fails, size unchanged.
+  EXPECT_EQ(RunUnary(*instance, MakeI32(100)).value().i32, 3u);
+}
+
+TEST(MemoryTest, GrowReturnsMinusOneOnFailure) {
+  auto instance = SingleFunction(
+      {ValType::kI32}, {ValType::kI32},
+      [](FunctionBuilder& f) {
+        f.LocalGet(0);
+        f.MemoryGrow();
+        f.End();
+      },
+      /*with_memory=*/true);
+  EXPECT_EQ(RunUnary(*instance, MakeI32(100)).value().i32, UINT32_MAX);
+  EXPECT_EQ(RunUnary(*instance, MakeI32(1)).value().i32, 1u);  // old size
+}
+
+TEST(MemoryTest, GrownMemoryAccessible) {
+  auto instance = SingleFunction(
+      {}, {ValType::kI32},
+      [](FunctionBuilder& f) {
+        f.I32Const(1);
+        f.MemoryGrow();
+        f.Drop();
+        // Store past the first page.
+        f.I32Const(static_cast<int32_t>(kWasmPageBytes + 10));
+        f.I32Const(77);
+        f.Store(Op::kI32Store);
+        f.I32Const(static_cast<int32_t>(kWasmPageBytes + 10));
+        f.Load(Op::kI32Load);
+        f.End();
+      },
+      /*with_memory=*/true);
+  auto out = instance->CallExport("f", {});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value()[0].i32, 77u);
+}
+
+TEST(MemoryTest, DataSegmentOutOfBoundsFailsInstantiation) {
+  ModuleBuilder b;
+  b.AddMemory(1, 1);
+  b.AddData(kWasmPageBytes - 1, Bytes{1, 2, 3});  // spills past the page
+  auto& f = b.AddFunction("f", {}, {});
+  f.End();
+  auto decoded = DecodeModule(b.Build());
+  ASSERT_TRUE(decoded.ok());
+  auto compiled = CompileModule(std::move(decoded).value());
+  ASSERT_TRUE(compiled.ok());
+  auto instance = Instance::Create(compiled.value(), nullptr);
+  EXPECT_FALSE(instance.ok());
+}
+
+}  // namespace
+}  // namespace faasm::wasm

@@ -1,0 +1,103 @@
+// Robustness of the untrusted-input pipeline: random mutations of valid
+// binaries and random byte blobs must never crash the decoder/validator —
+// they either decode+validate cleanly or return an error Status.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "wasm/builder.h"
+#include "wasm/compiled.h"
+#include "wasm/decoder.h"
+
+namespace faasm::wasm {
+namespace {
+
+Bytes ReferenceBinary() {
+  ModuleBuilder b;
+  b.AddMemory(1, 4);
+  uint32_t g = b.AddGlobal(ValType::kI32, true, MakeI32(3));
+  auto& helper = b.AddFunction("", {ValType::kI32}, {ValType::kI32});
+  helper.LocalGet(0);
+  helper.GlobalGet(g);
+  helper.Emit(Op::kI32Mul);
+  helper.End();
+  auto& f = b.AddFunction("main", {}, {ValType::kI32});
+  uint32_t i = f.AddLocal(ValType::kI32);
+  uint32_t acc = f.AddLocal(ValType::kI32);
+  f.ForConstLimit(i, 0, 10, [&] {
+    f.LocalGet(acc);
+    f.LocalGet(i);
+    f.Call(helper.index());
+    f.Emit(Op::kI32Add);
+    f.LocalSet(acc);
+  });
+  f.LocalGet(acc);
+  f.End();
+  b.AddTable(2);
+  b.AddElementSegment(0, {helper.index()});
+  b.AddData(8, Bytes{1, 2, 3});
+  return b.Build();
+}
+
+// Runs bytes through the full pipeline; must not crash.
+void PipelineMustNotCrash(const Bytes& binary) {
+  auto module = DecodeModule(binary);
+  if (!module.ok()) {
+    return;  // rejected at decode: fine
+  }
+  auto compiled = CompileModule(std::move(module).value());
+  (void)compiled.ok();  // rejected at validation or accepted: both fine
+}
+
+class MutationFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutationFuzz, SingleByteMutationsNeverCrash) {
+  const Bytes reference = ReferenceBinary();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = reference;
+    const size_t position = rng.NextBelow(mutated.size());
+    mutated[position] = static_cast<uint8_t>(rng.NextU64());
+    PipelineMustNotCrash(mutated);
+  }
+}
+
+TEST_P(MutationFuzz, TruncationsNeverCrash) {
+  const Bytes reference = ReferenceBinary();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t cut = rng.NextBelow(reference.size());
+    Bytes truncated(reference.begin(), reference.begin() + cut);
+    PipelineMustNotCrash(truncated);
+  }
+}
+
+TEST_P(MutationFuzz, RandomBlobsNeverCrash) {
+  Rng rng(GetParam() * 31);
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes blob(rng.NextBelow(256));
+    for (auto& byte : blob) {
+      byte = static_cast<uint8_t>(rng.NextU64());
+    }
+    // Half the blobs get a valid header so section parsing is reached.
+    if (trial % 2 == 0 && blob.size() >= 8) {
+      const uint32_t magic = kWasmMagic;
+      const uint32_t version = kWasmVersion;
+      std::memcpy(blob.data(), &magic, 4);
+      std::memcpy(blob.data() + 4, &version, 4);
+    }
+    PipelineMustNotCrash(blob);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz, ::testing::Values(11, 22, 33, 44));
+
+TEST(RobustnessTest, ReferenceBinaryStillWorks) {
+  // Sanity: the unmutated reference passes the whole pipeline.
+  auto module = DecodeModule(ReferenceBinary());
+  ASSERT_TRUE(module.ok());
+  auto compiled = CompileModule(std::move(module).value());
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+}
+
+}  // namespace
+}  // namespace faasm::wasm

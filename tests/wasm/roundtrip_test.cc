@@ -1,0 +1,142 @@
+// Builder -> encode -> decode -> re-encode round trips, checking that the
+// binary pipeline (the untrusted upload path of §3.4) is self-consistent.
+#include <gtest/gtest.h>
+
+#include "wasm/builder.h"
+#include "wasm/compiled.h"
+#include "wasm/decoder.h"
+#include "wasm/encoder.h"
+
+namespace faasm::wasm {
+namespace {
+
+Bytes BuildAddModule() {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("add", {ValType::kI32, ValType::kI32}, {ValType::kI32});
+  f.LocalGet(0);
+  f.LocalGet(1);
+  f.Emit(Op::kI32Add);
+  f.End();
+  b.AddMemory(1, 4);
+  b.ExportMemory("memory");
+  return b.Build();
+}
+
+TEST(RoundTripTest, MagicAndVersion) {
+  Bytes binary = BuildAddModule();
+  ASSERT_GE(binary.size(), 8u);
+  EXPECT_EQ(binary[0], 0x00);
+  EXPECT_EQ(binary[1], 'a');
+  EXPECT_EQ(binary[2], 's');
+  EXPECT_EQ(binary[3], 'm');
+  EXPECT_EQ(binary[4], 1);
+}
+
+TEST(RoundTripTest, DecodePreservesStructure) {
+  Bytes binary = BuildAddModule();
+  auto module = DecodeModule(binary);
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  const Module& m = module.value();
+  EXPECT_EQ(m.types.size(), 1u);
+  EXPECT_EQ(m.types[0].params.size(), 2u);
+  EXPECT_EQ(m.types[0].results.size(), 1u);
+  EXPECT_EQ(m.function_types.size(), 1u);
+  EXPECT_EQ(m.bodies.size(), 1u);
+  ASSERT_TRUE(m.memory.has_value());
+  EXPECT_EQ(m.memory->min, 1u);
+  EXPECT_EQ(m.memory->max, 4u);
+  EXPECT_TRUE(m.FindExport("add", ExternalKind::kFunction).has_value());
+  EXPECT_TRUE(m.FindExport("memory", ExternalKind::kMemory).has_value());
+}
+
+TEST(RoundTripTest, EncodeDecodeEncodeIsStable) {
+  Bytes binary = BuildAddModule();
+  auto module = DecodeModule(binary);
+  ASSERT_TRUE(module.ok());
+  Bytes re_encoded = EncodeModule(module.value());
+  EXPECT_EQ(binary, re_encoded);
+}
+
+TEST(RoundTripTest, ComplexModuleRoundTrips) {
+  ModuleBuilder b;
+  uint32_t imported = b.ImportFunction("env", "host_fn", {ValType::kI32}, {ValType::kI32});
+  uint32_t g = b.AddGlobal(ValType::kI64, true, MakeI64(99));
+
+  auto& f = b.AddFunction("run", {}, {ValType::kI64});
+  f.I32Const(7);
+  f.Call(imported);
+  f.Drop();
+  f.GlobalGet(g);
+  f.End();
+
+  auto& callee = b.AddFunction("", {ValType::kF64}, {ValType::kF64});
+  callee.LocalGet(0);
+  callee.Emit(Op::kF64Sqrt);
+  callee.End();
+
+  b.AddMemory(2, 8);
+  b.AddData(16, Bytes{1, 2, 3, 4});
+  b.AddTable(4);
+  b.AddElementSegment(1, {callee.index()});
+
+  Bytes binary = b.Build();
+  auto module = DecodeModule(binary);
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  const Module& m = module.value();
+  EXPECT_EQ(m.imports.size(), 1u);
+  EXPECT_EQ(m.imports[0].module, "env");
+  EXPECT_EQ(m.globals.size(), 1u);
+  EXPECT_TRUE(m.globals[0].mutable_);
+  EXPECT_EQ(m.globals[0].init.i64, 99u);
+  EXPECT_EQ(m.data.size(), 1u);
+  EXPECT_EQ(m.data[0].offset, 16u);
+  EXPECT_EQ(m.elements.size(), 1u);
+  EXPECT_EQ(m.elements[0].offset, 1u);
+  EXPECT_EQ(EncodeModule(m), binary);
+}
+
+TEST(RoundTripTest, RejectsBadMagic) {
+  Bytes binary = BuildAddModule();
+  binary[1] = 'x';
+  EXPECT_FALSE(DecodeModule(binary).ok());
+}
+
+TEST(RoundTripTest, RejectsBadVersion) {
+  Bytes binary = BuildAddModule();
+  binary[4] = 9;
+  EXPECT_FALSE(DecodeModule(binary).ok());
+}
+
+TEST(RoundTripTest, RejectsTruncatedBinary) {
+  Bytes binary = BuildAddModule();
+  for (size_t cut : {binary.size() - 1, binary.size() / 2, size_t{9}}) {
+    Bytes truncated(binary.begin(), binary.begin() + cut);
+    EXPECT_FALSE(DecodeModule(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(RoundTripTest, RejectsOutOfOrderSections) {
+  // Hand-craft: memory section (5) before type section (1).
+  Bytes binary;
+  AppendScalar(binary, kWasmMagic);
+  AppendScalar(binary, kWasmVersion);
+  // memory section: 1 memory, min 1 no max
+  binary.insert(binary.end(), {5, 3, 1, 0, 1});
+  // type section: empty vec
+  binary.insert(binary.end(), {1, 1, 0});
+  EXPECT_FALSE(DecodeModule(binary).ok());
+}
+
+TEST(RoundTripTest, CompiledModuleSharesAcrossInstances) {
+  Bytes binary = BuildAddModule();
+  auto module = DecodeModule(binary);
+  ASSERT_TRUE(module.ok());
+  auto compiled = CompileModule(std::move(module).value());
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ(compiled.value()->functions.size(), 1u);
+  EXPECT_EQ(compiled.value()->functions[0].param_count, 2u);
+  EXPECT_EQ(compiled.value()->functions[0].result_arity, 1u);
+}
+
+}  // namespace
+}  // namespace faasm::wasm

@@ -1,0 +1,212 @@
+// Validator rejection tests: the trusted code-generation phase must refuse
+// ill-typed or malformed bodies before any execution (§3.4).
+#include <gtest/gtest.h>
+
+#include "wasm/builder.h"
+#include "wasm/compiled.h"
+
+namespace faasm::wasm {
+namespace {
+
+Result<std::shared_ptr<const CompiledModule>> CompileBuilder(ModuleBuilder& b) {
+  return CompileModule(b.BuildModule());
+}
+
+TEST(ValidationTest, AcceptsWellTypedFunction) {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.LocalGet(0);
+  f.I32Const(1);
+  f.Emit(Op::kI32Add);
+  f.End();
+  EXPECT_TRUE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, RejectsStackUnderflow) {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {}, {ValType::kI32});
+  f.Emit(Op::kI32Add);  // nothing on the stack
+  f.End();
+  EXPECT_FALSE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, RejectsTypeMismatch) {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {}, {ValType::kI32});
+  f.I32Const(1);
+  f.F32Const(2.0f);
+  f.Emit(Op::kI32Add);  // i32.add on (i32, f32)
+  f.End();
+  EXPECT_FALSE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, RejectsMissingResult) {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {}, {ValType::kI32});
+  f.End();  // returns nothing
+  EXPECT_FALSE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, RejectsExtraValuesAtEnd) {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {}, {});
+  f.I32Const(1);
+  f.End();
+  EXPECT_FALSE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, RejectsBadLocalIndex) {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {ValType::kI32}, {});
+  f.LocalGet(3);
+  f.Drop();
+  f.End();
+  EXPECT_FALSE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, RejectsBadBranchDepth) {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {}, {});
+  f.Block();
+  f.Br(5);
+  f.End();
+  f.End();
+  EXPECT_FALSE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, RejectsSetOfImmutableGlobal) {
+  ModuleBuilder b;
+  uint32_t g = b.AddGlobal(ValType::kI32, false, MakeI32(1));
+  auto& f = b.AddFunction("f", {}, {});
+  f.I32Const(2);
+  f.GlobalSet(g);
+  f.End();
+  EXPECT_FALSE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, AcceptsSetOfMutableGlobal) {
+  ModuleBuilder b;
+  uint32_t g = b.AddGlobal(ValType::kI32, true, MakeI32(1));
+  auto& f = b.AddFunction("f", {}, {});
+  f.I32Const(2);
+  f.GlobalSet(g);
+  f.End();
+  EXPECT_TRUE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, RejectsMemoryOpsWithoutMemory) {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {}, {ValType::kI32});
+  f.I32Const(0);
+  f.Load(Op::kI32Load);
+  f.End();
+  EXPECT_FALSE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, RejectsIfWithResultButNoElse) {
+  ModuleBuilder b;
+  b.AddMemory(1, 1);
+  auto& f = b.AddFunction("f", {}, {ValType::kI32});
+  f.I32Const(1);
+  f.If(BlockType::Of(ValType::kI32));
+  f.I32Const(2);
+  f.End();
+  f.End();
+  EXPECT_FALSE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, AcceptsIfElseWithResult) {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.LocalGet(0);
+  f.If(BlockType::Of(ValType::kI32));
+  f.I32Const(10);
+  f.Else();
+  f.I32Const(20);
+  f.End();
+  f.End();
+  EXPECT_TRUE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, RejectsCallArgMismatch) {
+  ModuleBuilder b;
+  auto& callee = b.AddFunction("", {ValType::kI64}, {});
+  callee.End();
+  auto& f = b.AddFunction("f", {}, {});
+  f.I32Const(1);  // i32 where i64 expected
+  f.Call(callee.index());
+  f.End();
+  EXPECT_FALSE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, RejectsUnknownCallTarget) {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {}, {});
+  f.Call(42);
+  f.End();
+  EXPECT_FALSE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, RejectsSelectWithMixedTypes) {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {}, {});
+  f.I32Const(1);
+  f.F64Const(2.0);
+  f.I32Const(0);
+  f.Select();
+  f.Drop();
+  f.End();
+  EXPECT_FALSE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, AcceptsCodeAfterUnconditionalBranch) {
+  // Unreachable code is validated polymorphically (spec algorithm).
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {}, {ValType::kI32});
+  f.Block(BlockType::Of(ValType::kI32));
+  f.I32Const(1);
+  f.Br(0);
+  f.Emit(Op::kI32Add);  // unreachable: operands come from the polymorphic stack
+  f.End();
+  f.End();
+  EXPECT_TRUE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, RejectsBrTableArityMismatch) {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.Block(BlockType::Of(ValType::kI32));  // label 0: arity 1
+  f.Block();                              // label 0 now; outer is 1: arity 0
+  f.I32Const(9);
+  f.LocalGet(0);
+  f.BrTable({0, 1}, 0);  // mixed arities
+  f.End();
+  f.I32Const(3);
+  f.End();
+  f.End();
+  EXPECT_FALSE(CompileBuilder(b).ok());
+}
+
+TEST(ValidationTest, RejectsTruncatedBody) {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {}, {});
+  f.Block();  // builder auto-closes frames, so craft the module manually
+  Module m = b.BuildModule();
+  // Strip the auto-appended `end`s to simulate a truncated body.
+  m.bodies[0].code.pop_back();
+  m.bodies[0].code.pop_back();
+  EXPECT_FALSE(CompileModule(std::move(m)).ok());
+}
+
+TEST(ValidationTest, RejectsLoopResultMismatch) {
+  ModuleBuilder b;
+  auto& f = b.AddFunction("f", {}, {ValType::kI32});
+  f.Loop(BlockType::Of(ValType::kI32));
+  f.F32Const(1.5f);  // loop declared to yield i32
+  f.End();
+  f.End();
+  EXPECT_FALSE(CompileBuilder(b).ok());
+}
+
+}  // namespace
+}  // namespace faasm::wasm

@@ -1,0 +1,58 @@
+// Shared helpers for wasm tests: build a single-function module around an
+// emitted body and run it through the full binary pipeline.
+#ifndef FAASM_TESTS_WASM_WASM_TEST_UTIL_H_
+#define FAASM_TESTS_WASM_WASM_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "wasm/builder.h"
+#include "wasm/decoder.h"
+#include "wasm/instance.h"
+
+namespace faasm::wasm {
+
+inline std::unique_ptr<Instance> InstantiateBuilder(ModuleBuilder& b,
+                                                    ImportResolver* resolver = nullptr) {
+  auto decoded = DecodeModule(b.Build());
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto compiled = CompileModule(std::move(decoded).value());
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto instance = Instance::Create(compiled.value(), resolver);
+  EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+  return std::move(instance).value();
+}
+
+// Builds a module with one exported function "f" of the given signature whose
+// body is produced by `emit`, and returns the instance.
+inline std::unique_ptr<Instance> SingleFunction(const std::vector<ValType>& params,
+                                                const std::vector<ValType>& results,
+                                                const std::function<void(FunctionBuilder&)>& emit,
+                                                bool with_memory = false) {
+  ModuleBuilder b;
+  if (with_memory) {
+    b.AddMemory(1, 4);
+  }
+  auto& f = b.AddFunction("f", params, results);
+  emit(f);
+  return InstantiateBuilder(b);
+}
+
+inline Result<Value> RunUnary(Instance& instance, Value arg) {
+  auto out = instance.CallExport("f", {arg});
+  if (!out.ok()) {
+    return out.status();
+  }
+  return out.value()[0];
+}
+
+inline Result<Value> RunBinary(Instance& instance, Value a, Value b) {
+  auto out = instance.CallExport("f", {a, b});
+  if (!out.ok()) {
+    return out.status();
+  }
+  return out.value()[0];
+}
+
+}  // namespace faasm::wasm
+
+#endif  // FAASM_TESTS_WASM_WASM_TEST_UTIL_H_

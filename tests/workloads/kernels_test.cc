@@ -1,0 +1,67 @@
+// Every kernel's wasm twin must agree with its native implementation across
+// sizes (property-style parameterised sweep over the full suite).
+#include "workloads/kernels.h"
+
+#include <gtest/gtest.h>
+
+namespace faasm {
+namespace {
+
+class KernelAgreement
+    : public ::testing::TestWithParam<std::tuple<size_t, uint32_t>> {};
+
+TEST_P(KernelAgreement, WasmMatchesNative) {
+  const auto [kernel_index, n] = GetParam();
+  const Kernel& kernel = PolybenchKernels()[kernel_index];
+  const double native = kernel.native(n);
+  auto module = kernel.build_wasm();
+  ASSERT_TRUE(module.ok()) << kernel.name << ": " << module.status().ToString();
+  auto wasm = RunKernelWasm(module.value(), n);
+  ASSERT_TRUE(wasm.ok()) << kernel.name << ": " << wasm.status().ToString();
+  // Same operations in the same order: results should agree to double
+  // round-off noise.
+  const double tolerance = std::abs(native) * 1e-12 + 1e-12;
+  EXPECT_NEAR(wasm.value(), native, tolerance) << kernel.name << " n=" << n;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<std::tuple<size_t, uint32_t>>& info) {
+  const auto [kernel_index, n] = info.param;
+  std::string name = PolybenchKernels()[kernel_index].name + "_n" + std::to_string(n);
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelAgreement,
+    ::testing::Combine(::testing::Range<size_t>(0, 8), ::testing::Values(16u, 33u, 64u)),
+    CaseName);
+
+TEST(KernelsTest, SuiteIsComplete) {
+  EXPECT_EQ(PolybenchKernels().size(), 8u);
+  for (const Kernel& kernel : PolybenchKernels()) {
+    EXPECT_FALSE(kernel.name.empty());
+  }
+}
+
+TEST(KernelsTest, ChecksumsAreNonTrivial) {
+  for (const Kernel& kernel : PolybenchKernels()) {
+    EXPECT_NE(kernel.native(24), 0.0) << kernel.name;
+  }
+}
+
+TEST(KernelsTest, ModulesSurviveReuse) {
+  // One compiled module, many instances (registry-style sharing).
+  const Kernel& kernel = PolybenchKernels()[0];
+  auto module = kernel.build_wasm();
+  ASSERT_TRUE(module.ok());
+  const double first = RunKernelWasm(module.value(), 20).value();
+  const double second = RunKernelWasm(module.value(), 20).value();
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace faasm

@@ -1,0 +1,116 @@
+// MiniVM: the guest-wasm interpreter must agree with the native interpreter
+// on every benchmark program, and the assembler/VM must handle edge cases.
+#include "workloads/minivm.h"
+
+#include <gtest/gtest.h>
+
+namespace faasm {
+namespace {
+
+TEST(MviAssemblerTest, UndefinedLabelFails) {
+  MviAssembler a;
+  a.Jmp("nowhere");
+  EXPECT_EQ(a.Assemble().status().code(), StatusCode::kNotFound);
+}
+
+TEST(MviAssemblerTest, ForwardAndBackwardLabels) {
+  MviAssembler a;
+  a.Push(3);
+  a.Store(0);
+  a.Label("back");
+  a.Load(0);
+  a.Jz("end");
+  a.Load(0);
+  a.Push(1);
+  a.Op(MviOp::kSub);
+  a.Store(0);
+  a.Jmp("back");
+  a.Label("end");
+  a.Push(77);
+  a.Halt();
+  auto program = a.Assemble();
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(RunMiniVmNative(program.value()).value(), 77);
+}
+
+TEST(MiniVmNativeTest, Arithmetic) {
+  MviAssembler a;
+  a.Push(10);
+  a.Push(3);
+  a.Op(MviOp::kMod);  // 1
+  a.Push(5);
+  a.Op(MviOp::kMul);  // 5
+  a.Push(2);
+  a.Op(MviOp::kSub);  // 3
+  a.Halt();
+  EXPECT_EQ(RunMiniVmNative(a.Assemble().value()).value(), 3);
+}
+
+TEST(MiniVmNativeTest, DivideByZeroFails) {
+  MviAssembler a;
+  a.Push(1);
+  a.Push(0);
+  a.Op(MviOp::kDiv);
+  a.Halt();
+  EXPECT_FALSE(RunMiniVmNative(a.Assemble().value()).ok());
+}
+
+TEST(MiniVmNativeTest, StepLimitPreventsInfiniteLoops) {
+  MviAssembler a;
+  a.Label("spin");
+  a.Jmp("spin");
+  auto result = RunMiniVmNative(a.Assemble().value(), 1000);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MiniVmNativeTest, HeapOps) {
+  MviAssembler a;
+  a.Push(100);  // index
+  a.Push(42);   // value
+  a.Op(MviOp::kAStore);
+  a.Push(100);
+  a.Op(MviOp::kALoad);
+  a.Halt();
+  EXPECT_EQ(RunMiniVmNative(a.Assemble().value()).value(), 42);
+}
+
+class MiniVmAgreement : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MiniVmAgreement, GuestWasmMatchesNative) {
+  const MviProgram& program = MiniVmBenchmarks()[GetParam()];
+  auto native = RunMiniVmNative(program.code);
+  ASSERT_TRUE(native.ok()) << program.name << ": " << native.status().ToString();
+  auto wasm = RunMiniVmWasm(program.code);
+  ASSERT_TRUE(wasm.ok()) << program.name << ": " << wasm.status().ToString();
+  EXPECT_EQ(wasm.value(), native.value()) << program.name;
+}
+
+std::string ProgramName(const ::testing::TestParamInfo<size_t>& info) {
+  std::string name = MiniVmBenchmarks()[info.param].name;
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, MiniVmAgreement, ::testing::Range<size_t>(0, 5),
+                         ProgramName);
+
+TEST(MiniVmTest, BenchmarkResultsAreStable) {
+  // Known-good results pin down VM semantics against regressions.
+  auto result = [](const char* name) {
+    for (const auto& program : MiniVmBenchmarks()) {
+      if (program.name == name) {
+        return RunMiniVmNative(program.code).value();
+      }
+    }
+    return int32_t{-1};
+  };
+  EXPECT_EQ(result("sieve"), 2262);    // pi(20000)
+  EXPECT_EQ(result("matmul-int"), RunMiniVmNative(MiniVmBenchmarks()[4].code).value());
+}
+
+}  // namespace
+}  // namespace faasm
