@@ -116,20 +116,23 @@ class ByteCursor {
   }
 
   Result<int64_t> ReadVarS64() {
-    int64_t result = 0;
+    // Accumulate in unsigned arithmetic: at shift 63 a signed shift would
+    // overflow (UB), and the two's-complement sign extension below is only
+    // well-defined on uint64_t.
+    uint64_t result = 0;
     int shift = 0;
     while (shift < 70) {
       auto byte = ReadByte();
       if (!byte.ok()) {
         return byte.status();
       }
-      result |= static_cast<int64_t>(byte.value() & 0x7F) << shift;
+      result |= static_cast<uint64_t>(byte.value() & 0x7F) << shift;
       shift += 7;
       if ((byte.value() & 0x80) == 0) {
         if (shift < 64 && (byte.value() & 0x40) != 0) {
-          result |= -(int64_t{1} << shift);  // sign extend
+          result |= ~uint64_t{0} << shift;  // sign extend
         }
-        return result;
+        return static_cast<int64_t>(result);
       }
     }
     return InvalidArgument("varint64 too long");
