@@ -76,7 +76,7 @@ size_t KvStore::Append(const std::string& key, const Bytes& bytes) {
   return value.size();
 }
 
-bool KvStore::TryLockRead(const std::string& key, const std::string& owner) {
+bool KvStore::TryLockRead(const std::string& key, const std::string& /*owner*/) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
   LockState& lock = shard.locks[key];
@@ -98,7 +98,7 @@ bool KvStore::TryLockWrite(const std::string& key, const std::string& owner) {
   return true;
 }
 
-Status KvStore::UnlockRead(const std::string& key, const std::string& owner) {
+Status KvStore::UnlockRead(const std::string& key, const std::string& /*owner*/) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
   LockState& lock = shard.locks[key];

@@ -278,7 +278,7 @@ Result<uint64_t> KvsClient::Size(const std::string& key) {
 }
 
 namespace {
-Result<bool> BoolOp(KvsClient* client, InProcNetwork* network, const std::string& source,
+Result<bool> BoolOp(KvsClient* /*client*/, InProcNetwork* network, const std::string& source,
                     const std::string& server, KvsOp op, const std::string& key,
                     const std::string& arg) {
   Bytes request;

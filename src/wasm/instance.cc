@@ -56,7 +56,7 @@ void MapImportResolver::Register(const std::string& module, const std::string& n
   entries_.emplace_back(module, name, std::move(fn));
 }
 
-Result<HostFn> MapImportResolver::Resolve(const Import& import, const FuncType& type) {
+Result<HostFn> MapImportResolver::Resolve(const Import& import, const FuncType& /*type*/) {
   for (const auto& [module, name, fn] : entries_) {
     if (module == import.module && name == import.name) {
       return fn;
@@ -1174,7 +1174,7 @@ Status Instance::Run() {
         TOP() = MakeI32(static_cast<uint32_t>(TOP().i64));
         break;
       case static_cast<uint16_t>(Op::kI32TruncF32S): {
-        int32_t out;
+        int32_t out = 0;
         Status s = TruncChecked<float, int32_t>(TOP().f32, -2147483648.0f, 2147483648.0f, true, &out);
         if (!s.ok()) {
           instructions_retired_ += retired;
@@ -1184,7 +1184,7 @@ Status Instance::Run() {
         break;
       }
       case static_cast<uint16_t>(Op::kI32TruncF32U): {
-        uint32_t out;
+        uint32_t out = 0;
         Status s = TruncChecked<float, uint32_t>(TOP().f32, -1.0f, 4294967296.0f, false, &out);
         if (!s.ok()) {
           instructions_retired_ += retired;
@@ -1194,7 +1194,7 @@ Status Instance::Run() {
         break;
       }
       case static_cast<uint16_t>(Op::kI32TruncF64S): {
-        int32_t out;
+        int32_t out = 0;
         Status s = TruncChecked<double, int32_t>(TOP().f64, -2147483649.0, 2147483648.0, false, &out);
         if (!s.ok()) {
           instructions_retired_ += retired;
@@ -1204,7 +1204,7 @@ Status Instance::Run() {
         break;
       }
       case static_cast<uint16_t>(Op::kI32TruncF64U): {
-        uint32_t out;
+        uint32_t out = 0;
         Status s = TruncChecked<double, uint32_t>(TOP().f64, -1.0, 4294967296.0, false, &out);
         if (!s.ok()) {
           instructions_retired_ += retired;
@@ -1220,7 +1220,7 @@ Status Instance::Run() {
         TOP() = MakeI64(TOP().i32);
         break;
       case static_cast<uint16_t>(Op::kI64TruncF32S): {
-        int64_t out;
+        int64_t out = 0;
         Status s = TruncChecked<float, int64_t>(TOP().f32, -9223372036854775808.0f,
                                                 9223372036854775808.0f, true, &out);
         if (!s.ok()) {
@@ -1231,7 +1231,7 @@ Status Instance::Run() {
         break;
       }
       case static_cast<uint16_t>(Op::kI64TruncF32U): {
-        uint64_t out;
+        uint64_t out = 0;
         Status s = TruncChecked<float, uint64_t>(TOP().f32, -1.0f, 18446744073709551616.0f, false,
                                                  &out);
         if (!s.ok()) {
@@ -1242,7 +1242,7 @@ Status Instance::Run() {
         break;
       }
       case static_cast<uint16_t>(Op::kI64TruncF64S): {
-        int64_t out;
+        int64_t out = 0;
         Status s = TruncChecked<double, int64_t>(TOP().f64, -9223372036854775808.0,
                                                  9223372036854775808.0, true, &out);
         if (!s.ok()) {
@@ -1253,7 +1253,7 @@ Status Instance::Run() {
         break;
       }
       case static_cast<uint16_t>(Op::kI64TruncF64U): {
-        uint64_t out;
+        uint64_t out = 0;
         Status s = TruncChecked<double, uint64_t>(TOP().f64, -1.0, 18446744073709551616.0, false,
                                                   &out);
         if (!s.ok()) {

@@ -31,7 +31,6 @@ std::unique_ptr<Instance> BinOpI64(Op op) {
 
 uint32_t RefI32(Op op, uint32_t a, uint32_t b) {
   const int32_t sa = static_cast<int32_t>(a);
-  const int32_t sb = static_cast<int32_t>(b);
   switch (op) {
     case Op::kI32Add: return a + b;
     case Op::kI32Sub: return a - b;
