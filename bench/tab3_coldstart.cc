@@ -7,6 +7,8 @@
 // offline; see DESIGN.md).
 #include <x86intrin.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -110,8 +112,16 @@ double MeasureFootprint(CreateFn create, int count) {
 }  // namespace
 }  // namespace faasm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace faasm;
+
+  // Optional iteration override (`tab3_coldstart <iters>`) so CI smoke runs
+  // can exercise the harness without paying for full statistical quality.
+  int iters = 300;
+  if (argc > 1) {
+    iters = std::max(1, std::atoi(argv[1]));
+  }
+  const int batch = std::min(200, iters);
 
   PrintHeader("Table 3: cold-start comparison, no-op function");
   ContainerModel docker;
@@ -126,16 +136,16 @@ int main() {
 
   // --- Faaslet: fresh instantiation (decode cached; instantiate + init). ----
   auto create_faaslet = [&] { return Faaslet::Create(spec, env.Env()); };
-  Measurement faaslet = MeasureCreation(create_faaslet, 300);
+  Measurement faaslet = MeasureCreation(create_faaslet, iters);
 
   // --- Proto-Faaslet: restore from snapshot. ---------------------------------
   auto prototype = Faaslet::Create(spec, env.Env()).value();
   auto proto = ProtoFaaslet::CaptureFrom(*prototype).value();
   auto create_proto = [&] { return Faaslet::CreateFromProto(spec, env.Env(), proto); };
-  Measurement proto_m = MeasureCreation(create_proto, 300);
+  Measurement proto_m = MeasureCreation(create_proto, iters);
 
-  faaslet.footprint_bytes = MeasureFootprint(create_faaslet, 200);
-  proto_m.footprint_bytes = MeasureFootprint(create_proto, 200);
+  faaslet.footprint_bytes = MeasureFootprint(create_faaslet, batch);
+  proto_m.footprint_bytes = MeasureFootprint(create_proto, batch);
 
   const double host_memory = 16.0 * 1024 * 1024 * 1024;  // paper testbed host
   const double docker_capacity = host_memory / docker.base_footprint_bytes;
@@ -168,9 +178,9 @@ int main() {
   auto vm_prototype = Faaslet::Create(vm_spec, env.Env()).value();
   auto vm_proto = ProtoFaaslet::CaptureFrom(*vm_prototype).value();
   Measurement vm_cold =
-      MeasureCreation([&] { return Faaslet::Create(vm_spec, env.Env()); }, 200);
+      MeasureCreation([&] { return Faaslet::Create(vm_spec, env.Env()); }, batch);
   Measurement vm_restore = MeasureCreation(
-      [&] { return Faaslet::CreateFromProto(vm_spec, env.Env(), vm_proto); }, 200);
+      [&] { return Faaslet::CreateFromProto(vm_spec, env.Env(), vm_proto); }, batch);
 
   std::printf("%-34s %10.1f ms (calibrated python:3.7-alpine)\n", "Container initialisation",
               docker.python_cold_start_ns / 1e6);
