@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verify recipe: configure, build, and run the full test suite.
+# Used by both local development and CI so the recipe lives in one place.
+#
+# Usage:
+#   scripts/check_build.sh                 # default RelWithDebInfo build
+#   BUILD_TYPE=Debug scripts/check_build.sh
+#   SANITIZE=ON scripts/check_build.sh     # ASan/UBSan build + tests
+#   CMAKE_ARGS="-DFAASM_WERROR=ON" scripts/check_build.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}"
+SANITIZE="${SANITIZE:-OFF}"
+BUILD_DIR="${BUILD_DIR:-build}"
+if [[ "${SANITIZE}" == "ON" && "${BUILD_DIR}" == "build" ]]; then
+  BUILD_DIR=build-asan
+fi
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE="${BUILD_TYPE}" \
+  -DFAASM_SANITIZE="${SANITIZE}" \
+  ${CMAKE_ARGS:-}
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
