@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Apply .clang-format to every tracked C++ source. Companion to the CI
+# format-check job; run this before flipping that job to blocking.
+#
+# Usage:
+#   scripts/format.sh          # rewrite files in place
+#   scripts/format.sh --check  # dry run, nonzero exit on violations (CI mode)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null; then
+  echo "error: clang-format not found in PATH" >&2
+  exit 1
+fi
+
+case "${1:-}" in
+  "") mode=(-i) ;;
+  --check) mode=(--dry-run -Werror) ;;
+  *)
+    echo "usage: scripts/format.sh [--check]" >&2
+    exit 2
+    ;;
+esac
+
+git ls-files -z '*.cc' '*.h' '*.cpp' | xargs -0 clang-format "${mode[@]}"
