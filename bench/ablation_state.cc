@@ -1,8 +1,14 @@
 // Ablations on the two-tier state design (DESIGN.md §3):
 //   1. AsyncArray push interval (the VectorAsync consistency/traffic knob of
-//      Listing 1): network bytes vs interval for SGD.
+//      Listing 1) × delta-vs-full push: network bytes vs interval for SGD,
+//      with the weight sync shipping either dirty-run deltas (one batched
+//      multi-range write per push) or the whole value.
 //   2. Chunked vs full pulls (state chunks, Fig. 4): bytes moved when workers
 //      touch column slices of a large matrix.
+//
+// Pass --tiny for a seconds-scale smoke configuration (CI).
+#include <cstring>
+
 #include "bench/bench_util.h"
 #include "runtime/cluster.h"
 #include "state/ddo.h"
@@ -11,42 +17,64 @@
 namespace faasm {
 namespace {
 
-void PushIntervalAblation() {
-  PrintHeader("Ablation 1: AsyncArray push interval (SGD weight vector)");
-  std::printf("%14s | %14s %12s %14s\n", "push interval", "network (MB)", "time (ms)",
-              "final loss");
-  for (uint32_t interval : {1u, 4u, 16u, 64u, 256u}) {
-    ClusterConfig cluster_config;
-    cluster_config.hosts = 4;
-    FaasmCluster cluster(cluster_config);
-    SgdConfig config;
-    config.n_examples = 4096;
-    config.n_features = 1024;
-    config.nnz_per_example = 16;
-    config.n_workers = 8;
-    config.n_epochs = 2;
-    config.push_interval = interval;
-    SeedSgdDataset(cluster.kvs(), config);
-    (void)RegisterSgdFunctions(cluster.registry());
-    double loss = 0;
-    double seconds = 0;
-    cluster.Run([&](Frontend& frontend) {
-      const TimeNs start = cluster.clock().Now();
-      auto result = RunSgdTraining(frontend, config);
-      loss = result.ok() ? result.value() : -1;
-      seconds = static_cast<double>(cluster.clock().Now() - start) / 1e9;
-    });
-    std::printf("%14u | %14.1f %12.0f %14.4f\n", interval,
-                static_cast<double>(cluster.network_bytes()) / 1e6, seconds * 1e3, loss);
-  }
-  std::printf("(larger intervals trade weight freshness for traffic; HOGWILD tolerates it)\n");
+struct SgdPoint {
+  double network_mb = 0;
+  double seconds = 0;
+  double loss = -1;
+};
+
+SgdPoint RunSgdOnce(bool tiny, uint32_t interval, bool delta_push) {
+  ClusterConfig cluster_config;
+  cluster_config.hosts = 4;
+  FaasmCluster cluster(cluster_config);
+  SgdConfig config;
+  // Weights span many state pages (features * 8 B) while each inter-push
+  // window dirties only a few, so the delta-vs-full gap is visible.
+  config.n_examples = tiny ? 512 : 4096;
+  config.n_features = tiny ? 8192 : 16384;
+  config.nnz_per_example = 8;
+  config.n_workers = tiny ? 4 : 8;
+  config.n_epochs = 2;
+  config.push_interval = interval;
+  config.delta_push = delta_push;
+  SeedSgdDataset(cluster.kvs(), config);
+  (void)RegisterSgdFunctions(cluster.registry());
+  SgdPoint point;
+  cluster.Run([&](Frontend& frontend) {
+    const TimeNs start = cluster.clock().Now();
+    auto result = RunSgdTraining(frontend, config);
+    point.loss = result.ok() ? result.value() : -1;
+    point.seconds = static_cast<double>(cluster.clock().Now() - start) / 1e9;
+  });
+  point.network_mb = static_cast<double>(cluster.network_bytes()) / 1e6;
+  return point;
 }
 
-void ChunkAblation() {
+void PushIntervalAblation(bool tiny) {
+  PrintHeader("Ablation 1: push interval x delta-vs-full push (SGD weight vector)");
+  std::printf("%14s | %12s %12s %12s | %12s %12s %12s | %8s\n", "push interval",
+              "delta (MB)", "time (ms)", "loss", "full (MB)", "time (ms)", "loss",
+              "MB saved");
+  const std::vector<uint32_t> intervals =
+      tiny ? std::vector<uint32_t>{1u, 16u} : std::vector<uint32_t>{1u, 4u, 16u, 64u, 256u};
+  for (uint32_t interval : intervals) {
+    const SgdPoint delta = RunSgdOnce(tiny, interval, /*delta_push=*/true);
+    const SgdPoint full = RunSgdOnce(tiny, interval, /*delta_push=*/false);
+    std::printf("%14u | %12.1f %12.0f %12.4f | %12.1f %12.0f %12.4f | %7.0f%%\n", interval,
+                delta.network_mb, delta.seconds * 1e3, delta.loss, full.network_mb,
+                full.seconds * 1e3, full.loss,
+                full.network_mb > 0 ? 100.0 * (full.network_mb - delta.network_mb) / full.network_mb
+                                    : 0.0);
+  }
+  std::printf("(delta pushes ship only dirtied weight pages as one batched multi-range\n"
+              " write; larger intervals trade weight freshness for traffic either way)\n");
+}
+
+void ChunkAblation(bool tiny) {
   PrintHeader("Ablation 2: chunked vs full state pulls (Fig. 4 state chunks)");
   // One big matrix; 16 workers each touch a 1/16 column slice.
-  const size_t rows = 256;
-  const size_t cols = 4096;
+  const size_t rows = tiny ? 64 : 256;
+  const size_t cols = tiny ? 1024 : 4096;
   const size_t matrix_bytes = rows * cols * sizeof(double);
 
   for (bool chunked : {true, false}) {
@@ -105,8 +133,9 @@ void ChunkAblation() {
 }  // namespace
 }  // namespace faasm
 
-int main() {
-  faasm::PushIntervalAblation();
-  faasm::ChunkAblation();
+int main(int argc, char** argv) {
+  const bool tiny = argc > 1 && std::strcmp(argv[1], "--tiny") == 0;
+  faasm::PushIntervalAblation(tiny);
+  faasm::ChunkAblation(tiny);
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/faaslet.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/log.h"
@@ -30,8 +31,11 @@ Result<std::unique_ptr<Faaslet>> Faaslet::Create(FunctionSpec spec, FaasletEnv e
   FAASM_RETURN_IF_ERROR(faaslet->Instantiate());
   FAASM_RETURN_IF_ERROR(faaslet->RunInitCode());
   faaslet->created_at_ = faaslet->env_.clock->Now();
-  // Capture the creation snapshot used to reset between calls.
+  // Capture the creation snapshot used to reset between calls. The memory now
+  // matches the snapshot exactly, so future resets only need dirty pages.
   FAASM_ASSIGN_OR_RETURN(faaslet->reset_proto_, ProtoFaaslet::CaptureFrom(*faaslet));
+  faaslet->memory_->dirty().ClearDirty();
+  faaslet->snapshot_synced_ = true;
   return faaslet;
 }
 
@@ -45,6 +49,7 @@ Result<std::unique_ptr<Faaslet>> Faaslet::CreateFromProto(
   FAASM_RETURN_IF_ERROR(proto->RestoreInto(*faaslet));
   faaslet->created_at_ = faaslet->env_.clock->Now();
   faaslet->reset_proto_ = std::move(proto);
+  faaslet->snapshot_synced_ = true;  // full CoW restore just ran
   return faaslet;
 }
 
@@ -102,7 +107,14 @@ Status Faaslet::Reset() {
   if (reset_proto_ == nullptr) {
     return FailedPrecondition("Faaslet has no creation snapshot");
   }
-  return reset_proto_->RestoreInto(*this);
+  if (snapshot_synced_) {
+    // Warm reset: non-dirty pages still match the snapshot; restore only the
+    // pages written since the last reset.
+    return reset_proto_->RestoreDirtyInto(*this);
+  }
+  FAASM_RETURN_IF_ERROR(reset_proto_->RestoreInto(*this));
+  snapshot_synced_ = true;
+  return OkStatus();
 }
 
 void Faaslet::ChargeCompute(TimeNs ns) {
@@ -159,7 +171,9 @@ void Faaslet::ShapeTraffic(size_t bytes) {
   if (ready > now) {
     env_.clock->SleepFor(ready - now);
   }
-  vnet_shaper_.TryConsume(static_cast<double>(bytes), ready);
+  // Oversized transfers already paid for the overflow as wait time; drain at
+  // most one burst from the bucket.
+  vnet_shaper_.TryConsume(std::min(static_cast<double>(bytes), vnet_shaper_.burst()), ready);
 }
 
 Result<Bytes> Faaslet::VnetCall(const std::string& endpoint, const Bytes& request) {
@@ -319,11 +333,12 @@ Result<std::shared_ptr<const ProtoFaaslet>> ProtoFaaslet::CaptureFrom(const Faas
   return std::shared_ptr<const ProtoFaaslet>(std::move(proto));
 }
 
-Status ProtoFaaslet::RestoreInto(Faaslet& faaslet) const {
+Status ProtoFaaslet::RestoreCommon(Faaslet& faaslet,
+                                   const std::function<Status()>& restore_memory) const {
   if (faaslet.function() != function_) {
     return InvalidArgument("proto-faaslet function mismatch");
   }
-  FAASM_RETURN_IF_ERROR(snapshot_->RestoreInto(*faaslet.memory_));
+  FAASM_RETURN_IF_ERROR(restore_memory());
   if (faaslet.instance_ != nullptr) {
     FAASM_RETURN_IF_ERROR(faaslet.instance_->SetGlobals(globals_));
   }
@@ -335,19 +350,19 @@ Status ProtoFaaslet::RestoreInto(Faaslet& faaslet) const {
   return OkStatus();
 }
 
+Status ProtoFaaslet::RestoreInto(Faaslet& faaslet) const {
+  return RestoreCommon(faaslet, [&] { return snapshot_->RestoreInto(*faaslet.memory_); });
+}
+
+Status ProtoFaaslet::RestoreDirtyInto(Faaslet& faaslet) const {
+  return RestoreCommon(faaslet, [&] { return snapshot_->RestoreDirty(*faaslet.memory_); });
+}
+
 Status ProtoFaaslet::RestoreIntoEager(Faaslet& faaslet) const {
-  if (faaslet.function() != function_) {
-    return InvalidArgument("proto-faaslet function mismatch");
-  }
-  const Bytes image = snapshot_->Serialize();
-  FAASM_RETURN_IF_ERROR(faaslet.memory_->RestoreFromBytes(image.data(), image.size()));
-  if (faaslet.instance_ != nullptr) {
-    FAASM_RETURN_IF_ERROR(faaslet.instance_->SetGlobals(globals_));
-  }
-  faaslet.guest_state_offsets_.clear();
-  faaslet.vfs_.Reset();
-  faaslet.sockets_.clear();
-  return OkStatus();
+  return RestoreCommon(faaslet, [&] {
+    const Bytes image = snapshot_->Serialize();
+    return faaslet.memory_->RestoreFromBytes(image.data(), image.size());
+  });
 }
 
 Bytes ProtoFaaslet::Serialize() const {

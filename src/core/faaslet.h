@@ -93,7 +93,10 @@ class Faaslet : public InvocationContext {
 
   // Restores the creation-time snapshot: private memory, globals, filesystem
   // overlay and state mappings all revert, guaranteeing no information from
-  // the previous call is disclosed to the next (§5.2).
+  // the previous call is disclosed to the next (§5.2). Once the memory is
+  // known to be snapshot-based, resets restore only the pages the linear
+  // memory's dirty tracker saw written since the last reset, instead of
+  // re-materialising the whole image.
   Status Reset();
 
   // --- InvocationContext -----------------------------------------------------
@@ -183,6 +186,9 @@ class Faaslet : public InvocationContext {
 
   // Creation-time snapshot used by Reset().
   std::shared_ptr<const ProtoFaaslet> reset_proto_;
+  // True when every non-dirty private page matches reset_proto_ (set after a
+  // capture or a full restore); enables the dirty-page-only reset.
+  bool snapshot_synced_ = false;
 
   // Dynamically loaded modules (dlopen) and their symbols.
   struct DynModule {
@@ -215,12 +221,20 @@ class ProtoFaaslet {
   Status RestoreInto(Faaslet& faaslet) const;
   // Eager (memcpy) restore, for the snapshot-mechanism ablation.
   Status RestoreIntoEager(Faaslet& faaslet) const;
+  // Delta restore for warm resets: restores only the pages dirtied since the
+  // last restore/capture. Valid only when the Faaslet's memory is already
+  // based on this snapshot.
+  Status RestoreDirtyInto(Faaslet& faaslet) const;
 
   const std::string& function() const { return function_; }
   size_t snapshot_bytes() const { return snapshot_ == nullptr ? 0 : snapshot_->size(); }
 
  private:
   ProtoFaaslet() = default;
+
+  // Shared restore tail: memory restore strategy varies, everything else
+  // (globals, fs overlay, sockets, state mappings, call I/O) resets the same.
+  Status RestoreCommon(Faaslet& faaslet, const std::function<Status()>& restore_memory) const;
 
   std::string function_;
   std::unique_ptr<MemorySnapshot> snapshot_;

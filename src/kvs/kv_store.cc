@@ -4,6 +4,17 @@
 
 namespace faasm {
 
+namespace {
+// Upper bound on a single value's extent. Offsets come straight off the wire
+// in the range ops; without a bound an overflowing (or merely huge) offset
+// would corrupt memory or force an absurd resize.
+constexpr size_t kMaxValueBytes = size_t{1} << 34;  // 16 GiB
+
+bool RangeIsSane(size_t offset, size_t len) {
+  return offset <= kMaxValueBytes && len <= kMaxValueBytes - offset;
+}
+}  // namespace
+
 void KvStore::Set(const std::string& key, Bytes value) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
@@ -58,6 +69,9 @@ Result<Bytes> KvStore::GetRange(const std::string& key, size_t offset, size_t le
 }
 
 Status KvStore::SetRange(const std::string& key, size_t offset, const Bytes& bytes) {
+  if (!RangeIsSane(offset, bytes.size())) {
+    return InvalidArgument("kvs: range write exceeds maximum value size");
+  }
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
   Bytes& value = shard.values[key];
@@ -65,6 +79,28 @@ Status KvStore::SetRange(const std::string& key, size_t offset, const Bytes& byt
     value.resize(offset + bytes.size());
   }
   std::copy(bytes.begin(), bytes.end(), value.begin() + offset);
+  return OkStatus();
+}
+
+Status KvStore::SetRanges(const std::string& key, const std::vector<ValueRange>& ranges) {
+  for (const ValueRange& range : ranges) {
+    if (!RangeIsSane(range.offset, range.bytes.size())) {
+      return InvalidArgument("kvs: range write exceeds maximum value size");
+    }
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  Bytes& value = shard.values[key];
+  size_t needed = value.size();
+  for (const ValueRange& range : ranges) {
+    needed = std::max(needed, static_cast<size_t>(range.offset) + range.bytes.size());
+  }
+  if (value.size() < needed) {
+    value.resize(needed);
+  }
+  for (const ValueRange& range : ranges) {
+    std::copy(range.bytes.begin(), range.bytes.end(), value.begin() + range.offset);
+  }
   return OkStatus();
 }
 

@@ -18,6 +18,12 @@
 
 namespace faasm {
 
+// One write range of a batched SetRanges: `bytes` lands at `offset`.
+struct ValueRange {
+  uint64_t offset = 0;
+  Bytes bytes;
+};
+
 class KvStore {
  public:
   static constexpr int kShards = 16;
@@ -32,6 +38,9 @@ class KvStore {
   // Ranged access (state chunks). SetRange extends the value when needed.
   Result<Bytes> GetRange(const std::string& key, size_t offset, size_t len) const;
   Status SetRange(const std::string& key, size_t offset, const Bytes& bytes);
+  // Applies all ranges atomically under one shard lock (delta push: the N
+  // dirty runs of a replica land as one operation).
+  Status SetRanges(const std::string& key, const std::vector<ValueRange>& ranges);
 
   // Appends and returns the new length.
   size_t Append(const std::string& key, const Bytes& bytes);

@@ -1,5 +1,6 @@
 #include "kvs/kvs_client.h"
 
+#include <algorithm>
 #include <functional>
 
 namespace faasm {
@@ -85,6 +86,30 @@ Bytes KvsServer::Handle(const Bytes& request) {
         break;
       }
       WriteStatus(writer, store_->SetRange(key.value(), offset.value(), value.value()));
+      break;
+    }
+    case KvsOp::kSetRanges: {
+      auto count = reader.Get<uint32_t>();
+      if (!count.ok()) {
+        WriteStatus(writer, count.status());
+        break;
+      }
+      std::vector<ValueRange> ranges;
+      // `count` is wire data; cap the reservation and let the per-range
+      // parse loop reject truncated payloads instead of pre-allocating for
+      // an attacker-chosen count.
+      ranges.reserve(std::min<uint32_t>(count.value(), 1024));
+      Status parse = OkStatus();
+      for (uint32_t i = 0; i < count.value(); ++i) {
+        auto offset = reader.Get<uint64_t>();
+        auto bytes = reader.GetBytes();
+        if (!offset.ok() || !bytes.ok()) {
+          parse = InvalidArgument("malformed range-batch write");
+          break;
+        }
+        ranges.push_back(ValueRange{offset.value(), std::move(bytes).value()});
+      }
+      WriteStatus(writer, parse.ok() ? store_->SetRanges(key.value(), ranges) : parse);
       break;
     }
     case KvsOp::kAppend: {
@@ -223,6 +248,22 @@ Status KvsClient::SetRange(const std::string& key, uint64_t offset, const Bytes&
     w.PutString(key);
     w.Put<uint64_t>(offset);
     w.PutBytes(bytes);
+  });
+  if (!response.ok()) {
+    return response.status();
+  }
+  ByteReader reader(response.value());
+  return ReadStatus(reader);
+}
+
+Status KvsClient::SetRanges(const std::string& key, const std::vector<ValueRange>& ranges) {
+  auto response = Invoke(KvsOp::kSetRanges, [&](ByteWriter& w) {
+    w.PutString(key);
+    w.Put<uint32_t>(static_cast<uint32_t>(ranges.size()));
+    for (const ValueRange& range : ranges) {
+      w.Put<uint64_t>(range.offset);
+      w.PutBytes(range.bytes);
+    }
   });
   if (!response.ok()) {
     return response.status();

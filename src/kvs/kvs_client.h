@@ -30,6 +30,7 @@ enum class KvsOp : uint8_t {
   kSetAdd = 13,
   kSetRemove = 14,
   kSetMembers = 15,
+  kSetRanges = 16,
 };
 
 // Registers an RPC endpoint (default name "kvs") that serves a KvStore.
@@ -57,6 +58,8 @@ class KvsClient {
   Result<Bytes> Get(const std::string& key);
   Result<Bytes> GetRange(const std::string& key, uint64_t offset, uint64_t len);
   Status SetRange(const std::string& key, uint64_t offset, const Bytes& bytes);
+  // Batched multi-range write: N ranges cost one round trip (delta push).
+  Status SetRanges(const std::string& key, const std::vector<ValueRange>& ranges);
   Result<uint64_t> Append(const std::string& key, const Bytes& bytes);
   Status Delete(const std::string& key);
   Result<bool> Exists(const std::string& key);

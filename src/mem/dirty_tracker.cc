@@ -1,0 +1,134 @@
+#include "mem/dirty_tracker.h"
+
+#include <algorithm>
+
+namespace faasm {
+
+namespace {
+size_t ShiftFor(size_t page_bytes) {
+  size_t shift = 0;
+  while ((size_t{1} << shift) < page_bytes) {
+    ++shift;
+  }
+  return shift;
+}
+}  // namespace
+
+DirtyTracker::DirtyTracker(size_t size_bytes, size_t page_bytes)
+    : page_bytes_(page_bytes),
+      page_shift_(ShiftFor(page_bytes)),
+      page_count_((size_bytes + page_bytes - 1) / page_bytes),
+      words_(new std::atomic<uint64_t>[(page_count_ + 63) / 64]),
+      word_count_((page_count_ + 63) / 64) {
+  for (size_t i = 0; i < word_count_; ++i) {
+    words_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void DirtyTracker::MarkDirty(size_t offset, size_t len) {
+  if (len == 0 || page_count_ == 0) {
+    return;
+  }
+  const size_t first = offset >> page_shift_;
+  if (first >= page_count_) {
+    return;  // entirely past the tracked extent (e.g. a mapping tail)
+  }
+  const size_t last = std::min((offset + len - 1) >> page_shift_, page_count_ - 1);
+  if (!ever_marked_.load(std::memory_order_relaxed)) {
+    ever_marked_.store(true, std::memory_order_relaxed);
+  }
+  for (size_t page = first; page <= last;) {
+    const size_t word = page / 64;
+    const size_t bit = page % 64;
+    const size_t last_in_word = std::min(last, word * 64 + 63);
+    uint64_t mask;
+    if (bit == 0 && last_in_word == word * 64 + 63) {
+      mask = ~uint64_t{0};
+    } else {
+      mask = 0;
+      for (size_t p = page; p <= last_in_word; ++p) {
+        mask |= uint64_t{1} << (p % 64);
+      }
+    }
+    // Marking sits on the interpreter's store path; after the first store to
+    // a page every further mark is redundant, so pay one relaxed load and
+    // skip the RMW when the bits are already set.
+    if ((words_[word].load(std::memory_order_relaxed) & mask) != mask) {
+      words_[word].fetch_or(mask, std::memory_order_relaxed);
+    }
+    page = last_in_word + 1;
+  }
+}
+
+bool DirtyTracker::any_dirty() const {
+  for (size_t i = 0; i < word_count_; ++i) {
+    if (words_[i].load(std::memory_order_relaxed) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t DirtyTracker::dirty_page_count() const {
+  size_t count = 0;
+  for (size_t i = 0; i < word_count_; ++i) {
+    count += static_cast<size_t>(__builtin_popcountll(words_[i].load(std::memory_order_relaxed)));
+  }
+  return count;
+}
+
+std::vector<DirtyRun> DirtyTracker::ScanRuns(bool clear) {
+  // Word-at-a-time scan: the common case (a mostly-clean bitmap, e.g. a warm
+  // Faaslet reset) costs one relaxed load per 64 pages, so the scan stays in
+  // the microsecond range even for multi-GB extents.
+  std::vector<DirtyRun> runs;
+  size_t run_start = SIZE_MAX;
+  auto close_run = [&](size_t page) {
+    if (run_start != SIZE_MAX) {
+      runs.push_back(DirtyRun{run_start << page_shift_, (page - run_start) << page_shift_});
+      run_start = SIZE_MAX;
+    }
+  };
+  for (size_t w = 0; w < word_count_; ++w) {
+    const uint64_t word = clear ? words_[w].exchange(0, std::memory_order_relaxed)
+                                : words_[w].load(std::memory_order_relaxed);
+    if (word == 0) {
+      close_run(w * 64);
+      continue;
+    }
+    if (word == ~uint64_t{0}) {
+      if (run_start == SIZE_MAX) {
+        run_start = w * 64;
+      }
+      continue;
+    }
+    for (size_t bit = 0; bit < 64; ++bit) {
+      const size_t page = w * 64 + bit;
+      if ((word >> bit) & 1) {
+        if (run_start == SIZE_MAX) {
+          run_start = page;
+        }
+      } else {
+        close_run(page);
+      }
+    }
+  }
+  close_run(page_count_);
+  return runs;
+}
+
+std::vector<DirtyRun> DirtyTracker::CollectDirtyRuns() const {
+  return const_cast<DirtyTracker*>(this)->ScanRuns(/*clear=*/false);
+}
+
+std::vector<DirtyRun> DirtyTracker::CollectAndClearDirtyRuns() {
+  return ScanRuns(/*clear=*/true);
+}
+
+void DirtyTracker::ClearDirty() {
+  for (size_t i = 0; i < word_count_; ++i) {
+    words_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace faasm

@@ -1,0 +1,84 @@
+// DirtyTracker: a page-granular write bitmap. One tracker sits behind every
+// SharedRegion (state replicas: which pages diverged from the global tier
+// since the last push) and every LinearMemory (Faaslet private memory: which
+// pages diverged from the creation snapshot since the last reset). Both
+// consumers turn the bitmap into coalesced byte runs — the delta-push wire
+// ranges and the delta-reset restore ranges respectively.
+//
+// Marking is lock-free (relaxed fetch_or on 64-bit words) so HOGWILD-style
+// writers on many executor threads can mark concurrently with a push
+// collecting runs. CollectAndClearDirtyRuns grabs-and-zeroes each word
+// atomically: a mark racing with a collection lands either in this
+// collection or the next, never nowhere.
+#ifndef FAASM_MEM_DIRTY_TRACKER_H_
+#define FAASM_MEM_DIRTY_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace faasm {
+
+// A byte range [offset, offset + len), page-aligned except where clipped at
+// the tracked extent.
+struct DirtyRun {
+  size_t offset = 0;
+  size_t len = 0;
+
+  bool operator==(const DirtyRun& other) const {
+    return offset == other.offset && len == other.len;
+  }
+};
+
+class DirtyTracker {
+ public:
+  // Tracks writes to [0, size_bytes) at `page_bytes` granularity (must be a
+  // power of two). The extent is fixed at construction; marks past it are
+  // clipped (writers may address a rounded-up mapping tail).
+  explicit DirtyTracker(size_t size_bytes, size_t page_bytes = 4096);
+
+  DirtyTracker(const DirtyTracker&) = delete;
+  DirtyTracker& operator=(const DirtyTracker&) = delete;
+
+  size_t page_bytes() const { return page_bytes_; }
+  size_t page_count() const { return page_count_; }
+
+  // Marks every page overlapping [offset, offset + len) dirty. Thread safe.
+  void MarkDirty(size_t offset, size_t len);
+
+  // True once MarkDirty has ever been called (not reset by ClearDirty). Lets
+  // consumers distinguish "no writes since last collection" from "writers
+  // that never report" and fall back to conservative full transfers for the
+  // latter.
+  bool ever_marked() const { return ever_marked_.load(std::memory_order_relaxed); }
+
+  bool any_dirty() const;
+  size_t dirty_page_count() const;
+
+  // Coalesces runs of adjacent dirty pages into byte ranges, ascending by
+  // offset. Does not clear the bitmap.
+  std::vector<DirtyRun> CollectDirtyRuns() const;
+
+  // Atomically grabs and clears the bitmap, returning the coalesced runs.
+  // Marks racing with the collection survive into the next collection.
+  // On a failed downstream transfer, re-mark the returned runs.
+  std::vector<DirtyRun> CollectAndClearDirtyRuns();
+
+  void ClearDirty();
+
+ private:
+  std::vector<DirtyRun> ScanRuns(bool clear);
+
+  size_t page_bytes_;
+  size_t page_shift_;
+  size_t page_count_;
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;
+  size_t word_count_;
+  std::atomic<bool> ever_marked_{false};
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_MEM_DIRTY_TRACKER_H_

@@ -3,6 +3,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -76,7 +77,37 @@ Status LinearMemory::Write(uint64_t offset, const void* src, size_t len) {
     return OutOfRange("LinearMemory write out of bounds");
   }
   std::memcpy(base_ + offset, src, len);
+  MarkDirty(offset, len);
   return OkStatus();
+}
+
+void LinearMemory::MarkDirtySlow(uint64_t offset, uint64_t len) {
+  // Split the range over the private prefix and any shared mappings it
+  // overlaps, forwarding each piece to the owning tracker in region-local
+  // coordinates. Pieces in a mapping's alignment tail (between the region's
+  // host pages and the wasm page boundary) clip inside the region tracker.
+  const uint64_t end = offset + len;
+  uint64_t cursor = offset;
+  const uint64_t private_end = shared_mappings_.front().guest_offset;
+  if (cursor < private_end) {
+    dirty_->MarkDirty(cursor, std::min(end, private_end) - cursor);
+    cursor = private_end;
+  }
+  for (SharedMapping& mapping : shared_mappings_) {
+    if (cursor >= end) {
+      return;
+    }
+    const uint64_t map_start = mapping.guest_offset;
+    const uint64_t map_end =
+        map_start + static_cast<uint64_t>(mapping.mapped_pages) * kWasmPageBytes;
+    if (end <= map_start || cursor >= map_end) {
+      continue;
+    }
+    const uint64_t piece_start = std::max(cursor, map_start);
+    const uint64_t piece_end = std::min(end, map_end);
+    mapping.region->dirty().MarkDirty(piece_start - map_start, piece_end - piece_start);
+    cursor = piece_end;
+  }
 }
 
 Result<std::string> LinearMemory::ReadCString(uint32_t offset, uint32_t max_len) const {
@@ -155,6 +186,26 @@ Status LinearMemory::RestoreFromBytes(const uint8_t* src, size_t len) {
   if (len < size_bytes()) {
     std::memset(base_ + len, 0, size_bytes() - len);
   }
+  dirty_->ClearDirty();
+  return OkStatus();
+}
+
+Status LinearMemory::RestoreDirtyFrom(const uint8_t* src, size_t len) {
+  FAASM_RETURN_IF_ERROR(UnmapSharedRegions());
+  const size_t committed = size_bytes();
+  for (const DirtyRun& run : dirty_->CollectAndClearDirtyRuns()) {
+    if (run.offset >= committed) {
+      break;  // runs are ascending; the rest lie past the private prefix
+    }
+    const size_t end = std::min(run.offset + run.len, committed);
+    const size_t copy_end = std::min(end, std::max(run.offset, len));
+    if (copy_end > run.offset) {
+      std::memcpy(base_ + run.offset, src + run.offset, copy_end - run.offset);
+    }
+    if (end > copy_end) {
+      std::memset(base_ + copy_end, 0, end - copy_end);
+    }
+  }
   return OkStatus();
 }
 
@@ -176,6 +227,7 @@ Status LinearMemory::RestoreCopyOnWrite(int fd, size_t len) {
   if (mapped_len < size_bytes()) {
     std::memset(base_ + mapped_len, 0, size_bytes() - mapped_len);
   }
+  dirty_->ClearDirty();
   return OkStatus();
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "mem/dirty_tracker.h"
 #include "mem/page.h"
 #include "mem/shared_region.h"
 
@@ -57,6 +58,30 @@ class LinearMemory {
   Status Read(uint64_t offset, void* dst, size_t len) const;
   Status Write(uint64_t offset, const void* src, size_t len);
 
+  // --- Dirty tracking -------------------------------------------------------
+  //
+  // Every write path (host-interface Write, interpreter stores) records the
+  // touched host pages here. Marks inside a shared-region mapping are
+  // forwarded to the region's own tracker (so state delta pushes see guest
+  // stores); marks in the private prefix feed the delta reset, which restores
+  // only dirtied pages from the creation snapshot.
+  void MarkDirty(uint64_t offset, uint64_t len) {
+    if (shared_mappings_.empty() ||
+        offset + len <= shared_mappings_.front().guest_offset) {
+      dirty_->MarkDirty(offset, len);
+      return;
+    }
+    MarkDirtySlow(offset, len);
+  }
+  DirtyTracker& dirty() { return *dirty_; }
+
+  // Restores dirty private pages from `src` (the creation snapshot image):
+  // pages below `len` are copied back, dirty pages past the snapshot are
+  // zeroed. Only valid when the non-dirty pages already match the snapshot,
+  // i.e. after a prior full restore or capture. Unmaps shared regions and
+  // clears the tracker.
+  Status RestoreDirtyFrom(const uint8_t* src, size_t len);
+
   // Reads a NUL-terminated guest string with an upper bound.
   Result<std::string> ReadCString(uint32_t offset, uint32_t max_len = 4096) const;
 
@@ -94,13 +119,19 @@ class LinearMemory {
 
  private:
   LinearMemory(uint8_t* base, uint32_t initial_pages, uint32_t max_pages)
-      : base_(base), size_pages_(initial_pages), max_pages_(max_pages) {}
+      : base_(base),
+        size_pages_(initial_pages),
+        max_pages_(max_pages),
+        dirty_(std::make_unique<DirtyTracker>(static_cast<size_t>(max_pages) * kWasmPageBytes,
+                                              kHostPageBytes)) {}
 
   Status CommitPages(size_t from_byte, size_t to_byte);
+  void MarkDirtySlow(uint64_t offset, uint64_t len);
 
   uint8_t* base_;
   uint32_t size_pages_;
   uint32_t max_pages_;
+  std::unique_ptr<DirtyTracker> dirty_;
   std::vector<SharedMapping> shared_mappings_;
 };
 

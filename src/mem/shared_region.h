@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "mem/dirty_tracker.h"
 
 namespace faasm {
 
@@ -34,14 +35,25 @@ class SharedRegion {
   uint8_t* host_view() { return host_view_; }
   const uint8_t* host_view() const { return host_view_; }
 
+  // Write bitmap shared by every writer of the region — host-side state API
+  // writes and guest stores through MAP_SHARED mappings both mark here, so a
+  // delta push sees the union of all Faaslets' writes on this host.
+  DirtyTracker& dirty() { return dirty_; }
+  const DirtyTracker& dirty() const { return dirty_; }
+
  private:
   SharedRegion(int fd, size_t size, size_t mapped_size, uint8_t* host_view)
-      : fd_(fd), size_(size), mapped_size_(mapped_size), host_view_(host_view) {}
+      : fd_(fd),
+        size_(size),
+        mapped_size_(mapped_size),
+        host_view_(host_view),
+        dirty_(mapped_size) {}
 
   int fd_;
   size_t size_;
   size_t mapped_size_;
   uint8_t* host_view_;
+  DirtyTracker dirty_;
 };
 
 }  // namespace faasm

@@ -56,6 +56,10 @@ Status MemorySnapshot::RestoreIntoEager(LinearMemory& memory) const {
   return memory.RestoreFromBytes(view_, size_);
 }
 
+Status MemorySnapshot::RestoreDirty(LinearMemory& memory) const {
+  return memory.RestoreDirtyFrom(view_, size_);
+}
+
 Bytes MemorySnapshot::Serialize() const { return Bytes(view_, view_ + size_); }
 
 }  // namespace faasm

@@ -41,6 +41,11 @@ class MemorySnapshot {
   // Eager memcpy restore, kept for the ablation benchmark.
   Status RestoreIntoEager(LinearMemory& memory) const;
 
+  // Delta restore: copies back only the pages `memory`'s dirty tracker saw
+  // written since the last restore/capture. Valid only when the non-dirty
+  // pages already match this snapshot (warm Faaslet resets).
+  Status RestoreDirty(LinearMemory& memory) const;
+
   // Serialises the image so it can be stored in the global tier and restored
   // on another host.
   Bytes Serialize() const;

@@ -25,11 +25,19 @@ bool TokenBucket::TryConsume(double bytes, TimeNs now_ns) {
 
 TimeNs TokenBucket::NextAvailable(double bytes, TimeNs now_ns) {
   Refill(now_ns);
-  if (tokens_ >= bytes) {
+  double overflow_wait_s = 0;
+  if (bytes > burst_) {
+    // The bucket can never hold this many tokens; waiting for them would
+    // spin forever. Drain the full burst and pace the overflow at the line
+    // rate instead.
+    overflow_wait_s = (bytes - burst_) / rate_;
+    bytes = burst_;
+  }
+  if (tokens_ >= bytes && overflow_wait_s == 0) {
     return now_ns;
   }
-  const double deficit = bytes - tokens_;
-  const double wait_s = deficit / rate_;
+  const double deficit = std::max(0.0, bytes - tokens_);
+  const double wait_s = deficit / rate_ + overflow_wait_s;
   return now_ns + static_cast<TimeNs>(std::ceil(wait_s * 1e9));
 }
 

@@ -19,10 +19,16 @@ class TokenBucket {
   // Attempts to consume `bytes` at time `now_ns`; returns true on success.
   bool TryConsume(double bytes, TimeNs now_ns);
 
-  // Returns the earliest time at which `bytes` tokens will be available.
+  // Returns the earliest time at which a transfer of `bytes` may proceed.
+  // Requests larger than the burst can never be satisfied from the bucket,
+  // so they are clamped: the bucket drains its full burst and the remainder
+  // is charged as additional (rate-paced) wait time. The returned time is
+  // therefore always reachable — callers waiting on it never spin forever.
   TimeNs NextAvailable(double bytes, TimeNs now_ns);
 
   double tokens() const { return tokens_; }
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
 
  private:
   void Refill(TimeNs now_ns);

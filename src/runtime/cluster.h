@@ -5,6 +5,7 @@
 #ifndef FAASM_RUNTIME_CLUSTER_H_
 #define FAASM_RUNTIME_CLUSTER_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -34,11 +35,33 @@ class Frontend {
       : hosts_(hosts), calls_(calls) {}
 
   Result<uint64_t> Submit(const std::string& function, Bytes input) {
-    FaasmInstance& host = *(*hosts_)[next_++ % hosts_->size()];
-    return host.Submit(function, std::move(input));
+    const size_t host_index = next_++ % hosts_->size();
+    FAASM_ASSIGN_OR_RETURN(uint64_t id, (*hosts_)[host_index]->Submit(function, std::move(input)));
+    // Bound the map for fire-and-forget drivers that never Await: finished
+    // calls fall back to the call_id spread below, so dropping them is safe.
+    if (submitted_on_.size() >= kMaxTrackedSubmissions) {
+      for (auto it = submitted_on_.begin(); it != submitted_on_.end();) {
+        it = calls_->IsFinished(it->first) ? submitted_on_.erase(it) : std::next(it);
+      }
+    }
+    submitted_on_[id] = host_index;
+    return id;
   }
 
-  Result<int> Await(uint64_t call_id) { return (*hosts_)[0]->Await(call_id); }
+  // Awaits on the host the call was submitted to, so no single host becomes
+  // a hidden serialisation point for every client await.
+  Result<int> Await(uint64_t call_id) {
+    size_t host_index = call_id % hosts_->size();  // spread unknown ids too
+    auto it = submitted_on_.find(call_id);
+    if (it != submitted_on_.end()) {
+      host_index = it->second;
+    }
+    auto code = (*hosts_)[host_index]->Await(call_id);
+    if (it != submitted_on_.end()) {
+      submitted_on_.erase(it);
+    }
+    return code;
+  }
 
   Result<int> Invoke(const std::string& function, Bytes input) {
     FAASM_ASSIGN_OR_RETURN(uint64_t id, Submit(function, std::move(input)));
@@ -48,9 +71,14 @@ class Frontend {
   Result<Bytes> Output(uint64_t call_id) { return calls_->Output(call_id); }
 
  private:
+  static constexpr size_t kMaxTrackedSubmissions = 1 << 16;
+
   std::vector<std::unique_ptr<FaasmInstance>>* hosts_;
   CallTable* calls_;
   size_t next_ = 0;
+  // call id -> round-robin host it was submitted to (one driver activity per
+  // Frontend, so no locking).
+  std::map<uint64_t, size_t> submitted_on_;
 };
 
 class FaasmCluster {

@@ -40,7 +40,19 @@ class SharedArray {
   T& operator[](size_t i) { return data()[i]; }
   const T& operator[](size_t i) const { return reinterpret_cast<const T*>(kv_->data())[i]; }
 
+  // --- Tracked writes ----------------------------------------------------------
+  // Pointer to elements [first, first+count) with their pages marked dirty,
+  // so Push() ships them as a delta. Writers going through data() instead
+  // must call MarkDirtyElements for the delta push to see the write.
+  T* WritableElements(size_t first, size_t count) {
+    return reinterpret_cast<T*>(kv_->WritableData(first * sizeof(T), count * sizeof(T)));
+  }
+  void MarkDirtyElements(size_t first, size_t count) {
+    kv_->MarkDirty(first * sizeof(T), count * sizeof(T));
+  }
+
   Status Push() { return kv_->Push(); }
+  Status PushFull() { return kv_->PushFull(); }
   Status Pull() { return kv_->Pull(); }
   Status PushElements(size_t first, size_t count) {
     return kv_->PushChunk(first * sizeof(T), count * sizeof(T));
@@ -76,21 +88,30 @@ class AsyncArray {
   T* data() { return array_.data(); }
   T& operator[](size_t i) { return array_[i]; }
 
+  void MarkDirtyElements(size_t first, size_t count) {
+    array_.MarkDirtyElements(first, count);
+  }
+
+  // When false, every push ships the whole value regardless of dirty
+  // tracking (the pre-delta behaviour; the ablation baseline).
+  void set_delta_push(bool delta) { delta_push_ = delta; }
+
   // Counts an update; pushes to the global tier every push_interval calls.
   Status MaybePush() {
     const int count = updates_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (count % push_interval_ == 0) {
-      return array_.Push();
+      return Push();
     }
     return OkStatus();
   }
 
-  Status Push() { return array_.Push(); }
+  Status Push() { return delta_push_ ? array_.Push() : array_.PushFull(); }
   Status Pull() { return array_.Pull(); }
 
  private:
   SharedArray<T> array_;
   int push_interval_;
+  bool delta_push_ = true;
   std::atomic<int> updates_{0};
 };
 

@@ -30,6 +30,47 @@ Status StateKeyValue::EnsureCapacity(size_t size) {
 
 uint8_t* StateKeyValue::data() { return region_ == nullptr ? nullptr : region_->host_view(); }
 
+uint8_t* StateKeyValue::WritableData(size_t offset, size_t len) {
+  if (region_ == nullptr || offset + len > size_ || offset + len < offset) {
+    return nullptr;
+  }
+  // Write-allocate the partially covered boundary pages: a delta push ships
+  // whole pages, so a dirty page the replica never pulled would push local
+  // zeros over live bytes in the global tier. Filling the page first makes
+  // the later page-granular push a faithful read-modify-write. (A missing
+  // global value has nothing to clobber; that pull failure is ignored.)
+  if (len > 0) {
+    auto fill_if_partial = [this](size_t page_start, size_t covered_from, size_t covered_to) {
+      const size_t page_end = std::min(page_start + kStatePageBytes, size_);
+      if (covered_from <= page_start && covered_to >= page_end) {
+        return;  // fully covered: the caller overwrites every byte
+      }
+      {
+        std::lock_guard<std::mutex> guard(pages_mutex_);
+        const size_t page = page_start / kStatePageBytes;
+        if (page >= page_present_.size() || page_present_[page]) {
+          return;
+        }
+      }
+      (void)PullChunk(page_start, page_end - page_start);
+    };
+    const size_t first_page_start = (offset / kStatePageBytes) * kStatePageBytes;
+    const size_t last_page_start = ((offset + len - 1) / kStatePageBytes) * kStatePageBytes;
+    fill_if_partial(first_page_start, offset, offset + len);
+    if (last_page_start != first_page_start) {
+      fill_if_partial(last_page_start, offset, offset + len);
+    }
+  }
+  MarkDirty(offset, len);
+  return region_->host_view() + offset;
+}
+
+void StateKeyValue::MarkDirty(size_t offset, size_t len) {
+  if (region_ != nullptr) {
+    region_->dirty().MarkDirty(offset, len);
+  }
+}
+
 Status StateKeyValue::FetchRange(size_t offset, size_t len) {
   FAASM_ASSIGN_OR_RETURN(Bytes chunk, kvs_->GetRange(key_, offset, len));
   if (offset + chunk.size() > region_->mapped_size()) {
@@ -88,7 +129,59 @@ Status StateKeyValue::PullChunk(size_t offset, size_t len) {
   return OkStatus();
 }
 
-Status StateKeyValue::Push() { return PushChunk(0, size_); }
+Status StateKeyValue::Push() {
+  if (region_ == nullptr) {
+    return FailedPrecondition("push before any local write to '" + key_ + "'");
+  }
+  if (!region_->dirty().ever_marked()) {
+    // No writer has ever reported through the write API: the tracker is
+    // blind, so the only safe push is the whole value.
+    return PushChunk(0, size_);
+  }
+  std::vector<DirtyRun> runs = region_->dirty().CollectAndClearDirtyRuns();
+  // The tracker covers the whole mapped region; clip runs to the value.
+  std::vector<ValueRange> ranges;
+  ranges.reserve(runs.size());
+  LockRead();
+  for (DirtyRun& run : runs) {
+    if (run.offset >= size_) {
+      run.len = 0;
+      continue;
+    }
+    run.len = std::min(run.len, size_ - run.offset);
+    Bytes staging(run.len);
+    std::memcpy(staging.data(), region_->host_view() + run.offset, run.len);
+    ranges.push_back(ValueRange{run.offset, std::move(staging)});
+  }
+  UnlockRead();
+  if (ranges.empty()) {
+    return OkStatus();  // nothing dirtied since the last push
+  }
+  Status pushed = kvs_->SetRanges(key_, ranges);
+  if (!pushed.ok()) {
+    // The global tier never saw the runs; put them back for the next push.
+    for (const DirtyRun& run : runs) {
+      if (run.len > 0) {
+        region_->dirty().MarkDirty(run.offset, run.len);
+      }
+    }
+    return pushed;
+  }
+  std::lock_guard<std::mutex> guard(pages_mutex_);
+  for (const ValueRange& range : ranges) {
+    MarkPushedRangePresentLocked(range.offset, range.bytes.size());
+  }
+  return OkStatus();
+}
+
+Status StateKeyValue::PushFull() {
+  if (region_ == nullptr) {
+    return FailedPrecondition("push before any local write to '" + key_ + "'");
+  }
+  // The full value supersedes any pending delta.
+  region_->dirty().ClearDirty();
+  return PushChunk(0, size_);
+}
 
 Status StateKeyValue::PushChunk(size_t offset, size_t len) {
   if (region_ == nullptr) {
@@ -102,16 +195,28 @@ Status StateKeyValue::PushChunk(size_t offset, size_t len) {
   std::memcpy(staging.data(), region_->host_view() + offset, len);
   UnlockRead();
   FAASM_RETURN_IF_ERROR(kvs_->SetRange(key_, offset, staging));
-  // Everything we pushed is by definition in sync with the global tier.
   std::lock_guard<std::mutex> guard(pages_mutex_);
-  if (len > 0) {
-    const size_t first_page = offset / kStatePageBytes;
-    const size_t last_page = (offset + len - 1) / kStatePageBytes;
-    for (size_t p = first_page; p <= last_page && p < page_present_.size(); ++p) {
-      page_present_[p] = true;
-    }
-  }
+  MarkPushedRangePresentLocked(offset, len);
   return OkStatus();
+}
+
+void StateKeyValue::MarkPushedRangePresentLocked(size_t offset, size_t len) {
+  if (len == 0) {
+    return;
+  }
+  // Only pages the push covered END TO END are now guaranteed in sync with
+  // the global tier. A boundary page covered partially may still hold bytes
+  // the replica never pulled; marking it present would make a later
+  // PullChunk skip the fetch and read local zeros (the partial-page bug).
+  const size_t end = offset + len;
+  const size_t first_full = (offset + kStatePageBytes - 1) / kStatePageBytes;
+  for (size_t p = first_full; p < page_present_.size(); ++p) {
+    const size_t page_end = std::min((p + 1) * kStatePageBytes, size_);
+    if (page_end > end) {
+      break;
+    }
+    page_present_[p] = true;
+  }
 }
 
 Status StateKeyValue::Append(const Bytes& bytes) {

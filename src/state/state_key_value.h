@@ -6,10 +6,41 @@
 // (get_state returns a pointer, not a copy — §3.3).
 //
 // Synchronisation with the authoritative copy in the global tier (the KVS)
-// is explicit via push/pull, full-value or chunked; chunk tracking is page
-// granular so sparse access patterns (e.g. the SGD training matrix columns)
-// transfer only what they touch. Local consistency uses a clock-aware
-// readers/writer lock; global consistency uses the KVS distributed locks.
+// is explicit via push/pull, and proportional to what was touched in BOTH
+// directions:
+//
+//   Pull  — page-granular presence tracking (`page_present_`): only missing
+//           state pages are fetched, so sparse readers (e.g. the SGD matrix
+//           column slices) transfer only what they read.
+//   Push  — page-granular dirty tracking (the SharedRegion's DirtyTracker):
+//           writers that go through WritableData()/MarkDirty() — the host
+//           interface, the DDOs, and guest stores into mapped state — record
+//           the pages they touch, and Push() coalesces the dirty pages into
+//           runs and ships them as ONE batched multi-range write
+//           (KvsClient::SetRanges), so N dirty runs cost one accounted round
+//           trip. ClearDirty happens atomically with run collection; a push
+//           failure re-marks the runs.
+//
+// Consistency rules of the delta-push protocol:
+//   - Between pushes, the global tier may lag the replica arbitrarily; a
+//     reader on another host observes the value as of that host's last pull
+//     and the writers' last push (two-tier weak consistency, §4.3). Use the
+//     global locks for stronger guarantees.
+//   - A delta push writes ONLY dirtied pages, so concurrently-pushed deltas
+//     from different hosts interleave at page granularity instead of
+//     last-writer-wins over the whole value.
+//   - Writers that bypass the write API (raw data() stores from host code)
+//     are invisible to the tracker. If a value has NEVER been marked dirty,
+//     Push() falls back to a conservative full-value push; once any writer
+//     has marked the value, unmarked writes may be lost — route every writer
+//     through WritableData()/MarkDirty (guest stores through mapped state
+//     regions are forwarded automatically by LinearMemory).
+//   - Pushed pages are recorded as present only when the pushed range covers
+//     the page entirely (up to the value size): a partially-pushed page may
+//     still hold bytes the replica never pulled, and must stay fetchable.
+//
+// Local consistency uses a clock-aware readers/writer lock; global
+// consistency uses the KVS distributed locks.
 #ifndef FAASM_STATE_STATE_KEY_VALUE_H_
 #define FAASM_STATE_STATE_KEY_VALUE_H_
 
@@ -47,6 +78,30 @@ class StateKeyValue {
   uint8_t* data();
   std::shared_ptr<SharedRegion> region() { return region_; }
 
+  // --- Write API (dirty tracking) ---------------------------------------------
+  // Pointer into [offset, offset+len) with the covered pages marked dirty, so
+  // the next Push() ships them. Returns nullptr when the replica is not
+  // allocated or the range is out of bounds. Writers must route through this
+  // (or MarkDirty) for delta pushes to see their writes.
+  //
+  // Partially covered boundary pages that are not yet resident are pulled
+  // first (write-allocate): delta pushes ship whole pages, and an unfilled
+  // page would push local zeros over live global bytes. Because of that pull,
+  // do not call this while holding the local write lock unless the range
+  // covers its pages end to end.
+  //
+  // The pages are marked dirty when the pointer is handed out, BEFORE the
+  // caller writes. When another Faaslet may Push() this value concurrently,
+  // call MarkDirty again after the bytes land: a push racing with the write
+  // could otherwise collect-and-clear the early mark while the data was
+  // still in flight, and the write would never be delta-pushed.
+  uint8_t* WritableData(size_t offset, size_t len);
+  // Records a write to [offset, offset+len) done through a raw pointer. No
+  // write-allocate: the bytes are already written, so the caller must have
+  // pulled the surrounding pages (or own them outright) for delta pushes to
+  // be faithful — guest code gets this by calling pull_state before writing.
+  void MarkDirty(size_t offset, size_t len);
+
   // --- Local tier locks (lock_state_read / lock_state_write) -----------------
   void LockRead() { local_lock_.LockRead(); }
   void UnlockRead() { local_lock_.UnlockRead(); }
@@ -59,8 +114,13 @@ class StateKeyValue {
   Status Pull();
   // Pull only [offset, offset+len); fetches just the missing state pages.
   Status PullChunk(size_t offset, size_t len);
-  // Push the whole value / a chunk to the global tier.
+  // Delta push: coalesces the dirty pages into runs and ships them as one
+  // batched multi-range write. No-op when nothing is dirty. Falls back to a
+  // full-value push if no writer has ever marked this value (legacy raw
+  // writers — see the consistency rules above).
   Status Push();
+  // Unconditional full-value push (the pre-delta behaviour; ablation baseline).
+  Status PushFull();
   Status PushChunk(size_t offset, size_t len);
   // Append bytes to the global value (event-stream style; bypasses replica).
   Status Append(const Bytes& bytes);
@@ -82,6 +142,11 @@ class StateKeyValue {
  private:
   // Fetches [offset,len) from the global tier into the replica.
   Status FetchRange(size_t offset, size_t len);
+
+  // Marks the pages fully covered by a pushed [offset,len) as present (the
+  // last page counts as covered when the range reaches the value size).
+  // Requires pages_mutex_.
+  void MarkPushedRangePresentLocked(size_t offset, size_t len);
 
   std::string key_;
   KvsClient* kvs_;

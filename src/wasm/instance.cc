@@ -571,6 +571,7 @@ Status Instance::Run() {
         const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
         MEM_CHECK(addr, 4);
         std::memcpy(mem->base() + addr, &v.i32, 4);
+        mem->MarkDirty(addr, 4);
         break;
       }
       case static_cast<uint16_t>(Op::kI64Store): {
@@ -578,6 +579,7 @@ Status Instance::Run() {
         const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
         MEM_CHECK(addr, 8);
         std::memcpy(mem->base() + addr, &v.i64, 8);
+        mem->MarkDirty(addr, 8);
         break;
       }
       case static_cast<uint16_t>(Op::kF32Store): {
@@ -585,6 +587,7 @@ Status Instance::Run() {
         const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
         MEM_CHECK(addr, 4);
         std::memcpy(mem->base() + addr, &v.f32, 4);
+        mem->MarkDirty(addr, 4);
         break;
       }
       case static_cast<uint16_t>(Op::kF64Store): {
@@ -592,6 +595,7 @@ Status Instance::Run() {
         const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
         MEM_CHECK(addr, 8);
         std::memcpy(mem->base() + addr, &v.f64, 8);
+        mem->MarkDirty(addr, 8);
         break;
       }
       case static_cast<uint16_t>(Op::kI32Store8): {
@@ -600,6 +604,7 @@ Status Instance::Run() {
         MEM_CHECK(addr, 1);
         const uint8_t byte = static_cast<uint8_t>(v.i32);
         std::memcpy(mem->base() + addr, &byte, 1);
+        mem->MarkDirty(addr, 1);
         break;
       }
       case static_cast<uint16_t>(Op::kI32Store16): {
@@ -608,6 +613,7 @@ Status Instance::Run() {
         MEM_CHECK(addr, 2);
         const uint16_t half = static_cast<uint16_t>(v.i32);
         std::memcpy(mem->base() + addr, &half, 2);
+        mem->MarkDirty(addr, 2);
         break;
       }
       case static_cast<uint16_t>(Op::kI64Store8): {
@@ -616,6 +622,7 @@ Status Instance::Run() {
         MEM_CHECK(addr, 1);
         const uint8_t byte = static_cast<uint8_t>(v.i64);
         std::memcpy(mem->base() + addr, &byte, 1);
+        mem->MarkDirty(addr, 1);
         break;
       }
       case static_cast<uint16_t>(Op::kI64Store16): {
@@ -624,6 +631,7 @@ Status Instance::Run() {
         MEM_CHECK(addr, 2);
         const uint16_t half = static_cast<uint16_t>(v.i64);
         std::memcpy(mem->base() + addr, &half, 2);
+        mem->MarkDirty(addr, 2);
         break;
       }
       case static_cast<uint16_t>(Op::kI64Store32): {
@@ -632,6 +640,7 @@ Status Instance::Run() {
         MEM_CHECK(addr, 4);
         const uint32_t word = static_cast<uint32_t>(v.i64);
         std::memcpy(mem->base() + addr, &word, 4);
+        mem->MarkDirty(addr, 4);
         break;
       }
 

@@ -86,7 +86,11 @@ int LeafMultiply(InvocationContext& ctx, const DivideInput& in) {
 
   const auto* a = reinterpret_cast<const double*>(a_kv->data());
   const auto* b = reinterpret_cast<const double*>(b_kv->data());
-  auto* out = reinterpret_cast<double*>(out_kv->data());
+  auto* out = reinterpret_cast<double*>(
+      out_kv->WritableData(0, static_cast<size_t>(in.size) * in.size * sizeof(double)));
+  if (out == nullptr) {
+    return 5;
+  }
 
   Stopwatch compute;
   // ikj loop order for locality over the row-major operands.
@@ -104,6 +108,9 @@ int LeafMultiply(InvocationContext& ctx, const DivideInput& in) {
   }
   ctx.ChargeCompute(compute.ElapsedNs());
 
+  // Re-mark after the writes so a concurrent push cannot have cleared the
+  // WritableData mark while the tile was still being filled.
+  out_kv->MarkDirty(0, static_cast<size_t>(in.size) * in.size * sizeof(double));
   return out_kv->Push().ok() ? 0 : 6;
 }
 
@@ -193,7 +200,11 @@ int MatmulMergeFunction(InvocationContext& ctx) {
            .ok()) {
     return 5;
   }
-  auto* out = reinterpret_cast<double*>(out_kv->data());
+  auto* out = reinterpret_cast<double*>(out_kv->WritableData(
+      0, static_cast<size_t>(size.value()) * size.value() * sizeof(double)));
+  if (out == nullptr) {
+    return 5;
+  }
 
   Stopwatch compute;
   int child_index = 0;
@@ -220,6 +231,7 @@ int MatmulMergeFunction(InvocationContext& ctx) {
   }
   ctx.ChargeCompute(compute.ElapsedNs());
 
+  out_kv->MarkDirty(0, static_cast<size_t>(size.value()) * size.value() * sizeof(double));
   return out_kv->Push().ok() ? 0 : 6;
 }
 

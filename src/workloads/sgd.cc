@@ -56,13 +56,14 @@ size_t SeedSgdDataset(KvStore& kvs, const SgdConfig& config) {
 }
 
 Bytes EncodeSgdWorkerInput(uint32_t col_start, uint32_t col_end, float learning_rate,
-                           uint32_t push_interval) {
+                           uint32_t push_interval, bool delta_push) {
   Bytes out;
   ByteWriter writer(out);
   writer.Put<uint32_t>(col_start);
   writer.Put<uint32_t>(col_end);
   writer.Put<float>(learning_rate);
   writer.Put<uint32_t>(push_interval);
+  writer.Put<uint8_t>(delta_push ? 1 : 0);
   return out;
 }
 
@@ -72,7 +73,9 @@ int SgdUpdateFunction(InvocationContext& ctx) {
   auto col_end = reader.Get<uint32_t>();
   auto learning_rate = reader.Get<float>();
   auto push_interval = reader.Get<uint32_t>();
-  if (!col_start.ok() || !col_end.ok() || !learning_rate.ok() || !push_interval.ok()) {
+  auto delta_push = reader.Get<uint8_t>();
+  if (!col_start.ok() || !col_end.ok() || !learning_rate.ok() || !push_interval.ok() ||
+      !delta_push.ok()) {
     return 2;
   }
 
@@ -81,6 +84,7 @@ int SgdUpdateFunction(InvocationContext& ctx) {
   SharedArray<double> labels(&ctx.state(), kSgdLabelsKey);
   AsyncArray<double> weights(&ctx.state(), kSgdWeightsKey,
                              static_cast<int>(push_interval.value()));
+  weights.set_delta_push(delta_push.value() != 0);
   if (!matrix.Attach().ok() || !weights.Attach().ok()) {
     return 3;
   }
@@ -108,6 +112,8 @@ int SgdUpdateFunction(InvocationContext& ctx) {
     const double error = labels[col] - prediction;
     for (uint64_t k = col_ptr[col]; k < col_ptr[col + 1]; ++k) {
       w[rows[k]] += lr * error * values[k];
+      // Report the racy write so delta pushes ship only the touched pages.
+      weights.MarkDirtyElements(rows[k], 1);
     }
     // Sporadic push of the shared vector to the global tier (line 13).
     if (!weights.MaybePush().ok()) {

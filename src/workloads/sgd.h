@@ -25,6 +25,9 @@ struct SgdConfig {
   uint32_t n_epochs = 3;
   float learning_rate = 0.05f;
   uint32_t push_interval = 64;   // AsyncArray batching of weight pushes
+  // Delta (dirty-run) weight pushes vs full-value pushes (ablation knob;
+  // delta is the production path).
+  bool delta_push = true;
   uint64_t seed = 42;
 };
 
@@ -51,7 +54,7 @@ Status RegisterSgdFunctions(FunctionRegistry& registry);
 
 // Encodes a worker input.
 Bytes EncodeSgdWorkerInput(uint32_t col_start, uint32_t col_end, float learning_rate,
-                           uint32_t push_interval);
+                           uint32_t push_interval, bool delta_push = true);
 
 // Drives one full training run through a platform client (Frontend or
 // KnativeCluster::Client): chains n_workers updates per epoch and awaits
@@ -69,7 +72,8 @@ Result<double> RunSgdTraining(Client& client, const SgdConfig& config) {
       FAASM_ASSIGN_OR_RETURN(
           uint64_t id,
           client.Submit("sgd_update", EncodeSgdWorkerInput(start, end, config.learning_rate,
-                                                           config.push_interval)));
+                                                           config.push_interval,
+                                                           config.delta_push)));
       ids.push_back(id);
     }
     for (uint64_t id : ids) {

@@ -42,6 +42,39 @@ TEST_F(KvsClientTest, RangedOps) {
   EXPECT_EQ(client.Size("key").value(), 6u);
 }
 
+TEST_F(KvsClientTest, SetRangesAppliesAllRangesInOneRoundTrip) {
+  KvsClient client(&network_, "host-0");
+  ASSERT_TRUE(client.Set("key", Bytes(6, 0)).ok());
+  network_.ResetStats();
+  std::vector<ValueRange> ranges;
+  ranges.push_back(ValueRange{1, Bytes{7, 7}});
+  ranges.push_back(ValueRange{4, Bytes{8, 8, 8}});  // extends the value to 7
+  ASSERT_TRUE(client.SetRanges("key", ranges).ok());
+  EXPECT_EQ(store_.Get("key").value(), (Bytes{0, 7, 7, 0, 8, 8, 8}));
+  // The whole batch costs one request/response pair.
+  EXPECT_EQ(network_.StatsFor("host-0").tx_messages, 1u);
+  EXPECT_EQ(network_.StatsFor("host-0").rx_messages, 1u);
+}
+
+TEST_F(KvsClientTest, AbsurdRangeOffsetsRejected) {
+  // Offsets come off the wire: an overflowing offset + length must be
+  // rejected, not wrap around and scribble past the value buffer.
+  KvsClient client(&network_, "host-0");
+  EXPECT_FALSE(client.SetRange("key", ~uint64_t{0} - 1, Bytes{1, 2}).ok());
+  std::vector<ValueRange> ranges;
+  ranges.push_back(ValueRange{~uint64_t{0} - 1, Bytes{1, 2}});
+  EXPECT_FALSE(client.SetRanges("key", ranges).ok());
+  EXPECT_FALSE(store_.Exists("key"));
+}
+
+TEST_F(KvsClientTest, SetRangesOnMissingKeyCreatesIt) {
+  KvsClient client(&network_, "host-0");
+  std::vector<ValueRange> ranges;
+  ranges.push_back(ValueRange{2, Bytes{9}});
+  ASSERT_TRUE(client.SetRanges("fresh", ranges).ok());
+  EXPECT_EQ(store_.Get("fresh").value(), (Bytes{0, 0, 9}));
+}
+
 TEST_F(KvsClientTest, AppendReturnsNewLength) {
   KvsClient client(&network_, "host-0");
   EXPECT_EQ(client.Append("log", Bytes{1, 2}).value(), 2u);

@@ -1,0 +1,126 @@
+// DirtyTracker tests: marking, run coalescing (adjacent and disjoint),
+// clipping, clear semantics and the grab-and-clear collection used by delta
+// push.
+#include "mem/dirty_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace faasm {
+namespace {
+
+constexpr size_t kPage = 4096;
+
+TEST(DirtyTrackerTest, StartsClean) {
+  DirtyTracker tracker(16 * kPage);
+  EXPECT_FALSE(tracker.ever_marked());
+  EXPECT_FALSE(tracker.any_dirty());
+  EXPECT_EQ(tracker.dirty_page_count(), 0u);
+  EXPECT_TRUE(tracker.CollectDirtyRuns().empty());
+}
+
+TEST(DirtyTrackerTest, MarkCoversEveryTouchedPage) {
+  DirtyTracker tracker(16 * kPage);
+  // 2 bytes straddling the page 1/2 boundary dirty both pages.
+  tracker.MarkDirty(2 * kPage - 1, 2);
+  EXPECT_TRUE(tracker.ever_marked());
+  EXPECT_EQ(tracker.dirty_page_count(), 2u);
+  const auto runs = tracker.CollectDirtyRuns();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (DirtyRun{kPage, 2 * kPage}));
+}
+
+TEST(DirtyTrackerTest, AdjacentMarksCoalesceIntoOneRun) {
+  DirtyTracker tracker(16 * kPage);
+  tracker.MarkDirty(3 * kPage, kPage);
+  tracker.MarkDirty(4 * kPage, 10);
+  tracker.MarkDirty(5 * kPage + 100, 50);
+  const auto runs = tracker.CollectDirtyRuns();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (DirtyRun{3 * kPage, 3 * kPage}));
+}
+
+TEST(DirtyTrackerTest, DisjointMarksStayDisjointRuns) {
+  DirtyTracker tracker(16 * kPage);
+  tracker.MarkDirty(0, 1);
+  tracker.MarkDirty(5 * kPage, 1);
+  tracker.MarkDirty(15 * kPage, kPage);
+  const auto runs = tracker.CollectDirtyRuns();
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (DirtyRun{0, kPage}));
+  EXPECT_EQ(runs[1], (DirtyRun{5 * kPage, kPage}));
+  EXPECT_EQ(runs[2], (DirtyRun{15 * kPage, kPage}));
+}
+
+TEST(DirtyTrackerTest, RunsSpanWordBoundaries) {
+  // 200 pages > three 64-page bitmap words; one run across all of them.
+  DirtyTracker tracker(200 * kPage);
+  tracker.MarkDirty(10 * kPage, 180 * kPage);
+  const auto runs = tracker.CollectDirtyRuns();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (DirtyRun{10 * kPage, 180 * kPage}));
+}
+
+TEST(DirtyTrackerTest, FullExtentRunClosesAtLastPage) {
+  DirtyTracker tracker(64 * kPage);  // exactly one bitmap word
+  tracker.MarkDirty(0, 64 * kPage);
+  const auto runs = tracker.CollectDirtyRuns();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (DirtyRun{0, 64 * kPage}));
+}
+
+TEST(DirtyTrackerTest, MarksPastExtentAreClipped) {
+  DirtyTracker tracker(4 * kPage);
+  tracker.MarkDirty(10 * kPage, kPage);  // entirely past: dropped
+  EXPECT_FALSE(tracker.any_dirty());
+  tracker.MarkDirty(3 * kPage + 1, 4 * kPage);  // straddles the end: clipped
+  const auto runs = tracker.CollectDirtyRuns();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (DirtyRun{3 * kPage, kPage}));
+}
+
+TEST(DirtyTrackerTest, ClearDirtyKeepsEverMarked) {
+  DirtyTracker tracker(16 * kPage);
+  tracker.MarkDirty(0, 1);
+  tracker.ClearDirty();
+  EXPECT_FALSE(tracker.any_dirty());
+  EXPECT_TRUE(tracker.CollectDirtyRuns().empty());
+  // ever_marked survives: consumers still know this value has a reporting
+  // writer and must not fall back to full transfers.
+  EXPECT_TRUE(tracker.ever_marked());
+}
+
+TEST(DirtyTrackerTest, CollectAndClearGrabsAtomically) {
+  DirtyTracker tracker(16 * kPage);
+  tracker.MarkDirty(2 * kPage, kPage);
+  const auto runs = tracker.CollectAndClearDirtyRuns();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_FALSE(tracker.any_dirty());
+  // A failed downstream transfer re-marks the runs and the next collection
+  // sees them again.
+  tracker.MarkDirty(runs[0].offset, runs[0].len);
+  EXPECT_EQ(tracker.CollectDirtyRuns(), runs);
+}
+
+TEST(DirtyTrackerTest, ConcurrentMarksAllLand) {
+  DirtyTracker tracker(256 * kPage);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&tracker, t] {
+      for (size_t page = t; page < 256; page += 4) {
+        tracker.MarkDirty(page * kPage, 1);
+      }
+    });
+  }
+  for (auto& writer : writers) {
+    writer.join();
+  }
+  EXPECT_EQ(tracker.dirty_page_count(), 256u);
+  const auto runs = tracker.CollectDirtyRuns();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (DirtyRun{0, 256 * kPage}));
+}
+
+}  // namespace
+}  // namespace faasm

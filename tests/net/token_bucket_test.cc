@@ -39,6 +39,23 @@ TEST(TokenBucketTest, NextAvailableComputesWait) {
   EXPECT_TRUE(bucket.TryConsume(250.0, t));
 }
 
+TEST(TokenBucketTest, OversizedRequestGetsReachableWakeUpTime) {
+  // Regression: for bytes > burst the bucket can never hold enough tokens,
+  // and NextAvailable used to return a time at which consumption still
+  // failed, so callers waiting for it spun forever. Oversized requests are
+  // clamped: the burst drains and the overflow is charged as wait time.
+  TokenBucket bucket(/*rate=*/1000.0, /*burst=*/100.0);
+  // Bucket starts full: the 900-byte overflow paces out at the line rate.
+  const TimeNs t = bucket.NextAvailable(1000.0, 0);
+  EXPECT_EQ(t, 900 * kMillisecond);
+  // At the promised time the (clamped) consumption succeeds and drains the
+  // burst — the wait is reachable, not infinite.
+  EXPECT_TRUE(bucket.TryConsume(bucket.burst(), t));
+  EXPECT_FALSE(bucket.TryConsume(1.0, t));
+  // From an empty bucket the wait covers refilling the burst plus overflow.
+  EXPECT_EQ(bucket.NextAvailable(1000.0, t), t + 1000 * kMillisecond);
+}
+
 TEST(TokenBucketTest, ShapingEnforcesLongTermRate) {
   // Consume in a loop; total consumed over 10 s must not exceed rate * 10 + burst.
   TokenBucket bucket(/*rate=*/1e6, /*burst=*/1e5);

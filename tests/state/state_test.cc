@@ -104,6 +104,139 @@ TEST_F(StateTest, PushChunkWritesRange) {
   EXPECT_EQ(global[4196], 0x00);
 }
 
+TEST_F(StateTest, PartialPagePushDoesNotMarkPagePresent) {
+  // Regression: pushing [0, 100) used to mark all of page 0 present, so a
+  // later pull skipped fetching bytes the replica never held and read zeros.
+  SeedGlobal("k", 2 * StateKeyValue::kStatePageBytes, 0xAA);
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->EnsureCapacity(2 * StateKeyValue::kStatePageBytes).ok());
+  std::memset(kv->data(), 0xBB, 100);
+  ASSERT_TRUE(kv->PushChunk(0, 100).ok());
+  EXPECT_EQ(kv->resident_pages(), 0u);  // page 0 only partially covered
+  ASSERT_TRUE(kv->PullChunk(0, StateKeyValue::kStatePageBytes).ok());
+  EXPECT_EQ(kv->data()[0], 0xBB);    // the pushed bytes round-trip via the global tier
+  EXPECT_EQ(kv->data()[200], 0xAA);  // bytes the replica never held are fetched, not zeros
+}
+
+TEST_F(StateTest, FullyCoveredPagesMarkedPresentByPush) {
+  SeedGlobal("k", 3 * StateKeyValue::kStatePageBytes, 0x00);
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->EnsureCapacity(3 * StateKeyValue::kStatePageBytes).ok());
+  // [0, page+100): page 0 fully covered, page 1 partially.
+  ASSERT_TRUE(kv->PushChunk(0, StateKeyValue::kStatePageBytes + 100).ok());
+  EXPECT_EQ(kv->resident_pages(), 1u);
+}
+
+TEST_F(StateTest, PushTailPageOfValueCountsAsCovered) {
+  // A value ending mid-page: pushing through the end covers the tail page.
+  SeedGlobal("k", StateKeyValue::kStatePageBytes + 100, 0x00);
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->Pull().ok());
+  kv->InvalidateReplica();
+  ASSERT_TRUE(kv->PushChunk(StateKeyValue::kStatePageBytes, 100).ok());
+  EXPECT_EQ(kv->resident_pages(), 1u);
+}
+
+TEST_F(StateTest, DeltaPushShipsOnlyDirtyRuns) {
+  const size_t size = 16 * StateKeyValue::kStatePageBytes;
+  SeedGlobal("k", size, 0x00);
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->Pull().ok());
+
+  // Two disjoint dirty runs via the write API.
+  uint8_t* first = kv->WritableData(StateKeyValue::kStatePageBytes, 10);
+  ASSERT_NE(first, nullptr);
+  std::memset(first, 0x11, 10);
+  uint8_t* second = kv->WritableData(5 * StateKeyValue::kStatePageBytes,
+                                     2 * StateKeyValue::kStatePageBytes);
+  ASSERT_NE(second, nullptr);
+  std::memset(second, 0x22, 2 * StateKeyValue::kStatePageBytes);
+
+  network_.ResetStats();
+  ASSERT_TRUE(kv->Push().ok());
+  // Three dirty pages shipped in ONE round trip — not the 64 KiB value, not
+  // one RPC per run.
+  EXPECT_LT(network_.total_bytes(), 4 * StateKeyValue::kStatePageBytes);
+  EXPECT_EQ(network_.StatsFor("host-0").tx_messages, 1u);
+
+  auto global = store_.Get("k").value();
+  EXPECT_EQ(global[StateKeyValue::kStatePageBytes], 0x11);
+  EXPECT_EQ(global[5 * StateKeyValue::kStatePageBytes], 0x22);
+  EXPECT_EQ(global[7 * StateKeyValue::kStatePageBytes - 1], 0x22);
+  EXPECT_EQ(global[0], 0x00);
+}
+
+TEST_F(StateTest, DeltaPushClearsDirtyAfterSuccess) {
+  SeedGlobal("k", 8 * StateKeyValue::kStatePageBytes, 0x00);
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->Pull().ok());
+  std::memset(kv->WritableData(0, 100), 0x33, 100);
+  ASSERT_TRUE(kv->Push().ok());
+  // Nothing dirtied since: a second push moves no bytes at all.
+  network_.ResetStats();
+  ASSERT_TRUE(kv->Push().ok());
+  EXPECT_EQ(network_.total_bytes(), 0u);
+}
+
+TEST_F(StateTest, SparseTrackedWriteDoesNotClobberGlobalNeighbours) {
+  // Delta pushes ship whole pages, so WritableData on a never-pulled page
+  // must fill it from the global tier first (write-allocate) — otherwise the
+  // push would overwrite live global bytes with local zeros.
+  SeedGlobal("k", 2 * StateKeyValue::kStatePageBytes, 0xAA);
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->EnsureCapacity(2 * StateKeyValue::kStatePageBytes).ok());
+  uint8_t* dst = kv->WritableData(0, 10);
+  ASSERT_NE(dst, nullptr);
+  std::memset(dst, 0xBB, 10);
+  ASSERT_TRUE(kv->Push().ok());
+  auto global = store_.Get("k").value();
+  EXPECT_EQ(global[0], 0xBB);
+  EXPECT_EQ(global[9], 0xBB);
+  // Bytes of page 0 the writer did not touch keep their global value.
+  EXPECT_EQ(global[10], 0xAA);
+  EXPECT_EQ(global[StateKeyValue::kStatePageBytes - 1], 0xAA);
+}
+
+TEST_F(StateTest, WritableDataOnMissingGlobalValueStillWorks) {
+  // Brand-new value: nothing in the global tier to fill from; the pull
+  // failure is tolerated and the push creates the value.
+  auto kv = tier_.Lookup("fresh");
+  ASSERT_TRUE(kv->EnsureCapacity(100).ok());
+  uint8_t* dst = kv->WritableData(0, 10);
+  ASSERT_NE(dst, nullptr);
+  std::memset(dst, 0xCC, 10);
+  ASSERT_TRUE(kv->Push().ok());
+  EXPECT_EQ(store_.Get("fresh").value()[0], 0xCC);
+}
+
+TEST_F(StateTest, UntrackedWritersFallBackToFullPush) {
+  // Legacy writers bypass the write API entirely; with no dirty information
+  // ever recorded, Push must conservatively ship the whole value.
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->EnsureCapacity(2 * StateKeyValue::kStatePageBytes).ok());
+  std::memset(kv->data(), 0x44, 2 * StateKeyValue::kStatePageBytes);
+  ASSERT_TRUE(kv->Push().ok());
+  EXPECT_EQ(store_.Get("k").value(),
+            Bytes(2 * StateKeyValue::kStatePageBytes, 0x44));
+}
+
+TEST_F(StateTest, PushFullShipsWholeValueDespiteTracking) {
+  SeedGlobal("k", 4 * StateKeyValue::kStatePageBytes, 0x00);
+  auto kv = tier_.Lookup("k");
+  ASSERT_TRUE(kv->Pull().ok());
+  std::memset(kv->WritableData(0, 10), 0x55, 10);
+  // Out-of-band (untracked) write on another page.
+  kv->data()[3 * StateKeyValue::kStatePageBytes] = 0x66;
+  ASSERT_TRUE(kv->PushFull().ok());
+  auto global = store_.Get("k").value();
+  EXPECT_EQ(global[0], 0x55);
+  EXPECT_EQ(global[3 * StateKeyValue::kStatePageBytes], 0x66);
+  // The full push superseded the pending delta: nothing left to push.
+  network_.ResetStats();
+  ASSERT_TRUE(kv->Push().ok());
+  EXPECT_EQ(network_.total_bytes(), 0u);
+}
+
 TEST_F(StateTest, OutOfRangeChunksRejected) {
   SeedGlobal("k", 100, 0x01);
   auto kv = tier_.Lookup("k");
