@@ -25,9 +25,14 @@ struct Point {
   bool ok = false;
 };
 
+// Global-tier layout under test (--tier=central|sharded; default sharded,
+// the production path).
+StateTier g_tier = StateTier::kSharded;
+
 ClusterConfig MakeClusterConfig(bool small_data) {
   ClusterConfig config;
   config.hosts = 10;
+  config.state_tier = g_tier;
   config.cores_per_host = 4;
   // One training function per core before a host withdraws from the warm set
   // (mirrors the baseline's per-pod concurrency target of 1).
@@ -102,7 +107,22 @@ Point RunKnative(bool small_data, uint32_t workers) {
 
 int main(int argc, char** argv) {
   using namespace faasm;
-  const bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--small") {
+      small = true;
+    } else if (arg == "--tier=central") {
+      g_tier = StateTier::kCentral;
+    } else if (arg == "--tier=sharded") {
+      g_tier = StateTier::kSharded;
+    } else {
+      std::fprintf(stderr, "usage: %s [--small] [--tier=central|sharded]\n", argv[0]);
+      return 2;
+    }
+  }
+  std::printf("[FAASM global tier: %s]\n",
+              g_tier == StateTier::kSharded ? "sharded (per-host masters)" : "central");
 
   if (small) {
     PrintHeader("Sec 6.2 small-data variant (128 examples, 32 parallel functions)");

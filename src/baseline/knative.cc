@@ -311,7 +311,8 @@ void KnativeCluster::Run(const std::function<void(Client&)>& driver) {
 double KnativeCluster::billable_gb_seconds() const {
   double total = 0;
   for (const auto& host : hosts_) {
-    total += const_cast<KnativeInstance&>(*host).memory_accountant().GbSeconds();
+    const KnativeInstance& instance = *host;
+    total += instance.memory_accountant().GbSeconds();
   }
   return total;
 }

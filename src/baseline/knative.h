@@ -109,6 +109,7 @@ class KnativeInstance {
 
   const std::string& name() const { return config_.name; }
   MemoryAccountant& memory_accountant() { return memory_; }
+  const MemoryAccountant& memory_accountant() const { return memory_; }
   size_t cold_start_count() const { return cold_starts_.load(); }
   size_t container_count() const;
 
@@ -153,7 +154,9 @@ class KnativeCluster {
   KnativeCluster& operator=(const KnativeCluster&) = delete;
 
   FunctionRegistry& registry() { return registry_; }
-  KvStore& kvs() { return kvs_; }
+  // Single-store view: the baseline keeps the centralised tier the paper's
+  // platforms use, but presents the same seeding interface as FaasmCluster.
+  ShardedKvs& kvs() { return kvs_view_; }
   InProcNetwork& network() { return *network_; }
   SimClock& clock() { return executor_.clock(); }
   SimExecutor& executor() { return executor_; }
@@ -203,6 +206,7 @@ class KnativeCluster {
   SimExecutor executor_;
   std::unique_ptr<InProcNetwork> network_;
   KvStore kvs_;
+  ShardedKvs kvs_view_{&kvs_};
   std::unique_ptr<KvsServer> kvs_server_;
   FunctionRegistry registry_;
   CallTable calls_;

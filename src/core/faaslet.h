@@ -47,6 +47,10 @@ struct FunctionSpec {
   // real (e.g. a dynamic language runtime booting): charged to virtual time
   // at cold start, captured away by Proto-Faaslet snapshots.
   TimeNs simulated_init_ns = 0;
+  // Optional state key this function's traffic is centred on. The scheduler
+  // uses it as a locality hint: placement prefers the host mastering the
+  // key's global-tier shard, whose push/pull cost zero network bytes.
+  std::string state_affinity_key;
 };
 
 // Host-side wiring a Faaslet needs: clock, state tier, network, file store,

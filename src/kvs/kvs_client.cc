@@ -199,135 +199,257 @@ Bytes KvsServer::Handle(const Bytes& request) {
 KvsClient::KvsClient(InProcNetwork* network, std::string source, std::string server)
     : network_(network), source_(std::move(source)), server_(std::move(server)) {}
 
-Result<Bytes> KvsClient::Invoke(KvsOp op, const std::function<void(ByteWriter&)>& write_args) {
+KvsClient::KvsClient(InProcNetwork* network, std::string source, const ShardMap* shards,
+                     KvStore* local_store)
+    : network_(network),
+      source_(std::move(source)),
+      shards_(shards),
+      local_store_(local_store),
+      local_endpoint_(ShardMap::EndpointForHost(source_)) {}
+
+KvsClient::Route KvsClient::RouteFor(const std::string& key) const {
+  if (shards_ == nullptr) {
+    return Route{nullptr, server_};
+  }
+  std::string master = shards_->MasterFor(key);
+  if (local_store_ != nullptr && master == local_endpoint_) {
+    // Local fast path: this host IS the key's master. Direct in-process
+    // store call; no round trip, no accounted bytes.
+    return Route{local_store_, std::move(master)};
+  }
+  return Route{nullptr, std::move(master)};
+}
+
+bool KvsClient::MasterLocal(const std::string& key) const {
+  // Defined in terms of RouteFor so the scheduler's placement hint can never
+  // diverge from the routing the ops actually take.
+  return RouteFor(key).local != nullptr;
+}
+
+std::string KvsClient::MasterHostFor(const std::string& key) const {
+  if (shards_ == nullptr) {
+    return "";
+  }
+  return ShardMap::HostForEndpoint(shards_->MasterFor(key));
+}
+
+Result<Bytes> KvsClient::Invoke(const std::string& server, KvsOp op,
+                                const std::function<void(ByteWriter&)>& write_args) {
   Bytes request;
   ByteWriter writer(request);
   writer.Put<uint8_t>(static_cast<uint8_t>(op));
   write_args(writer);
-  return network_->Call(source_, server_, request);
+  return network_->Call(source_, server, request);
 }
-
 Status KvsClient::Set(const std::string& key, const Bytes& value) {
-  auto response = Invoke(KvsOp::kSet, [&](ByteWriter& w) {
-    w.PutString(key);
-    w.PutBytes(value);
-  });
-  if (!response.ok()) {
-    return response.status();
-  }
-  ByteReader reader(response.value());
-  return ReadStatus(reader);
+  return Routed(
+      key,
+      [&](KvStore& store) {
+        store.Set(key, value);
+        return OkStatus();
+      },
+      [&](const std::string& server) {
+        auto response = Invoke(server, KvsOp::kSet, [&](ByteWriter& w) {
+          w.PutString(key);
+          w.PutBytes(value);
+        });
+        if (!response.ok()) {
+          return response.status();
+        }
+        ByteReader reader(response.value());
+        return ReadStatus(reader);
+      });
 }
 
 Result<Bytes> KvsClient::Get(const std::string& key) {
-  auto response = Invoke(KvsOp::kGet, [&](ByteWriter& w) { w.PutString(key); });
-  if (!response.ok()) {
-    return response.status();
-  }
-  ByteReader reader(response.value());
-  FAASM_RETURN_IF_ERROR(ReadStatus(reader));
-  return reader.GetBytes();
+  return Routed(
+      key, [&](KvStore& store) { return store.Get(key); },
+      [&](const std::string& server) -> Result<Bytes> {
+        auto response = Invoke(server, KvsOp::kGet, [&](ByteWriter& w) { w.PutString(key); });
+        if (!response.ok()) {
+          return response.status();
+        }
+        ByteReader reader(response.value());
+        FAASM_RETURN_IF_ERROR(ReadStatus(reader));
+        return reader.GetBytes();
+      });
 }
 
 Result<Bytes> KvsClient::GetRange(const std::string& key, uint64_t offset, uint64_t len) {
-  auto response = Invoke(KvsOp::kGetRange, [&](ByteWriter& w) {
-    w.PutString(key);
-    w.Put<uint64_t>(offset);
-    w.Put<uint64_t>(len);
-  });
-  if (!response.ok()) {
-    return response.status();
-  }
-  ByteReader reader(response.value());
-  FAASM_RETURN_IF_ERROR(ReadStatus(reader));
-  return reader.GetBytes();
+  return Routed(
+      key, [&](KvStore& store) { return store.GetRange(key, offset, len); },
+      [&](const std::string& server) -> Result<Bytes> {
+        auto response = Invoke(server, KvsOp::kGetRange, [&](ByteWriter& w) {
+          w.PutString(key);
+          w.Put<uint64_t>(offset);
+          w.Put<uint64_t>(len);
+        });
+        if (!response.ok()) {
+          return response.status();
+        }
+        ByteReader reader(response.value());
+        FAASM_RETURN_IF_ERROR(ReadStatus(reader));
+        return reader.GetBytes();
+      });
 }
 
 Status KvsClient::SetRange(const std::string& key, uint64_t offset, const Bytes& bytes) {
-  auto response = Invoke(KvsOp::kSetRange, [&](ByteWriter& w) {
-    w.PutString(key);
-    w.Put<uint64_t>(offset);
-    w.PutBytes(bytes);
-  });
-  if (!response.ok()) {
-    return response.status();
-  }
-  ByteReader reader(response.value());
-  return ReadStatus(reader);
+  return Routed(
+      key, [&](KvStore& store) { return store.SetRange(key, offset, bytes); },
+      [&](const std::string& server) {
+        auto response = Invoke(server, KvsOp::kSetRange, [&](ByteWriter& w) {
+          w.PutString(key);
+          w.Put<uint64_t>(offset);
+          w.PutBytes(bytes);
+        });
+        if (!response.ok()) {
+          return response.status();
+        }
+        ByteReader reader(response.value());
+        return ReadStatus(reader);
+      });
 }
 
 Status KvsClient::SetRanges(const std::string& key, const std::vector<ValueRange>& ranges) {
-  auto response = Invoke(KvsOp::kSetRanges, [&](ByteWriter& w) {
-    w.PutString(key);
-    w.Put<uint32_t>(static_cast<uint32_t>(ranges.size()));
-    for (const ValueRange& range : ranges) {
-      w.Put<uint64_t>(range.offset);
-      w.PutBytes(range.bytes);
-    }
-  });
-  if (!response.ok()) {
-    return response.status();
-  }
-  ByteReader reader(response.value());
-  return ReadStatus(reader);
+  return Routed(
+      key, [&](KvStore& store) { return store.SetRanges(key, ranges); },
+      [&](const std::string& server) {
+        auto response = Invoke(server, KvsOp::kSetRanges, [&](ByteWriter& w) {
+          w.PutString(key);
+          w.Put<uint32_t>(static_cast<uint32_t>(ranges.size()));
+          for (const ValueRange& range : ranges) {
+            w.Put<uint64_t>(range.offset);
+            w.PutBytes(range.bytes);
+          }
+        });
+        if (!response.ok()) {
+          return response.status();
+        }
+        ByteReader reader(response.value());
+        return ReadStatus(reader);
+      });
 }
 
 Result<uint64_t> KvsClient::Append(const std::string& key, const Bytes& bytes) {
-  auto response = Invoke(KvsOp::kAppend, [&](ByteWriter& w) {
-    w.PutString(key);
-    w.PutBytes(bytes);
-  });
-  if (!response.ok()) {
-    return response.status();
-  }
-  ByteReader reader(response.value());
-  FAASM_RETURN_IF_ERROR(ReadStatus(reader));
-  return reader.Get<uint64_t>();
+  return Routed(
+      key,
+      [&](KvStore& store) -> Result<uint64_t> {
+        return static_cast<uint64_t>(store.Append(key, bytes));
+      },
+      [&](const std::string& server) -> Result<uint64_t> {
+        auto response = Invoke(server, KvsOp::kAppend, [&](ByteWriter& w) {
+          w.PutString(key);
+          w.PutBytes(bytes);
+        });
+        if (!response.ok()) {
+          return response.status();
+        }
+        ByteReader reader(response.value());
+        FAASM_RETURN_IF_ERROR(ReadStatus(reader));
+        return reader.Get<uint64_t>();
+      });
 }
 
 Status KvsClient::Delete(const std::string& key) {
-  auto response = Invoke(KvsOp::kDelete, [&](ByteWriter& w) { w.PutString(key); });
-  if (!response.ok()) {
-    return response.status();
-  }
-  ByteReader reader(response.value());
-  return ReadStatus(reader);
+  return Routed(
+      key, [&](KvStore& store) { return store.Delete(key); },
+      [&](const std::string& server) {
+        auto response =
+            Invoke(server, KvsOp::kDelete, [&](ByteWriter& w) { w.PutString(key); });
+        if (!response.ok()) {
+          return response.status();
+        }
+        ByteReader reader(response.value());
+        return ReadStatus(reader);
+      });
 }
 
 Result<bool> KvsClient::Exists(const std::string& key) {
-  auto response = Invoke(KvsOp::kExists, [&](ByteWriter& w) { w.PutString(key); });
-  if (!response.ok()) {
-    return response.status();
-  }
-  ByteReader reader(response.value());
-  FAASM_RETURN_IF_ERROR(ReadStatus(reader));
-  auto flag = reader.Get<uint8_t>();
-  if (!flag.ok()) {
-    return flag.status();
-  }
-  return flag.value() != 0;
+  return Routed(
+      key, [&](KvStore& store) -> Result<bool> { return store.Exists(key); },
+      [&](const std::string& server) -> Result<bool> {
+        auto response =
+            Invoke(server, KvsOp::kExists, [&](ByteWriter& w) { w.PutString(key); });
+        if (!response.ok()) {
+          return response.status();
+        }
+        ByteReader reader(response.value());
+        FAASM_RETURN_IF_ERROR(ReadStatus(reader));
+        auto flag = reader.Get<uint8_t>();
+        if (!flag.ok()) {
+          return flag.status();
+        }
+        return flag.value() != 0;
+      });
 }
 
 Result<uint64_t> KvsClient::Size(const std::string& key) {
-  auto response = Invoke(KvsOp::kSize, [&](ByteWriter& w) { w.PutString(key); });
-  if (!response.ok()) {
-    return response.status();
-  }
-  ByteReader reader(response.value());
-  FAASM_RETURN_IF_ERROR(ReadStatus(reader));
-  return reader.Get<uint64_t>();
+  return Routed(
+      key,
+      [&](KvStore& store) -> Result<uint64_t> {
+        FAASM_ASSIGN_OR_RETURN(size_t size, store.Size(key));
+        return static_cast<uint64_t>(size);
+      },
+      [&](const std::string& server) -> Result<uint64_t> {
+        auto response = Invoke(server, KvsOp::kSize, [&](ByteWriter& w) { w.PutString(key); });
+        if (!response.ok()) {
+          return response.status();
+        }
+        ByteReader reader(response.value());
+        FAASM_RETURN_IF_ERROR(ReadStatus(reader));
+        return reader.Get<uint64_t>();
+      });
 }
 
-namespace {
-Result<bool> BoolOp(KvsClient* /*client*/, InProcNetwork* network, const std::string& source,
-                    const std::string& server, KvsOp op, const std::string& key,
-                    const std::string& arg) {
-  Bytes request;
-  ByteWriter writer(request);
-  writer.Put<uint8_t>(static_cast<uint8_t>(op));
-  writer.PutString(key);
-  writer.PutString(arg);
-  auto response = network->Call(source, server, request);
+Result<bool> KvsClient::TryLockRead(const std::string& key) {
+  return Routed(
+      key, [&](KvStore& store) -> Result<bool> { return store.TryLockRead(key, source_); },
+      [&](const std::string& server) { return BoolOp(server, KvsOp::kLockRead, key, source_); });
+}
+Result<bool> KvsClient::TryLockWrite(const std::string& key) {
+  return Routed(
+      key, [&](KvStore& store) -> Result<bool> { return store.TryLockWrite(key, source_); },
+      [&](const std::string& server) { return BoolOp(server, KvsOp::kLockWrite, key, source_); });
+}
+
+Status KvsClient::UnlockRead(const std::string& key) {
+  return Routed(
+      key, [&](KvStore& store) { return store.UnlockRead(key, source_); },
+      [&](const std::string& server) {
+        auto response = Invoke(server, KvsOp::kUnlockRead, [&](ByteWriter& w) {
+          w.PutString(key);
+          w.PutString(source_);
+        });
+        if (!response.ok()) {
+          return response.status();
+        }
+        ByteReader reader(response.value());
+        return ReadStatus(reader);
+      });
+}
+
+Status KvsClient::UnlockWrite(const std::string& key) {
+  return Routed(
+      key, [&](KvStore& store) { return store.UnlockWrite(key, source_); },
+      [&](const std::string& server) {
+        auto response = Invoke(server, KvsOp::kUnlockWrite, [&](ByteWriter& w) {
+          w.PutString(key);
+          w.PutString(source_);
+        });
+        if (!response.ok()) {
+          return response.status();
+        }
+        ByteReader reader(response.value());
+        return ReadStatus(reader);
+      });
+}
+
+Result<bool> KvsClient::BoolOp(const std::string& server, KvsOp op, const std::string& key,
+                               const std::string& arg) {
+  auto response = Invoke(server, op, [&](ByteWriter& w) {
+    w.PutString(key);
+    w.PutString(arg);
+  });
   if (!response.ok()) {
     return response.status();
   }
@@ -339,67 +461,45 @@ Result<bool> BoolOp(KvsClient* /*client*/, InProcNetwork* network, const std::st
   }
   return flag.value() != 0;
 }
-}  // namespace
-
-Result<bool> KvsClient::TryLockRead(const std::string& key) {
-  return BoolOp(this, network_, source_, server_, KvsOp::kLockRead, key, source_);
-}
-Result<bool> KvsClient::TryLockWrite(const std::string& key) {
-  return BoolOp(this, network_, source_, server_, KvsOp::kLockWrite, key, source_);
-}
-
-Status KvsClient::UnlockRead(const std::string& key) {
-  auto response = Invoke(KvsOp::kUnlockRead, [&](ByteWriter& w) {
-    w.PutString(key);
-    w.PutString(source_);
-  });
-  if (!response.ok()) {
-    return response.status();
-  }
-  ByteReader reader(response.value());
-  return ReadStatus(reader);
-}
-
-Status KvsClient::UnlockWrite(const std::string& key) {
-  auto response = Invoke(KvsOp::kUnlockWrite, [&](ByteWriter& w) {
-    w.PutString(key);
-    w.PutString(source_);
-  });
-  if (!response.ok()) {
-    return response.status();
-  }
-  ByteReader reader(response.value());
-  return ReadStatus(reader);
-}
 
 Result<bool> KvsClient::SetAdd(const std::string& key, const std::string& member) {
-  return BoolOp(this, network_, source_, server_, KvsOp::kSetAdd, key, member);
+  return Routed(
+      key, [&](KvStore& store) -> Result<bool> { return store.SetAdd(key, member); },
+      [&](const std::string& server) { return BoolOp(server, KvsOp::kSetAdd, key, member); });
 }
 Result<bool> KvsClient::SetRemove(const std::string& key, const std::string& member) {
-  return BoolOp(this, network_, source_, server_, KvsOp::kSetRemove, key, member);
+  return Routed(
+      key, [&](KvStore& store) -> Result<bool> { return store.SetRemove(key, member); },
+      [&](const std::string& server) { return BoolOp(server, KvsOp::kSetRemove, key, member); });
 }
 
 Result<std::vector<std::string>> KvsClient::SetMembers(const std::string& key) {
-  auto response = Invoke(KvsOp::kSetMembers, [&](ByteWriter& w) { w.PutString(key); });
-  if (!response.ok()) {
-    return response.status();
-  }
-  ByteReader reader(response.value());
-  FAASM_RETURN_IF_ERROR(ReadStatus(reader));
-  auto count = reader.Get<uint32_t>();
-  if (!count.ok()) {
-    return count.status();
-  }
-  std::vector<std::string> members;
-  members.reserve(count.value());
-  for (uint32_t i = 0; i < count.value(); ++i) {
-    auto member = reader.GetString();
-    if (!member.ok()) {
-      return member.status();
-    }
-    members.push_back(std::move(member).value());
-  }
-  return members;
+  return Routed(
+      key,
+      [&](KvStore& store) -> Result<std::vector<std::string>> { return store.SetMembers(key); },
+      [&](const std::string& server) -> Result<std::vector<std::string>> {
+        auto response =
+            Invoke(server, KvsOp::kSetMembers, [&](ByteWriter& w) { w.PutString(key); });
+        if (!response.ok()) {
+          return response.status();
+        }
+        ByteReader reader(response.value());
+        FAASM_RETURN_IF_ERROR(ReadStatus(reader));
+        auto count = reader.Get<uint32_t>();
+        if (!count.ok()) {
+          return count.status();
+        }
+        std::vector<std::string> members;
+        members.reserve(count.value());
+        for (uint32_t i = 0; i < count.value(); ++i) {
+          auto member = reader.GetString();
+          if (!member.ok()) {
+            return member.status();
+          }
+          members.push_back(std::move(member).value());
+        }
+        return members;
+      });
 }
 
 }  // namespace faasm

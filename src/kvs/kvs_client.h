@@ -1,7 +1,21 @@
-// KvsServer / KvsClient: the wire between hosts and the global tier. Every
-// remote state access is serialised through InProcNetwork so the experiments'
-// network-transfer numbers include global-tier traffic, exactly as the
-// paper's Redis deployment would.
+// KvsServer / KvsClient: the wire between hosts and the global tier.
+//
+// The global tier is sharded (kvs/router.h): each host serves a KvStore
+// shard on "kvs:<host>", and a ShardMap assigns every key a master shard by
+// consistent hashing. KvsClient is the routing client — each operation
+// resolves its key's master and either
+//
+//   - takes the LOCAL FAST PATH: when the master is the calling host's own
+//     shard, the op is a direct in-process KvStore call. No InProcNetwork
+//     round trip, zero accounted network bytes — a replica co-located with
+//     its key's master syncs for free (§4.3); or
+//   - is serialised through InProcNetwork to the owning endpoint, so the
+//     experiments' network-transfer numbers include exactly the cross-host
+//     global-tier traffic a sharded Redis/Anna deployment would generate.
+//
+// Constructed without a ShardMap, the client degenerates to the centralised
+// single-endpoint layout (the pre-sharding baseline, kept for ablations and
+// component tests).
 #ifndef FAASM_KVS_KVS_CLIENT_H_
 #define FAASM_KVS_KVS_CLIENT_H_
 
@@ -9,6 +23,7 @@
 #include <string>
 
 #include "kvs/kv_store.h"
+#include "kvs/router.h"
 #include "net/network.h"
 
 namespace faasm {
@@ -33,7 +48,8 @@ enum class KvsOp : uint8_t {
   kSetRanges = 16,
 };
 
-// Registers an RPC endpoint (default name "kvs") that serves a KvStore.
+// Registers an RPC endpoint (default name "kvs") that serves a KvStore
+// shard. Sharded clusters run one per host on "kvs:<host>".
 class KvsServer {
  public:
   KvsServer(KvStore* store, InProcNetwork* network, std::string endpoint = "kvs");
@@ -49,10 +65,17 @@ class KvsServer {
   std::string endpoint_;
 };
 
-// Client stub. `source` is the calling host's endpoint name (for accounting).
+// Routing client stub. `source` is the calling host's endpoint name (for
+// accounting and lock ownership).
 class KvsClient {
  public:
+  // Centralised mode: every key lives behind the single `server` endpoint.
   KvsClient(InProcNetwork* network, std::string source, std::string server = "kvs");
+  // Sharded mode: `shards` maps keys to master endpoints; `local_store` is
+  // the shard this host serves on "kvs:<source>" (may be null when the host
+  // serves no shard — e.g. an external client — disabling the fast path).
+  KvsClient(InProcNetwork* network, std::string source, const ShardMap* shards,
+            KvStore* local_store);
 
   Status Set(const std::string& key, const Bytes& value);
   Result<Bytes> Get(const std::string& key);
@@ -74,14 +97,49 @@ class KvsClient {
   Result<bool> SetRemove(const std::string& key, const std::string& member);
   Result<std::vector<std::string>> SetMembers(const std::string& key);
 
+  // --- Mastership hints (locality-aware scheduling) ---------------------------
+  // True when `key` is mastered by this host's own shard: ops on it are
+  // in-process and move zero network bytes.
+  bool MasterLocal(const std::string& key) const;
+  // Host name mastering `key`, or "" when the master is not a host-colocated
+  // shard (centralised mode). Pure local computation — no network.
+  std::string MasterHostFor(const std::string& key) const;
+
   const std::string& source() const { return source_; }
 
  private:
-  Result<Bytes> Invoke(KvsOp op, const std::function<void(ByteWriter&)>& write_args);
+  // Resolved destination of one key's op: in-process store, or endpoint.
+  struct Route {
+    KvStore* local = nullptr;
+    std::string endpoint;
+  };
+  Route RouteFor(const std::string& key) const;
+
+  // Resolves `key`'s route once and dispatches: master-local ops run
+  // `local` against the in-process store (zero network bytes), the rest run
+  // `remote` against the owning endpoint. Every public op goes through this
+  // so none can forget the fast path. Both callables must return the same
+  // type (annotate the remote lambda when its returns mix Status/Result).
+  template <typename LocalOp, typename RemoteOp>
+  auto Routed(const std::string& key, LocalOp&& local, RemoteOp&& remote) {
+    Route route = RouteFor(key);
+    if (route.local != nullptr) {
+      return local(*route.local);
+    }
+    return remote(route.endpoint);
+  }
+
+  Result<Bytes> Invoke(const std::string& server, KvsOp op,
+                       const std::function<void(ByteWriter&)>& write_args);
+  Result<bool> BoolOp(const std::string& server, KvsOp op, const std::string& key,
+                      const std::string& arg);
 
   InProcNetwork* network_;
   std::string source_;
-  std::string server_;
+  std::string server_;  // centralised mode only
+  const ShardMap* shards_ = nullptr;
+  KvStore* local_store_ = nullptr;
+  std::string local_endpoint_;  // "kvs:<source>"
 };
 
 }  // namespace faasm

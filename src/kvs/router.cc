@@ -1,0 +1,143 @@
+#include "kvs/router.h"
+
+#include <cstdlib>
+
+#include "common/bytes.h"
+#include "common/log.h"
+
+namespace faasm {
+
+namespace {
+constexpr char kShardEndpointPrefix[] = "kvs:";
+
+// Murmur3 finaliser: full-avalanche mix. The repo-wide FNV-1a leaves
+// near-identical strings ("kvs:host-3#41" vs "#42") with near-identical
+// hashes, which would cluster every vnode of a host into one tight ring arc
+// and wreck the balance consistent hashing depends on; the finaliser
+// scatters them uniformly.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+uint64_t HashString(const std::string& s) {
+  return Mix64(HashBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+// Ring point of virtual node `vnode` of `endpoint`.
+uint64_t RingPoint(const std::string& endpoint, int vnode) {
+  return HashString(endpoint + "#" + std::to_string(vnode));
+}
+}  // namespace
+
+ShardMap::ShardMap(const std::vector<std::string>& endpoints) {
+  for (const std::string& endpoint : endpoints) {
+    AddShard(endpoint);
+  }
+}
+
+std::string ShardMap::EndpointForHost(const std::string& host) {
+  return kShardEndpointPrefix + host;
+}
+
+std::string ShardMap::HostForEndpoint(const std::string& endpoint) {
+  const size_t prefix_len = sizeof(kShardEndpointPrefix) - 1;
+  if (endpoint.compare(0, prefix_len, kShardEndpointPrefix) != 0) {
+    return "";
+  }
+  return endpoint.substr(prefix_len);
+}
+
+void ShardMap::AddShard(const std::string& endpoint) {
+  std::unique_lock<std::shared_mutex> guard(mutex_);
+  if (!endpoints_.insert(endpoint).second) {
+    return;
+  }
+  for (int vnode = 0; vnode < kVirtualNodes; ++vnode) {
+    // Hash collisions between distinct endpoints are theoretically possible;
+    // first-placed wins, which only shifts a sliver of keyspace.
+    ring_.emplace(RingPoint(endpoint, vnode), endpoint);
+  }
+}
+
+void ShardMap::RemoveShard(const std::string& endpoint) {
+  std::unique_lock<std::shared_mutex> guard(mutex_);
+  if (endpoints_.erase(endpoint) == 0) {
+    return;
+  }
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == endpoint ? ring_.erase(it) : std::next(it);
+  }
+}
+
+std::string ShardMap::MasterFor(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  if (ring_.empty()) {
+    return "";
+  }
+  // First shard clockwise from the key's hash, wrapping past the top.
+  auto it = ring_.lower_bound(HashString(key));
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  return it->second;
+}
+
+std::vector<std::string> ShardMap::shards() const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  return std::vector<std::string>(endpoints_.begin(), endpoints_.end());
+}
+
+size_t ShardMap::shard_count() const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  return endpoints_.size();
+}
+
+KvStore* ShardedKvs::StoreFor(const std::string& key) const {
+  if (map_ != nullptr && !stores_.empty()) {
+    const std::string master = map_->MasterFor(key);
+    auto it = stores_.find(master);
+    if (it != stores_.end()) {
+      return it->second;
+    }
+    if (single_ == nullptr) {
+      // Misconfiguration (a shard was added to the map with no attached
+      // store): every caller dereferences the result, so fail loudly here
+      // rather than segfault downstream.
+      LOG_ERROR << "sharded kvs: no store attached for '" << master << "' (master of '" << key
+                << "'); map and stores are out of sync";
+      std::abort();
+    }
+    LOG_ERROR << "sharded kvs: no store attached for master of '" << key
+              << "'; falling back to the single store";
+  }
+  return single_;
+}
+
+size_t ShardedKvs::key_count() const {
+  if (stores_.empty()) {
+    return single_ != nullptr ? single_->key_count() : 0;
+  }
+  size_t count = 0;
+  for (const auto& [endpoint, store] : stores_) {
+    count += store->key_count();
+  }
+  return count;
+}
+
+size_t ShardedKvs::total_bytes() const {
+  if (stores_.empty()) {
+    return single_ != nullptr ? single_->total_bytes() : 0;
+  }
+  size_t bytes = 0;
+  for (const auto& [endpoint, store] : stores_) {
+    bytes += store->total_bytes();
+  }
+  return bytes;
+}
+
+}  // namespace faasm

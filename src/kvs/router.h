@@ -1,0 +1,136 @@
+// The global-tier routing layer: per-key mastership over host-colocated KVS
+// shards (§4.3).
+//
+// Instead of one central KVS endpoint, every FAASM host runs a KvsServer
+// over its own KvStore shard, registered on the endpoint "kvs:<host>"
+// (ShardMap::EndpointForHost). A ShardMap assigns each state key a *master
+// shard* by consistent hashing:
+//
+//   - the shard endpoints are placed on a 64-bit hash ring (kVirtualNodes
+//     points each, so load spreads evenly), and a key is mastered by the
+//     first shard clockwise from its hash;
+//   - adding or removing a host therefore remaps only the ~1/N keys whose
+//     ring arc changed — every other key keeps its master, so warm replicas
+//     and locks stay put under cluster resizing;
+//   - mastership is a pure function of (key, shard set): every host resolves
+//     the same master with zero coordination traffic.
+//
+// KvsClient resolves the master per key through an injected ShardMap. Ops
+// whose master is the calling host's own shard take the local fast path —
+// direct in-process KvStore calls, no InProcNetwork round trip — so a
+// replica co-located with its key's master syncs with ZERO network bytes
+// (the paper's co-location win). All other ops are sent to the owning
+// endpoint. Multi-key users (scheduler warm sets, the proto: snapshot
+// cache, distributed locks) route each key independently.
+//
+// ShardedKvs is the direct, unaccounted cluster-wide view of the same
+// shards (dataset seeding and test inspection): it routes through the same
+// ShardMap but always calls the owning KvStore in process. A ShardedKvs
+// wrapping a single KvStore (no map) models the centralised baseline tier.
+#ifndef FAASM_KVS_ROUTER_H_
+#define FAASM_KVS_ROUTER_H_
+
+#include <map>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "kvs/kv_store.h"
+
+namespace faasm {
+
+// Key -> master-shard-endpoint assignment by consistent hashing. Thread
+// safe; injectable into KvsClient so tests can pin mastership.
+class ShardMap {
+ public:
+  // Ring points per shard. Enough that an 8-host cluster balances within a
+  // few percent while keeping AddShard cheap.
+  static constexpr int kVirtualNodes = 64;
+
+  ShardMap() = default;
+  explicit ShardMap(const std::vector<std::string>& endpoints);
+
+  ShardMap(const ShardMap&) = delete;
+  ShardMap& operator=(const ShardMap&) = delete;
+
+  // Canonical endpoint name of the shard hosted by `host` ("kvs:<host>").
+  static std::string EndpointForHost(const std::string& host);
+  // Inverse of EndpointForHost; empty for endpoints that are not
+  // host-colocated shards (e.g. the centralised "kvs" endpoint).
+  static std::string HostForEndpoint(const std::string& endpoint);
+
+  void AddShard(const std::string& endpoint);
+  void RemoveShard(const std::string& endpoint);
+
+  // Master shard endpoint for `key`; empty when the map has no shards.
+  std::string MasterFor(const std::string& key) const;
+
+  std::vector<std::string> shards() const;
+  size_t shard_count() const;
+
+ private:
+  // Read-mostly: MasterFor sits on every KVS op's hot path, while the ring
+  // only mutates at cluster (re)configuration — readers share the lock.
+  mutable std::shared_mutex mutex_;
+  std::map<uint64_t, std::string> ring_;  // hash point -> endpoint
+  std::set<std::string> endpoints_;
+};
+
+// Direct in-process view over every shard of the global tier, routed by the
+// same ShardMap the cluster uses. Bypasses the network on purpose: dataset
+// seeding and test inspection are not experiment traffic. With no map
+// attached it degenerates to a view over one centralised store.
+class ShardedKvs {
+ public:
+  ShardedKvs() = default;
+  // Centralised view: every key lives in `single` (baseline clusters).
+  explicit ShardedKvs(KvStore* single) : single_(single) {}
+
+  void Attach(const ShardMap* map) { map_ = map; }
+  void AddStore(const std::string& endpoint, KvStore* store) { stores_[endpoint] = store; }
+
+  // Owning store for `key` (never null once configured).
+  KvStore* StoreFor(const std::string& key) const;
+
+  // --- KvStore API, routed per key --------------------------------------------
+  void Set(const std::string& key, Bytes value) { StoreFor(key)->Set(key, std::move(value)); }
+  Result<Bytes> Get(const std::string& key) const { return StoreFor(key)->Get(key); }
+  bool Exists(const std::string& key) const { return StoreFor(key)->Exists(key); }
+  Result<size_t> Size(const std::string& key) const { return StoreFor(key)->Size(key); }
+  Status Delete(const std::string& key) { return StoreFor(key)->Delete(key); }
+  Result<Bytes> GetRange(const std::string& key, size_t offset, size_t len) const {
+    return StoreFor(key)->GetRange(key, offset, len);
+  }
+  Status SetRange(const std::string& key, size_t offset, const Bytes& bytes) {
+    return StoreFor(key)->SetRange(key, offset, bytes);
+  }
+  Status SetRanges(const std::string& key, const std::vector<ValueRange>& ranges) {
+    return StoreFor(key)->SetRanges(key, ranges);
+  }
+  size_t Append(const std::string& key, const Bytes& bytes) {
+    return StoreFor(key)->Append(key, bytes);
+  }
+  bool SetAdd(const std::string& key, const std::string& member) {
+    return StoreFor(key)->SetAdd(key, member);
+  }
+  bool SetRemove(const std::string& key, const std::string& member) {
+    return StoreFor(key)->SetRemove(key, member);
+  }
+  std::vector<std::string> SetMembers(const std::string& key) const {
+    return StoreFor(key)->SetMembers(key);
+  }
+
+  // --- Cluster-wide introspection (sums over shards) ---------------------------
+  size_t key_count() const;
+  size_t total_bytes() const;
+
+ private:
+  const ShardMap* map_ = nullptr;
+  KvStore* single_ = nullptr;
+  std::map<std::string, KvStore*> stores_;  // endpoint -> shard
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_KVS_ROUTER_H_

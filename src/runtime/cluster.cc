@@ -8,16 +8,39 @@ namespace faasm {
 FaasmCluster::FaasmCluster(ClusterConfig config)
     : config_(config),
       network_(std::make_unique<InProcNetwork>(&executor_.clock(), config.network)),
-      kvs_server_(std::make_unique<KvsServer>(&kvs_, network_.get())),
       calls_(&executor_.clock()) {
+  const bool sharded = config.state_tier == StateTier::kSharded;
+  if (sharded) {
+    // One shard per host, mastered by consistent hashing. Each host serves
+    // its shard on "kvs:<host>" (the FaasmInstance registers the server).
+    for (int i = 0; i < config.hosts; ++i) {
+      const std::string endpoint = ShardMap::EndpointForHost("host-" + std::to_string(i));
+      kvs_shards_.push_back(std::make_unique<KvStore>());
+      shard_map_.AddShard(endpoint);
+      kvs_.AddStore(endpoint, kvs_shards_.back().get());
+    }
+  } else {
+    // Centralised baseline: every key is mastered by the standalone "kvs"
+    // endpoint, which is co-located with no host — all tier traffic crosses
+    // the network, exactly the pre-sharding serialisation point.
+    kvs_shards_.push_back(std::make_unique<KvStore>());
+    shard_map_.AddShard("kvs");
+    kvs_.AddStore("kvs", kvs_shards_.back().get());
+    central_kvs_server_ =
+        std::make_unique<KvsServer>(kvs_shards_.back().get(), network_.get());
+  }
+  kvs_.Attach(&shard_map_);
+
   for (int i = 0; i < config.hosts; ++i) {
     HostConfig host_config;
     host_config.name = "host-" + std::to_string(i);
     host_config.cores = config.cores_per_host;
     host_config.memory_bytes = config.host_memory_bytes;
     host_config.max_concurrent_calls = config.max_concurrent_per_host;
-    hosts_.push_back(std::make_unique<FaasmInstance>(host_config, &executor_, network_.get(),
-                                                     &registry_, &calls_, &files_));
+    host_config.warm_set_ttl_ns = config.warm_set_ttl_ns;
+    hosts_.push_back(std::make_unique<FaasmInstance>(
+        host_config, &executor_, network_.get(), &registry_, &calls_, &files_, &shard_map_,
+        sharded ? kvs_shards_[i].get() : nullptr));
   }
   for (auto& host : hosts_) {
     host->Start();
@@ -52,7 +75,8 @@ void FaasmCluster::Run(const std::function<void(Frontend&)>& driver) {
 double FaasmCluster::billable_gb_seconds() const {
   double total = 0;
   for (const auto& host : hosts_) {
-    total += const_cast<FaasmInstance&>(*host).memory_accountant().GbSeconds();
+    const FaasmInstance& instance = *host;
+    total += instance.memory_accountant().GbSeconds();
   }
   return total;
 }

@@ -1,7 +1,8 @@
-// FaasmCluster: the whole deployment — N FaasmInstance hosts, the global
-// tier (KvStore behind a byte-accounted KvsServer), a global file store, the
-// function registry and the shared virtual-time executor. Benchmarks drive
-// it through Frontend, a simulated external client.
+// FaasmCluster: the whole deployment — N FaasmInstance hosts, the sharded
+// global tier (one byte-accounted KvsServer shard per host, per-key
+// mastership via a consistent-hash ShardMap — see kvs/router.h), a global
+// file store, the function registry and the shared virtual-time executor.
+// Benchmarks drive it through Frontend, a simulated external client.
 #ifndef FAASM_RUNTIME_CLUSTER_H_
 #define FAASM_RUNTIME_CLUSTER_H_
 
@@ -11,6 +12,7 @@
 
 #include "core/vfs.h"
 #include "kvs/kvs_client.h"
+#include "kvs/router.h"
 #include "net/network.h"
 #include "runtime/call_table.h"
 #include "runtime/instance.h"
@@ -19,11 +21,24 @@
 
 namespace faasm {
 
+// Layout of the global state tier.
+enum class StateTier {
+  // One KVS endpoint ("kvs") serves the whole cluster — the pre-sharding
+  // serialisation point, kept as the ablation baseline (--tier=central).
+  kCentral,
+  // One shard per host ("kvs:<host>"); each key is mastered by one shard
+  // and ops on locally-mastered keys bypass the network entirely.
+  kSharded,
+};
+
 struct ClusterConfig {
   int hosts = 4;
   int cores_per_host = 4;
   size_t host_memory_bytes = size_t{16} * 1024 * 1024 * 1024;
   int max_concurrent_per_host = 64;
+  StateTier state_tier = StateTier::kSharded;
+  // Scheduler warm-set cache TTL (see HostConfig::warm_set_ttl_ns).
+  TimeNs warm_set_ttl_ns = 2 * kMillisecond;
   NetworkConfig network;
 };
 
@@ -92,7 +107,10 @@ class FaasmCluster {
   // --- Components ---------------------------------------------------------------
   FunctionRegistry& registry() { return registry_; }
   GlobalFileStore& files() { return files_; }
-  KvStore& kvs() { return kvs_; }  // direct, unaccounted (dataset seeding)
+  // Direct, unaccounted view over every global-tier shard, routed by the
+  // same ShardMap the hosts use (dataset seeding and test inspection).
+  ShardedKvs& kvs() { return kvs_; }
+  const ShardMap& shard_map() const { return shard_map_; }
   InProcNetwork& network() { return *network_; }
   SimClock& clock() { return executor_.clock(); }
   SimExecutor& executor() { return executor_; }
@@ -116,8 +134,12 @@ class FaasmCluster {
   ClusterConfig config_;
   SimExecutor executor_;
   std::unique_ptr<InProcNetwork> network_;
-  KvStore kvs_;
-  std::unique_ptr<KvsServer> kvs_server_;
+  // Global tier: per-host shards (kSharded) or one store (kCentral). The
+  // shards outlive hosts_ (each host serves its shard on "kvs:<host>").
+  ShardMap shard_map_;
+  std::vector<std::unique_ptr<KvStore>> kvs_shards_;
+  std::unique_ptr<KvsServer> central_kvs_server_;  // kCentral only
+  ShardedKvs kvs_;
   GlobalFileStore files_;
   FunctionRegistry registry_;
   CallTable calls_;

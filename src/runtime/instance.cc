@@ -33,14 +33,20 @@ Result<SharedCall> DecodeSharedCall(const Bytes& bytes) {
 
 FaasmInstance::FaasmInstance(HostConfig config, SimExecutor* executor, InProcNetwork* network,
                              FunctionRegistry* registry, CallTable* calls,
-                             GlobalFileStore* files)
+                             GlobalFileStore* files, const ShardMap* shard_map,
+                             KvStore* local_shard)
     : config_(std::move(config)),
       executor_(executor),
       network_(network),
       registry_(registry),
       calls_(calls),
       files_(files),
-      kvs_(network, config_.name),
+      shard_server_(local_shard == nullptr
+                        ? nullptr
+                        : std::make_unique<KvsServer>(
+                              local_shard, network, ShardMap::EndpointForHost(config_.name))),
+      kvs_(shard_map != nullptr ? KvsClient(network, config_.name, shard_map, local_shard)
+                                : KvsClient(network, config_.name)),
       tier_(std::make_unique<LocalTier>(&kvs_, &executor->clock())),
       memory_(&executor->clock(), config_.memory_bytes),
       cpu_(&executor->clock(), config_.cores),
@@ -90,7 +96,9 @@ Result<uint64_t> FaasmInstance::Submit(const std::string& function, Bytes input)
 Status FaasmInstance::ScheduleCall(uint64_t call_id, const std::string& function, Bytes input) {
   // Omega-style shared-state decision (§5.1): execute locally when this host
   // is warm for the function and has capacity; otherwise share with a warm
-  // host found in the global tier; otherwise cold start locally.
+  // host found in the global tier; otherwise cold start — preferring the
+  // host that masters the function's state, so its push/pull traffic takes
+  // the shard-local fast path.
   bool warm_here = false;
   {
     std::lock_guard<std::mutex> guard(pools_mutex_);
@@ -103,8 +111,18 @@ Status FaasmInstance::ScheduleCall(uint64_t call_id, const std::string& function
     return OkStatus();
   }
 
-  // Not warm (or saturated): look for another warm host in the global tier.
-  FAASM_ASSIGN_OR_RETURN(auto warm_hosts, kvs_.SetMembers("warm:" + function));
+  // State-affinity hint: the host mastering the function's declared state
+  // key syncs that state with zero network bytes. Resolving the master is a
+  // pure hash over the shard map — no tier traffic.
+  std::string affinity_host;
+  if (const std::string affinity_key = registry_->StateAffinityKey(function);
+      !affinity_key.empty()) {
+    affinity_host = kvs_.MasterHostFor(affinity_key);
+  }
+
+  // Not warm (or saturated): look for another warm host in the global tier
+  // (short-TTL cached view; see WarmMembers).
+  FAASM_ASSIGN_OR_RETURN(auto warm_hosts, WarmMembers(function));
   std::vector<std::string> others;
   for (const std::string& host : warm_hosts) {
     if (host != config_.name) {
@@ -112,15 +130,66 @@ Status FaasmInstance::ScheduleCall(uint64_t call_id, const std::string& function
     }
   }
   if (!others.empty()) {
-    // Share with a random warm host (paper: "share it with another warm host
-    // if one exists").
-    const std::string& target = others[share_rng_.NextBelow(others.size())];
-    return network_->Send(config_.name, target, EncodeSharedCall(call_id, function, input));
+    // Share with the state's master when it is warm, else a random warm host
+    // (paper: "share it with another warm host if one exists").
+    const std::string* target = nullptr;
+    for (const std::string& host : others) {
+      if (!affinity_host.empty() && host == affinity_host) {
+        target = &host;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      target = &others[share_rng_.NextBelow(others.size())];
+    }
+    return network_->Send(config_.name, *target, EncodeSharedCall(call_id, function, input));
   }
 
-  // No warm host anywhere: cold start locally.
+  // No warm host anywhere. If this host has EVER seen a warm host for the
+  // function, the set is empty because someone saturated and withdrew — do
+  // NOT funnel more load at the master (that would bypass the withdrawal
+  // backpressure); cold start locally to spread. Only a genuinely cold
+  // function (never warm anywhere we've looked) is forwarded to the state's
+  // master, so its replicas sync in-process from the first call.
+  bool function_seen_warm = false;
+  {
+    std::lock_guard<std::mutex> guard(warm_cache_mutex_);
+    function_seen_warm = warm_ever_.count(function) > 0;
+  }
+  if (!function_seen_warm && !affinity_host.empty() && affinity_host != config_.name) {
+    return network_->Send(config_.name, affinity_host,
+                          EncodeSharedCall(call_id, function, input));
+  }
   ExecuteLocal(call_id, function, std::move(input));
   return OkStatus();
+}
+
+Result<std::vector<std::string>> FaasmInstance::WarmMembers(const std::string& function) {
+  const TimeNs ttl = config_.warm_set_ttl_ns;
+  const TimeNs now = executor_->clock().Now();
+  if (ttl > 0) {
+    std::lock_guard<std::mutex> guard(warm_cache_mutex_);
+    auto it = warm_cache_.find(function);
+    if (it != warm_cache_.end() && now - it->second.fetched_at <= ttl) {
+      return it->second.hosts;
+    }
+  }
+  FAASM_ASSIGN_OR_RETURN(auto hosts, kvs_.SetMembers("warm:" + function));
+  {
+    std::lock_guard<std::mutex> guard(warm_cache_mutex_);
+    if (ttl > 0) {
+      warm_cache_[function] = CachedWarmSet{hosts, now};
+    }
+    if (!hosts.empty()) {
+      warm_ever_.insert(function);
+    }
+  }
+  return hosts;
+}
+
+void FaasmInstance::InvalidateWarmCache(const std::string& function) {
+  std::lock_guard<std::mutex> guard(warm_cache_mutex_);
+  warm_cache_.erase(function);
 }
 
 void FaasmInstance::UpdateWarmAdvertisement() {
@@ -143,6 +212,7 @@ void FaasmInstance::UpdateWarmAdvertisement() {
     } else {
       (void)kvs_.SetAdd("warm:" + function, config_.name);
     }
+    InvalidateWarmCache(function);
   }
 }
 
@@ -293,6 +363,7 @@ Result<std::unique_ptr<Faaslet>> FaasmInstance::AcquireFaaslet(const std::string
   // Advertise this host as warm for the function (unless saturated).
   if (!advertised_saturated_.load()) {
     (void)kvs_.SetAdd("warm:" + function, config_.name);
+    InvalidateWarmCache(function);
   }
   return faaslet;
 }

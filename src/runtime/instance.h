@@ -10,6 +10,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -29,12 +30,23 @@ struct HostConfig {
   int max_concurrent_calls = 64;
   // Execution overhead charged per call (runtime dispatch, thread wake-up).
   TimeNs per_call_overhead_ns = 50 * kMicrosecond;
+  // How long a fetched warm-set view may serve scheduling decisions before
+  // it is refetched from the global tier (virtual time). Steady-state
+  // submits hit this cache instead of paying a SetMembers round trip per
+  // call; 0 disables caching (every submit refetches).
+  TimeNs warm_set_ttl_ns = 2 * kMillisecond;
 };
 
 class FaasmInstance {
  public:
+  // `shard_map`/`local_shard` wire the host into the sharded global tier:
+  // the instance serves `local_shard` on "kvs:<name>" and its KvsClient
+  // routes per key (kvs/router.h). Both null → legacy centralised "kvs"
+  // endpoint; shard_map set with null local_shard → routing without a
+  // co-located shard (centralised ablation).
   FaasmInstance(HostConfig config, SimExecutor* executor, InProcNetwork* network,
-                FunctionRegistry* registry, CallTable* calls, GlobalFileStore* files);
+                FunctionRegistry* registry, CallTable* calls, GlobalFileStore* files,
+                const ShardMap* shard_map = nullptr, KvStore* local_shard = nullptr);
   ~FaasmInstance();
 
   FaasmInstance(const FaasmInstance&) = delete;
@@ -54,7 +66,9 @@ class FaasmInstance {
 
   const std::string& name() const { return config_.name; }
   LocalTier& tier() { return *tier_; }
+  KvsClient& kvs() { return kvs_; }
   MemoryAccountant& memory_accountant() { return memory_; }
+  const MemoryAccountant& memory_accountant() const { return memory_; }
   HostCpuModel& cpu() { return cpu_; }
 
   size_t warm_faaslet_count() const;
@@ -83,6 +97,13 @@ class FaasmInstance {
   // it; it re-advertises when capacity frees up.
   void UpdateWarmAdvertisement();
 
+  // Warm-set view for `function`, served from the short-TTL cache when
+  // fresh; refetched from the global tier otherwise.
+  Result<std::vector<std::string>> WarmMembers(const std::string& function);
+  // Drops the cached view after this host mutates the warm set, so its own
+  // membership changes are visible to its next scheduling decision.
+  void InvalidateWarmCache(const std::string& function);
+
   FaasletEnv MakeEnv();
   void SyncTierAccounting();
 
@@ -93,6 +114,9 @@ class FaasmInstance {
   CallTable* calls_;
   GlobalFileStore* files_;
 
+  // This host's shard of the global tier, served on "kvs:<name>" (null in
+  // centralised mode).
+  std::unique_ptr<KvsServer> shard_server_;
   KvsClient kvs_;
   std::unique_ptr<LocalTier> tier_;
   MemoryAccountant memory_;
@@ -101,6 +125,17 @@ class FaasmInstance {
   mutable std::mutex pools_mutex_;
   std::map<std::string, FunctionPool> pools_;
   std::map<std::string, std::shared_ptr<const ProtoFaaslet>> proto_cache_;
+
+  struct CachedWarmSet {
+    std::vector<std::string> hosts;
+    TimeNs fetched_at = 0;
+  };
+  std::mutex warm_cache_mutex_;
+  std::map<std::string, CachedWarmSet> warm_cache_;
+  // Functions this host has ever observed warm somewhere. An empty warm set
+  // for such a function means hosts withdrew (saturation backpressure), so
+  // the scheduler must not keep funnelling cold starts at the state master.
+  std::set<std::string> warm_ever_;
 
   std::atomic<int> running_calls_{0};
   std::atomic<bool> advertised_saturated_{false};

@@ -48,15 +48,17 @@ class MemoryAccountant {
 
   size_t capacity_bytes() const { return capacity_; }
 
-  // Billable memory so far, in GB-seconds.
+  // Billable memory so far, in GB-seconds. Logically const: the lazily
+  // folded integration state is mutable, so const holders (cluster-wide
+  // metric sweeps) can read it without a const_cast.
   double GbSeconds() const {
     std::lock_guard<std::mutex> guard(mutex_);
-    const_cast<MemoryAccountant*>(this)->AccumulateLocked();
+    AccumulateLocked();
     return byte_ns_ / (1e9 * 1024.0 * 1024.0 * 1024.0);
   }
 
  private:
-  void AccumulateLocked() {
+  void AccumulateLocked() const {
     const TimeNs now = clock_->Now();
     byte_ns_ += static_cast<double>(current_) * static_cast<double>(now - last_change_);
     last_change_ = now;
@@ -67,8 +69,8 @@ class MemoryAccountant {
   mutable std::mutex mutex_;
   size_t current_ = 0;
   size_t peak_ = 0;
-  TimeNs last_change_ = 0;
-  double byte_ns_ = 0;
+  mutable TimeNs last_change_ = 0;
+  mutable double byte_ns_ = 0;
 };
 
 }  // namespace faasm

@@ -14,6 +14,7 @@ FunctionSpec SpecFromOptions(const std::string& name, const FunctionOptions& opt
   spec.min_memory_pages = options.min_memory_pages;
   spec.max_memory_pages = options.max_memory_pages;
   spec.simulated_init_ns = options.simulated_init_ns;
+  spec.state_affinity_key = options.state_affinity_key;
   return spec;
 }
 }  // namespace
@@ -47,6 +48,12 @@ Status FunctionRegistry::Register(const std::string& name, FunctionSpec spec) {
   }
   functions_[name] = std::move(spec);
   return OkStatus();
+}
+
+std::string FunctionRegistry::StateAffinityKey(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = functions_.find(name);
+  return it == functions_.end() ? "" : it->second.state_affinity_key;
 }
 
 Result<FunctionSpec> FunctionRegistry::Lookup(const std::string& name) const {

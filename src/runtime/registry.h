@@ -21,6 +21,9 @@ struct FunctionOptions {
   uint32_t min_memory_pages = 1;
   uint32_t max_memory_pages = 2048;
   TimeNs simulated_init_ns = 0;
+  // Scheduler locality hint: the state key whose master host should be
+  // preferred for placement (see FunctionSpec::state_affinity_key).
+  std::string state_affinity_key;
 };
 
 class FunctionRegistry {
@@ -38,6 +41,10 @@ class FunctionRegistry {
   Result<FunctionSpec> Lookup(const std::string& name) const;
   bool Contains(const std::string& name) const;
   size_t size() const;
+
+  // The function's state-affinity key ("" when unset or unknown). Scheduling
+  // hot path: avoids copying the whole FunctionSpec per submit.
+  std::string StateAffinityKey(const std::string& name) const;
 
  private:
   Status Register(const std::string& name, FunctionSpec spec);

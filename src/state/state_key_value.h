@@ -5,9 +5,14 @@
 // (ii) the bytes can be mapped directly into a Faaslet's wasm linear memory
 // (get_state returns a pointer, not a copy — §3.3).
 //
-// Synchronisation with the authoritative copy in the global tier (the KVS)
-// is explicit via push/pull, and proportional to what was touched in BOTH
-// directions:
+// Synchronisation with the authoritative copy in the global tier is explicit
+// via push/pull. The global tier is SHARDED (kvs/router.h): each key has a
+// master shard co-located with one host ("kvs:<host>", per-key consistent
+// hashing), and the KvsClient underneath routes every push/pull/lock to the
+// key's master. When this host IS the master (master_local()), push/pull run
+// against the in-process shard and move zero network bytes — replicas
+// co-located with their master sync for free (§4.3). Traffic is otherwise
+// proportional to what was touched in BOTH directions:
 //
 //   Pull  — page-granular presence tracking (`page_present_`): only missing
 //           state pages are fetched, so sparse readers (e.g. the SGD matrix
@@ -131,6 +136,11 @@ class StateKeyValue {
   Status LockGlobalWrite();
   Status UnlockGlobalRead();
   Status UnlockGlobalWrite();
+
+  // True when this key's global-tier master shard lives on this host: the
+  // paper's co-location case, where Push/Pull are in-process and free. The
+  // scheduler uses this as a placement hint (state_affinity_key).
+  bool master_local() const { return kvs_->MasterLocal(key_); }
 
   // Marks all pages absent so the next pull refetches (used by tests and
   // consistency-sensitive DDOs).

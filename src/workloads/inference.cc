@@ -53,7 +53,7 @@ void DenseLayer(const float* in, uint32_t n_in, const float* weights, const floa
 
 }  // namespace
 
-size_t SeedMlpWeights(KvStore& kvs, const MlpDims& dims, uint64_t seed) {
+size_t SeedMlpWeights(ShardedKvs& kvs, const MlpDims& dims, uint64_t seed) {
   Rng rng(seed);
   size_t total = 0;
   for (int k = 0; k < 6; ++k) {
@@ -270,7 +270,7 @@ int MlpInferNative(InvocationContext& ctx) {
   return 0;
 }
 
-uint32_t MlpReference(const KvStore& kvs, const MlpDims& dims, const std::vector<float>& image) {
+uint32_t MlpReference(const ShardedKvs& kvs, const MlpDims& dims, const std::vector<float>& image) {
   std::vector<float> tensors[6];
   for (int k = 0; k < 6; ++k) {
     auto bytes = kvs.Get(kWeightKeys[k]);

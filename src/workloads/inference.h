@@ -12,7 +12,7 @@
 #define FAASM_WORKLOADS_INFERENCE_H_
 
 #include "core/invocation_context.h"
-#include "kvs/kv_store.h"
+#include "kvs/router.h"
 #include "runtime/registry.h"
 #include "wasm/compiled.h"
 
@@ -26,7 +26,7 @@ struct MlpDims {
 };
 
 // Seeds random-but-deterministic weights into the global tier; returns bytes.
-size_t SeedMlpWeights(KvStore& kvs, const MlpDims& dims, uint64_t seed = 99);
+size_t SeedMlpWeights(ShardedKvs& kvs, const MlpDims& dims, uint64_t seed = 99);
 
 // Builds the wasm inference module (entrypoint "main").
 Result<std::shared_ptr<const wasm::CompiledModule>> BuildMlpWasmModule(const MlpDims& dims);
@@ -35,7 +35,7 @@ Result<std::shared_ptr<const wasm::CompiledModule>> BuildMlpWasmModule(const Mlp
 int MlpInferNative(InvocationContext& ctx);
 
 // Reference forward pass for correctness checks.
-uint32_t MlpReference(const KvStore& kvs, const MlpDims& dims, const std::vector<float>& image);
+uint32_t MlpReference(const ShardedKvs& kvs, const MlpDims& dims, const std::vector<float>& image);
 
 // Deterministic synthetic "image" for request i.
 std::vector<float> SyntheticImage(const MlpDims& dims, uint64_t index);

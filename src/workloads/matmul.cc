@@ -7,7 +7,7 @@
 
 namespace faasm {
 
-size_t SeedMatmulInputs(KvStore& kvs, const MatmulConfig& config) {
+size_t SeedMatmulInputs(ShardedKvs& kvs, const MatmulConfig& config) {
   Rng rng(config.seed);
   const size_t n = config.n;
   std::vector<double> a(n * n);

@@ -8,7 +8,7 @@
 #define FAASM_WORKLOADS_MATMUL_H_
 
 #include "core/invocation_context.h"
-#include "kvs/kv_store.h"
+#include "kvs/router.h"
 #include "runtime/registry.h"
 
 namespace faasm {
@@ -24,7 +24,7 @@ inline const char* kMatmulBKey = "mm:B";
 inline const char* kMatmulOutPrefix = "mm:out:";
 
 // Seeds A and B (row-major n*n doubles); returns bytes written.
-size_t SeedMatmulInputs(KvStore& kvs, const MatmulConfig& config);
+size_t SeedMatmulInputs(ShardedKvs& kvs, const MatmulConfig& config);
 
 // "mm_div": multiplies an (size x size) block pair; recursion by chaining.
 // Input: u32 n, u32 size, u32 a_row, u32 a_col, u32 b_row, u32 b_col,

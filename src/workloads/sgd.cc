@@ -8,7 +8,7 @@
 
 namespace faasm {
 
-size_t SeedSgdDataset(KvStore& kvs, const SgdConfig& config) {
+size_t SeedSgdDataset(ShardedKvs& kvs, const SgdConfig& config) {
   Rng rng(config.seed);
 
   // Hidden ground-truth weights generate linearly-separable-ish labels so the
@@ -168,8 +168,13 @@ int SgdLossFunction(InvocationContext& ctx) {
 }
 
 Status RegisterSgdFunctions(FunctionRegistry& registry) {
-  FAASM_RETURN_IF_ERROR(registry.RegisterNative("sgd_update", SgdUpdateFunction));
-  return registry.RegisterNative("sgd_loss", SgdLossFunction);
+  // Both functions hammer the shared weights vector; declaring it as the
+  // placement affinity key lets the scheduler prefer the host mastering its
+  // global-tier shard, whose weight pushes/pulls cost zero network bytes.
+  FunctionOptions options;
+  options.state_affinity_key = kSgdWeightsKey;
+  FAASM_RETURN_IF_ERROR(registry.RegisterNative("sgd_update", SgdUpdateFunction, options));
+  return registry.RegisterNative("sgd_loss", SgdLossFunction, options);
 }
 
 }  // namespace faasm

@@ -12,7 +12,7 @@
 #include <string>
 
 #include "core/invocation_context.h"
-#include "kvs/kv_store.h"
+#include "kvs/router.h"
 #include "runtime/registry.h"
 
 namespace faasm {
@@ -40,7 +40,7 @@ inline const char* kSgdLossKey = "losses";
 // Generates the synthetic dataset, computes ground-truth-ish weights and
 // seeds the global tier directly (datasets pre-exist in storage; seeding is
 // not experiment traffic). Returns total dataset bytes.
-size_t SeedSgdDataset(KvStore& kvs, const SgdConfig& config);
+size_t SeedSgdDataset(ShardedKvs& kvs, const SgdConfig& config);
 
 // The worker function body ("sgd_update"): trains on a column range.
 // Input: u32 col_start, u32 col_end, f32 learning_rate, u32 push_interval.

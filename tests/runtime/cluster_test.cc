@@ -257,6 +257,61 @@ TEST(ClusterTest, WasmFunctionThroughUploadService) {
   });
 }
 
+TEST(ClusterTest, StateAffinityPlacesFunctionOnStateMasterHost) {
+  // With the sharded tier, a function declaring a state-affinity key should
+  // land on the host mastering that key's shard — where its push/pull are
+  // free — no matter which host the frontend submits it to.
+  FaasmCluster cluster(SmallCluster(4));
+  const std::string key = "affine-state";
+  cluster.kvs().Set(key, Bytes(8, 0));
+  std::string master = ShardMap::HostForEndpoint(cluster.shard_map().MasterFor(key));
+  ASSERT_FALSE(master.empty());
+
+  FunctionOptions options;
+  options.state_affinity_key = key;
+  ASSERT_TRUE(cluster.registry()
+                  .RegisterNative(
+                      "affine",
+                      [key](InvocationContext& ctx) {
+                        auto kv = ctx.state().Lookup(key);
+                        return kv->Pull().ok() && kv->master_local() ? 0 : 1;
+                      },
+                      options)
+                  .ok());
+  cluster.Run([&](Frontend& frontend) {
+    // Round-robin submissions from every host all converge on the master.
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(frontend.Invoke("affine", {}).value(), 0);
+    }
+  });
+  for (const CallRecord& record : cluster.calls().FinishedRecords()) {
+    EXPECT_EQ(record.executed_on, master);
+  }
+}
+
+TEST(ClusterTest, WarmSetCacheCutsSteadyStateSubmitTraffic) {
+  // Steady-state submits must not pay a SetMembers round trip per call: the
+  // cached warm-set view serves scheduling decisions within its TTL.
+  auto run = [](TimeNs ttl) {
+    ClusterConfig config = SmallCluster(4);
+    // Centralised tier so every warm-set fetch is a remote, accounted RPC.
+    config.state_tier = StateTier::kCentral;
+    config.warm_set_ttl_ns = ttl;
+    FaasmCluster cluster(config);
+    EXPECT_TRUE(
+        cluster.registry().RegisterNative("fn", [](InvocationContext&) { return 0; }).ok());
+    cluster.Run([&](Frontend& frontend) {
+      for (int i = 0; i < 24; ++i) {
+        ASSERT_EQ(frontend.Invoke("fn", {}).value(), 0);
+      }
+    });
+    return cluster.network_bytes();
+  };
+  const uint64_t uncached = run(0);
+  const uint64_t cached = run(50 * kMillisecond);
+  EXPECT_LT(cached, uncached) << "cached=" << cached << " uncached=" << uncached;
+}
+
 TEST(ClusterTest, MalformedWasmRejectedAtUpload) {
   FaasmCluster cluster(SmallCluster(1));
   EXPECT_FALSE(cluster.registry().UploadWasm("bad", Bytes{1, 2, 3}).ok());

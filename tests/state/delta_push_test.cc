@@ -19,6 +19,10 @@ struct SgdOutcome {
 SgdOutcome RunSgd(bool delta_push) {
   ClusterConfig cluster_config;
   cluster_config.hosts = 2;
+  // Pin the centralised tier: this test isolates the delta-vs-full push
+  // traffic difference, which the sharded tier would hide (master-local
+  // pushes cost zero bytes either way — locked in by sharded_tier_test).
+  cluster_config.state_tier = StateTier::kCentral;
   FaasmCluster cluster(cluster_config);
 
   SgdConfig config;
