@@ -6,12 +6,31 @@
 // open-loop M/D/c queue simulation with those service times (the paper's
 // single-host experiment shape: flat latency until the creation-throughput
 // knee, then unbounded queueing).
+//
+// HOST-CHURN MODE (--hosts-churn): the cluster-level churn story for the
+// sharded tier. A FAASM cluster serves a stream of exact counter increments
+// (global lock + pull + delta push per op) while hosts are added and
+// removed mid-run; every membership change migrates the affected keys and
+// flips the ShardMap epoch (kvs/migration.h). Reports migration traffic and
+// the p50/p99/max op latency ACROSS the epoch flips — ops that race a
+// migration stall on kWrongMaster redirects, which is exactly the tail this
+// mode quantifies — plus a lost-update check (acked increments vs final
+// counter values). --tier=central runs the ablation where membership
+// changes never touch the tier.
+//
+//   fig10_churn [--tiny]                                 # single-host figure
+//   fig10_churn --hosts-churn [--tier=sharded|central] [--tiny] [--json <path>]
+#include <cstring>
 #include <queue>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/faaslet.h"
+#include "runtime/cluster.h"
+#include "state/ddo.h"
 #include "wasm/builder.h"
 #include "wasm/decoder.h"
 
@@ -85,11 +104,244 @@ double MeasureServiceSeconds(const std::function<Status()>& create, int iters) {
   return ns.Median() / 1e9;
 }
 
+// --- Host-churn mode ----------------------------------------------------------
+
+struct ChurnResult {
+  bool tiny = false;
+  StateTier tier = StateTier::kSharded;
+  size_t ops = 0;
+  size_t acked = 0;
+  uint64_t lost_updates = 0;
+  MigrationStats migration;
+  uint64_t final_hosts = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+  double seconds = 0;  // virtual run time
+};
+
+std::string CounterKey(int i) { return "churn-counter-" + std::to_string(i); }
+
+// Exact cross-host increment: global write lock, invalidate+pull, bump,
+// delta push, unlock (the rebalance_test.cc protocol).
+void RegisterIncrement(FaasmCluster& cluster) {
+  (void)cluster.registry().RegisterNative("inc", [](InvocationContext& ctx) {
+    ByteReader reader(ctx.Input());
+    auto index = reader.Get<uint32_t>();
+    if (!index.ok()) {
+      return 1;
+    }
+    SharedArray<uint64_t> counter(&ctx.state(), CounterKey(index.value()));
+    if (!counter.kv().LockGlobalWrite().ok()) {
+      return 2;
+    }
+    counter.kv().InvalidateReplica();
+    if (!counter.Attach().ok()) {
+      (void)counter.kv().UnlockGlobalWrite();
+      return 3;
+    }
+    uint64_t* value = counter.WritableElements(0, 1);
+    if (value == nullptr) {
+      (void)counter.kv().UnlockGlobalWrite();
+      return 4;
+    }
+    *value += 1;
+    counter.MarkDirtyElements(0, 1);
+    const bool ok = counter.Push().ok() && counter.kv().UnlockGlobalWrite().ok();
+    return ok ? 0 : 5;
+  });
+}
+
+ChurnResult RunHostChurn(bool tiny, StateTier tier) {
+  ChurnResult result;
+  result.tiny = tiny;
+  result.tier = tier;
+
+  ClusterConfig config;
+  config.hosts = 4;
+  config.state_tier = tier;
+  FaasmCluster cluster(config);
+
+  const int counters = tiny ? 4 : 16;
+  const int ops_per_round = tiny ? 24 : 160;
+  for (int i = 0; i < counters; ++i) {
+    (void)cluster.kvs().Set(CounterKey(i), Bytes(sizeof(uint64_t), 0));
+  }
+  // Bulk payload keys so migrations move real bytes, not just counters.
+  const int payload_keys = tiny ? 32 : 256;
+  const size_t payload_bytes = tiny ? 16 * 1024 : 64 * 1024;
+  for (int i = 0; i < payload_keys; ++i) {
+    (void)cluster.kvs().Set("payload-" + std::to_string(i), Bytes(payload_bytes, 7));
+  }
+  RegisterIncrement(cluster);
+
+  std::vector<uint64_t> acked_per_counter(counters, 0);
+  cluster.Run([&](Frontend& frontend) {
+    const TimeNs start = cluster.clock().Now();
+    // Membership schedule: grow, shrink an original host, grow, shrink the
+    // newcomer — every round with a batch of increments in flight.
+    const std::vector<std::pair<bool, std::string>> churn = {
+        {true, ""}, {false, "host-1"}, {true, ""}, {false, "host-4"}};
+    for (const auto& [add, name] : churn) {
+      std::vector<std::pair<uint64_t, uint32_t>> batch;
+      for (int i = 0; i < ops_per_round; ++i) {
+        const uint32_t counter = static_cast<uint32_t>(i % counters);
+        Bytes input;
+        ByteWriter writer(input);
+        writer.Put<uint32_t>(counter);
+        auto id = frontend.Submit("inc", std::move(input));
+        if (id.ok()) {
+          batch.emplace_back(id.value(), counter);
+        }
+        result.ops += 1;
+      }
+      if (add) {
+        auto added = cluster.AddHost();
+        if (!added.ok()) {
+          std::fprintf(stderr, "AddHost failed: %s\n", added.status().ToString().c_str());
+        }
+      } else {
+        Status removed = cluster.RemoveHost(name);
+        if (!removed.ok()) {
+          std::fprintf(stderr, "RemoveHost failed: %s\n", removed.ToString().c_str());
+        }
+      }
+      for (const auto& [id, counter] : batch) {
+        auto code = frontend.Await(id);
+        if (code.ok() && code.value() == 0) {
+          result.acked += 1;
+          acked_per_counter[counter] += 1;
+        }
+      }
+    }
+    result.seconds = static_cast<double>(cluster.clock().Now() - start) / 1e9;
+  });
+
+  // Correctness sweep: acked increments vs final counter values.
+  for (int i = 0; i < counters; ++i) {
+    uint64_t count = 0;
+    auto value = cluster.kvs().Get(CounterKey(i));
+    if (value.ok() && value.value().size() == sizeof(count)) {
+      std::memcpy(&count, value.value().data(), sizeof(count));
+    }
+    result.lost_updates +=
+        count > acked_per_counter[i] ? count - acked_per_counter[i]
+                                     : acked_per_counter[i] - count;
+  }
+
+  // Per-op latency across the run, epoch flips included.
+  Summary latency_ms;
+  for (const CallRecord& record : cluster.calls().FinishedRecords()) {
+    latency_ms.Add(static_cast<double>(record.finished_at - record.submitted_at) / 1e6);
+  }
+  result.p50_ms = latency_ms.Median();
+  result.p99_ms = latency_ms.Percentile(99.0);
+  result.max_ms = latency_ms.Max();
+  result.migration = cluster.migration_stats();
+  result.final_hosts = cluster.host_count();
+  return result;
+}
+
+void PrintChurn(const ChurnResult& r) {
+  std::printf("%10s | %6zu %6zu %6llu | %8llu %10.1f %6llu | %8.2f %8.2f %8.2f\n",
+              r.tier == StateTier::kSharded ? "sharded" : "central", r.ops, r.acked,
+              static_cast<unsigned long long>(r.lost_updates),
+              static_cast<unsigned long long>(r.migration.keys_moved),
+              static_cast<double>(r.migration.bytes_moved) / 1e3,
+              static_cast<unsigned long long>(r.migration.epoch_flips), r.p50_ms, r.p99_ms,
+              r.max_ms);
+}
+
+bool WriteChurnJson(const std::string& path, const ChurnResult& r) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig10_churn\",\n  \"mode\": \"hosts-churn\",\n");
+  std::fprintf(f, "  \"tiny\": %s,\n  \"tier\": \"%s\",\n", r.tiny ? "true" : "false",
+               r.tier == StateTier::kSharded ? "sharded" : "central");
+  std::fprintf(f, "  \"ops\": %zu,\n  \"acked\": %zu,\n  \"lost_updates\": %llu,\n", r.ops,
+               r.acked, static_cast<unsigned long long>(r.lost_updates));
+  std::fprintf(f,
+               "  \"migration\": {\"keys_moved\": %llu, \"bytes_moved\": %llu, "
+               "\"epoch_flips\": %llu},\n",
+               static_cast<unsigned long long>(r.migration.keys_moved),
+               static_cast<unsigned long long>(r.migration.bytes_moved),
+               static_cast<unsigned long long>(r.migration.epoch_flips));
+  std::fprintf(f, "  \"final_hosts\": %llu,\n  \"virtual_seconds\": %.4f,\n",
+               static_cast<unsigned long long>(r.final_hosts), r.seconds);
+  std::fprintf(f, "  \"latency_ms\": {\"p50\": %.3f, \"p99\": %.3f, \"max\": %.3f}\n}\n",
+               r.p50_ms, r.p99_ms, r.max_ms);
+  std::fclose(f);
+  std::printf("\n[wrote %s]\n", path.c_str());
+  return true;
+}
+
+int HostChurnMain(bool tiny, StateTier tier, const std::string& json_path) {
+  const bool sharded = tier == StateTier::kSharded;
+  if (sharded) {
+    PrintHeader("Figure 10b: host churn on the sharded tier (add/remove under load)");
+    std::printf("exact counter increments (global lock + delta push) while the membership\n"
+                "changes; ops racing a migration stall on kWrongMaster redirects until the\n"
+                "epoch flips — the p99/max columns price that stall.\n\n");
+  } else {
+    PrintHeader("Figure 10b ablation: host churn on the CENTRAL tier (no-op for state)");
+    std::printf("the same increment load and membership schedule, but every key lives in\n"
+                "the one central store: membership changes move no state and flip no\n"
+                "epoch — the migration columns must read zero.\n\n");
+  }
+  std::printf("%10s | %6s %6s %6s | %8s %10s %6s | %8s %8s %8s\n", "tier", "ops", "acked",
+              "lost", "keys", "moved(KB)", "flips", "p50(ms)", "p99(ms)", "max(ms)");
+  const ChurnResult result = RunHostChurn(tiny, tier);
+  PrintChurn(result);
+  if (result.lost_updates != 0) {
+    std::fprintf(stderr, "LOST UPDATES DETECTED: %llu\n",
+                 static_cast<unsigned long long>(result.lost_updates));
+  }
+  if (sharded) {
+    std::printf(
+        "(migration streams each moving key master→master over the interconnect)\n");
+  }
+  if (!json_path.empty() && !WriteChurnJson(json_path, result)) {
+    return 1;
+  }
+  return result.lost_updates == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace faasm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace faasm;
+  bool tiny = false;
+  bool hosts_churn = false;
+  StateTier tier = StateTier::kSharded;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tiny") {
+      tiny = true;
+    } else if (arg == "--hosts-churn") {
+      hosts_churn = true;
+    } else if (arg == "--tier=sharded") {
+      tier = StateTier::kSharded;
+    } else if (arg == "--tier=central") {
+      tier = StateTier::kCentral;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--hosts-churn] [--tier=sharded|central] [--tiny]"
+                   " [--json <path>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (hosts_churn) {
+    return HostChurnMain(tiny, tier, json_path);
+  }
+
   PrintHeader("Figure 10: creation latency vs churn rate (single host)");
   ContainerModel docker;
   PrintContainerCalibration(docker);

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "baseline/container_model.h"
@@ -106,6 +107,9 @@ class KnativeInstance {
 
   void Start();
   void Stop();
+  // Stops the dispatcher and unregisters the host endpoint (graceful
+  // removal; call once the autoscaler has drained the host's pods).
+  void Retire();
 
   const std::string& name() const { return config_.name; }
   MemoryAccountant& memory_accountant() { return memory_; }
@@ -185,6 +189,16 @@ class KnativeCluster {
 
   void Run(const std::function<void(Client&)>& driver);
 
+  // --- Elastic membership (baseline parity with FaasmCluster) -----------------
+  // Adds a host to the autoscaler's routing pool. The global tier is the
+  // single central KVS either way, so membership changes never touch state —
+  // the baseline's "no-op tier" behaviour the ablations contrast against.
+  Result<std::string> AddHost();
+  // Gracefully removes `name`: the router stops placing pods there, the
+  // host's in-flight calls drain, then it retires (its containers are
+  // discarded with it). Refuses to remove the last active host.
+  Status RemoveHost(const std::string& name);
+
   uint64_t network_bytes() const { return network_->total_bytes(); }
   double billable_gb_seconds() const;
   size_t cold_start_count() const;
@@ -196,10 +210,15 @@ class KnativeCluster {
   friend class KnativeInstance;
 
   // Concurrency-aware per-function routing (the Knative autoscaler model):
-  // route to the least-loaded existing pod host; scale out to a new host when
-  // every pod is busy.
-  size_t RouteCall(const std::string& function);
+  // route to the least-loaded existing pod host; scale out to a new host
+  // when every pod is busy. Returns the chosen host's endpoint name —
+  // resolved under routing_mutex_, because chained-call Submits run on
+  // instance threads concurrently with AddHost growing hosts_.
+  std::string RouteCall(const std::string& function);
   void NotifyDone(const std::string& function, size_t host_index);
+
+  // In-flight calls routed to host `index` (any function).
+  int HostLoadLocked(size_t index) const;
 
   ClusterConfig config_;
   ContainerModel model_;
@@ -210,8 +229,13 @@ class KnativeCluster {
   std::unique_ptr<KvsServer> kvs_server_;
   FunctionRegistry registry_;
   CallTable calls_;
+  // The vector only grows (routing state stores indices); removed hosts are
+  // marked retired and skipped by RouteCall. Mutated and searched under
+  // routing_mutex_ — Submits arrive from instance threads.
   std::vector<std::unique_ptr<KnativeInstance>> hosts_;
-  std::mutex routing_mutex_;
+  std::set<size_t> retired_;
+  int next_host_index_ = 0;
+  mutable std::mutex routing_mutex_;
   std::map<std::string, std::map<size_t, int>> in_flight_;  // fn -> host -> count
   bool shut_down_ = false;
 };

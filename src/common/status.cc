@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kPermissionDenied:
       return "PERMISSION_DENIED";
+    case StatusCode::kWrongMaster:
+      return "WRONG_MASTER";
   }
   return "UNKNOWN";
 }

@@ -26,6 +26,10 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kPermissionDenied,
+  // A sharded-KVS op reached a shard that does not (or no longer does)
+  // master the key — the shard map changed, or the key is mid-migration.
+  // Routing clients re-resolve the master and retry (kvs/kvs_client.h).
+  kWrongMaster,
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -76,6 +80,9 @@ inline Status Unimplemented(std::string m) {
 }
 inline Status PermissionDenied(std::string m) {
   return Status(StatusCode::kPermissionDenied, std::move(m));
+}
+inline Status WrongMaster(std::string m) {
+  return Status(StatusCode::kWrongMaster, std::move(m));
 }
 
 // Result<T>: holds either a T or a non-OK Status.

@@ -15,15 +15,49 @@ bool RangeIsSane(size_t offset, size_t len) {
 }
 }  // namespace
 
-void KvStore::Set(const std::string& key, Bytes value) {
+Bytes KeyExport::Serialize() const {
+  Bytes out;
+  ByteWriter writer(out);
+  writer.Put<uint8_t>(has_value ? 1 : 0);
+  writer.PutBytes(value);
+  writer.Put<int32_t>(lock_readers);
+  writer.PutString(lock_writer);
+  writer.Put<uint32_t>(static_cast<uint32_t>(set_members.size()));
+  for (const std::string& member : set_members) {
+    writer.PutString(member);
+  }
+  return out;
+}
+
+Result<KeyExport> KeyExport::Deserialize(const Bytes& bytes) {
+  KeyExport record;
+  ByteReader reader(bytes);
+  FAASM_ASSIGN_OR_RETURN(uint8_t has_value, reader.Get<uint8_t>());
+  record.has_value = has_value != 0;
+  FAASM_ASSIGN_OR_RETURN(record.value, reader.GetBytes());
+  FAASM_ASSIGN_OR_RETURN(record.lock_readers, reader.Get<int32_t>());
+  FAASM_ASSIGN_OR_RETURN(record.lock_writer, reader.GetString());
+  FAASM_ASSIGN_OR_RETURN(uint32_t member_count, reader.Get<uint32_t>());
+  record.set_members.reserve(std::min<uint32_t>(member_count, 1024));
+  for (uint32_t i = 0; i < member_count; ++i) {
+    FAASM_ASSIGN_OR_RETURN(std::string member, reader.GetString());
+    record.set_members.push_back(std::move(member));
+  }
+  return record;
+}
+
+Status KvStore::Set(const std::string& key, Bytes value) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   shard.values[key] = std::move(value);
+  return OkStatus();
 }
 
 Result<Bytes> KvStore::Get(const std::string& key) const {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   auto it = shard.values.find(key);
   if (it == shard.values.end()) {
     return NotFound("kvs: no such key: " + key);
@@ -40,6 +74,7 @@ bool KvStore::Exists(const std::string& key) const {
 Result<size_t> KvStore::Size(const std::string& key) const {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   auto it = shard.values.find(key);
   if (it == shard.values.end()) {
     return NotFound("kvs: no such key: " + key);
@@ -50,12 +85,14 @@ Result<size_t> KvStore::Size(const std::string& key) const {
 Status KvStore::Delete(const std::string& key) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   return shard.values.erase(key) > 0 ? OkStatus() : NotFound("kvs: no such key: " + key);
 }
 
 Result<Bytes> KvStore::GetRange(const std::string& key, size_t offset, size_t len) const {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   auto it = shard.values.find(key);
   if (it == shard.values.end()) {
     return NotFound("kvs: no such key: " + key);
@@ -74,6 +111,7 @@ Status KvStore::SetRange(const std::string& key, size_t offset, const Bytes& byt
   }
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   Bytes& value = shard.values[key];
   if (value.size() < offset + bytes.size()) {
     value.resize(offset + bytes.size());
@@ -90,6 +128,7 @@ Status KvStore::SetRanges(const std::string& key, const std::vector<ValueRange>&
   }
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   Bytes& value = shard.values[key];
   size_t needed = value.size();
   for (const ValueRange& range : ranges) {
@@ -104,17 +143,19 @@ Status KvStore::SetRanges(const std::string& key, const std::vector<ValueRange>&
   return OkStatus();
 }
 
-size_t KvStore::Append(const std::string& key, const Bytes& bytes) {
+Result<size_t> KvStore::Append(const std::string& key, const Bytes& bytes) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   Bytes& value = shard.values[key];
   value.insert(value.end(), bytes.begin(), bytes.end());
   return value.size();
 }
 
-bool KvStore::TryLockRead(const std::string& key, const std::string& /*owner*/) {
+Result<bool> KvStore::TryLockRead(const std::string& key, const std::string& /*owner*/) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   LockState& lock = shard.locks[key];
   if (!lock.writer.empty()) {
     return false;
@@ -123,9 +164,10 @@ bool KvStore::TryLockRead(const std::string& key, const std::string& /*owner*/) 
   return true;
 }
 
-bool KvStore::TryLockWrite(const std::string& key, const std::string& owner) {
+Result<bool> KvStore::TryLockWrite(const std::string& key, const std::string& owner) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   LockState& lock = shard.locks[key];
   if (!lock.writer.empty() || lock.readers > 0) {
     return false;
@@ -137,6 +179,7 @@ bool KvStore::TryLockWrite(const std::string& key, const std::string& owner) {
 Status KvStore::UnlockRead(const std::string& key, const std::string& /*owner*/) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   LockState& lock = shard.locks[key];
   if (lock.readers <= 0) {
     return FailedPrecondition("kvs: read-unlock without lock: " + key);
@@ -148,6 +191,7 @@ Status KvStore::UnlockRead(const std::string& key, const std::string& /*owner*/)
 Status KvStore::UnlockWrite(const std::string& key, const std::string& owner) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   LockState& lock = shard.locks[key];
   if (lock.writer != owner) {
     return FailedPrecondition("kvs: write-unlock by non-owner: " + key);
@@ -156,15 +200,17 @@ Status KvStore::UnlockWrite(const std::string& key, const std::string& owner) {
   return OkStatus();
 }
 
-bool KvStore::SetAdd(const std::string& key, const std::string& member) {
+Result<bool> KvStore::SetAdd(const std::string& key, const std::string& member) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   return shard.sets[key].insert(member).second;
 }
 
-bool KvStore::SetRemove(const std::string& key, const std::string& member) {
+Result<bool> KvStore::SetRemove(const std::string& key, const std::string& member) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   auto it = shard.sets.find(key);
   if (it == shard.sets.end()) {
     return false;
@@ -180,6 +226,116 @@ std::vector<std::string> KvStore::SetMembers(const std::string& key) const {
     return {};
   }
   return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+std::vector<std::string> KvStore::Keys() const {
+  std::set<std::string> keys;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    for (const auto& [key, value] : shard.values) {
+      keys.insert(key);
+    }
+    for (const auto& [key, lock] : shard.locks) {
+      if (lock.readers > 0 || !lock.writer.empty()) {
+        keys.insert(key);
+      }
+    }
+    for (const auto& [key, members] : shard.sets) {
+      if (!members.empty()) {
+        keys.insert(key);
+      }
+    }
+  }
+  return std::vector<std::string>(keys.begin(), keys.end());
+}
+
+void KvStore::FreezeKey(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  shard.frozen.insert(key);
+}
+
+void KvStore::UnfreezeKey(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  shard.frozen.erase(key);
+}
+
+bool KvStore::IsFrozen(const std::string& key) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  return shard.frozen.count(key) > 0;
+}
+
+void KvStore::SetMigrationFilter(std::function<bool(const std::string&)> filter) {
+  KeyPredicate shared =
+      filter ? std::make_shared<const std::function<bool(const std::string&)>>(std::move(filter))
+             : nullptr;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    shard.filter = shared;
+  }
+}
+
+void KvStore::SetOwnershipGuard(std::function<bool(const std::string&)> owns) {
+  KeyPredicate shared =
+      owns ? std::make_shared<const std::function<bool(const std::string&)>>(std::move(owns))
+           : nullptr;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    shard.owns = shared;
+  }
+}
+
+KeyExport KvStore::ExportKey(const std::string& key) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  KeyExport record;
+  if (auto it = shard.values.find(key); it != shard.values.end()) {
+    record.has_value = true;
+    record.value = it->second;
+  }
+  if (auto it = shard.locks.find(key); it != shard.locks.end()) {
+    record.lock_readers = it->second.readers;
+    record.lock_writer = it->second.writer;
+  }
+  if (auto it = shard.sets.find(key); it != shard.sets.end()) {
+    record.set_members.assign(it->second.begin(), it->second.end());
+  }
+  return record;
+}
+
+void KvStore::InstallKey(const std::string& key, const KeyExport& record) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  shard.frozen.erase(key);  // the key is moving (back) in
+  if (record.has_value) {
+    shard.values[key] = record.value;
+  } else {
+    shard.values.erase(key);
+  }
+  if (record.lock_readers > 0 || !record.lock_writer.empty()) {
+    shard.locks[key] = LockState{record.lock_readers, record.lock_writer};
+  } else {
+    shard.locks.erase(key);
+  }
+  if (!record.set_members.empty()) {
+    shard.sets[key] =
+        std::set<std::string>(record.set_members.begin(), record.set_members.end());
+  } else {
+    shard.sets.erase(key);
+  }
+}
+
+void KvStore::EraseKey(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  shard.values.erase(key);
+  shard.locks.erase(key);
+  shard.sets.erase(key);
+  // The ownership guard — not a per-key marker — keeps stragglers off the
+  // moved key, and keeps working if mastership later returns here.
+  shard.frozen.erase(key);
 }
 
 size_t KvStore::key_count() const {

@@ -3,11 +3,37 @@
 // API surface the two-tier architecture needs: whole-value and ranged
 // reads/writes, append, distributed read/write locks, and the set operations
 // the Omega-style scheduler keeps its warm sets in).
+//
+// Shard migration support (kvs/migration.h). Three mechanisms, all checked
+// under the same shard mutex that applies the op, so nothing slips between
+// a coordinator's snapshot and the handoff:
+//
+//   - FROZEN keys (FreezeKey): a key mid-stream bounces ops with
+//     kWrongMaster until the epoch flips; routing clients back off and
+//     retry against the key's post-flip master.
+//   - The MIGRATION FILTER (SetMigrationFilter): while a membership change
+//     is in progress, ops on any key the filter marks as moving bounce —
+//     including keys that do not exist yet, which closes the enumeration
+//     race (a key created after the coordinator listed the store can never
+//     be stranded, because creating it bounces until the flip).
+//   - The OWNERSHIP GUARD (SetOwnershipGuard): a permanent predicate
+//     host-colocated shards install at creation, answering "does this
+//     store master `key` under the LIVE shard map?". A straggler op that
+//     resolved its route epochs ago bounces here instead of resurrecting a
+//     moved key; because the guard reads the live map, a key whose
+//     mastership later returns is immediately servable again.
+//
+// Only Exists/SetMembers keep answering regardless (their bool/vector
+// signatures have no error channel); their consumers — warm-set scheduling
+// — tolerate a stale view. ExportKey / InstallKey / EraseKey move a key's
+// full footprint (value bytes, lock state, set members) between stores.
 #ifndef FAASM_KVS_KV_STORE_H_
 #define FAASM_KVS_KV_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -24,12 +50,31 @@ struct ValueRange {
   Bytes bytes;
 };
 
+// A key's complete store-side footprint, as moved by shard migration: the
+// value (if any), the distributed-lock state (ownership travels with the
+// key, so a lock held across a migration keeps excluding), and set members.
+struct KeyExport {
+  bool has_value = false;
+  Bytes value;
+  int lock_readers = 0;
+  std::string lock_writer;
+  std::vector<std::string> set_members;
+
+  // Wire encoding (payload of the kMigrateInstall op).
+  Bytes Serialize() const;
+  static Result<KeyExport> Deserialize(const Bytes& bytes);
+  // True when the key has no footprint at all (nothing to migrate).
+  bool empty() const {
+    return !has_value && lock_readers == 0 && lock_writer.empty() && set_members.empty();
+  }
+};
+
 class KvStore {
  public:
   static constexpr int kShards = 16;
 
   // --- Values ---------------------------------------------------------------
-  void Set(const std::string& key, Bytes value);
+  Status Set(const std::string& key, Bytes value);
   Result<Bytes> Get(const std::string& key) const;
   bool Exists(const std::string& key) const;
   Result<size_t> Size(const std::string& key) const;
@@ -43,19 +88,49 @@ class KvStore {
   Status SetRanges(const std::string& key, const std::vector<ValueRange>& ranges);
 
   // Appends and returns the new length.
-  size_t Append(const std::string& key, const Bytes& bytes);
+  Result<size_t> Append(const std::string& key, const Bytes& bytes);
 
   // --- Distributed locks -----------------------------------------------------
   // Non-blocking; callers poll. Multiple readers or one writer per key.
-  bool TryLockRead(const std::string& key, const std::string& owner);
-  bool TryLockWrite(const std::string& key, const std::string& owner);
+  Result<bool> TryLockRead(const std::string& key, const std::string& owner);
+  Result<bool> TryLockWrite(const std::string& key, const std::string& owner);
   Status UnlockRead(const std::string& key, const std::string& owner);
   Status UnlockWrite(const std::string& key, const std::string& owner);
 
   // --- Sets (scheduler warm sets) ---------------------------------------------
-  bool SetAdd(const std::string& key, const std::string& member);     // true if new
-  bool SetRemove(const std::string& key, const std::string& member);  // true if removed
+  Result<bool> SetAdd(const std::string& key, const std::string& member);     // true if new
+  Result<bool> SetRemove(const std::string& key, const std::string& member);  // true if removed
   std::vector<std::string> SetMembers(const std::string& key) const;
+
+  // --- Shard migration (kvs/migration.h) ---------------------------------------
+  // Every key with any footprint (value, lock state, or set members).
+  std::vector<std::string> Keys() const;
+  // Marks `key` migrating: ops on it return kWrongMaster until UnfreezeKey,
+  // EraseKey, or an InstallKey moving it back in. Idempotent.
+  void FreezeKey(const std::string& key);
+  void UnfreezeKey(const std::string& key);
+  bool IsFrozen(const std::string& key) const;
+  // Installs (or clears, with nullptr) the migration filter: ops on keys
+  // for which `filter` returns true bounce with kWrongMaster, whether or
+  // not the key exists. Set by the migrator BEFORE it lists the store, so
+  // no moving key can be created behind the enumeration.
+  void SetMigrationFilter(std::function<bool(const std::string&)> filter);
+  void ClearMigrationFilter() { SetMigrationFilter(nullptr); }
+  // Installs the permanent ownership guard: ops on keys for which `owns`
+  // returns false bounce with kWrongMaster. Host-colocated shards pass a
+  // live-map predicate ("this endpoint masters the key under the current
+  // epoch"), which redirects straggler ops that raced a membership change —
+  // even on this host's in-process fast path. Install before serving.
+  void SetOwnershipGuard(std::function<bool(const std::string&)> owns);
+  // Snapshot of `key`'s footprint (value + lock state + set members), taken
+  // under the shard mutex so it is consistent with the frozen state.
+  KeyExport ExportKey(const std::string& key) const;
+  // Installs an exported footprint, replacing any existing entry for `key`
+  // and unfreezing it (the key just moved in).
+  void InstallKey(const std::string& key, const KeyExport& record);
+  // Drops every trace of `key` (value, locks, sets) and unfreezes it; the
+  // ownership guard is what keeps stragglers off the moved key afterwards.
+  void EraseKey(const std::string& key);
 
   // --- Introspection -----------------------------------------------------------
   size_t key_count() const;
@@ -67,15 +142,38 @@ class KvStore {
     std::string writer;  // empty when unlocked
   };
 
+  // Predicates are stored per shard (set under each shard's mutex, read
+  // under the op's shard mutex) so the hot path takes no extra lock.
+  using KeyPredicate = std::shared_ptr<const std::function<bool(const std::string&)>>;
+
   struct Shard {
     mutable std::mutex mutex;
     std::map<std::string, Bytes> values;
     std::map<std::string, LockState> locks;
     std::map<std::string, std::set<std::string>> sets;
+    std::set<std::string> frozen;  // keys mid-stream: ops bounce
+    KeyPredicate filter;           // migration window: moving keys bounce
+    KeyPredicate owns;             // live ownership guard: foreign keys bounce
   };
 
   Shard& ShardFor(const std::string& key) const {
     return shards_[HashBytes(reinterpret_cast<const uint8_t*>(key.data()), key.size()) % kShards];
+  }
+
+  // Requires shard.mutex. The single point every status-capable op funnels
+  // through, so none can forget the freeze, the migration filter, or the
+  // ownership guard.
+  static Status CheckServableLocked(const Shard& shard, const std::string& key) {
+    if (shard.frozen.count(key) > 0) {
+      return WrongMaster("kvs: key is migrating: " + key);
+    }
+    if (shard.filter != nullptr && (*shard.filter)(key)) {
+      return WrongMaster("kvs: key is changing master: " + key);
+    }
+    if (shard.owns != nullptr && !(*shard.owns)(key)) {
+      return WrongMaster("kvs: key is not mastered by this shard: " + key);
+    }
+    return OkStatus();
   }
 
   mutable Shard shards_[kShards];

@@ -26,8 +26,9 @@ Status ReadStatus(ByteReader& reader) {
 
 // --- Server -------------------------------------------------------------------
 
-KvsServer::KvsServer(KvStore* store, InProcNetwork* network, std::string endpoint)
-    : store_(store), network_(network), endpoint_(std::move(endpoint)) {
+KvsServer::KvsServer(KvStore* store, InProcNetwork* network, std::string endpoint,
+                     const ShardMap* map)
+    : store_(store), network_(network), endpoint_(std::move(endpoint)), map_(map) {
   network_->RegisterEndpoint(endpoint_, [this](const Bytes& request) { return Handle(request); });
 }
 
@@ -42,6 +43,16 @@ Bytes KvsServer::Handle(const Bytes& request) {
   auto key = reader.GetString();
   if (!op_byte.ok() || !key.ok()) {
     WriteStatus(writer, InvalidArgument("malformed request"));
+    return response;
+  }
+
+  // Epoch-aware ownership check: a request routed under a stale shard map
+  // lands here although mastership moved — redirect the client instead of
+  // serving (or worse, creating) a stranded copy. Migration installs are
+  // exempt: they stream a key in BEFORE the epoch flips it to this shard.
+  if (map_ != nullptr && static_cast<KvsOp>(op_byte.value()) != KvsOp::kMigrateInstall &&
+      map_->MasterFor(key.value()) != endpoint_) {
+    WriteStatus(writer, WrongMaster("kvs: '" + key.value() + "' is not mastered by " + endpoint_));
     return response;
   }
 
@@ -60,8 +71,7 @@ Bytes KvsServer::Handle(const Bytes& request) {
         WriteStatus(writer, value.status());
         break;
       }
-      store_->Set(key.value(), std::move(value).value());
-      WriteStatus(writer, OkStatus());
+      WriteStatus(writer, store_->Set(key.value(), std::move(value).value()));
       break;
     }
     case KvsOp::kGetRange: {
@@ -118,9 +128,11 @@ Bytes KvsServer::Handle(const Bytes& request) {
         WriteStatus(writer, value.status());
         break;
       }
-      const size_t new_len = store_->Append(key.value(), value.value());
-      WriteStatus(writer, OkStatus());
-      writer.Put<uint64_t>(new_len);
+      auto new_len = store_->Append(key.value(), value.value());
+      WriteStatus(writer, new_len.status());
+      if (new_len.ok()) {
+        writer.Put<uint64_t>(new_len.value());
+      }
       break;
     }
     case KvsOp::kDelete:
@@ -145,11 +157,13 @@ Bytes KvsServer::Handle(const Bytes& request) {
         WriteStatus(writer, owner.status());
         break;
       }
-      const bool acquired = op_byte.value() == static_cast<uint8_t>(KvsOp::kLockRead)
-                                ? store_->TryLockRead(key.value(), owner.value())
-                                : store_->TryLockWrite(key.value(), owner.value());
-      WriteStatus(writer, OkStatus());
-      writer.Put<uint8_t>(acquired ? 1 : 0);
+      auto acquired = op_byte.value() == static_cast<uint8_t>(KvsOp::kLockRead)
+                          ? store_->TryLockRead(key.value(), owner.value())
+                          : store_->TryLockWrite(key.value(), owner.value());
+      WriteStatus(writer, acquired.status());
+      if (acquired.ok()) {
+        writer.Put<uint8_t>(acquired.value() ? 1 : 0);
+      }
       break;
     }
     case KvsOp::kUnlockRead:
@@ -171,11 +185,13 @@ Bytes KvsServer::Handle(const Bytes& request) {
         WriteStatus(writer, member.status());
         break;
       }
-      const bool changed = op_byte.value() == static_cast<uint8_t>(KvsOp::kSetAdd)
-                               ? store_->SetAdd(key.value(), member.value())
-                               : store_->SetRemove(key.value(), member.value());
-      WriteStatus(writer, OkStatus());
-      writer.Put<uint8_t>(changed ? 1 : 0);
+      auto changed = op_byte.value() == static_cast<uint8_t>(KvsOp::kSetAdd)
+                         ? store_->SetAdd(key.value(), member.value())
+                         : store_->SetRemove(key.value(), member.value());
+      WriteStatus(writer, changed.status());
+      if (changed.ok()) {
+        writer.Put<uint8_t>(changed.value() ? 1 : 0);
+      }
       break;
     }
     case KvsOp::kSetMembers: {
@@ -185,6 +201,21 @@ Bytes KvsServer::Handle(const Bytes& request) {
       for (const std::string& member : members) {
         writer.PutString(member);
       }
+      break;
+    }
+    case KvsOp::kMigrateInstall: {
+      auto record_bytes = reader.GetBytes();
+      if (!record_bytes.ok()) {
+        WriteStatus(writer, record_bytes.status());
+        break;
+      }
+      auto record = KeyExport::Deserialize(record_bytes.value());
+      if (!record.ok()) {
+        WriteStatus(writer, record.status());
+        break;
+      }
+      store_->InstallKey(key.value(), record.value());
+      WriteStatus(writer, OkStatus());
       break;
     }
     default:
@@ -243,11 +274,7 @@ Result<Bytes> KvsClient::Invoke(const std::string& server, KvsOp op,
 }
 Status KvsClient::Set(const std::string& key, const Bytes& value) {
   return Routed(
-      key,
-      [&](KvStore& store) {
-        store.Set(key, value);
-        return OkStatus();
-      },
+      key, [&](KvStore& store) { return store.Set(key, value); },
       [&](const std::string& server) {
         auto response = Invoke(server, KvsOp::kSet, [&](ByteWriter& w) {
           w.PutString(key);
@@ -334,7 +361,8 @@ Result<uint64_t> KvsClient::Append(const std::string& key, const Bytes& bytes) {
   return Routed(
       key,
       [&](KvStore& store) -> Result<uint64_t> {
-        return static_cast<uint64_t>(store.Append(key, bytes));
+        FAASM_ASSIGN_OR_RETURN(size_t new_len, store.Append(key, bytes));
+        return static_cast<uint64_t>(new_len);
       },
       [&](const std::string& server) -> Result<uint64_t> {
         auto response = Invoke(server, KvsOp::kAppend, [&](ByteWriter& w) {
@@ -403,12 +431,12 @@ Result<uint64_t> KvsClient::Size(const std::string& key) {
 
 Result<bool> KvsClient::TryLockRead(const std::string& key) {
   return Routed(
-      key, [&](KvStore& store) -> Result<bool> { return store.TryLockRead(key, source_); },
+      key, [&](KvStore& store) { return store.TryLockRead(key, source_); },
       [&](const std::string& server) { return BoolOp(server, KvsOp::kLockRead, key, source_); });
 }
 Result<bool> KvsClient::TryLockWrite(const std::string& key) {
   return Routed(
-      key, [&](KvStore& store) -> Result<bool> { return store.TryLockWrite(key, source_); },
+      key, [&](KvStore& store) { return store.TryLockWrite(key, source_); },
       [&](const std::string& server) { return BoolOp(server, KvsOp::kLockWrite, key, source_); });
 }
 
@@ -464,12 +492,12 @@ Result<bool> KvsClient::BoolOp(const std::string& server, KvsOp op, const std::s
 
 Result<bool> KvsClient::SetAdd(const std::string& key, const std::string& member) {
   return Routed(
-      key, [&](KvStore& store) -> Result<bool> { return store.SetAdd(key, member); },
+      key, [&](KvStore& store) { return store.SetAdd(key, member); },
       [&](const std::string& server) { return BoolOp(server, KvsOp::kSetAdd, key, member); });
 }
 Result<bool> KvsClient::SetRemove(const std::string& key, const std::string& member) {
   return Routed(
-      key, [&](KvStore& store) -> Result<bool> { return store.SetRemove(key, member); },
+      key, [&](KvStore& store) { return store.SetRemove(key, member); },
       [&](const std::string& server) { return BoolOp(server, KvsOp::kSetRemove, key, member); });
 }
 

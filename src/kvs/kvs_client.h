@@ -13,14 +13,29 @@
 //     experiments' network-transfer numbers include exactly the cross-host
 //     global-tier traffic a sharded Redis/Anna deployment would generate.
 //
+// MEMBERSHIP CHANGES (kvs/migration.h) make routes stale: an op can resolve
+// its master at epoch N and land on a shard that flipped to epoch N+1, or
+// reach a key frozen mid-handoff. Both answer kWrongMaster — a server given
+// a ShardMap rejects ops for keys it does not master, and the store bounces
+// mutations of frozen keys (the local fast path hits the same store-level
+// check, so in-process writers cannot slip past a migration either). The
+// client treats kWrongMaster as "re-resolve and retry": it backs off a
+// quantum of virtual time and routes against the map's current epoch,
+// surfacing the error only after kMaxRedirectRetries (a membership change
+// that never converges). The kMigrateInstall op is exempt from the
+// ownership check: it is how the migration subsystem streams a key into its
+// new master before the epoch flips.
+//
 // Constructed without a ShardMap, the client degenerates to the centralised
 // single-endpoint layout (the pre-sharding baseline, kept for ablations and
-// component tests).
+// component tests); with no map there is no alternate route, so kWrongMaster
+// surfaces to the caller immediately.
 #ifndef FAASM_KVS_KVS_CLIENT_H_
 #define FAASM_KVS_KVS_CLIENT_H_
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "kvs/kv_store.h"
 #include "kvs/router.h"
@@ -46,13 +61,21 @@ enum class KvsOp : uint8_t {
   kSetRemove = 14,
   kSetMembers = 15,
   kSetRanges = 16,
+  // Shard migration: installs a KeyExport streamed from the key's previous
+  // master. Exempt from the server's ownership check (it arrives BEFORE the
+  // epoch flips the key to this shard).
+  kMigrateInstall = 17,
 };
 
 // Registers an RPC endpoint (default name "kvs") that serves a KvStore
-// shard. Sharded clusters run one per host on "kvs:<host>".
+// shard. Sharded clusters run one per host on "kvs:<host>". When `map` is
+// given, the server validates per-op that it still masters the key under
+// the map's current epoch and answers kWrongMaster otherwise, which is what
+// redirects clients that raced a membership change.
 class KvsServer {
  public:
-  KvsServer(KvStore* store, InProcNetwork* network, std::string endpoint = "kvs");
+  KvsServer(KvStore* store, InProcNetwork* network, std::string endpoint = "kvs",
+            const ShardMap* map = nullptr);
   ~KvsServer();
 
   const std::string& endpoint() const { return endpoint_; }
@@ -63,6 +86,7 @@ class KvsServer {
   KvStore* store_;
   InProcNetwork* network_;
   std::string endpoint_;
+  const ShardMap* map_;
 };
 
 // Routing client stub. `source` is the calling host's endpoint name (for
@@ -107,6 +131,13 @@ class KvsClient {
 
   const std::string& source() const { return source_; }
 
+  // Bound on kWrongMaster redirect retries before the error surfaces. The
+  // op stalls while its key is frozen mid-migration, so the retry budget
+  // (kMaxRedirectRetries × kRedirectBackoffNs of virtual time) must cover a
+  // full migration batch: freeze → stream → epoch flip.
+  static constexpr int kMaxRedirectRetries = 2048;
+  static constexpr TimeNs kRedirectBackoffNs = 200 * kMicrosecond;
+
  private:
   // Resolved destination of one key's op: in-process store, or endpoint.
   struct Route {
@@ -115,18 +146,37 @@ class KvsClient {
   };
   Route RouteFor(const std::string& key) const;
 
-  // Resolves `key`'s route once and dispatches: master-local ops run
-  // `local` against the in-process store (zero network bytes), the rest run
+  static bool IsWrongMaster(const Status& status) {
+    return status.code() == StatusCode::kWrongMaster;
+  }
+  template <typename T>
+  static bool IsWrongMaster(const Result<T>& result) {
+    return !result.ok() && result.status().code() == StatusCode::kWrongMaster;
+  }
+
+  // Resolves `key`'s route and dispatches: master-local ops run `local`
+  // against the in-process store (zero network bytes), the rest run
   // `remote` against the owning endpoint. Every public op goes through this
   // so none can forget the fast path. Both callables must return the same
   // type (annotate the remote lambda when its returns mix Status/Result).
+  //
+  // A kWrongMaster answer means the route went stale (membership change) or
+  // the key is frozen mid-migration: back off one virtual-time quantum and
+  // retry against the map's CURRENT epoch. Without a map there is no other
+  // route, so the error surfaces immediately.
   template <typename LocalOp, typename RemoteOp>
   auto Routed(const std::string& key, LocalOp&& local, RemoteOp&& remote) {
-    Route route = RouteFor(key);
-    if (route.local != nullptr) {
-      return local(*route.local);
+    using R = decltype(remote(std::declval<const std::string&>()));
+    int attempt = 0;
+    while (true) {
+      Route route = RouteFor(key);
+      R result = route.local != nullptr ? R(local(*route.local)) : R(remote(route.endpoint));
+      if (!IsWrongMaster(result) || shards_ == nullptr || attempt >= kMaxRedirectRetries) {
+        return result;
+      }
+      ++attempt;
+      network_->clock().SleepFor(kRedirectBackoffNs);
     }
-    return remote(route.endpoint);
   }
 
   Result<Bytes> Invoke(const std::string& server, KvsOp op,

@@ -1,5 +1,6 @@
 #include "kvs/router.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/bytes.h"
@@ -32,7 +33,109 @@ uint64_t HashString(const std::string& s) {
 uint64_t RingPoint(const std::string& endpoint, int vnode) {
   return HashString(endpoint + "#" + std::to_string(vnode));
 }
+
+void InsertEndpointPoints(std::map<uint64_t, std::string>& ring, const std::string& endpoint) {
+  for (int vnode = 0; vnode < ShardMap::kVirtualNodes; ++vnode) {
+    // Hash collisions between distinct endpoints are theoretically possible;
+    // first-placed wins, which only shifts a sliver of keyspace.
+    ring.emplace(RingPoint(endpoint, vnode), endpoint);
+  }
+}
+
+// First ring entry clockwise from `h`, wrapping past the top. Requires a
+// non-empty ring.
+const std::string& RingOwnerOf(const std::map<uint64_t, std::string>& ring, uint64_t h) {
+  auto it = ring.lower_bound(h);
+  if (it == ring.end()) {
+    it = ring.begin();
+  }
+  return it->second;
+}
 }  // namespace
+
+// --- ShardAssignment ----------------------------------------------------------
+
+ShardAssignment::ShardAssignment(const std::set<std::string>& endpoints)
+    : endpoints_(endpoints) {
+  for (const std::string& endpoint : endpoints_) {
+    InsertEndpointPoints(ring_, endpoint);
+  }
+}
+
+std::string ShardAssignment::MasterFor(const std::string& key) const {
+  if (ring_.empty()) {
+    return "";
+  }
+  return RingOwnerOf(ring_, HashString(key));
+}
+
+const std::string& ShardAssignment::OwnerOf(uint64_t h) const { return RingOwnerOf(ring_, h); }
+
+ShardAssignment ShardAssignment::With(const std::string& endpoint) const {
+  std::set<std::string> endpoints = endpoints_;
+  endpoints.insert(endpoint);
+  return ShardAssignment(endpoints);
+}
+
+ShardAssignment ShardAssignment::Without(const std::string& endpoint) const {
+  std::set<std::string> endpoints = endpoints_;
+  endpoints.erase(endpoint);
+  return ShardAssignment(endpoints);
+}
+
+std::vector<KeyMove> DiffKeys(const ShardAssignment& before, const ShardAssignment& after,
+                              const std::vector<std::string>& keys) {
+  std::vector<KeyMove> moves;
+  if (before.ring_.empty() && after.ring_.empty()) {
+    return moves;
+  }
+  if (before.ring_.empty() || after.ring_.empty()) {
+    // Degenerate epochs (bootstrap / teardown): every key moves.
+    for (const std::string& key : keys) {
+      moves.push_back(KeyMove{key, before.MasterFor(key), after.MasterFor(key)});
+    }
+    return moves;
+  }
+
+  // Owner-change arc table. Between two consecutive points of the MERGED
+  // boundary set, neither ring has a point, so both owners are constant over
+  // the half-open arc (prev, point] — one lookup per merged point yields the
+  // exact owner pair for every hash in its arc.
+  std::vector<uint64_t> points;
+  points.reserve(before.ring_.size() + after.ring_.size());
+  for (const auto& [point, endpoint] : before.ring_) {
+    points.push_back(point);
+  }
+  for (const auto& [point, endpoint] : after.ring_) {
+    points.push_back(point);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  struct ArcOwners {
+    const std::string* from;
+    const std::string* to;
+  };
+  std::vector<ArcOwners> owners;
+  owners.reserve(points.size());
+  for (uint64_t point : points) {
+    owners.push_back(ArcOwners{&before.OwnerOf(point), &after.OwnerOf(point)});
+  }
+
+  for (const std::string& key : keys) {
+    const uint64_t h = HashString(key);
+    // Arc lookup mirrors RingOwnerOf: first merged point >= h, wrapping.
+    auto it = std::lower_bound(points.begin(), points.end(), h);
+    const size_t arc = it == points.end() ? 0 : static_cast<size_t>(it - points.begin());
+    const ArcOwners& arc_owners = owners[arc];
+    if (*arc_owners.from != *arc_owners.to) {
+      moves.push_back(KeyMove{key, *arc_owners.from, *arc_owners.to});
+    }
+  }
+  return moves;
+}
+
+// --- ShardMap -----------------------------------------------------------------
 
 ShardMap::ShardMap(const std::vector<std::string>& endpoints) {
   for (const std::string& endpoint : endpoints) {
@@ -57,11 +160,8 @@ void ShardMap::AddShard(const std::string& endpoint) {
   if (!endpoints_.insert(endpoint).second) {
     return;
   }
-  for (int vnode = 0; vnode < kVirtualNodes; ++vnode) {
-    // Hash collisions between distinct endpoints are theoretically possible;
-    // first-placed wins, which only shifts a sliver of keyspace.
-    ring_.emplace(RingPoint(endpoint, vnode), endpoint);
-  }
+  InsertEndpointPoints(ring_, endpoint);
+  ++epoch_;
 }
 
 void ShardMap::RemoveShard(const std::string& endpoint) {
@@ -72,6 +172,7 @@ void ShardMap::RemoveShard(const std::string& endpoint) {
   for (auto it = ring_.begin(); it != ring_.end();) {
     it = it->second == endpoint ? ring_.erase(it) : std::next(it);
   }
+  ++epoch_;
 }
 
 std::string ShardMap::MasterFor(const std::string& key) const {
@@ -79,12 +180,17 @@ std::string ShardMap::MasterFor(const std::string& key) const {
   if (ring_.empty()) {
     return "";
   }
-  // First shard clockwise from the key's hash, wrapping past the top.
-  auto it = ring_.lower_bound(HashString(key));
-  if (it == ring_.end()) {
-    it = ring_.begin();
-  }
-  return it->second;
+  return RingOwnerOf(ring_, HashString(key));
+}
+
+uint64_t ShardMap::epoch() const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  return epoch_;
+}
+
+ShardAssignment ShardMap::Snapshot() const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  return ShardAssignment(endpoints_);
 }
 
 std::vector<std::string> ShardMap::shards() const {
@@ -96,6 +202,8 @@ size_t ShardMap::shard_count() const {
   std::shared_lock<std::shared_mutex> guard(mutex_);
   return endpoints_.size();
 }
+
+// --- ShardedKvs ---------------------------------------------------------------
 
 KvStore* ShardedKvs::StoreFor(const std::string& key) const {
   if (map_ != nullptr && !stores_.empty()) {

@@ -15,6 +15,17 @@
 //   - mastership is a pure function of (key, shard set): every host resolves
 //     the same master with zero coordination traffic.
 //
+// MEMBERSHIP IS DYNAMIC: AddShard/RemoveShard may be called while the
+// cluster serves traffic. Every membership change bumps the map's EPOCH, and
+// keys whose master moved are handed over by the migration subsystem
+// (kvs/migration.h): the source shard freezes + streams each moving key to
+// its new master, the epoch flips, and in-flight ops that raced the change
+// get a kWrongMaster redirect from the stale shard and retry against the new
+// epoch's route (kvs/kvs_client.h). ShardAssignment captures one epoch's
+// ring as an immutable snapshot; DiffKeys computes the exact old→new key
+// moves from the ring arcs that changed ownership (not by rehashing every
+// key).
+//
 // KvsClient resolves the master per key through an injected ShardMap. Ops
 // whose master is the calling host's own shard take the local fast path —
 // direct in-process KvStore calls, no InProcNetwork round trip — so a
@@ -40,8 +51,55 @@
 
 namespace faasm {
 
+// Immutable snapshot of one epoch's key→master assignment: the consistent-
+// hash ring over a fixed endpoint set. Cheap to copy around migration plans;
+// a ShardMap's live assignment at any instant equals the ShardAssignment
+// built from its endpoint set.
+class ShardAssignment {
+ public:
+  ShardAssignment() = default;
+  explicit ShardAssignment(const std::set<std::string>& endpoints);
+
+  // Master shard endpoint for `key`; empty when there are no shards.
+  std::string MasterFor(const std::string& key) const;
+
+  // The assignment with `endpoint` added / removed (ring points are a pure
+  // function of the endpoint set, so snapshots compose without the map).
+  ShardAssignment With(const std::string& endpoint) const;
+  ShardAssignment Without(const std::string& endpoint) const;
+
+  const std::set<std::string>& endpoints() const { return endpoints_; }
+  bool empty() const { return ring_.empty(); }
+
+ private:
+  friend std::vector<struct KeyMove> DiffKeys(const ShardAssignment& before,
+                                              const ShardAssignment& after,
+                                              const std::vector<std::string>& keys);
+  // Owner of hash point `h` in this ring (first point clockwise, wrapping).
+  const std::string& OwnerOf(uint64_t h) const;
+
+  std::map<uint64_t, std::string> ring_;  // hash point -> endpoint
+  std::set<std::string> endpoints_;
+};
+
+// One key whose master changes between two assignments.
+struct KeyMove {
+  std::string key;
+  std::string from;  // master endpoint before
+  std::string to;    // master endpoint after
+};
+
+// The keys (among `keys`) whose master differs between `before` and `after`,
+// with their old and new masters. Computed from the ring arcs whose owner
+// changed — a key is examined against the merged arc table, not rehashed
+// against both rings — so the result provably equals the brute-force per-key
+// comparison (locked in by tests/kvs/router_epoch_test.cc).
+std::vector<KeyMove> DiffKeys(const ShardAssignment& before, const ShardAssignment& after,
+                              const std::vector<std::string>& keys);
+
 // Key -> master-shard-endpoint assignment by consistent hashing. Thread
-// safe; injectable into KvsClient so tests can pin mastership.
+// safe; injectable into KvsClient so tests can pin mastership. Membership
+// changes bump epoch() so observers can tell assignments apart.
 class ShardMap {
  public:
   // Ring points per shard. Enough that an 8-host cluster balances within a
@@ -60,11 +118,20 @@ class ShardMap {
   // host-colocated shards (e.g. the centralised "kvs" endpoint).
   static std::string HostForEndpoint(const std::string& endpoint);
 
+  // Membership changes. Each effective change (a shard actually added or
+  // removed) bumps the epoch; duplicate adds / missing removes are no-ops.
   void AddShard(const std::string& endpoint);
   void RemoveShard(const std::string& endpoint);
 
   // Master shard endpoint for `key`; empty when the map has no shards.
   std::string MasterFor(const std::string& key) const;
+
+  // Monotonic assignment version: starts at 0, +1 per effective membership
+  // change. Routing is deterministic within an epoch.
+  uint64_t epoch() const;
+
+  // The current assignment as an immutable snapshot (migration planning).
+  ShardAssignment Snapshot() const;
 
   std::vector<std::string> shards() const;
   size_t shard_count() const;
@@ -75,12 +142,15 @@ class ShardMap {
   mutable std::shared_mutex mutex_;
   std::map<uint64_t, std::string> ring_;  // hash point -> endpoint
   std::set<std::string> endpoints_;
+  uint64_t epoch_ = 0;
 };
 
 // Direct in-process view over every shard of the global tier, routed by the
 // same ShardMap the cluster uses. Bypasses the network on purpose: dataset
 // seeding and test inspection are not experiment traffic. With no map
-// attached it degenerates to a view over one centralised store.
+// attached it degenerates to a view over one centralised store. Routing
+// follows the map's CURRENT epoch, so after a migration the view finds each
+// key on its new master.
 class ShardedKvs {
  public:
   ShardedKvs() = default;
@@ -94,7 +164,7 @@ class ShardedKvs {
   KvStore* StoreFor(const std::string& key) const;
 
   // --- KvStore API, routed per key --------------------------------------------
-  void Set(const std::string& key, Bytes value) { StoreFor(key)->Set(key, std::move(value)); }
+  Status Set(const std::string& key, Bytes value) { return StoreFor(key)->Set(key, std::move(value)); }
   Result<Bytes> Get(const std::string& key) const { return StoreFor(key)->Get(key); }
   bool Exists(const std::string& key) const { return StoreFor(key)->Exists(key); }
   Result<size_t> Size(const std::string& key) const { return StoreFor(key)->Size(key); }
@@ -108,13 +178,13 @@ class ShardedKvs {
   Status SetRanges(const std::string& key, const std::vector<ValueRange>& ranges) {
     return StoreFor(key)->SetRanges(key, ranges);
   }
-  size_t Append(const std::string& key, const Bytes& bytes) {
+  Result<size_t> Append(const std::string& key, const Bytes& bytes) {
     return StoreFor(key)->Append(key, bytes);
   }
-  bool SetAdd(const std::string& key, const std::string& member) {
+  Result<bool> SetAdd(const std::string& key, const std::string& member) {
     return StoreFor(key)->SetAdd(key, member);
   }
-  bool SetRemove(const std::string& key, const std::string& member) {
+  Result<bool> SetRemove(const std::string& key, const std::string& member) {
     return StoreFor(key)->SetRemove(key, member);
   }
   std::vector<std::string> SetMembers(const std::string& key) const {

@@ -60,6 +60,11 @@ Result<Bytes> InProcNetwork::Call(const std::string& from, const std::string& to
 Status InProcNetwork::Send(const std::string& from, const std::string& to, Bytes message) {
   {
     std::lock_guard<std::mutex> guard(mutex_);
+    if (endpoints_.count(to) == 0) {
+      // The receiver left (host removal) or never existed: fail fast so the
+      // sender can fall back, instead of queueing into a dead mailbox.
+      return Unavailable("no endpoint registered: " + to);
+    }
     AccountLocked(from, to, message.size());
     mailboxes_[to].push_back(std::move(message));
   }
@@ -76,6 +81,12 @@ std::optional<Bytes> InProcNetwork::Poll(const std::string& name) {
   Bytes message = std::move(it->second.front());
   it->second.pop_front();
   return message;
+}
+
+size_t InProcNetwork::PendingCount(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = mailboxes_.find(name);
+  return it == mailboxes_.end() ? 0 : it->second.size();
 }
 
 uint64_t InProcNetwork::total_bytes() const {

@@ -55,8 +55,14 @@ class InProcNetwork {
   Result<Bytes> Call(const std::string& from, const std::string& to, const Bytes& request);
 
   // --- Asynchronous messages (scheduler work sharing, chained calls) ---------
+  // Fails with kUnavailable when `to` is not a registered endpoint, so work
+  // shared towards a host that already left the cluster bounces to the
+  // sender instead of rotting in a dead mailbox.
   Status Send(const std::string& from, const std::string& to, Bytes message);
   std::optional<Bytes> Poll(const std::string& name);
+  // Messages queued for `name` but not yet polled (drain barrier: a host may
+  // only retire once its mailbox is empty AND its in-flight calls finished).
+  size_t PendingCount(const std::string& name) const;
 
   // --- Accounting -------------------------------------------------------------
   uint64_t total_bytes() const;

@@ -14,10 +14,8 @@ FaasmCluster::FaasmCluster(ClusterConfig config)
     // One shard per host, mastered by consistent hashing. Each host serves
     // its shard on "kvs:<host>" (the FaasmInstance registers the server).
     for (int i = 0; i < config.hosts; ++i) {
-      const std::string endpoint = ShardMap::EndpointForHost("host-" + std::to_string(i));
-      kvs_shards_.push_back(std::make_unique<KvStore>());
-      shard_map_.AddShard(endpoint);
-      kvs_.AddStore(endpoint, kvs_shards_.back().get());
+      RegisterShard("host-" + std::to_string(i));
+      shard_map_.AddShard(ShardMap::EndpointForHost("host-" + std::to_string(i)));
     }
   } else {
     // Centralised baseline: every key is mastered by the standalone "kvs"
@@ -32,15 +30,8 @@ FaasmCluster::FaasmCluster(ClusterConfig config)
   kvs_.Attach(&shard_map_);
 
   for (int i = 0; i < config.hosts; ++i) {
-    HostConfig host_config;
-    host_config.name = "host-" + std::to_string(i);
-    host_config.cores = config.cores_per_host;
-    host_config.memory_bytes = config.host_memory_bytes;
-    host_config.max_concurrent_calls = config.max_concurrent_per_host;
-    host_config.warm_set_ttl_ns = config.warm_set_ttl_ns;
-    hosts_.push_back(std::make_unique<FaasmInstance>(
-        host_config, &executor_, network_.get(), &registry_, &calls_, &files_, &shard_map_,
-        sharded ? kvs_shards_[i].get() : nullptr));
+    const std::string name = "host-" + std::to_string(next_host_index_++);
+    hosts_.push_back(MakeHost(name, sharded ? kvs_shards_[i].get() : nullptr));
   }
   for (auto& host : hosts_) {
     host->Start();
@@ -49,12 +40,131 @@ FaasmCluster::FaasmCluster(ClusterConfig config)
 
 FaasmCluster::~FaasmCluster() { Shutdown(); }
 
+KvStore* FaasmCluster::RegisterShard(const std::string& name) {
+  const std::string endpoint = ShardMap::EndpointForHost(name);
+  kvs_shards_.push_back(std::make_unique<KvStore>());
+  KvStore* store = kvs_shards_.back().get();
+  shard_stores_[endpoint] = store;
+  kvs_.AddStore(endpoint, store);
+  // Live-map ownership guard: an op that reaches this store for a key it
+  // does not master under the CURRENT epoch — a straggler that resolved its
+  // route before a membership change, even on the in-process fast path —
+  // bounces with kWrongMaster and re-routes.
+  store->SetOwnershipGuard([map = &shard_map_, endpoint](const std::string& key) {
+    return map->MasterFor(key) == endpoint;
+  });
+  return store;
+}
+
+std::unique_ptr<FaasmInstance> FaasmCluster::MakeHost(const std::string& name,
+                                                      KvStore* local_shard) {
+  HostConfig host_config;
+  host_config.name = name;
+  host_config.cores = config_.cores_per_host;
+  host_config.memory_bytes = config_.host_memory_bytes;
+  host_config.max_concurrent_calls = config_.max_concurrent_per_host;
+  host_config.warm_set_ttl_ns = config_.warm_set_ttl_ns;
+  return std::make_unique<FaasmInstance>(host_config, &executor_, network_.get(), &registry_,
+                                         &calls_, &files_, &shard_map_, local_shard);
+}
+
+Result<std::string> FaasmCluster::AddHost() {
+  const bool sharded = config_.state_tier == StateTier::kSharded;
+  const std::string name = "host-" + std::to_string(next_host_index_++);
+
+  KvStore* shard = sharded ? RegisterShard(name) : nullptr;
+
+  // Start the instance first: its shard server must be registered before
+  // the migration streams keys at it. Until the epoch flips the new shard
+  // masters nothing, so no regular traffic reaches it early.
+  std::unique_ptr<FaasmInstance> host = MakeHost(name, shard);
+  host->Start();
+
+  if (sharded) {
+    ShardMigrator migrator(network_.get(), &shard_map_, &shard_stores_);
+    auto stats = migrator.AddShard(ShardMap::EndpointForHost(name));
+    if (!stats.ok()) {
+      // The instance must outlive its dispatcher activity (joined at
+      // Shutdown), so park it retired instead of destroying it here.
+      host->CloseIntake();
+      host->Stop();
+      retired_hosts_.push_back(std::move(host));
+      return stats.status();
+    }
+    migration_stats_ += stats.value();
+  }
+
+  // Only now expose the host to frontend round-robin.
+  hosts_.push_back(std::move(host));
+  return name;
+}
+
+Status FaasmCluster::RemoveHost(const std::string& name) {
+  auto it = hosts_.begin();
+  for (; it != hosts_.end(); ++it) {
+    if ((*it)->name() == name) {
+      break;
+    }
+  }
+  if (it == hosts_.end()) {
+    return NotFound("cluster: no host named '" + name + "'");
+  }
+  if (hosts_.size() <= 1) {
+    return FailedPrecondition("cluster: cannot remove the last host");
+  }
+
+  // Take the host out of frontend rotation, then drain: it withdraws from
+  // every warm set (peers stop sharing work here) and its in-flight calls —
+  // plus whatever its mailbox already holds — run down.
+  std::unique_ptr<FaasmInstance> host = std::move(*it);
+  hosts_.erase(it);
+  host->BeginDrain();
+  executor_.clock().WaitFor([&] { return host->Drained(); });
+
+  // Hand every key the departing shard masters to the survivors, flipping
+  // the epoch. Ops racing the handoff bounce (kWrongMaster) and retry
+  // against the new route; held locks travel with their keys.
+  if (config_.state_tier == StateTier::kSharded) {
+    ShardMigrator migrator(network_.get(), &shard_map_, &shard_stores_);
+    auto stats = migrator.RemoveShard(ShardMap::EndpointForHost(name));
+    if (!stats.ok()) {
+      // Migration abandoned pre-flip: the shard is still in the map, so the
+      // host must keep serving. Restore it fully — back into rotation,
+      // re-advertising its warm pools — and leave the removal retryable.
+      host->CancelDrain();
+      hosts_.push_back(std::move(host));
+      return stats.status();
+    }
+    migration_stats_ += stats.value();
+  }
+
+  // Close intake and drain AGAIN: a peer with a stale warm-set view may
+  // have enqueued work between the first drain and now (its sends
+  // succeeded, so it did not fall back); the dispatcher must poll those
+  // calls out before it stops, or they would be acknowledged yet never run.
+  // After CloseIntake new sends fail fast at the sender, so the mailbox
+  // can only shrink.
+  host->CloseIntake();
+  executor_.clock().WaitFor([&] { return host->Drained(); });
+
+  // Retire: the instance object stays alive (inert) for pending Awaits and
+  // cumulative metrics until Shutdown, but its memory goes back to the
+  // accountant now — a removed host must stop accruing billable GB-seconds.
+  host->Stop();
+  host->ReleaseRetiredMemory();
+  retired_hosts_.push_back(std::move(host));
+  return OkStatus();
+}
+
 void FaasmCluster::Shutdown() {
   if (shut_down_) {
     return;
   }
   shut_down_ = true;
   for (auto& host : hosts_) {
+    host->Stop();
+  }
+  for (auto& host : retired_hosts_) {
     host->Stop();
   }
   executor_.JoinAll();
@@ -75,8 +185,10 @@ void FaasmCluster::Run(const std::function<void(Frontend&)>& driver) {
 double FaasmCluster::billable_gb_seconds() const {
   double total = 0;
   for (const auto& host : hosts_) {
-    const FaasmInstance& instance = *host;
-    total += instance.memory_accountant().GbSeconds();
+    total += host->memory_accountant().GbSeconds();
+  }
+  for (const auto& host : retired_hosts_) {
+    total += host->memory_accountant().GbSeconds();
   }
   return total;
 }
@@ -84,6 +196,9 @@ double FaasmCluster::billable_gb_seconds() const {
 size_t FaasmCluster::cold_start_count() const {
   size_t count = 0;
   for (const auto& host : hosts_) {
+    count += host->cold_start_count();
+  }
+  for (const auto& host : retired_hosts_) {
     count += host->cold_start_count();
   }
   return count;

@@ -3,6 +3,13 @@
 // mastership via a consistent-hash ShardMap — see kvs/router.h), a global
 // file store, the function registry and the shared virtual-time executor.
 // Benchmarks drive it through Frontend, a simulated external client.
+//
+// MEMBERSHIP IS ELASTIC: AddHost()/RemoveHost() resize the cluster while it
+// serves traffic. In sharded mode each change migrates the affected keys
+// between shards (kvs/migration.h) and bumps the ShardMap epoch; removal
+// drains the host first (warm-set withdrawal, in-flight calls and mailbox
+// run down) so no acknowledged work is lost. Retired instances stay alive
+// (inert) until Shutdown so outstanding Awaits and metrics keep working.
 #ifndef FAASM_RUNTIME_CLUSTER_H_
 #define FAASM_RUNTIME_CLUSTER_H_
 
@@ -12,6 +19,7 @@
 
 #include "core/vfs.h"
 #include "kvs/kvs_client.h"
+#include "kvs/migration.h"
 #include "kvs/router.h"
 #include "net/network.h"
 #include "runtime/call_table.h"
@@ -44,6 +52,9 @@ struct ClusterConfig {
 
 // Simulated external client (e.g. the platform's HTTP frontend): submits
 // calls round-robin across hosts, as Knative's default endpoints do (§6.1).
+// Tracks submissions by instance pointer, not index: the host vector may
+// grow and shrink under it (AddHost/RemoveHost from the same driver
+// activity), and a retired instance stays alive for pending Awaits.
 class Frontend {
  public:
   Frontend(std::vector<std::unique_ptr<FaasmInstance>>* hosts, CallTable* calls)
@@ -51,7 +62,8 @@ class Frontend {
 
   Result<uint64_t> Submit(const std::string& function, Bytes input) {
     const size_t host_index = next_++ % hosts_->size();
-    FAASM_ASSIGN_OR_RETURN(uint64_t id, (*hosts_)[host_index]->Submit(function, std::move(input)));
+    FaasmInstance* host = (*hosts_)[host_index].get();
+    FAASM_ASSIGN_OR_RETURN(uint64_t id, host->Submit(function, std::move(input)));
     // Bound the map for fire-and-forget drivers that never Await: finished
     // calls fall back to the call_id spread below, so dropping them is safe.
     if (submitted_on_.size() >= kMaxTrackedSubmissions) {
@@ -59,19 +71,19 @@ class Frontend {
         it = calls_->IsFinished(it->first) ? submitted_on_.erase(it) : std::next(it);
       }
     }
-    submitted_on_[id] = host_index;
+    submitted_on_[id] = host;
     return id;
   }
 
   // Awaits on the host the call was submitted to, so no single host becomes
   // a hidden serialisation point for every client await.
   Result<int> Await(uint64_t call_id) {
-    size_t host_index = call_id % hosts_->size();  // spread unknown ids too
+    FaasmInstance* host = (*hosts_)[call_id % hosts_->size()].get();  // spread unknown ids
     auto it = submitted_on_.find(call_id);
     if (it != submitted_on_.end()) {
-      host_index = it->second;
+      host = it->second;
     }
-    auto code = (*hosts_)[host_index]->Await(call_id);
+    auto code = host->Await(call_id);
     if (it != submitted_on_.end()) {
       submitted_on_.erase(it);
     }
@@ -91,9 +103,9 @@ class Frontend {
   std::vector<std::unique_ptr<FaasmInstance>>* hosts_;
   CallTable* calls_;
   size_t next_ = 0;
-  // call id -> round-robin host it was submitted to (one driver activity per
-  // Frontend, so no locking).
-  std::map<uint64_t, size_t> submitted_on_;
+  // call id -> host it was submitted to (one driver activity per Frontend,
+  // so no locking; pointers stay valid — retired hosts outlive their calls).
+  std::map<uint64_t, FaasmInstance*> submitted_on_;
 };
 
 class FaasmCluster {
@@ -122,6 +134,24 @@ class FaasmCluster {
   // until it completes. Virtual time advances as needed.
   void Run(const std::function<void(Frontend&)>& driver);
 
+  // --- Elastic membership ------------------------------------------------------
+  // Adds a host (named "host-<n>", n monotonically increasing). In sharded
+  // mode the new host serves a fresh shard: the ~1/N keys it now masters
+  // are streamed onto it BEFORE the ShardMap epoch flips, so a route
+  // resolved at either epoch finds the data (stale routes get kWrongMaster
+  // redirects). In central mode this only adds compute — the tier is
+  // untouched and the epoch does not move. Call from the driver activity.
+  Result<std::string> AddHost();
+  // Gracefully removes `name`: the host withdraws from every warm set,
+  // in-flight calls (and the work-sharing mailbox) run down, then — in
+  // sharded mode — every key its shard masters is streamed to the
+  // survivors and the epoch flips. The instance is retired, not destroyed:
+  // pending Awaits against it stay valid until Shutdown. Refuses to remove
+  // the last host. Call from the driver activity.
+  Status RemoveHost(const std::string& name);
+  // Cumulative shard-migration accounting across every membership change.
+  const MigrationStats& migration_stats() const { return migration_stats_; }
+
   // --- Cluster-wide metrics --------------------------------------------------------
   uint64_t network_bytes() const { return network_->total_bytes(); }
   double billable_gb_seconds() const;
@@ -131,19 +161,33 @@ class FaasmCluster {
   void Shutdown();
 
  private:
+  // Builds (but does not start) a host with the cluster-wide HostConfig.
+  std::unique_ptr<FaasmInstance> MakeHost(const std::string& name, KvStore* local_shard);
+  // Allocates and wires `name`'s global-tier shard: store table, seeding
+  // view, and the live-map ownership guard. Returns the store.
+  KvStore* RegisterShard(const std::string& name);
+
   ClusterConfig config_;
   SimExecutor executor_;
   std::unique_ptr<InProcNetwork> network_;
   // Global tier: per-host shards (kSharded) or one store (kCentral). The
-  // shards outlive hosts_ (each host serves its shard on "kvs:<host>").
+  // shards outlive hosts_ (each host serves its shard on "kvs:<host>");
+  // shards of removed hosts stay allocated (empty, ownership-guarded) so
+  // straggler ops bounce instead of faulting.
   ShardMap shard_map_;
   std::vector<std::unique_ptr<KvStore>> kvs_shards_;
+  std::map<std::string, KvStore*> shard_stores_;  // endpoint -> shard (migration)
   std::unique_ptr<KvsServer> central_kvs_server_;  // kCentral only
   ShardedKvs kvs_;
   GlobalFileStore files_;
   FunctionRegistry registry_;
   CallTable calls_;
   std::vector<std::unique_ptr<FaasmInstance>> hosts_;
+  // Removed-but-alive instances: their dispatchers are stopped and their
+  // endpoints unregistered, but Awaits and metric reads remain valid.
+  std::vector<std::unique_ptr<FaasmInstance>> retired_hosts_;
+  int next_host_index_ = 0;
+  MigrationStats migration_stats_;
   bool shut_down_ = false;
 };
 

@@ -41,6 +41,11 @@ FaasmInstance::FaasmInstance(HostConfig config, SimExecutor* executor, InProcNet
       registry_(registry),
       calls_(calls),
       files_(files),
+      // No server-side map check: the shard store's live-map ownership
+      // guard (KvStore::SetOwnershipGuard, installed by the cluster)
+      // already redirects ops for keys whose mastership moved — doing it
+      // again in the server would charge every remote op a second ring
+      // lookup for the same answer.
       shard_server_(local_shard == nullptr
                         ? nullptr
                         : std::make_unique<KvsServer>(
@@ -67,20 +72,110 @@ void FaasmInstance::Start() {
 
 void FaasmInstance::Stop() { stop_.store(true); }
 
+void FaasmInstance::BeginDrain() {
+  if (draining_.exchange(true)) {
+    return;
+  }
+  // Withdraw from every warm set so peers stop sharing work here. The
+  // draining_ flag keeps AcquireFaaslet/UpdateWarmAdvertisement from
+  // re-advertising while the in-flight calls (and the chained calls they
+  // spawn) run down.
+  std::vector<std::string> functions;
+  {
+    std::lock_guard<std::mutex> guard(pools_mutex_);
+    for (const auto& [name, pool] : pools_) {
+      if (pool.total > 0) {
+        functions.push_back(name);
+      }
+    }
+  }
+  for (const std::string& function : functions) {
+    (void)kvs_.SetRemove("warm:" + function, config_.name);
+    InvalidateWarmCache(function);
+  }
+}
+
+void FaasmInstance::CancelDrain() {
+  if (!draining_.exchange(false)) {
+    return;
+  }
+  // Re-advertise the pools withdrawn by BeginDrain (unless saturated).
+  if (advertised_saturated_.load()) {
+    return;
+  }
+  std::vector<std::string> functions;
+  {
+    std::lock_guard<std::mutex> guard(pools_mutex_);
+    for (const auto& [name, pool] : pools_) {
+      if (pool.total > 0) {
+        functions.push_back(name);
+      }
+    }
+  }
+  for (const std::string& function : functions) {
+    (void)kvs_.SetAdd("warm:" + function, config_.name);
+    InvalidateWarmCache(function);
+  }
+}
+
+bool FaasmInstance::Drained() const {
+  // A call flows mailbox → accepting_ → running_calls_, each stage counted
+  // before the previous releases it. Reading UPSTREAM FIRST means a call
+  // can only dodge all three zero-reads by entering the mailbox after the
+  // first read — impossible once CloseIntake() stopped new sends, which is
+  // when this barrier is authoritative (the pre-migration wait is only a
+  // best-effort quiescence; correctness there rests on freeze/filter).
+  return network_->PendingCount(config_.name) == 0 && accepting_.load() == 0 &&
+         running_calls_.load() == 0;
+}
+
+void FaasmInstance::ReleaseRetiredMemory() {
+  {
+    std::lock_guard<std::mutex> guard(pools_mutex_);
+    for (auto& [function, pool] : pools_) {
+      // Drained: every pooled Faaslet is idle (total == idle.size()).
+      for (const auto& faaslet : pool.idle) {
+        memory_.Release(faaslet->FootprintBytes());
+      }
+    }
+    pools_.clear();
+    proto_cache_.clear();
+  }
+  // The local tier's replicas die with the host too.
+  tier_->Clear();
+  SyncTierAccounting();
+}
+
+void FaasmInstance::CloseIntake() {
+  // Late work-sharing sends now fail at the sender, which falls back to
+  // executing locally (ScheduleCall), so no NEW call can be stranded; the
+  // dispatcher keeps polling until the caller observes Drained() and stops
+  // it. The shard server (if any) stays registered: its epoch-aware
+  // ownership check redirects every straggler op to the key's new master.
+  network_->UnregisterEndpoint(config_.name);
+}
+
 void FaasmInstance::DispatchLoop() {
   SimClock& clock = executor_->clock();
   while (!stop_.load()) {
+    // accepting_ covers the gap between a message leaving the mailbox
+    // (PendingCount drops) and its call being counted in running_calls_:
+    // without it a concurrent drain barrier could observe both counters at
+    // zero and retire the host around a just-accepted call.
+    accepting_.fetch_add(1);
     auto message = network_->Poll(config_.name);
     if (!message.has_value()) {
+      accepting_.fetch_sub(1);
       clock.SleepFor(200 * kMicrosecond);
       continue;
     }
     auto call = DecodeSharedCall(*message);
-    if (!call.ok()) {
+    if (call.ok()) {
+      ExecuteLocal(call.value().id, call.value().function, std::move(call.value().input));
+    } else {
       LOG_ERROR << config_.name << ": bad shared-call message: " << call.status().ToString();
-      continue;
     }
-    ExecuteLocal(call.value().id, call.value().function, std::move(call.value().input));
+    accepting_.fetch_sub(1);
   }
 }
 
@@ -142,7 +237,15 @@ Status FaasmInstance::ScheduleCall(uint64_t call_id, const std::string& function
     if (target == nullptr) {
       target = &others[share_rng_.NextBelow(others.size())];
     }
-    return network_->Send(config_.name, *target, EncodeSharedCall(call_id, function, input));
+    Status shared = network_->Send(config_.name, *target, EncodeSharedCall(call_id, function, input));
+    if (shared.ok()) {
+      return OkStatus();
+    }
+    // The warm host left the cluster between our (cached) warm-set view and
+    // the send: execute here instead of failing the call.
+    InvalidateWarmCache(function);
+    ExecuteLocal(call_id, function, std::move(input));
+    return OkStatus();
   }
 
   // No warm host anywhere. If this host has EVER seen a warm host for the
@@ -157,8 +260,13 @@ Status FaasmInstance::ScheduleCall(uint64_t call_id, const std::string& function
     function_seen_warm = warm_ever_.count(function) > 0;
   }
   if (!function_seen_warm && !affinity_host.empty() && affinity_host != config_.name) {
-    return network_->Send(config_.name, affinity_host,
-                          EncodeSharedCall(call_id, function, input));
+    Status forwarded = network_->Send(config_.name, affinity_host,
+                                      EncodeSharedCall(call_id, function, input));
+    if (forwarded.ok()) {
+      return OkStatus();
+    }
+    // The master host is mid-removal; fall through to a local cold start
+    // (the next epoch's master picks the affinity back up).
   }
   ExecuteLocal(call_id, function, std::move(input));
   return OkStatus();
@@ -209,7 +317,8 @@ void FaasmInstance::UpdateWarmAdvertisement() {
   for (const std::string& function : functions) {
     if (saturated) {
       (void)kvs_.SetRemove("warm:" + function, config_.name);
-    } else {
+    } else if (!draining_.load()) {
+      // A draining host never re-advertises: it must run down, not attract.
       (void)kvs_.SetAdd("warm:" + function, config_.name);
     }
     InvalidateWarmCache(function);
@@ -217,11 +326,16 @@ void FaasmInstance::UpdateWarmAdvertisement() {
 }
 
 void FaasmInstance::ExecuteLocal(uint64_t call_id, const std::string& function, Bytes input) {
+  // Count the call at ACCEPTANCE, on the caller's thread — not inside the
+  // spawned activity. Otherwise a drain barrier (Drained()) could observe
+  // the mailbox already emptied but the call not yet counted, and retire
+  // the host with an acknowledged call about to start. The (possibly
+  // remote) warm-set advertisement update stays inside the activity: it
+  // must not serialise the dispatch hot path behind tier RPCs.
+  running_calls_.fetch_add(1);
   executor_->Spawn([this, call_id, function, input = std::move(input)]() mutable {
     SimClock& clock = executor_->clock();
-    running_calls_.fetch_add(1);
     UpdateWarmAdvertisement();
-
     bool cold = false;
     auto faaslet = AcquireFaaslet(function, &cold);
     if (!faaslet.ok()) {
@@ -244,25 +358,31 @@ void FaasmInstance::ExecuteLocal(uint64_t call_id, const std::string& function, 
         cpu_.Charge(execute_watch.ElapsedNs());
       }
     }
-    if (code.ok()) {
-      (void)calls_->Complete(call_id, code.value(), f.TakeOutput());
-    } else {
-      (void)calls_->Fail(call_id, code.status().ToString());
-    }
-    executed_calls_.fetch_add(1);
+    Bytes output = code.ok() ? f.TakeOutput() : Bytes{};
 
     // Reset from the creation snapshot so the next call (possibly another
-    // tenant) sees a pristine Faaslet; charge the real restore cost.
+    // tenant) sees a pristine Faaslet; charge the real restore cost. The
+    // reset happens BEFORE the call is marked finished: an awaiter's next
+    // call may land here the instant completion is visible, and must find
+    // the Faaslet back in the pool instead of cold-starting a redundant one.
     Stopwatch reset_watch;
     Status reset = f.Reset();
     clock.SleepFor(reset_watch.ElapsedNs());
+    const size_t footprint = f.FootprintBytes();
     if (reset.ok()) {
       ReleaseFaaslet(std::move(faaslet).value());
     } else {
       LOG_WARN << config_.name << ": faaslet reset failed: " << reset.ToString();
-      memory_.Release(f.FootprintBytes());
+      memory_.Release(footprint);
     }
     SyncTierAccounting();
+
+    if (code.ok()) {
+      (void)calls_->Complete(call_id, code.value(), std::move(output));
+    } else {
+      (void)calls_->Fail(call_id, code.status().ToString());
+    }
+    executed_calls_.fetch_add(1);
     running_calls_.fetch_sub(1);
     UpdateWarmAdvertisement();
   });
@@ -360,8 +480,9 @@ Result<std::unique_ptr<Faaslet>> FaasmInstance::AcquireFaaslet(const std::string
     std::lock_guard<std::mutex> guard(pools_mutex_);
     pools_[function].total += 1;
   }
-  // Advertise this host as warm for the function (unless saturated).
-  if (!advertised_saturated_.load()) {
+  // Advertise this host as warm for the function (unless saturated or on
+  // the way out of the cluster).
+  if (!advertised_saturated_.load() && !draining_.load()) {
     (void)kvs_.SetAdd("warm:" + function, config_.name);
     InvalidateWarmCache(function);
   }

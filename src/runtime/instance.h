@@ -57,6 +57,35 @@ class FaasmInstance {
   // Stops the dispatcher (idempotent).
   void Stop();
 
+  // --- Graceful removal (cluster elasticity) ----------------------------------
+  // Removal protocol (runtime/cluster.h RemoveHost): BeginDrain →
+  // wait(Drained) → [migrate shard] → CloseIntake → wait(Drained) → Stop.
+  // The second drain wait matters: a peer with a stale warm-set view can
+  // still enqueue work between the first wait and CloseIntake, and that
+  // call must execute, not rot in the mailbox.
+  //
+  // Begins draining: withdraws this host from every warm set (so peers stop
+  // sharing work here) and pins the advertisement down. Calls already
+  // in flight — including chained calls they spawn — keep executing.
+  void BeginDrain();
+  // Reverts a drain whose removal was abandoned (failed migration): the
+  // host re-advertises its warm pools and serves normally again.
+  void CancelDrain();
+  // True once nothing is running and the work-sharing mailbox is empty; the
+  // host can then be retired without losing an acknowledged call.
+  bool Drained() const;
+  // Unregisters the host endpoint: late work-sharing sends now fail fast at
+  // the sender (which falls back to executing locally), while the still-
+  // running dispatcher polls out whatever the mailbox already holds.
+  void CloseIntake();
+  // Returns the retired host's memory to its accountant — warm Faaslet
+  // pools and local-tier replicas die with the host. Without this a removed
+  // host would keep accruing billable GB-seconds for the rest of the run
+  // (GbSeconds() integrates current bytes over virtual time at read time).
+  // Call after Stop() on a drained host.
+  void ReleaseRetiredMemory();
+  bool draining() const { return draining_.load(); }
+
   // Submits a call (from a frontend or a chained call on this host) and
   // schedules it per the distributed policy. Returns the call id.
   Result<uint64_t> Submit(const std::string& function, Bytes input);
@@ -138,6 +167,10 @@ class FaasmInstance {
   std::set<std::string> warm_ever_;
 
   std::atomic<int> running_calls_{0};
+  // Dispatcher is between "message left the mailbox" and "call counted in
+  // running_calls_" (drain-barrier coverage; see DispatchLoop).
+  std::atomic<int> accepting_{0};
+  std::atomic<bool> draining_{false};
   std::atomic<bool> advertised_saturated_{false};
   std::atomic<size_t> cold_starts_{0};
   std::atomic<size_t> executed_calls_{0};

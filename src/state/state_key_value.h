@@ -26,6 +26,25 @@
 //           trip. ClearDirty happens atomically with run collection; a push
 //           failure re-marks the runs.
 //
+// CLUSTER MEMBERSHIP IS ELASTIC (kvs/migration.h): a key's master shard can
+// move while replicas hold it. The epoch/redirect/migration protocol keeps
+// the two-tier contract intact:
+//   - Mastership is always resolved against the live ShardMap, so
+//     master_local() and every push/pull/lock follow the key's CURRENT
+//     master; nothing here caches a route across ops.
+//   - While a key is mid-handoff (frozen on the source shard, or reached
+//     through a stale route after the epoch flipped), global-tier ops
+//     answer kWrongMaster; the KvsClient underneath backs off and retries
+//     against the new epoch's route, so a Push/Pull/lock racing a
+//     migration STALLS briefly instead of failing or losing data.
+//   - Distributed-lock ownership migrates with the key: a global lock held
+//     across a membership change keeps excluding, and the holder's unlock
+//     lands on the new master.
+//   - The local replica itself never moves — only mastership does. After a
+//     migration a formerly master-local replica simply pays cross-host
+//     round trips again (and vice versa); the bytes it holds stay valid
+//     because a frozen key cannot be mutated during the handoff.
+//
 // Consistency rules of the delta-push protocol:
 //   - Between pushes, the global tier may lag the replica arbitrarily; a
 //     reader on another host observes the value as of that host's last pull

@@ -7,7 +7,7 @@ namespace {
 
 TEST(KvStoreTest, SetGetDelete) {
   KvStore store;
-  store.Set("k", Bytes{1, 2, 3});
+  ASSERT_TRUE(store.Set("k", Bytes{1, 2, 3}).ok());
   EXPECT_TRUE(store.Exists("k"));
   EXPECT_EQ(store.Get("k").value(), (Bytes{1, 2, 3}));
   EXPECT_EQ(store.Size("k").value(), 3u);
@@ -19,7 +19,7 @@ TEST(KvStoreTest, SetGetDelete) {
 
 TEST(KvStoreTest, RangeReadWrite) {
   KvStore store;
-  store.Set("k", Bytes{0, 1, 2, 3, 4, 5, 6, 7});
+  ASSERT_TRUE(store.Set("k", Bytes{0, 1, 2, 3, 4, 5, 6, 7}).ok());
   EXPECT_EQ(store.GetRange("k", 2, 3).value(), (Bytes{2, 3, 4}));
   // Range past end is clamped.
   EXPECT_EQ(store.GetRange("k", 6, 100).value(), (Bytes{6, 7}));
@@ -36,24 +36,24 @@ TEST(KvStoreTest, RangeReadWrite) {
 
 TEST(KvStoreTest, Append) {
   KvStore store;
-  EXPECT_EQ(store.Append("log", Bytes{1}), 1u);
-  EXPECT_EQ(store.Append("log", Bytes{2, 3}), 3u);
+  EXPECT_EQ(store.Append("log", Bytes{1}).value(), 1u);
+  EXPECT_EQ(store.Append("log", Bytes{2, 3}).value(), 3u);
   EXPECT_EQ(store.Get("log").value(), (Bytes{1, 2, 3}));
 }
 
 TEST(KvStoreTest, ReadWriteLocks) {
   KvStore store;
-  EXPECT_TRUE(store.TryLockRead("k", "a"));
-  EXPECT_TRUE(store.TryLockRead("k", "b"));   // shared readers
-  EXPECT_FALSE(store.TryLockWrite("k", "c"));  // blocked by readers
+  EXPECT_TRUE(store.TryLockRead("k", "a").value());
+  EXPECT_TRUE(store.TryLockRead("k", "b").value());    // shared readers
+  EXPECT_FALSE(store.TryLockWrite("k", "c").value());  // blocked by readers
   ASSERT_TRUE(store.UnlockRead("k", "a").ok());
   ASSERT_TRUE(store.UnlockRead("k", "b").ok());
-  EXPECT_TRUE(store.TryLockWrite("k", "c"));
-  EXPECT_FALSE(store.TryLockRead("k", "a"));   // blocked by writer
-  EXPECT_FALSE(store.TryLockWrite("k", "d"));  // exclusive
+  EXPECT_TRUE(store.TryLockWrite("k", "c").value());
+  EXPECT_FALSE(store.TryLockRead("k", "a").value());   // blocked by writer
+  EXPECT_FALSE(store.TryLockWrite("k", "d").value());  // exclusive
   EXPECT_EQ(store.UnlockWrite("k", "other").code(), StatusCode::kFailedPrecondition);
   ASSERT_TRUE(store.UnlockWrite("k", "c").ok());
-  EXPECT_TRUE(store.TryLockRead("k", "a"));
+  EXPECT_TRUE(store.TryLockRead("k", "a").value());
 }
 
 TEST(KvStoreTest, UnlockWithoutLockFails) {
@@ -63,23 +63,119 @@ TEST(KvStoreTest, UnlockWithoutLockFails) {
 
 TEST(KvStoreTest, SetOperations) {
   KvStore store;
-  EXPECT_TRUE(store.SetAdd("warm:f", "host-1"));
-  EXPECT_FALSE(store.SetAdd("warm:f", "host-1"));  // duplicate
-  EXPECT_TRUE(store.SetAdd("warm:f", "host-2"));
+  EXPECT_TRUE(store.SetAdd("warm:f", "host-1").value());
+  EXPECT_FALSE(store.SetAdd("warm:f", "host-1").value());  // duplicate
+  EXPECT_TRUE(store.SetAdd("warm:f", "host-2").value());
   auto members = store.SetMembers("warm:f");
   EXPECT_EQ(members.size(), 2u);
-  EXPECT_TRUE(store.SetRemove("warm:f", "host-1"));
-  EXPECT_FALSE(store.SetRemove("warm:f", "host-1"));
+  EXPECT_TRUE(store.SetRemove("warm:f", "host-1").value());
+  EXPECT_FALSE(store.SetRemove("warm:f", "host-1").value());
   EXPECT_EQ(store.SetMembers("warm:f").size(), 1u);
   EXPECT_TRUE(store.SetMembers("nonexistent").empty());
 }
 
 TEST(KvStoreTest, Accounting) {
   KvStore store;
-  store.Set("a", Bytes(100));
-  store.Set("b", Bytes(50));
+  ASSERT_TRUE(store.Set("a", Bytes(100)).ok());
+  ASSERT_TRUE(store.Set("b", Bytes(50)).ok());
   EXPECT_EQ(store.key_count(), 2u);
   EXPECT_EQ(store.total_bytes(), 150u);
+}
+
+TEST(KvStoreTest, KeysListsEveryFootprint) {
+  KvStore store;
+  ASSERT_TRUE(store.Set("value-key", Bytes{1}).ok());
+  ASSERT_TRUE(store.TryLockWrite("lock-key", "owner").value());
+  ASSERT_TRUE(store.SetAdd("set-key", "member").value());
+  auto keys = store.Keys();
+  EXPECT_EQ(keys.size(), 3u);
+  // Released locks and emptied sets drop out of the listing.
+  ASSERT_TRUE(store.UnlockWrite("lock-key", "owner").ok());
+  ASSERT_TRUE(store.SetRemove("set-key", "member").value());
+  EXPECT_EQ(store.Keys(), std::vector<std::string>{"value-key"});
+}
+
+TEST(KvStoreTest, FrozenKeyBouncesOpsUntilUnfrozen) {
+  KvStore store;
+  ASSERT_TRUE(store.Set("k", Bytes{1, 2}).ok());
+  store.FreezeKey("k");
+  EXPECT_TRUE(store.IsFrozen("k"));
+  // Mutations AND value reads answer kWrongMaster (the migration redirect);
+  // other keys are untouched.
+  EXPECT_EQ(store.Set("k", Bytes{9}).code(), StatusCode::kWrongMaster);
+  EXPECT_EQ(store.Get("k").status().code(), StatusCode::kWrongMaster);
+  EXPECT_EQ(store.SetRange("k", 0, Bytes{9}).code(), StatusCode::kWrongMaster);
+  EXPECT_EQ(store.Append("k", Bytes{9}).status().code(), StatusCode::kWrongMaster);
+  EXPECT_EQ(store.Delete("k").code(), StatusCode::kWrongMaster);
+  EXPECT_EQ(store.TryLockWrite("k", "a").status().code(), StatusCode::kWrongMaster);
+  EXPECT_EQ(store.SetAdd("k", "m").status().code(), StatusCode::kWrongMaster);
+  ASSERT_TRUE(store.Set("other", Bytes{3}).ok());
+
+  store.UnfreezeKey("k");
+  EXPECT_EQ(store.Get("k").value(), (Bytes{1, 2}));  // untouched by bounced ops
+}
+
+TEST(KvStoreTest, ExportInstallMovesFullFootprint) {
+  KvStore source;
+  KvStore destination;
+  ASSERT_TRUE(source.Set("k", Bytes{7, 8}).ok());
+  ASSERT_TRUE(source.TryLockWrite("k", "host-3").value());
+  ASSERT_TRUE(source.SetAdd("k", "member-a").value());
+
+  KeyExport record = source.ExportKey("k");
+  // Round-trips through the wire encoding.
+  auto decoded = KeyExport::Deserialize(record.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  destination.InstallKey("k", decoded.value());
+
+  EXPECT_EQ(destination.Get("k").value(), (Bytes{7, 8}));
+  EXPECT_EQ(destination.SetMembers("k"), std::vector<std::string>{"member-a"});
+  // Lock ownership travelled: the original owner can unlock, others cannot
+  // acquire.
+  EXPECT_FALSE(destination.TryLockWrite("k", "host-4").value());
+  EXPECT_TRUE(destination.UnlockWrite("k", "host-3").ok());
+}
+
+TEST(KvStoreTest, EraseKeyUnfreezesAndClearsFootprint) {
+  KvStore store;
+  ASSERT_TRUE(store.Set("k", Bytes{1}).ok());
+  store.FreezeKey("k");
+  store.EraseKey("k");
+  EXPECT_FALSE(store.Exists("k"));
+  EXPECT_FALSE(store.IsFrozen("k"));
+  // InstallKey likewise thaws a frozen key as it moves (back) in.
+  store.FreezeKey("k");
+  store.InstallKey("k", KeyExport{true, Bytes{5}, 0, "", {}});
+  EXPECT_FALSE(store.IsFrozen("k"));
+  EXPECT_EQ(store.Get("k").value(), (Bytes{5}));
+}
+
+TEST(KvStoreTest, MigrationFilterBouncesMovingKeysEvenBeforeTheyExist) {
+  KvStore store;
+  ASSERT_TRUE(store.Set("kept", Bytes{1}).ok());
+  store.SetMigrationFilter([](const std::string& key) { return key.rfind("mv-", 0) == 0; });
+  // A moving key cannot be CREATED behind the migration's enumeration...
+  EXPECT_EQ(store.Set("mv-new", Bytes{2}).code(), StatusCode::kWrongMaster);
+  EXPECT_EQ(store.TryLockWrite("mv-new", "a").status().code(), StatusCode::kWrongMaster);
+  EXPECT_FALSE(store.Exists("mv-new"));
+  // ...while non-moving keys are untouched.
+  EXPECT_TRUE(store.SetRange("kept", 0, Bytes{9}).ok());
+  store.ClearMigrationFilter();
+  EXPECT_TRUE(store.Set("mv-new", Bytes{2}).ok());
+}
+
+TEST(KvStoreTest, OwnershipGuardBouncesForeignKeys) {
+  KvStore store;
+  // Guard mimicking a live shard map: this store masters only "mine-*".
+  store.SetOwnershipGuard([](const std::string& key) { return key.rfind("mine-", 0) == 0; });
+  EXPECT_TRUE(store.Set("mine-a", Bytes{1}).ok());
+  EXPECT_EQ(store.Set("theirs-b", Bytes{1}).code(), StatusCode::kWrongMaster);
+  EXPECT_EQ(store.Get("theirs-b").status().code(), StatusCode::kWrongMaster);
+  // InstallKey is exempt (migration streams arrive before the flip makes
+  // this store the master), and the guard follows its predicate live.
+  store.InstallKey("theirs-b", KeyExport{true, Bytes{3}, 0, "", {}});
+  store.SetOwnershipGuard([](const std::string&) { return true; });
+  EXPECT_EQ(store.Get("theirs-b").value(), (Bytes{3}));
 }
 
 }  // namespace

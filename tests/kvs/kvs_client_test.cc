@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/cluster.h"
+
 namespace faasm {
 namespace {
 
@@ -109,6 +111,89 @@ TEST_F(KvsClientTest, SetOps) {
   ASSERT_TRUE(members.ok());
   EXPECT_EQ(members.value(), (std::vector<std::string>{"host-0"}));
   EXPECT_TRUE(client.SetRemove("warm:f", "host-0").value());
+}
+
+// --- kWrongMaster redirect path ------------------------------------------------
+
+TEST_F(KvsClientTest, WrongMasterSurfacesImmediatelyWithoutShardMap) {
+  // A centralised client has no alternate route: when its one server
+  // answers kWrongMaster (here: an ownership-checking shard server that
+  // does not master the key), the error surfaces instead of retrying.
+  ShardMap map;
+  map.AddShard(ShardMap::EndpointForHost("host-1"));
+  map.AddShard(ShardMap::EndpointForHost("host-2"));
+  KvStore shard;
+  KvsServer shard_server(&shard, &network_, ShardMap::EndpointForHost("host-1"), &map);
+
+  std::string foreign_key;
+  for (int i = 0; i < 100000 && foreign_key.empty(); ++i) {
+    std::string probe = "probe-" + std::to_string(i);
+    if (map.MasterFor(probe) == ShardMap::EndpointForHost("host-2")) {
+      foreign_key = std::move(probe);
+    }
+  }
+  ASSERT_FALSE(foreign_key.empty());
+
+  KvsClient pinned(&network_, "host-0", ShardMap::EndpointForHost("host-1"));
+  network_.ResetStats();
+  EXPECT_EQ(pinned.Set(foreign_key, Bytes{1}).code(), StatusCode::kWrongMaster);
+  EXPECT_EQ(pinned.Get(foreign_key).status().code(), StatusCode::kWrongMaster);
+  // No retry storm: exactly one round trip per op.
+  EXPECT_EQ(network_.StatsFor("host-0").tx_messages, 2u);
+  EXPECT_FALSE(shard.Exists(foreign_key));
+}
+
+TEST_F(KvsClientTest, RoutedClientRetriesWrongMasterUntilOpLands) {
+  // A sharded client that gets kWrongMaster (stale route / key frozen
+  // mid-migration) backs off and retries the op; when the redirect clears
+  // (here: a scripted endpoint that bounces the first two attempts, as a
+  // mid-handoff shard would) the op lands. This is the client half of the
+  // redirect protocol; the store half is covered by kv_store_test.
+  ShardMap map;
+  map.AddShard(ShardMap::EndpointForHost("host-1"));
+  int attempts = 0;
+  network_.RegisterEndpoint(ShardMap::EndpointForHost("host-1"), [&](const Bytes&) {
+    ++attempts;
+    const StatusCode code = attempts <= 2 ? StatusCode::kWrongMaster : StatusCode::kOk;
+    return Bytes{static_cast<uint8_t>(code)};
+  });
+  KvsClient client(&network_, "host-0", &map, /*local_store=*/nullptr);
+  Status status = client.Set("migrating-key", Bytes{7});
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(attempts, 3);  // two redirects, then the op landed
+  network_.UnregisterEndpoint(ShardMap::EndpointForHost("host-1"));
+}
+
+// --- Central-tier no-op membership behaviour -----------------------------------
+
+TEST_F(KvsClientTest, CentralTierAddRemoveHostLeavesTierUntouched) {
+  // With state_tier = kCentral, AddHost/RemoveHost change compute only: the
+  // single "kvs" endpoint keeps mastering everything, the epoch never
+  // moves, nothing migrates, and clients never see a redirect.
+  ClusterConfig config;
+  config.hosts = 2;
+  config.state_tier = StateTier::kCentral;
+  FaasmCluster cluster(config);
+  ASSERT_TRUE(cluster.kvs().Set("stable", Bytes{4, 2}).ok());
+  const uint64_t epoch_before = cluster.shard_map().epoch();
+
+  cluster.Run([&](Frontend&) {
+    auto added = cluster.AddHost();
+    ASSERT_TRUE(added.ok());
+    EXPECT_EQ(cluster.host(cluster.host_count() - 1).name(), added.value());
+    // The new host's client routes to the central endpoint like everyone.
+    EXPECT_FALSE(cluster.host(cluster.host_count() - 1).kvs().MasterLocal("stable"));
+    EXPECT_EQ(cluster.host(0).kvs().Get("stable").value(), (Bytes{4, 2}));
+
+    ASSERT_TRUE(cluster.RemoveHost(added.value()).ok());
+    EXPECT_EQ(cluster.host(0).kvs().Get("stable").value(), (Bytes{4, 2}));
+  });
+
+  EXPECT_EQ(cluster.shard_map().epoch(), epoch_before);
+  EXPECT_EQ(cluster.shard_map().MasterFor("stable"), "kvs");
+  EXPECT_EQ(cluster.migration_stats().epoch_flips, 0u);
+  EXPECT_EQ(cluster.migration_stats().keys_moved, 0u);
+  EXPECT_EQ(cluster.migration_stats().bytes_moved, 0u);
 }
 
 TEST_F(KvsClientTest, TrafficIsAccounted) {

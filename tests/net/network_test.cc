@@ -39,9 +39,15 @@ TEST(NetworkTest, MailboxSendPoll) {
   NetworkConfig config;
   config.charge_latency = false;
   InProcNetwork net(&clock, config);
+  // A mailbox only exists behind a registered endpoint: sends to a missing
+  // (or already-removed) receiver fail fast instead of queueing forever.
+  EXPECT_EQ(net.Send("host-0", "host-1", Bytes{7}).code(), StatusCode::kUnavailable);
+  net.RegisterEndpoint("host-1", [](const Bytes&) { return Bytes{}; });
   EXPECT_FALSE(net.Poll("host-1").has_value());
+  EXPECT_EQ(net.PendingCount("host-1"), 0u);
   ASSERT_TRUE(net.Send("host-0", "host-1", Bytes{9}).ok());
   ASSERT_TRUE(net.Send("host-0", "host-1", Bytes{8}).ok());
+  EXPECT_EQ(net.PendingCount("host-1"), 2u);
   auto first = net.Poll("host-1");
   ASSERT_TRUE(first.has_value());
   EXPECT_EQ((*first)[0], 9);  // FIFO order

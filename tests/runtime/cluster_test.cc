@@ -312,6 +312,91 @@ TEST(ClusterTest, WarmSetCacheCutsSteadyStateSubmitTraffic) {
   EXPECT_LT(cached, uncached) << "cached=" << cached << " uncached=" << uncached;
 }
 
+TEST(ClusterTest, RemoveHostUnderLoadDrainsInsteadOfAsserting) {
+  // Regression (ISSUE 4): removing a host that is actively executing
+  // functions must drain — stop new placements, let in-flight calls (and
+  // queued mailbox work) finish — and every acknowledged call completes.
+  FaasmCluster cluster(SmallCluster(3));
+  ASSERT_TRUE(cluster.registry()
+                  .RegisterNative("slow",
+                                  [](InvocationContext& ctx) {
+                                    ctx.ChargeCompute(20 * kMillisecond);
+                                    return 0;
+                                  })
+                  .ok());
+  cluster.Run([&](Frontend& frontend) {
+    // Saturate all hosts (round-robin lands work on host-1 too), then
+    // remove host-1 while its calls are mid-execution.
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < 18; ++i) {
+      auto id = frontend.Submit("slow", {});
+      ASSERT_TRUE(id.ok());
+      ids.push_back(id.value());
+    }
+    ASSERT_TRUE(cluster.RemoveHost("host-1").ok());
+    // Removing an unknown (or already removed) host is an error, not a
+    // crash; the last host may never be removed.
+    EXPECT_EQ(cluster.RemoveHost("host-1").code(), StatusCode::kNotFound);
+    for (uint64_t id : ids) {
+      auto code = frontend.Await(id);
+      ASSERT_TRUE(code.ok()) << code.status().ToString();
+      EXPECT_EQ(code.value(), 0);
+    }
+    // The drained host advertises nowhere, and new work still flows.
+    for (const std::string& host : cluster.kvs().SetMembers("warm:slow")) {
+      EXPECT_NE(host, "host-1");
+    }
+    EXPECT_EQ(frontend.Invoke("slow", {}).value(), 0);
+  });
+  EXPECT_EQ(cluster.host_count(), 2u);
+  // Every call in the run completed; none were lost in the removal.
+  for (const CallRecord& record : cluster.calls().FinishedRecords()) {
+    EXPECT_EQ(record.state, CallState::kDone);
+  }
+}
+
+TEST(ClusterTest, AddHostJoinsWarmSharingAndAffinity) {
+  // A host added at runtime serves its shard and participates in affinity
+  // placement: a function whose state key is mastered by the NEW host's
+  // shard runs there with the master-local fast path.
+  FaasmCluster cluster(SmallCluster(2));
+  cluster.Run([&](Frontend& frontend) {
+    auto added = cluster.AddHost();
+    ASSERT_TRUE(added.ok());
+    ASSERT_EQ(cluster.host_count(), 3u);
+
+    // Probe a key the new host masters (post-flip map).
+    const std::string new_endpoint = ShardMap::EndpointForHost(added.value());
+    std::string key;
+    for (int i = 0; i < 100000 && key.empty(); ++i) {
+      std::string probe = "probe-" + std::to_string(i);
+      if (cluster.shard_map().MasterFor(probe) == new_endpoint) {
+        key = std::move(probe);
+      }
+    }
+    ASSERT_FALSE(key.empty());
+    ASSERT_TRUE(cluster.kvs().Set(key, Bytes(8, 0)).ok());
+
+    FunctionOptions options;
+    options.state_affinity_key = key;
+    ASSERT_TRUE(cluster.registry()
+                    .RegisterNative(
+                        "affine-late",
+                        [key](InvocationContext& ctx) {
+                          auto kv = ctx.state().Lookup(key);
+                          return kv->Pull().ok() && kv->master_local() ? 0 : 1;
+                        },
+                        options)
+                    .ok());
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_EQ(frontend.Invoke("affine-late", {}).value(), 0);
+    }
+    for (const CallRecord& record : cluster.calls().FinishedRecords()) {
+      EXPECT_EQ(record.executed_on, added.value());
+    }
+  });
+}
+
 TEST(ClusterTest, MalformedWasmRejectedAtUpload) {
   FaasmCluster cluster(SmallCluster(1));
   EXPECT_FALSE(cluster.registry().UploadWasm("bad", Bytes{1, 2, 3}).ok());

@@ -1,0 +1,205 @@
+// Chaos tests for live shard rebalancing (ISSUE 4 acceptance): writer
+// functions hammer counters through DDOs while hosts join and leave the
+// sharded tier. Every acknowledged increment must be reflected in the final
+// counter values — migration may stall ops (kWrongMaster redirects) but must
+// never lose or double an update — and a distributed lock held across a
+// migration keeps excluding a second acquirer.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "runtime/cluster.h"
+#include "state/ddo.h"
+
+namespace faasm {
+namespace {
+
+constexpr int kCounters = 8;
+
+std::string CounterKey(int i) { return "counter-" + std::to_string(i); }
+
+// Registers "inc": reads a counter index from the input, then performs an
+// exact cross-host increment — global write lock, invalidate + pull (the
+// lock makes the re-pull see every prior push), increment, delta push,
+// unlock. Any failure path returns a distinct nonzero code so a lost ack is
+// distinguishable from a refused one.
+void RegisterIncrement(FaasmCluster& cluster) {
+  ASSERT_TRUE(cluster.registry()
+                  .RegisterNative("inc",
+                                  [](InvocationContext& ctx) {
+                                    ByteReader reader(ctx.Input());
+                                    auto index = reader.Get<uint32_t>();
+                                    if (!index.ok()) {
+                                      return 1;
+                                    }
+                                    SharedArray<uint64_t> counter(&ctx.state(),
+                                                                  CounterKey(index.value()));
+                                    if (!counter.kv().LockGlobalWrite().ok()) {
+                                      return 2;
+                                    }
+                                    counter.kv().InvalidateReplica();
+                                    if (!counter.Attach().ok()) {
+                                      (void)counter.kv().UnlockGlobalWrite();
+                                      return 3;
+                                    }
+                                    uint64_t* value = counter.WritableElements(0, 1);
+                                    if (value == nullptr) {
+                                      (void)counter.kv().UnlockGlobalWrite();
+                                      return 4;
+                                    }
+                                    *value += 1;
+                                    counter.MarkDirtyElements(0, 1);
+                                    const bool pushed = counter.Push().ok();
+                                    const bool unlocked =
+                                        counter.kv().UnlockGlobalWrite().ok();
+                                    return pushed && unlocked ? 0 : 5;
+                                  })
+                  .ok());
+}
+
+uint64_t ReadCounter(FaasmCluster& cluster, int i) {
+  auto value = cluster.kvs().Get(CounterKey(i));
+  if (!value.ok() || value.value().size() != sizeof(uint64_t)) {
+    ADD_FAILURE() << "counter " << i << " unreadable: " << value.status().ToString();
+    return 0;
+  }
+  uint64_t count = 0;
+  std::memcpy(&count, value.value().data(), sizeof(count));
+  return count;
+}
+
+TEST(RebalanceTest, NoAcknowledgedIncrementLostAcrossHostChurn) {
+  ClusterConfig config;
+  config.hosts = 4;  // sharded tier is the default
+  FaasmCluster cluster(config);
+  for (int i = 0; i < kCounters; ++i) {
+    ASSERT_TRUE(cluster.kvs().Set(CounterKey(i), Bytes(sizeof(uint64_t), 0)).ok());
+  }
+  RegisterIncrement(cluster);
+
+  const uint64_t epoch_before = cluster.shard_map().epoch();
+  std::array<uint64_t, kCounters> acked{};
+
+  cluster.Run([&](Frontend& frontend) {
+    // Each round: launch a batch of increments, churn the membership while
+    // they are in flight, then await the batch. The schedule removes both
+    // original hosts (shards populated since epoch 0) and a freshly added
+    // one, wandering between 4 and 5 hosts.
+    const std::vector<std::pair<bool, std::string>> churn = {
+        {true, ""},          // + host-4
+        {false, "host-1"},   // - an original host
+        {true, ""},          // + host-5
+        {false, "host-4"},   // - a host added under load
+        {true, ""},          // + host-6
+        {false, "host-0"},   // - another original
+    };
+    for (const auto& [add, name] : churn) {
+      std::vector<std::pair<uint64_t, uint32_t>> batch;
+      for (int i = 0; i < 3 * kCounters; ++i) {
+        const uint32_t counter = i % kCounters;
+        Bytes input;
+        ByteWriter writer(input);
+        writer.Put<uint32_t>(counter);
+        auto id = frontend.Submit("inc", std::move(input));
+        ASSERT_TRUE(id.ok());
+        batch.emplace_back(id.value(), counter);
+      }
+
+      if (add) {
+        auto added = cluster.AddHost();
+        ASSERT_TRUE(added.ok()) << added.status().ToString();
+      } else {
+        Status removed = cluster.RemoveHost(name);
+        ASSERT_TRUE(removed.ok()) << removed.ToString();
+      }
+
+      for (const auto& [id, counter] : batch) {
+        auto code = frontend.Await(id);
+        ASSERT_TRUE(code.ok()) << code.status().ToString();
+        ASSERT_EQ(code.value(), 0) << "increment refused mid-churn";
+        acked[counter] += 1;
+      }
+    }
+  });
+
+  // Six membership changes happened and keys really moved between shards.
+  EXPECT_EQ(cluster.shard_map().epoch(), epoch_before + 6);
+  EXPECT_EQ(cluster.shard_map().shard_count(), 4u);  // 4 seed + 3 added - 3 removed
+  EXPECT_GT(cluster.migration_stats().keys_moved, 0u);
+  EXPECT_GT(cluster.migration_stats().bytes_moved, 0u);
+  EXPECT_EQ(cluster.migration_stats().epoch_flips, 6u);
+
+  // THE acceptance property: every acknowledged increment — and nothing
+  // else — is in the final values, wherever each key's master ended up.
+  for (int i = 0; i < kCounters; ++i) {
+    EXPECT_EQ(ReadCounter(cluster, i), acked[i]) << CounterKey(i);
+  }
+}
+
+TEST(RebalanceTest, LockHeldAcrossMigrationStillExcludes) {
+  ClusterConfig config;
+  config.hosts = 4;
+  FaasmCluster cluster(config);
+
+  // Pick a key that WILL move to the next host added ("host-4"): the
+  // prospective assignment is a pure function of the endpoint set.
+  const ShardAssignment before = cluster.shard_map().Snapshot();
+  const ShardAssignment after = before.With(ShardMap::EndpointForHost("host-4"));
+  std::string key;
+  for (int i = 0; i < 100000 && key.empty(); ++i) {
+    std::string probe = "lock-probe-" + std::to_string(i);
+    if (before.MasterFor(probe) != after.MasterFor(probe)) {
+      key = std::move(probe);
+    }
+  }
+  ASSERT_FALSE(key.empty());
+  ASSERT_TRUE(cluster.kvs().Set(key, Bytes{1, 2, 3}).ok());
+
+  cluster.Run([&](Frontend&) {
+    // host-0 takes the global write lock, the key migrates to the new
+    // host's shard, and the lock must keep excluding host-1 afterwards.
+    ASSERT_TRUE(cluster.host(0).kvs().TryLockWrite(key).value());
+
+    auto added = cluster.AddHost();
+    ASSERT_TRUE(added.ok());
+    EXPECT_EQ(cluster.shard_map().MasterFor(key), ShardMap::EndpointForHost(added.value()));
+
+    EXPECT_FALSE(cluster.host(1).kvs().TryLockWrite(key).value());
+    EXPECT_FALSE(cluster.host(1).kvs().TryLockRead(key).value());
+    // Ownership travelled with the key: the original holder unlocks against
+    // the NEW master, then the second acquirer gets in.
+    ASSERT_TRUE(cluster.host(0).kvs().UnlockWrite(key).ok());
+    EXPECT_TRUE(cluster.host(1).kvs().TryLockWrite(key).value());
+    ASSERT_TRUE(cluster.host(1).kvs().UnlockWrite(key).ok());
+
+    // The value itself survived the move.
+    EXPECT_EQ(cluster.host(2).kvs().Get(key).value(), (Bytes{1, 2, 3}));
+  });
+}
+
+TEST(RebalanceTest, RemovedHostsShardEndsEmpty) {
+  // After a removal every key the leaver mastered is readable through the
+  // survivors — the leaver's shard keeps no data, and its live-map
+  // ownership guard bounces any straggler op.
+  ClusterConfig config;
+  config.hosts = 3;
+  FaasmCluster cluster(config);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(cluster.kvs().Set("seed-" + std::to_string(i), Bytes(128, 1)).ok());
+  }
+  cluster.Run([&](Frontend&) {
+    ASSERT_TRUE(cluster.RemoveHost("host-2").ok());
+    for (int i = 0; i < 32; ++i) {
+      auto value = cluster.kvs().Get("seed-" + std::to_string(i));
+      ASSERT_TRUE(value.ok()) << "seed-" << i << ": " << value.status().ToString();
+      EXPECT_EQ(value.value().size(), 128u);
+      EXPECT_NE(cluster.shard_map().MasterFor("seed-" + std::to_string(i)),
+                ShardMap::EndpointForHost("host-2"));
+    }
+  });
+  EXPECT_EQ(cluster.migration_stats().epoch_flips, 1u);
+}
+
+}  // namespace
+}  // namespace faasm
