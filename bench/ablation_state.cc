@@ -9,6 +9,9 @@
 //      against one central KVS endpoint vs per-host shards with per-key
 //      mastership, quantifying the cross-host traffic the sharded layout
 //      (plus master-affinity scheduling) removes.
+//   4. Batched vs unbatched state protocol (kvs_client.h kBatch): K
+//      counters pushed per step through one StateBatch barrier vs one RPC
+//      per key, at zero lost updates either way.
 //
 // Flags:
 //   --tiny           seconds-scale smoke configuration (CI)
@@ -17,14 +20,18 @@
 //                    and restrict ablation 3 to that column (default:
 //                    central for 1/2 so the delta-vs-full and chunk deltas
 //                    stay visible, both columns for 3)
-//   --json <path>    write the measured delta-push and tier columns as JSON
-//                    (the CI perf artifact BENCH_state.json)
+//   --batch=on|off   force the state-op protocol for ablations 1-3 and
+//                    restrict ablation 4 to that column (default: batched
+//                    for 1-3, both columns for 4)
+//   --json <path>    write the measured delta-push, tier and batch columns
+//                    as JSON (the CI perf artifact BENCH_state.json)
 #include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/state_batch_util.h"
 #include "runtime/cluster.h"
 #include "state/ddo.h"
 #include "workloads/sgd.h"
@@ -50,12 +57,19 @@ struct BenchResults {
   std::vector<DeltaRow> delta_rows;
   std::optional<SgdPoint> tier_central;
   std::optional<SgdPoint> tier_sharded;
+  std::optional<BatchMicroPoint> batch_on;
+  std::optional<BatchMicroPoint> batch_off;
 };
+
+// Protocol under ablation for the SGD runs (--batch flag); batched is the
+// production default.
+bool g_batch_state_ops = true;
 
 SgdPoint RunSgdOnce(bool tiny, uint32_t interval, bool delta_push, StateTier tier) {
   ClusterConfig cluster_config;
   cluster_config.hosts = 4;
   cluster_config.state_tier = tier;
+  cluster_config.batch_state_ops = g_batch_state_ops;
   FaasmCluster cluster(cluster_config);
   SgdConfig config;
   // Weights span many state pages (features * 8 B) while each inter-push
@@ -199,6 +213,32 @@ void TierAblation(bool tiny, std::optional<StateTier> only, BenchResults& result
   }
 }
 
+void BatchAblation(bool tiny, std::optional<bool> only, BenchResults& results) {
+  PrintHeader("Ablation 4: batched vs unbatched state protocol (multi-key pushes)");
+  std::printf("%10s | %10s %12s %12s %8s\n", "protocol", "tier RPCs", "net (MB)",
+              "time (ms)", "lost");
+  auto row = [&](bool batched) {
+    const BatchMicroPoint point = RunStateBatchMicro(BatchMicroConfig::ForScale(tiny, batched));
+    PrintBatchMicroRow(batched ? "batched" : "unbatched", point);
+    return point;
+  };
+  if (!only.has_value() || *only) {
+    results.batch_on = row(true);
+  }
+  if (!only.has_value() || !*only) {
+    results.batch_off = row(false);
+  }
+  if (results.batch_on && results.batch_off && results.batch_off->tier_rpcs > 0) {
+    std::printf("(grouping each step's cross-shard pushes into per-endpoint kBatch RPCs\n"
+                " removes %.0f%% of the tier round trips at %s loss)\n",
+                100.0 *
+                    static_cast<double>(results.batch_off->tier_rpcs -
+                                        results.batch_on->tier_rpcs) /
+                    static_cast<double>(results.batch_off->tier_rpcs),
+                results.batch_on->lost_updates == 0 ? "zero" : "NONZERO");
+  }
+}
+
 void WritePoint(std::FILE* f, const char* name, const SgdPoint& p, const char* suffix) {
   std::fprintf(f, "    \"%s\": {\"network_mb\": %.3f, \"seconds\": %.4f, \"loss\": %.5f}%s\n",
                name, p.network_mb, p.seconds, p.loss, suffix);
@@ -229,6 +269,14 @@ bool WriteJson(const std::string& path, const BenchResults& results) {
   if (results.tier_sharded) {
     WritePoint(f, "sharded", *results.tier_sharded, "");
   }
+  std::fprintf(f, "  },\n  \"batch\": {\n");
+  const bool both_batch = results.batch_on.has_value() && results.batch_off.has_value();
+  if (results.batch_on) {
+    WriteBatchMicroPointJson(f, "batched", *results.batch_on, both_batch ? "," : "");
+  }
+  if (results.batch_off) {
+    WriteBatchMicroPointJson(f, "unbatched", *results.batch_off, "");
+  }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("\n[wrote %s]\n", path.c_str());
@@ -241,6 +289,7 @@ bool WriteJson(const std::string& path, const BenchResults& results) {
 int main(int argc, char** argv) {
   bool tiny = false;
   std::optional<faasm::StateTier> tier_flag;
+  std::optional<bool> batch_flag;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -250,23 +299,33 @@ int main(int argc, char** argv) {
       tier_flag = faasm::StateTier::kCentral;
     } else if (arg == "--tier=sharded") {
       tier_flag = faasm::StateTier::kSharded;
+    } else if (arg == "--batch=on") {
+      batch_flag = true;
+    } else if (arg == "--batch=off") {
+      batch_flag = false;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--tiny] [--tier=central|sharded] [--json <path>]\n", argv[0]);
+                   "usage: %s [--tiny] [--tier=central|sharded] [--batch=on|off] "
+                   "[--json <path>]\n",
+                   argv[0]);
       return 2;
     }
   }
 
   faasm::BenchResults results;
   results.tiny = tiny;
+  // Ablations 1-3 run the production (batched) protocol unless --batch=off
+  // pins the unbatched baseline.
+  faasm::g_batch_state_ops = batch_flag.value_or(true);
   // Ablations 1/2 default to the central tier so their deltas stay visible
   // (under sharding, master-local syncs are free and both columns collapse).
   const faasm::StateTier base_tier = tier_flag.value_or(faasm::StateTier::kCentral);
   faasm::PushIntervalAblation(tiny, base_tier, results);
   faasm::ChunkAblation(tiny, base_tier);
   faasm::TierAblation(tiny, tier_flag, results);
+  faasm::BatchAblation(tiny, batch_flag, results);
   if (!json_path.empty() && !faasm::WriteJson(json_path, results)) {
     return 1;
   }

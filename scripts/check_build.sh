@@ -7,6 +7,10 @@
 #   BUILD_TYPE=Debug scripts/check_build.sh
 #   SANITIZE=ON scripts/check_build.sh     # ASan/UBSan build + tests
 #   CMAKE_ARGS="-DFAASM_WERROR=ON" scripts/check_build.sh
+#
+# Extra arguments pass straight through to ctest, for targeted reruns:
+#   scripts/check_build.sh -R KvStoreTest            # one suite
+#   scripts/check_build.sh -R Batch --repeat until-fail:5
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,4 +27,4 @@ cmake -B "${BUILD_DIR}" -S . \
   -DFAASM_SANITIZE="${SANITIZE}" \
   ${CMAKE_ARGS:-}
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"

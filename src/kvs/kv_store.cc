@@ -46,10 +46,74 @@ Result<KeyExport> KeyExport::Deserialize(const Bytes& bytes) {
   return record;
 }
 
+std::vector<ValueRange> MergeValueRanges(std::vector<ValueRange> ranges) {
+  // Drop empty ranges up front; they carry no bytes and would only split
+  // otherwise-mergeable neighbours.
+  ranges.erase(std::remove_if(ranges.begin(), ranges.end(),
+                              [](const ValueRange& r) { return r.bytes.empty(); }),
+               ranges.end());
+  if (ranges.size() <= 1) {
+    return ranges;
+  }
+
+  // Compute the merged extents: the union of the input intervals, with
+  // adjacent ([a,b) + [b,c)) and overlapping intervals fused.
+  struct Extent {
+    uint64_t start;
+    uint64_t end;
+  };
+  std::vector<Extent> extents;
+  extents.reserve(ranges.size());
+  for (const ValueRange& range : ranges) {
+    extents.push_back(Extent{range.offset, range.offset + range.bytes.size()});
+  }
+  std::sort(extents.begin(), extents.end(),
+            [](const Extent& a, const Extent& b) { return a.start < b.start; });
+  std::vector<Extent> merged;
+  merged.push_back(extents[0]);
+  for (size_t i = 1; i < extents.size(); ++i) {
+    if (extents[i].start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, extents[i].end);
+    } else {
+      merged.push_back(extents[i]);
+    }
+  }
+  if (merged.size() == ranges.size()) {
+    // Nothing adjacent or overlapping; only the documented sort remains.
+    std::sort(ranges.begin(), ranges.end(),
+              [](const ValueRange& a, const ValueRange& b) { return a.offset < b.offset; });
+    return ranges;
+  }
+
+  // Materialise each merged extent, then replay the inputs IN ORIGINAL
+  // ORDER so a later (newer) write wins wherever ranges overlapped —
+  // exactly what applying them sequentially through SetRanges would do.
+  // Every byte of a merged extent is covered by at least one input, so no
+  // filler bytes are invented.
+  std::vector<ValueRange> out;
+  out.reserve(merged.size());
+  for (const Extent& extent : merged) {
+    out.push_back(ValueRange{extent.start, Bytes(extent.end - extent.start)});
+  }
+  for (const ValueRange& range : ranges) {
+    const auto it = std::upper_bound(
+        merged.begin(), merged.end(), range.offset,
+        [](uint64_t offset, const Extent& e) { return offset < e.start; });
+    const size_t slot = static_cast<size_t>(it - merged.begin()) - 1;
+    std::copy(range.bytes.begin(), range.bytes.end(),
+              out[slot].bytes.begin() + (range.offset - merged[slot].start));
+  }
+  return out;
+}
+
 Status KvStore::Set(const std::string& key, Bytes value) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
   FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
+  return SetLocked(shard, key, std::move(value));
+}
+
+Status KvStore::SetLocked(Shard& shard, const std::string& key, Bytes value) {
   shard.values[key] = std::move(value);
   return OkStatus();
 }
@@ -58,6 +122,10 @@ Result<Bytes> KvStore::Get(const std::string& key) const {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
   FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
+  return GetLocked(shard, key);
+}
+
+Result<Bytes> KvStore::GetLocked(const Shard& shard, const std::string& key) {
   auto it = shard.values.find(key);
   if (it == shard.values.end()) {
     return NotFound("kvs: no such key: " + key);
@@ -86,6 +154,10 @@ Status KvStore::Delete(const std::string& key) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
   FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
+  return DeleteLocked(shard, key);
+}
+
+Status KvStore::DeleteLocked(Shard& shard, const std::string& key) {
   return shard.values.erase(key) > 0 ? OkStatus() : NotFound("kvs: no such key: " + key);
 }
 
@@ -106,12 +178,17 @@ Result<Bytes> KvStore::GetRange(const std::string& key, size_t offset, size_t le
 }
 
 Status KvStore::SetRange(const std::string& key, size_t offset, const Bytes& bytes) {
-  if (!RangeIsSane(offset, bytes.size())) {
-    return InvalidArgument("kvs: range write exceeds maximum value size");
-  }
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
   FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
+  return SetRangeLocked(shard, key, offset, bytes);
+}
+
+Status KvStore::SetRangeLocked(Shard& shard, const std::string& key, size_t offset,
+                               const Bytes& bytes) {
+  if (!RangeIsSane(offset, bytes.size())) {
+    return InvalidArgument("kvs: range write exceeds maximum value size");
+  }
   Bytes& value = shard.values[key];
   if (value.size() < offset + bytes.size()) {
     value.resize(offset + bytes.size());
@@ -121,14 +198,19 @@ Status KvStore::SetRange(const std::string& key, size_t offset, const Bytes& byt
 }
 
 Status KvStore::SetRanges(const std::string& key, const std::vector<ValueRange>& ranges) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
+  return SetRangesLocked(shard, key, ranges);
+}
+
+Status KvStore::SetRangesLocked(Shard& shard, const std::string& key,
+                                const std::vector<ValueRange>& ranges) {
   for (const ValueRange& range : ranges) {
     if (!RangeIsSane(range.offset, range.bytes.size())) {
       return InvalidArgument("kvs: range write exceeds maximum value size");
     }
   }
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> guard(shard.mutex);
-  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
   Bytes& value = shard.values[key];
   size_t needed = value.size();
   for (const ValueRange& range : ranges) {
@@ -147,6 +229,10 @@ Result<size_t> KvStore::Append(const std::string& key, const Bytes& bytes) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
   FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
+  return AppendLocked(shard, key, bytes);
+}
+
+Result<size_t> KvStore::AppendLocked(Shard& shard, const std::string& key, const Bytes& bytes) {
   Bytes& value = shard.values[key];
   value.insert(value.end(), bytes.begin(), bytes.end());
   return value.size();
@@ -204,6 +290,11 @@ Result<bool> KvStore::SetAdd(const std::string& key, const std::string& member) 
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
   FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
+  return SetAddLocked(shard, key, member);
+}
+
+Result<bool> KvStore::SetAddLocked(Shard& shard, const std::string& key,
+                                   const std::string& member) {
   return shard.sets[key].insert(member).second;
 }
 
@@ -211,11 +302,106 @@ Result<bool> KvStore::SetRemove(const std::string& key, const std::string& membe
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
   FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
+  return SetRemoveLocked(shard, key, member);
+}
+
+Result<bool> KvStore::SetRemoveLocked(Shard& shard, const std::string& key,
+                                      const std::string& member) {
   auto it = shard.sets.find(key);
   if (it == shard.sets.end()) {
     return false;
   }
   return it->second.erase(member) > 0;
+}
+
+// --- Batched execution ----------------------------------------------------------
+
+KvsBatchResult KvStore::ApplyLocked(Shard& shard, const KvsBatchOp& op) {
+  KvsBatchResult result;
+  switch (op.op) {
+    case KvsOp::kGet: {
+      auto value = GetLocked(shard, op.key);
+      result.status = value.status();
+      if (value.ok()) {
+        result.value = std::move(value).value();
+      }
+      break;
+    }
+    case KvsOp::kSet:
+      result.status = SetLocked(shard, op.key, op.bytes);
+      break;
+    case KvsOp::kSetRange:
+      result.status = SetRangeLocked(shard, op.key, op.offset, op.bytes);
+      break;
+    case KvsOp::kSetRanges:
+      result.status = SetRangesLocked(shard, op.key, op.ranges);
+      break;
+    case KvsOp::kAppend: {
+      auto length = AppendLocked(shard, op.key, op.bytes);
+      result.status = length.status();
+      if (length.ok()) {
+        result.length = length.value();
+      }
+      break;
+    }
+    case KvsOp::kDelete:
+      result.status = DeleteLocked(shard, op.key);
+      break;
+    case KvsOp::kSetAdd:
+    case KvsOp::kSetRemove: {
+      auto changed = op.op == KvsOp::kSetAdd ? SetAddLocked(shard, op.key, op.member)
+                                             : SetRemoveLocked(shard, op.key, op.member);
+      result.status = changed.status();
+      if (changed.ok()) {
+        result.flag = changed.value();
+      }
+      break;
+    }
+    default:
+      result.status = InvalidArgument("kvs: op not batchable");
+      break;
+  }
+  return result;
+}
+
+std::vector<KvsBatchResult> KvStore::ExecuteBatch(const std::vector<const KvsBatchOp*>& ops) {
+  std::vector<KvsBatchResult> results(ops.size());
+  // Bucket op indices by internal shard, preserving request order within
+  // each bucket (ops on the same key always share a bucket, so their
+  // relative order survives the grouping).
+  std::vector<std::vector<size_t>> buckets(kShards);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    buckets[ShardIndexFor(ops[i]->key)].push_back(i);
+  }
+  for (size_t s = 0; s < kShards; ++s) {
+    if (buckets[s].empty()) {
+      continue;
+    }
+    // One mutex acquisition per touched shard: the whole bucket executes
+    // against a single consistent view of the freeze set, migration filter
+    // and ownership guard.
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    for (size_t i : buckets[s]) {
+      const KvsBatchOp& op = *ops[i];
+      Status servable = CheckServableLocked(shard, op.key);
+      if (servable.ok()) {
+        results[i] = ApplyLocked(shard, op);
+      } else {
+        results[i].status = std::move(servable);
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<KvsBatchResult> KvStore::ExecuteBatch(const std::vector<KvsBatchOp>& ops) {
+  std::vector<const KvsBatchOp*> pointers;
+  pointers.reserve(ops.size());
+  for (const KvsBatchOp& op : ops) {
+    pointers.push_back(&op);
+  }
+  return ExecuteBatch(pointers);
 }
 
 std::vector<std::string> KvStore::SetMembers(const std::string& key) const {

@@ -44,10 +44,71 @@
 
 namespace faasm {
 
+// Operation codes of the KVS wire protocol (kvs_client.h). They live here —
+// below the client/server pair — because batched requests (KvsBatchOp,
+// ExecuteBatch) carry them through the store layer.
+enum class KvsOp : uint8_t {
+  kGet = 1,
+  kSet = 2,
+  kGetRange = 3,
+  kSetRange = 4,
+  kAppend = 5,
+  kDelete = 6,
+  kExists = 7,
+  kSize = 8,
+  kLockRead = 9,
+  kLockWrite = 10,
+  kUnlockRead = 11,
+  kUnlockWrite = 12,
+  kSetAdd = 13,
+  kSetRemove = 14,
+  kSetMembers = 15,
+  kSetRanges = 16,
+  // Shard migration: installs a KeyExport streamed from the key's previous
+  // master. Exempt from the server's ownership check (it arrives BEFORE the
+  // epoch flips the key to this shard).
+  kMigrateInstall = 17,
+  // A framed group of sub-ops executed as one request (ExecuteBatch): the
+  // cross-shard ops of one state push travel as ONE RPC per endpoint.
+  kBatch = 18,
+};
+
 // One write range of a batched SetRanges: `bytes` lands at `offset`.
 struct ValueRange {
   uint64_t offset = 0;
   Bytes bytes;
+};
+
+// Merges adjacent and overlapping ranges into maximal runs so contiguous
+// dirty pages ship as one wire range. Later ranges win on overlap (they are
+// the newer write), matching the order SetRanges applies them. Ranges are
+// returned sorted by offset; total covered extent (and the bytes at every
+// covered offset) are unchanged.
+std::vector<ValueRange> MergeValueRanges(std::vector<ValueRange> ranges);
+
+// One sub-op of a batched request. `op` says which fields are meaningful:
+//   kGet                 — key only
+//   kSet / kAppend       — bytes
+//   kSetRange            — offset + bytes
+//   kSetRanges           — ranges
+//   kSetAdd / kSetRemove — member
+//   kDelete              — key only
+struct KvsBatchOp {
+  KvsOp op = KvsOp::kGet;
+  std::string key;
+  uint64_t offset = 0;
+  Bytes bytes;
+  std::vector<ValueRange> ranges;
+  std::string member;
+};
+
+// Per-op outcome of ExecuteBatch, index-aligned with the request. At most
+// one payload field is meaningful, depending on the op.
+struct KvsBatchResult {
+  Status status = OkStatus();
+  Bytes value;          // kGet
+  uint64_t length = 0;  // kAppend: value length after the append
+  bool flag = false;    // kSetAdd / kSetRemove: membership changed
 };
 
 // A key's complete store-side footprint, as moved by shard migration: the
@@ -89,6 +150,18 @@ class KvStore {
 
   // Appends and returns the new length.
   Result<size_t> Append(const std::string& key, const Bytes& bytes);
+
+  // --- Batched execution (the kBatch op) ---------------------------------------
+  // Executes a group of sub-ops as one request. Ops are bucketed by internal
+  // shard and each bucket runs under ONE shard-mutex acquisition (per-op
+  // order is preserved within a bucket; ops on distinct keys in different
+  // buckets are independent). Every op passes CheckServableLocked
+  // individually, so a batch straddling a migration bounces ONLY the moving
+  // keys with kWrongMaster — including keys that do not exist yet but match
+  // the migration filter (the enumeration-race guard) — while the rest of
+  // the batch lands. Returns one result per op, index-aligned.
+  std::vector<KvsBatchResult> ExecuteBatch(const std::vector<const KvsBatchOp*>& ops);
+  std::vector<KvsBatchResult> ExecuteBatch(const std::vector<KvsBatchOp>& ops);
 
   // --- Distributed locks -----------------------------------------------------
   // Non-blocking; callers poll. Multiple readers or one writer per key.
@@ -156,9 +229,27 @@ class KvStore {
     KeyPredicate owns;             // live ownership guard: foreign keys bounce
   };
 
-  Shard& ShardFor(const std::string& key) const {
-    return shards_[HashBytes(reinterpret_cast<const uint8_t*>(key.data()), key.size()) % kShards];
+  size_t ShardIndexFor(const std::string& key) const {
+    return HashBytes(reinterpret_cast<const uint8_t*>(key.data()), key.size()) % kShards;
   }
+  Shard& ShardFor(const std::string& key) const { return shards_[ShardIndexFor(key)]; }
+
+  // Single-op appliers shared by the public methods and ExecuteBatch. All
+  // require the key's shard.mutex and assume CheckServableLocked passed.
+  static Status SetLocked(Shard& shard, const std::string& key, Bytes value);
+  static Result<Bytes> GetLocked(const Shard& shard, const std::string& key);
+  static Status SetRangeLocked(Shard& shard, const std::string& key, size_t offset,
+                               const Bytes& bytes);
+  static Status SetRangesLocked(Shard& shard, const std::string& key,
+                                const std::vector<ValueRange>& ranges);
+  static Result<size_t> AppendLocked(Shard& shard, const std::string& key, const Bytes& bytes);
+  static Status DeleteLocked(Shard& shard, const std::string& key);
+  static Result<bool> SetAddLocked(Shard& shard, const std::string& key,
+                                   const std::string& member);
+  static Result<bool> SetRemoveLocked(Shard& shard, const std::string& key,
+                                      const std::string& member);
+  // Applies one batch sub-op (shard.mutex held, servability checked).
+  static KvsBatchResult ApplyLocked(Shard& shard, const KvsBatchOp& op);
 
   // Requires shard.mutex. The single point every status-capable op funnels
   // through, so none can forget the freeze, the migration filter, or the

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
+
+#include "net/framing.h"
 
 namespace faasm {
 
@@ -22,6 +25,154 @@ Status ReadStatus(ByteReader& reader) {
   }
   return Status(status_code, "kvs remote error");
 }
+
+// --- Batch sub-op codec ---------------------------------------------------------
+// A sub-request reuses the single-op wire layout (u8 op, key, args); a
+// sub-response reuses the single-op response layout (u8 status, payload).
+// Both travel length-prefixed inside one kBatch frame (net/framing.h).
+
+Bytes EncodeBatchOp(const KvsBatchOp& op) {
+  Bytes out;
+  ByteWriter writer(out);
+  writer.Put<uint8_t>(static_cast<uint8_t>(op.op));
+  writer.PutString(op.key);
+  switch (op.op) {
+    case KvsOp::kGet:
+    case KvsOp::kDelete:
+      break;
+    case KvsOp::kSet:
+    case KvsOp::kAppend:
+      writer.PutBytes(op.bytes);
+      break;
+    case KvsOp::kSetRange:
+      writer.Put<uint64_t>(op.offset);
+      writer.PutBytes(op.bytes);
+      break;
+    case KvsOp::kSetRanges: {
+      writer.Put<uint32_t>(static_cast<uint32_t>(op.ranges.size()));
+      for (const ValueRange& range : op.ranges) {
+        writer.Put<uint64_t>(range.offset);
+        writer.PutBytes(range.bytes);
+      }
+      break;
+    }
+    case KvsOp::kSetAdd:
+    case KvsOp::kSetRemove:
+      writer.PutString(op.member);
+      break;
+    default:
+      break;  // not batchable; the server answers InvalidArgument
+  }
+  return out;
+}
+
+Result<KvsBatchOp> DecodeBatchOp(const Bytes& part) {
+  ByteReader reader(part);
+  KvsBatchOp op;
+  FAASM_ASSIGN_OR_RETURN(uint8_t code, reader.Get<uint8_t>());
+  op.op = static_cast<KvsOp>(code);
+  FAASM_ASSIGN_OR_RETURN(op.key, reader.GetString());
+  switch (op.op) {
+    case KvsOp::kGet:
+    case KvsOp::kDelete:
+      break;
+    case KvsOp::kSet:
+    case KvsOp::kAppend: {
+      FAASM_ASSIGN_OR_RETURN(op.bytes, reader.GetBytes());
+      break;
+    }
+    case KvsOp::kSetRange: {
+      FAASM_ASSIGN_OR_RETURN(op.offset, reader.Get<uint64_t>());
+      FAASM_ASSIGN_OR_RETURN(op.bytes, reader.GetBytes());
+      break;
+    }
+    case KvsOp::kSetRanges: {
+      FAASM_ASSIGN_OR_RETURN(uint32_t count, reader.Get<uint32_t>());
+      op.ranges.reserve(std::min<uint32_t>(count, 1024));
+      for (uint32_t i = 0; i < count; ++i) {
+        ValueRange range;
+        FAASM_ASSIGN_OR_RETURN(range.offset, reader.Get<uint64_t>());
+        FAASM_ASSIGN_OR_RETURN(range.bytes, reader.GetBytes());
+        op.ranges.push_back(std::move(range));
+      }
+      break;
+    }
+    case KvsOp::kSetAdd:
+    case KvsOp::kSetRemove: {
+      FAASM_ASSIGN_OR_RETURN(op.member, reader.GetString());
+      break;
+    }
+    default:
+      return InvalidArgument("kvs: op not batchable");
+  }
+  return op;
+}
+
+Bytes EncodeBatchResult(const KvsOp op, const KvsBatchResult& result) {
+  Bytes out;
+  ByteWriter writer(out);
+  WriteStatus(writer, result.status);
+  if (!result.status.ok()) {
+    return out;
+  }
+  switch (op) {
+    case KvsOp::kGet:
+      writer.PutBytes(result.value);
+      break;
+    case KvsOp::kAppend:
+      writer.Put<uint64_t>(result.length);
+      break;
+    case KvsOp::kSetAdd:
+    case KvsOp::kSetRemove:
+      writer.Put<uint8_t>(result.flag ? 1 : 0);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+KvsBatchResult DecodeBatchResult(const KvsOp op, const Bytes& part) {
+  KvsBatchResult result;
+  ByteReader reader(part);
+  result.status = ReadStatus(reader);
+  if (!result.status.ok()) {
+    return result;
+  }
+  switch (op) {
+    case KvsOp::kGet: {
+      auto value = reader.GetBytes();
+      if (!value.ok()) {
+        result.status = value.status();
+      } else {
+        result.value = std::move(value).value();
+      }
+      break;
+    }
+    case KvsOp::kAppend: {
+      auto length = reader.Get<uint64_t>();
+      if (!length.ok()) {
+        result.status = length.status();
+      } else {
+        result.length = length.value();
+      }
+      break;
+    }
+    case KvsOp::kSetAdd:
+    case KvsOp::kSetRemove: {
+      auto flag = reader.Get<uint8_t>();
+      if (!flag.ok()) {
+        result.status = flag.status();
+      } else {
+        result.flag = flag.value() != 0;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return result;
+}
 }  // namespace
 
 // --- Server -------------------------------------------------------------------
@@ -40,8 +191,18 @@ Bytes KvsServer::Handle(const Bytes& request) {
   ByteReader reader(request);
 
   auto op_byte = reader.Get<uint8_t>();
+  if (!op_byte.ok()) {
+    WriteStatus(writer, InvalidArgument("malformed request"));
+    return response;
+  }
+  if (static_cast<KvsOp>(op_byte.value()) == KvsOp::kBatch) {
+    // Batched request: no top-level key — each framed sub-op carries its
+    // own, and ownership is checked per op.
+    HandleBatch(reader, writer);
+    return response;
+  }
   auto key = reader.GetString();
-  if (!op_byte.ok() || !key.ok()) {
+  if (!key.ok()) {
     WriteStatus(writer, InvalidArgument("malformed request"));
     return response;
   }
@@ -223,6 +384,55 @@ Bytes KvsServer::Handle(const Bytes& request) {
       break;
   }
   return response;
+}
+
+void KvsServer::HandleBatch(ByteReader& reader, ByteWriter& writer) {
+  auto parts = ReadFrameBatch(reader);
+  if (!parts.ok()) {
+    WriteStatus(writer, InvalidArgument("malformed batch request"));
+    return;
+  }
+  std::vector<KvsBatchOp> ops;
+  ops.reserve(parts.value().size());
+  std::vector<KvsBatchResult> results(parts.value().size());
+  // Ops the per-op checks already settled keep their slot but are excluded
+  // from execution; `to_run[i]` says whether results[i] comes from the store.
+  std::vector<bool> to_run(parts.value().size(), false);
+  std::vector<const KvsBatchOp*> runnable;
+  for (size_t i = 0; i < parts.value().size(); ++i) {
+    auto op = DecodeBatchOp(parts.value()[i]);
+    if (!op.ok()) {
+      ops.emplace_back();
+      results[i].status = op.status();
+      continue;
+    }
+    ops.push_back(std::move(op).value());
+    // Same epoch-aware ownership check as single ops, applied per sub-op so
+    // a batch straddling a membership change bounces only the moved keys.
+    if (map_ != nullptr && map_->MasterFor(ops[i].key) != endpoint_) {
+      results[i].status =
+          WrongMaster("kvs: '" + ops[i].key + "' is not mastered by " + endpoint_);
+      continue;
+    }
+    to_run[i] = true;
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (to_run[i]) {
+      runnable.push_back(&ops[i]);
+    }
+  }
+  std::vector<KvsBatchResult> executed = store_->ExecuteBatch(runnable);
+  for (size_t i = 0, next = 0; i < ops.size(); ++i) {
+    if (to_run[i]) {
+      results[i] = std::move(executed[next++]);
+    }
+  }
+
+  WriteStatus(writer, OkStatus());  // framing-level status; per-op below
+  BeginFrameBatch(writer, static_cast<uint32_t>(results.size()));
+  for (size_t i = 0; i < results.size(); ++i) {
+    AppendFrame(writer, EncodeBatchResult(ops[i].op, results[i]));
+  }
 }
 
 // --- Client -------------------------------------------------------------------
@@ -499,6 +709,359 @@ Result<bool> KvsClient::SetRemove(const std::string& key, const std::string& mem
   return Routed(
       key, [&](KvStore& store) { return store.SetRemove(key, member); },
       [&](const std::string& server) { return BoolOp(server, KvsOp::kSetRemove, key, member); });
+}
+
+// --- Batched ops ----------------------------------------------------------------
+
+void OpBatch::Push(KvsBatchOp op, Ack done, GetAck get_done) {
+  Pending pending;
+  pending.op = std::move(op);
+  pending.done = std::move(done);
+  pending.get_done = std::move(get_done);
+  ops_.push_back(std::move(pending));
+}
+
+void OpBatch::Set(std::string key, Bytes value, Ack done) {
+  KvsBatchOp op;
+  op.op = KvsOp::kSet;
+  op.key = std::move(key);
+  op.bytes = std::move(value);
+  Push(std::move(op), std::move(done));
+}
+
+void OpBatch::SetRange(std::string key, uint64_t offset, Bytes bytes, Ack done) {
+  KvsBatchOp op;
+  op.op = KvsOp::kSetRange;
+  op.key = std::move(key);
+  op.offset = offset;
+  op.bytes = std::move(bytes);
+  Push(std::move(op), std::move(done));
+}
+
+void OpBatch::SetRanges(std::string key, std::vector<ValueRange> ranges, Ack done) {
+  // Coalesce with an immediately preceding SetRanges on the same key: two
+  // pushes of one value in one batch ship as a single sub-op with merged
+  // (adjacent/overlapping fused) runs; both acks fire with its status.
+  if (!ops_.empty() && ops_.back().op.op == KvsOp::kSetRanges && ops_.back().op.key == key) {
+    Pending& prev = ops_.back();
+    prev.op.ranges.insert(prev.op.ranges.end(), std::make_move_iterator(ranges.begin()),
+                          std::make_move_iterator(ranges.end()));
+    prev.op.ranges = MergeValueRanges(std::move(prev.op.ranges));
+    if (done != nullptr) {
+      if (prev.done == nullptr) {
+        prev.done = std::move(done);
+      } else {
+        prev.done = [first = std::move(prev.done),
+                     second = std::move(done)](const Status& status) {
+          first(status);
+          second(status);
+        };
+      }
+    }
+    return;
+  }
+  KvsBatchOp op;
+  op.op = KvsOp::kSetRanges;
+  op.key = std::move(key);
+  op.ranges = MergeValueRanges(std::move(ranges));
+  Push(std::move(op), std::move(done));
+}
+
+void OpBatch::Append(std::string key, Bytes bytes, Ack done) {
+  KvsBatchOp op;
+  op.op = KvsOp::kAppend;
+  op.key = std::move(key);
+  op.bytes = std::move(bytes);
+  Push(std::move(op), std::move(done));
+}
+
+void OpBatch::Delete(std::string key, Ack done) {
+  KvsBatchOp op;
+  op.op = KvsOp::kDelete;
+  op.key = std::move(key);
+  Push(std::move(op), std::move(done));
+}
+
+void OpBatch::SetAdd(std::string key, std::string member, Ack done) {
+  KvsBatchOp op;
+  op.op = KvsOp::kSetAdd;
+  op.key = std::move(key);
+  op.member = std::move(member);
+  Push(std::move(op), std::move(done));
+}
+
+void OpBatch::SetRemove(std::string key, std::string member, Ack done) {
+  KvsBatchOp op;
+  op.op = KvsOp::kSetRemove;
+  op.key = std::move(key);
+  op.member = std::move(member);
+  Push(std::move(op), std::move(done));
+}
+
+void OpBatch::Get(std::string key, GetAck done) {
+  KvsBatchOp op;
+  op.op = KvsOp::kGet;
+  op.key = std::move(key);
+  Push(std::move(op), nullptr, std::move(done));
+}
+
+Status BatchHandle::Wait() {
+  if (shared_ == nullptr) {
+    return OkStatus();
+  }
+  while (true) {
+    {
+      std::lock_guard<std::mutex> guard(shared_->mutex);
+      if (shared_->outstanding == 0) {
+        return shared_->status;
+      }
+    }
+    clock_->SleepFor(50 * kMicrosecond);
+  }
+}
+
+bool BatchHandle::done() const {
+  if (shared_ == nullptr) {
+    return true;
+  }
+  std::lock_guard<std::mutex> guard(shared_->mutex);
+  return shared_->outstanding == 0;
+}
+
+void KvsClient::CompleteOp(OpBatch::Pending& pending, KvsBatchResult result) {
+  if (pending.get_done != nullptr) {
+    if (result.status.ok()) {
+      pending.get_done(std::move(result.value));
+    } else {
+      pending.get_done(result.status);
+    }
+    pending.get_done = nullptr;
+  }
+  if (pending.done != nullptr) {
+    pending.done(result.status);
+    pending.done = nullptr;
+  }
+}
+
+std::vector<KvsBatchResult> KvsClient::RemoteBatch(const std::string& endpoint,
+                                                   const std::vector<OpBatch::Pending>& ops) {
+  std::vector<Bytes> parts;
+  parts.reserve(ops.size());
+  for (const OpBatch::Pending& pending : ops) {
+    parts.push_back(EncodeBatchOp(pending.op));
+  }
+  auto response = Invoke(endpoint, KvsOp::kBatch,
+                         [&](ByteWriter& w) { WriteFrameBatch(w, parts); });
+  std::vector<KvsBatchResult> results(ops.size());
+  auto fail_all = [&](const Status& status) {
+    for (KvsBatchResult& result : results) {
+      result.status = status;
+    }
+    return results;
+  };
+  if (!response.ok()) {
+    return fail_all(response.status());
+  }
+  ByteReader reader(response.value());
+  Status framing = ReadStatus(reader);
+  if (!framing.ok()) {
+    return fail_all(framing);
+  }
+  auto result_parts = ReadFrameBatch(reader);
+  if (!result_parts.ok() || result_parts.value().size() != ops.size()) {
+    return fail_all(Internal("kvs: malformed batch response"));
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    results[i] = DecodeBatchResult(ops[i].op.op, result_parts.value()[i]);
+  }
+  return results;
+}
+
+Status KvsClient::RunGroup(std::vector<OpBatch::Pending> ops) {
+  Status first_error = OkStatus();
+  int attempt = 0;
+  while (!ops.empty()) {
+    // Regroup by the keys' CURRENT masters: after a kWrongMaster bounce the
+    // epoch may have flipped, splitting the survivors across new endpoints.
+    std::map<std::string, std::vector<OpBatch::Pending>> groups;
+    std::vector<OpBatch::Pending> local;
+    for (OpBatch::Pending& pending : ops) {
+      Route route = RouteFor(pending.op.key);
+      if (route.local != nullptr) {
+        local.push_back(std::move(pending));
+      } else {
+        groups[route.endpoint].push_back(std::move(pending));
+      }
+    }
+    ops.clear();
+
+    auto settle = [&](std::vector<OpBatch::Pending>& group,
+                      std::vector<KvsBatchResult> results) {
+      for (size_t i = 0; i < group.size(); ++i) {
+        const bool bounced = results[i].status.code() == StatusCode::kWrongMaster;
+        if (bounced && shards_ != nullptr && attempt < kMaxRedirectRetries) {
+          ops.push_back(std::move(group[i]));  // retry just this op
+          continue;
+        }
+        if (!results[i].status.ok() && first_error.ok()) {
+          first_error = results[i].status;
+        }
+        CompleteOp(group[i], std::move(results[i]));
+      }
+    };
+
+    if (!local.empty()) {
+      std::vector<const KvsBatchOp*> pointers;
+      pointers.reserve(local.size());
+      for (const OpBatch::Pending& pending : local) {
+        pointers.push_back(&pending.op);
+      }
+      settle(local, local_store_->ExecuteBatch(pointers));
+    }
+    for (auto& [endpoint, group] : groups) {
+      settle(group, RemoteBatch(endpoint, group));
+    }
+
+    if (!ops.empty()) {
+      ++attempt;
+      network_->clock().SleepFor(kRedirectBackoffNs);
+    }
+  }
+  return first_error;
+}
+
+BatchHandle KvsClient::DispatchBatch(OpBatch&& batch) {
+  BatchHandle handle;
+  if (batch.ops_.empty()) {
+    return handle;
+  }
+  handle.clock_ = &network_->clock();
+  handle.shared_ = std::make_shared<BatchHandle::Shared>();
+
+  // Initial grouping by current master. Each group becomes one activity;
+  // the master-local group and single-group batches run inline (no thread
+  // spawn for the degenerate cases).
+  std::map<std::string, std::vector<OpBatch::Pending>> groups;
+  for (OpBatch::Pending& pending : batch.ops_) {
+    Route route = RouteFor(pending.op.key);
+    const std::string& slot = route.local != nullptr ? local_endpoint_ : route.endpoint;
+    groups[slot].push_back(std::move(pending));
+  }
+  batch.ops_.clear();
+  handle.shared_->outstanding = static_cast<int>(groups.size());
+  {
+    // Register before any group runs: a concurrent FlushBatch barrier must
+    // see (and wait out) this dispatch even though the ambient batch no
+    // longer holds its ops.
+    std::lock_guard<std::mutex> guard(ambient_mutex_);
+    inflight_.push_back(handle.shared_);
+  }
+
+  size_t remote_groups = 0;
+  for (const auto& [endpoint, group] : groups) {
+    remote_groups += (local_store_ != nullptr && endpoint == local_endpoint_) ? 0 : 1;
+  }
+  for (auto& [endpoint, group] : groups) {
+    auto run = [this, shared = handle.shared_, ops = std::move(group)]() mutable {
+      Status status = RunGroup(std::move(ops));
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> guard(shared->mutex);
+        if (!status.ok() && shared->status.ok()) {
+          shared->status = status;
+        }
+        shared->outstanding -= 1;
+        last = shared->outstanding == 0;
+      }
+      if (last) {
+        std::lock_guard<std::mutex> guard(ambient_mutex_);
+        inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), shared),
+                        inflight_.end());
+      }
+    };
+    const bool is_local = local_store_ != nullptr && endpoint == local_endpoint_;
+    // Pipelining: overlap round trips only when more than one group crosses
+    // the network; everything else runs on the caller's activity.
+    if (spawner_ != nullptr && !is_local && remote_groups > 1) {
+      spawner_(std::move(run));
+    } else {
+      run();
+    }
+  }
+  return handle;
+}
+
+// --- Ambient state-op batching ---------------------------------------------------
+
+namespace {
+// Batch scopes are per ACTIVITY: a StateBatch opened by one Faaslet's call
+// must not demote a concurrent call's scopeless Push from being its own
+// barrier. Every call runs whole on one executor thread, so thread-local
+// depth (keyed by client, in case several instances share a thread over its
+// lifetime) is exactly per-call scoping.
+int& ScopeDepthForThisThread(const void* client) {
+  static thread_local std::map<const void*, int> depths;
+  return depths[client];
+}
+}  // namespace
+
+void KvsClient::EnableBatching(Spawner spawner) {
+  batching_enabled_ = true;
+  spawner_ = std::move(spawner);
+}
+
+void KvsClient::EnqueueSetRanges(const std::string& key, std::vector<ValueRange> ranges,
+                                 OpBatch::Ack done) {
+  std::lock_guard<std::mutex> guard(ambient_mutex_);
+  ambient_.SetRanges(key, std::move(ranges), std::move(done));
+}
+
+void KvsClient::BeginBatchScope() { ++ScopeDepthForThisThread(this); }
+
+void KvsClient::EndBatchScope() {
+  int& depth = ScopeDepthForThisThread(this);
+  if (depth > 0) {
+    --depth;
+  }
+}
+
+bool KvsClient::InBatchScope() const { return ScopeDepthForThisThread(this) > 0; }
+
+Status KvsClient::FlushBatch() {
+  OpBatch taken;
+  std::vector<std::shared_ptr<BatchHandle::Shared>> inflight;
+  {
+    std::lock_guard<std::mutex> guard(ambient_mutex_);
+    taken = std::move(ambient_);
+    ambient_ = OpBatch{};
+    inflight = inflight_;  // dispatches other callers have in flight
+  }
+  if (taken.empty() && inflight.empty()) {
+    return OkStatus();  // idle fast path (hot: every sync point calls this)
+  }
+  Status status = OkStatus();
+  if (!taken.empty()) {
+    status = DispatchBatch(std::move(taken)).Wait();
+  }
+  // Barrier completeness: an op enqueued before this call may have been
+  // taken by a concurrent flush that is still dispatching. "FlushBatch
+  // returned Ok" must mean EVERY previously enqueued op is durable, so wait
+  // those out too (their first error joins the aggregate).
+  for (const auto& shared : inflight) {
+    BatchHandle other;
+    other.shared_ = shared;
+    other.clock_ = &network_->clock();
+    Status theirs = other.Wait();
+    if (status.ok() && !theirs.ok()) {
+      status = theirs;
+    }
+  }
+  return status;
+}
+
+size_t KvsClient::pending_batch_ops() const {
+  std::lock_guard<std::mutex> guard(ambient_mutex_);
+  return ambient_.size();
 }
 
 Result<std::vector<std::string>> KvsClient::SetMembers(const std::string& key) {

@@ -30,42 +30,38 @@
 // single-endpoint layout (the pre-sharding baseline, kept for ablations and
 // component tests); with no map there is no alternate route, so kWrongMaster
 // surfaces to the caller immediately.
+//
+// BATCHED OPS (the kBatch wire op). An OpBatch accumulates mutating ops
+// (plus Get) and DispatchBatch groups them by each key's CURRENT master
+// endpoint: every group travels as ONE framed RPC (net/framing.h), the
+// master-local group runs in process for zero network bytes, and groups
+// bound for different shards are issued concurrently when a spawner is
+// configured — a push touching K keys mastered on M hosts costs at most M
+// round trips, overlapped, instead of K serialised ones. The server answers
+// a per-op status vector (KvStore::ExecuteBatch runs each touched store
+// shard's group under one mutex acquisition), so a batch that straddles a
+// live migration bounces ONLY the moving keys with kWrongMaster; the client
+// re-resolves just those ops against the new epoch and retries them, with
+// the same backoff budget as single-op redirects. Per-op error/ack model:
+// each enqueued op can carry a completion callback, invoked exactly once
+// with the op's final status after retries — an op is "acked" only when its
+// callback has fired with Ok, which is what the state layer's push
+// visibility barrier (FlushBatch) waits for.
 #ifndef FAASM_KVS_KVS_CLIENT_H_
 #define FAASM_KVS_KVS_CLIENT_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "kvs/kv_store.h"
 #include "kvs/router.h"
 #include "net/network.h"
 
 namespace faasm {
-
-// Operation codes shared by client and server.
-enum class KvsOp : uint8_t {
-  kGet = 1,
-  kSet = 2,
-  kGetRange = 3,
-  kSetRange = 4,
-  kAppend = 5,
-  kDelete = 6,
-  kExists = 7,
-  kSize = 8,
-  kLockRead = 9,
-  kLockWrite = 10,
-  kUnlockRead = 11,
-  kUnlockWrite = 12,
-  kSetAdd = 13,
-  kSetRemove = 14,
-  kSetMembers = 15,
-  kSetRanges = 16,
-  // Shard migration: installs a KeyExport streamed from the key's previous
-  // master. Exempt from the server's ownership check (it arrives BEFORE the
-  // epoch flips the key to this shard).
-  kMigrateInstall = 17,
-};
 
 // Registers an RPC endpoint (default name "kvs") that serves a KvStore
 // shard. Sharded clusters run one per host on "kvs:<host>". When `map` is
@@ -82,6 +78,11 @@ class KvsServer {
 
  private:
   Bytes Handle(const Bytes& request);
+  // kBatch: decodes the framed sub-ops, pre-checks ownership per op (a
+  // batch straddling a membership change bounces only the moved keys),
+  // executes the rest through KvStore::ExecuteBatch, and frames the per-op
+  // results back.
+  void HandleBatch(ByteReader& reader, ByteWriter& writer);
 
   KvStore* store_;
   InProcNetwork* network_;
@@ -89,10 +90,76 @@ class KvsServer {
   const ShardMap* map_;
 };
 
+// Builder for one batched request: accumulates sub-ops (with optional
+// per-op completion callbacks) until a KvsClient dispatches it. Not thread
+// safe; build on one thread, then hand over to DispatchBatch.
+class OpBatch {
+ public:
+  // Invoked exactly once with the op's final status (after any redirects).
+  using Ack = std::function<void(const Status&)>;
+  // kGet completion: the value, or the op's error.
+  using GetAck = std::function<void(const Result<Bytes>&)>;
+
+  void Set(std::string key, Bytes value, Ack done = nullptr);
+  void SetRange(std::string key, uint64_t offset, Bytes bytes, Ack done = nullptr);
+  // Consecutive SetRanges on the same key coalesce into one sub-op with the
+  // merged (adjacent/overlapping fused) range list; both acks still fire.
+  void SetRanges(std::string key, std::vector<ValueRange> ranges, Ack done = nullptr);
+  void Append(std::string key, Bytes bytes, Ack done = nullptr);
+  void Delete(std::string key, Ack done = nullptr);
+  void SetAdd(std::string key, std::string member, Ack done = nullptr);
+  void SetRemove(std::string key, std::string member, Ack done = nullptr);
+  void Get(std::string key, GetAck done);
+
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  friend class KvsClient;
+
+  struct Pending {
+    KvsBatchOp op;
+    Ack done;         // status-only ops
+    GetAck get_done;  // kGet
+  };
+
+  void Push(KvsBatchOp op, Ack done, GetAck get_done = nullptr);
+
+  std::vector<Pending> ops_;
+};
+
+// Completion handle for a dispatched batch. Wait() blocks (in virtual time)
+// until every per-endpoint group — including per-op redirect retries — has
+// finished, and returns the batch's aggregate status: Ok only when every op
+// landed. Callers holding several handles pipeline batches to different
+// shards: the round trips overlap instead of serialising.
+class BatchHandle {
+ public:
+  BatchHandle() = default;
+
+  Status Wait();
+  bool done() const;
+
+ private:
+  friend class KvsClient;
+
+  struct Shared {
+    std::mutex mutex;
+    int outstanding = 0;
+    Status status = OkStatus();  // first op error, sticky
+  };
+
+  std::shared_ptr<Shared> shared_;
+  Clock* clock_ = nullptr;
+};
+
 // Routing client stub. `source` is the calling host's endpoint name (for
 // accounting and lock ownership).
 class KvsClient {
  public:
+  // Runs a closure concurrently with the caller (the runtime passes the
+  // executor's Spawn). Used to overlap per-endpoint batch groups.
+  using Spawner = std::function<void(std::function<void()>)>;
   // Centralised mode: every key lives behind the single `server` endpoint.
   KvsClient(InProcNetwork* network, std::string source, std::string server = "kvs");
   // Sharded mode: `shards` maps keys to master endpoints; `local_store` is
@@ -120,6 +187,38 @@ class KvsClient {
   Result<bool> SetAdd(const std::string& key, const std::string& member);
   Result<bool> SetRemove(const std::string& key, const std::string& member);
   Result<std::vector<std::string>> SetMembers(const std::string& key);
+
+  // --- Batched ops (kBatch) -----------------------------------------------------
+  // Dispatches `batch`: ops grouped per current master endpoint, one framed
+  // RPC per group (master-local group in process), groups overlapped via the
+  // spawner when more than one crosses the network. Per-op kWrongMaster
+  // answers are re-resolved and retried individually. Fire-and-collect: use
+  // the returned handle (or per-op acks) to learn the outcome.
+  BatchHandle DispatchBatch(OpBatch&& batch);
+  // DispatchBatch + Wait: the synchronous convenience form.
+  Status ExecuteBatchNow(OpBatch&& batch) { return DispatchBatch(std::move(batch)).Wait(); }
+
+  // --- Ambient state-op batching (per-instance lifecycle) -----------------------
+  // The runtime enables this per FaasmInstance; the state layer then routes
+  // Push() traffic through an ambient OpBatch owned by this client.
+  void EnableBatching(Spawner spawner);
+  bool batching_enabled() const { return batching_enabled_; }
+
+  // Enqueues a delta push into the ambient batch (callers: StateKeyValue).
+  void EnqueueSetRanges(const std::string& key, std::vector<ValueRange> ranges,
+                        OpBatch::Ack done);
+  // While at least one scope is open, enqueued ops defer to the next flush
+  // barrier; with no scope open each enqueue is flushed by its caller.
+  void BeginBatchScope();
+  void EndBatchScope();
+  bool InBatchScope() const;
+  // Flush barrier: dispatches every pending ambient op (grouped, pipelined)
+  // and waits for all of them, retries included. The push-visibility point:
+  // after FlushBatch returns Ok, every previously enqueued op is durable in
+  // the global tier. No-op when nothing is pending.
+  Status FlushBatch();
+  // Pending ambient ops (tests/diagnostics).
+  size_t pending_batch_ops() const;
 
   // --- Mastership hints (locality-aware scheduling) ---------------------------
   // True when `key` is mastered by this host's own shard: ops on it are
@@ -184,12 +283,41 @@ class KvsClient {
   Result<bool> BoolOp(const std::string& server, KvsOp op, const std::string& key,
                       const std::string& arg);
 
+  // One per-endpoint slice of a dispatched batch. RunGroup drives the slice
+  // to completion: issue the framed RPC (or the in-process ExecuteBatch),
+  // fire the acks of landed ops, and loop the kWrongMaster bounces through
+  // re-resolution + backoff until they land or the retry budget runs out.
+  // Returns the group's first op error (Ok when every op landed).
+  Status RunGroup(std::vector<OpBatch::Pending> ops);
+  // Sends one group's ops to `endpoint` as a single kBatch RPC and decodes
+  // the per-op results; a transport/framing error fails every op alike.
+  std::vector<KvsBatchResult> RemoteBatch(const std::string& endpoint,
+                                          const std::vector<OpBatch::Pending>& ops);
+  // Completes `pending` with `result`, firing its ack exactly once.
+  static void CompleteOp(OpBatch::Pending& pending, KvsBatchResult result);
+
   InProcNetwork* network_;
   std::string source_;
   std::string server_;  // centralised mode only
   const ShardMap* shards_ = nullptr;
   KvStore* local_store_ = nullptr;
   std::string local_endpoint_;  // "kvs:<source>"
+
+  // Ambient batching state. `ambient_` accumulates under ambient_mutex_;
+  // FlushBatch swaps it out and dispatches outside the lock, so concurrent
+  // flushes each take disjoint op sets (flushing another caller's ops early
+  // is always safe — deferral, never reordering, is the relaxation). For
+  // barrier completeness FlushBatch also waits on `inflight_`: batches a
+  // CONCURRENT flush already took but has not finished dispatching — without
+  // that wait a barrier could report durability for an op another caller is
+  // still flying. Batch scopes are per activity (thread-local depth), so a
+  // scope on one Faaslet's call never demotes another call's scopeless
+  // Push from being its own barrier.
+  bool batching_enabled_ = false;
+  Spawner spawner_;
+  mutable std::mutex ambient_mutex_;
+  OpBatch ambient_;
+  std::vector<std::shared_ptr<BatchHandle::Shared>> inflight_;  // guarded by ambient_mutex_
 };
 
 }  // namespace faasm

@@ -37,6 +37,10 @@ void InProcNetwork::AccountLocked(const std::string& from, const std::string& to
 
 Result<Bytes> InProcNetwork::Call(const std::string& from, const std::string& to,
                                   const Bytes& request) {
+  // Every message pays the fixed envelope on top of its payload, so the
+  // accounting rewards protocols that move the same bytes in fewer
+  // messages (the batched KVS ops).
+  const size_t overhead = config_.per_message_overhead_bytes;
   RpcHandler handler;
   {
     std::lock_guard<std::mutex> guard(mutex_);
@@ -45,19 +49,20 @@ Result<Bytes> InProcNetwork::Call(const std::string& from, const std::string& to
       return Unavailable("no endpoint registered: " + to);
     }
     handler = it->second;
-    AccountLocked(from, to, request.size());
+    AccountLocked(from, to, request.size() + overhead);
   }
-  ChargeTransfer(request.size());
+  ChargeTransfer(request.size() + overhead);
   Bytes response = handler(request);
   {
     std::lock_guard<std::mutex> guard(mutex_);
-    AccountLocked(to, from, response.size());
+    AccountLocked(to, from, response.size() + overhead);
   }
-  ChargeTransfer(response.size());
+  ChargeTransfer(response.size() + overhead);
   return response;
 }
 
 Status InProcNetwork::Send(const std::string& from, const std::string& to, Bytes message) {
+  const size_t overhead = config_.per_message_overhead_bytes;
   {
     std::lock_guard<std::mutex> guard(mutex_);
     if (endpoints_.count(to) == 0) {
@@ -65,10 +70,10 @@ Status InProcNetwork::Send(const std::string& from, const std::string& to, Bytes
       // sender can fall back, instead of queueing into a dead mailbox.
       return Unavailable("no endpoint registered: " + to);
     }
-    AccountLocked(from, to, message.size());
+    AccountLocked(from, to, message.size() + overhead);
     mailboxes_[to].push_back(std::move(message));
   }
-  ChargeTransfer(0);  // latency only; payload accounted above
+  ChargeTransfer(0);  // latency only; payload + envelope accounted above
   return OkStatus();
 }
 

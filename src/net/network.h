@@ -28,6 +28,12 @@ struct NetworkConfig {
   TimeNs base_latency_ns = 100 * kMicrosecond;
   // Link bandwidth; 1 Gbps = 125e6 B/s (the paper's testbed interconnect).
   double bandwidth_bytes_per_sec = 125e6;
+  // Fixed per-message envelope (Ethernet + IP + TCP headers and the RPC
+  // frame) charged on every request, response and send IN ADDITION to the
+  // payload. This is what makes batching visible in the byte accounting: a
+  // kBatch RPC pays the envelope once for N ops where N single ops pay it N
+  // times. 64 B approximates the testbed's minimum header cost.
+  size_t per_message_overhead_bytes = 64;
   // When false, Call/Send never sleep (pure byte accounting; real-time mode).
   bool charge_latency = true;
 };

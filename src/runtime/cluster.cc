@@ -64,6 +64,7 @@ std::unique_ptr<FaasmInstance> FaasmCluster::MakeHost(const std::string& name,
   host_config.memory_bytes = config_.host_memory_bytes;
   host_config.max_concurrent_calls = config_.max_concurrent_per_host;
   host_config.warm_set_ttl_ns = config_.warm_set_ttl_ns;
+  host_config.batch_state_ops = config_.batch_state_ops;
   return std::make_unique<FaasmInstance>(host_config, &executor_, network_.get(), &registry_,
                                          &calls_, &files_, &shard_map_, local_shard);
 }

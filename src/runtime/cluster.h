@@ -47,6 +47,9 @@ struct ClusterConfig {
   StateTier state_tier = StateTier::kSharded;
   // Scheduler warm-set cache TTL (see HostConfig::warm_set_ttl_ns).
   TimeNs warm_set_ttl_ns = 2 * kMillisecond;
+  // Batched state-op protocol (see HostConfig::batch_state_ops). Off is the
+  // one-RPC-per-op baseline kept for the --batch=off ablation.
+  bool batch_state_ops = true;
   NetworkConfig network;
 };
 

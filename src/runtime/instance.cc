@@ -56,7 +56,14 @@ FaasmInstance::FaasmInstance(HostConfig config, SimExecutor* executor, InProcNet
       memory_(&executor->clock(), config_.memory_bytes),
       cpu_(&executor->clock(), config_.cores),
       share_rng_(HashBytes(reinterpret_cast<const uint8_t*>(config_.name.data()),
-                           config_.name.size())) {}
+                           config_.name.size())) {
+  if (config_.batch_state_ops) {
+    // Batched state-op protocol: state pushes enqueue into the client's
+    // ambient batch, and multi-endpoint flushes overlap their round trips
+    // on spawned activities.
+    kvs_.EnableBatching([this](std::function<void()> fn) { executor_->Spawn(std::move(fn)); });
+  }
+}
 
 FaasmInstance::~FaasmInstance() { Stop(); }
 
@@ -89,10 +96,7 @@ void FaasmInstance::BeginDrain() {
       }
     }
   }
-  for (const std::string& function : functions) {
-    (void)kvs_.SetRemove("warm:" + function, config_.name);
-    InvalidateWarmCache(function);
-  }
+  UpdateWarmSets(functions, /*advertise=*/false);
 }
 
 void FaasmInstance::CancelDrain() {
@@ -112,8 +116,36 @@ void FaasmInstance::CancelDrain() {
       }
     }
   }
+  UpdateWarmSets(functions, /*advertise=*/true);
+}
+
+void FaasmInstance::UpdateWarmSets(const std::vector<std::string>& functions, bool advertise) {
+  if (functions.empty()) {
+    return;
+  }
+  if (config_.batch_state_ops && functions.size() > 1) {
+    // The warm keys hash across shards: one batched dispatch groups the
+    // membership updates into at most one RPC per master endpoint instead
+    // of one round trip per function.
+    OpBatch batch;
+    for (const std::string& function : functions) {
+      if (advertise) {
+        batch.SetAdd("warm:" + function, config_.name);
+      } else {
+        batch.SetRemove("warm:" + function, config_.name);
+      }
+    }
+    (void)kvs_.ExecuteBatchNow(std::move(batch));
+  } else {
+    for (const std::string& function : functions) {
+      if (advertise) {
+        (void)kvs_.SetAdd("warm:" + function, config_.name);
+      } else {
+        (void)kvs_.SetRemove("warm:" + function, config_.name);
+      }
+    }
+  }
   for (const std::string& function : functions) {
-    (void)kvs_.SetAdd("warm:" + function, config_.name);
     InvalidateWarmCache(function);
   }
 }
@@ -314,14 +346,15 @@ void FaasmInstance::UpdateWarmAdvertisement() {
       }
     }
   }
-  for (const std::string& function : functions) {
-    if (saturated) {
-      (void)kvs_.SetRemove("warm:" + function, config_.name);
-    } else if (!draining_.load()) {
-      // A draining host never re-advertises: it must run down, not attract.
-      (void)kvs_.SetAdd("warm:" + function, config_.name);
+  if (saturated) {
+    UpdateWarmSets(functions, /*advertise=*/false);
+  } else if (!draining_.load()) {
+    // A draining host never re-advertises: it must run down, not attract.
+    UpdateWarmSets(functions, /*advertise=*/true);
+  } else {
+    for (const std::string& function : functions) {
+      InvalidateWarmCache(function);
     }
-    InvalidateWarmCache(function);
   }
 }
 
@@ -359,6 +392,16 @@ void FaasmInstance::ExecuteLocal(uint64_t call_id, const std::string& function, 
       }
     }
     Bytes output = code.ok() ? f.TakeOutput() : Bytes{};
+
+    // Flush barrier: no state op the call enqueued (e.g. inside a StateBatch
+    // scope it failed to close) may outlive its Faaslet — an awaiter must
+    // observe every push the call made as durable the moment completion is
+    // visible. No-op when the call's pushes already flushed themselves.
+    Status flushed = kvs_.FlushBatch();
+    if (!flushed.ok()) {
+      LOG_WARN << config_.name << ": state batch flush failed at call completion: "
+               << flushed.ToString();
+    }
 
     // Reset from the creation snapshot so the next call (possibly another
     // tenant) sees a pristine Faaslet; charge the real restore cost. The

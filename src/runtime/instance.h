@@ -35,6 +35,11 @@ struct HostConfig {
   // submits hit this cache instead of paying a SetMembers round trip per
   // call; 0 disables caching (every submit refetches).
   TimeNs warm_set_ttl_ns = 2 * kMillisecond;
+  // Batched state-op protocol (kvs_client.h kBatch): state pushes and the
+  // host's warm-set updates group into per-endpoint RPC batches, pipelined
+  // across shards. Off = the unbatched one-RPC-per-op baseline (the
+  // --batch=off ablation).
+  bool batch_state_ops = true;
 };
 
 class FaasmInstance {
@@ -125,6 +130,10 @@ class FaasmInstance {
   // the warm sets so peers cold start elsewhere instead of piling work onto
   // it; it re-advertises when capacity frees up.
   void UpdateWarmAdvertisement();
+  // Adds/removes this host to the warm sets of `functions`, batching the
+  // cross-shard membership updates into per-endpoint RPCs when enabled, and
+  // invalidates the affected warm-cache entries.
+  void UpdateWarmSets(const std::vector<std::string>& functions, bool advertise);
 
   // Warm-set view for `function`, served from the short-TTL cache when
   // fresh; refetched from the global tier otherwise.

@@ -35,6 +35,9 @@ size_t LocalTier::key_count() const {
 }
 
 void LocalTier::Clear() {
+  // Settle pending batched pushes first: their acks re-mark/mark-present
+  // against the replicas about to be dropped.
+  (void)kvs_->FlushBatch();
   std::lock_guard<std::mutex> guard(mutex_);
   values_.clear();
 }

@@ -83,12 +83,18 @@ Status StateKeyValue::FetchRange(size_t offset, size_t len) {
 }
 
 Status StateKeyValue::Pull() {
+  // Sync point: a pull must observe this host's own earlier (possibly still
+  // batched) pushes, so the pending batch flushes first.
+  FAASM_RETURN_IF_ERROR(kvs_->FlushBatch());
   FAASM_ASSIGN_OR_RETURN(uint64_t global_size, kvs_->Size(key_));
   FAASM_RETURN_IF_ERROR(EnsureCapacity(global_size));
   return PullChunk(0, global_size);
 }
 
 Status StateKeyValue::PullChunk(size_t offset, size_t len) {
+  // Sync point, as in Pull(). FlushBatch is a cheap no-op when idle, so the
+  // hot chunked-pull path pays only an uncontended lock when not batching.
+  FAASM_RETURN_IF_ERROR(kvs_->FlushBatch());
   if (region_ == nullptr) {
     // Chunked access without prior sizing: allocate at the global size.
     FAASM_ASSIGN_OR_RETURN(uint64_t global_size, kvs_->Size(key_));
@@ -154,24 +160,84 @@ Status StateKeyValue::Push() {
     ranges.push_back(ValueRange{run.offset, std::move(staging)});
   }
   UnlockRead();
+  // Adjacent/overlapping runs fuse into maximal wire ranges (runs clipped at
+  // the value tail, or re-marked after a failed push, can touch).
+  ranges = MergeValueRanges(std::move(ranges));
   if (ranges.empty()) {
     return OkStatus();  // nothing dirtied since the last push
   }
+
+  if (kvs_->batching_enabled()) {
+    return PushRangesBatched(std::move(ranges));
+  }
+
   Status pushed = kvs_->SetRanges(key_, ranges);
   if (!pushed.ok()) {
     // The global tier never saw the runs; put them back for the next push.
-    for (const DirtyRun& run : runs) {
-      if (run.len > 0) {
-        region_->dirty().MarkDirty(run.offset, run.len);
-      }
-    }
+    RemarkRanges(ranges);
     return pushed;
   }
+  MarkRangesPresent(ranges);
+  return OkStatus();
+}
+
+Status StateKeyValue::PushRangesBatched(std::vector<ValueRange> ranges) {
+  // Enqueue into the client's ambient batch. The ack fires exactly once with
+  // the op's final status (after any kWrongMaster redirects) and settles the
+  // replica bookkeeping; it may run on another activity's flush, so it only
+  // touches thread-safe members. The shared_ptr keeps the region alive even
+  // if this replica is dropped before a late flush.
+  auto ack = std::make_shared<PushAck>();
+  std::vector<DirtyRun> runs;  // offsets/lengths only, for the bookkeeping
+  runs.reserve(ranges.size());
+  for (const ValueRange& range : ranges) {
+    runs.push_back(DirtyRun{range.offset, range.bytes.size()});
+  }
+  kvs_->EnqueueSetRanges(
+      key_, std::move(ranges),
+      [this, region = region_, runs = std::move(runs), ack](const Status& status) {
+        if (status.ok()) {
+          std::lock_guard<std::mutex> guard(pages_mutex_);
+          for (const DirtyRun& run : runs) {
+            MarkPushedRangePresentLocked(run.offset, run.len);
+          }
+        } else {
+          // The global tier never saw the runs; put them back for the next
+          // push.
+          for (const DirtyRun& run : runs) {
+            region->dirty().MarkDirty(run.offset, run.len);
+          }
+        }
+        ack->status = status;
+        ack->done.store(true, std::memory_order_release);
+      });
+
+  if (kvs_->InBatchScope()) {
+    // Deferred: the op is acked at the scope's flush barrier (or any other
+    // sync-point flush). "Accepted", not yet durable.
+    return OkStatus();
+  }
+  // No scope open: every push is its own barrier — flush now and report THIS
+  // op's status (a concurrent flush may have taken the op; wait for its ack
+  // rather than trusting the aggregate).
+  FAASM_RETURN_IF_ERROR(kvs_->FlushBatch());
+  while (!ack->done.load(std::memory_order_acquire)) {
+    clock_->SleepFor(50 * kMicrosecond);
+  }
+  return ack->status;
+}
+
+void StateKeyValue::RemarkRanges(const std::vector<ValueRange>& ranges) {
+  for (const ValueRange& range : ranges) {
+    region_->dirty().MarkDirty(range.offset, range.bytes.size());
+  }
+}
+
+void StateKeyValue::MarkRangesPresent(const std::vector<ValueRange>& ranges) {
   std::lock_guard<std::mutex> guard(pages_mutex_);
   for (const ValueRange& range : ranges) {
     MarkPushedRangePresentLocked(range.offset, range.bytes.size());
   }
-  return OkStatus();
 }
 
 Status StateKeyValue::PushFull() {
@@ -227,6 +293,7 @@ Status StateKeyValue::Append(const Bytes& bytes) {
 Result<Bytes> StateKeyValue::ReadAppended() { return kvs_->Get(key_ + ":log"); }
 
 Status StateKeyValue::LockGlobalRead() {
+  FAASM_RETURN_IF_ERROR(kvs_->FlushBatch());  // sync point
   while (true) {
     FAASM_ASSIGN_OR_RETURN(bool acquired, kvs_->TryLockRead(key_));
     if (acquired) {
@@ -237,6 +304,7 @@ Status StateKeyValue::LockGlobalRead() {
 }
 
 Status StateKeyValue::LockGlobalWrite() {
+  FAASM_RETURN_IF_ERROR(kvs_->FlushBatch());  // sync point
   while (true) {
     FAASM_ASSIGN_OR_RETURN(bool acquired, kvs_->TryLockWrite(key_));
     if (acquired) {
@@ -246,8 +314,16 @@ Status StateKeyValue::LockGlobalWrite() {
   }
 }
 
-Status StateKeyValue::UnlockGlobalRead() { return kvs_->UnlockRead(key_); }
-Status StateKeyValue::UnlockGlobalWrite() { return kvs_->UnlockWrite(key_); }
+Status StateKeyValue::UnlockGlobalRead() {
+  // Sync point: updates made under the lock must be durable before the lock
+  // is released, or the next acquirer could read stale global bytes.
+  FAASM_RETURN_IF_ERROR(kvs_->FlushBatch());
+  return kvs_->UnlockRead(key_);
+}
+Status StateKeyValue::UnlockGlobalWrite() {
+  FAASM_RETURN_IF_ERROR(kvs_->FlushBatch());  // sync point (see UnlockGlobalRead)
+  return kvs_->UnlockWrite(key_);
+}
 
 void StateKeyValue::InvalidateReplica() {
   std::lock_guard<std::mutex> guard(pages_mutex_);

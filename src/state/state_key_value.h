@@ -21,10 +21,36 @@
 //           writers that go through WritableData()/MarkDirty() — the host
 //           interface, the DDOs, and guest stores into mapped state — record
 //           the pages they touch, and Push() coalesces the dirty pages into
-//           runs and ships them as ONE batched multi-range write
+//           runs (adjacent/overlapping runs fused into maximal wire ranges)
+//           and ships them as ONE batched multi-range write
 //           (KvsClient::SetRanges), so N dirty runs cost one accounted round
 //           trip. ClearDirty happens atomically with run collection; a push
 //           failure re-marks the runs.
+//
+// BATCHED PUSH PROTOCOL (kvs_client.h kBatch). When the host's KvsClient has
+// batching enabled (the per-FaasmInstance default), Push() does not issue
+// its own RPC: it enqueues the merged dirty runs into the client's ambient
+// OpBatch with a completion ack, and the batch ships grouped per master
+// endpoint — pushes of K keys mastered on M hosts cost at most M round
+// trips, pipelined, instead of K.
+//
+// Flush/visibility semantics:
+//   - With no StateBatch scope open (local_tier.h), every Push() is its own
+//     flush barrier: it returns only after ITS op's ack fired, so Push() ==
+//     "durable in the global tier", exactly as unbatched. The grouping win
+//     then comes from whatever else was already pending on the client.
+//   - Inside a StateBatch scope, Push() returns kOk meaning ACCEPTED: the
+//     op is durable only once a flush barrier completes. Barriers are the
+//     scope's Close()/destructor, and every global-tier sync point —
+//     Pull/PullChunk, LockGlobal*/UnlockGlobal* (pushes made under a global
+//     lock are durable before the lock releases), chain/await in the host
+//     interface — plus call completion in the runtime, so no op ever
+//     outlives its Faaslet.
+//   - Per-op error model: each enqueued push carries an ack; on failure the
+//     ack re-marks the runs dirty (the next push retries them) and the
+//     error surfaces at the flush barrier. A push racing a shard migration
+//     bounces per op with kWrongMaster and the client retries just that op
+//     against the new epoch — acked increments can stall, never get lost.
 //
 // CLUSTER MEMBERSHIP IS ELASTIC (kvs/migration.h): a key's master shard can
 // move while replicas hold it. The epoch/redirect/migration protocol keeps
@@ -68,6 +94,7 @@
 #ifndef FAASM_STATE_STATE_KEY_VALUE_H_
 #define FAASM_STATE_STATE_KEY_VALUE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -169,8 +196,22 @@ class StateKeyValue {
   size_t resident_pages() const;
 
  private:
+  // Settled exactly once per batched push: status of THIS op after retries.
+  struct PushAck {
+    std::atomic<bool> done{false};
+    Status status = OkStatus();  // written before done (release/acquire)
+  };
+
   // Fetches [offset,len) from the global tier into the replica.
   Status FetchRange(size_t offset, size_t len);
+
+  // Batched-push tail of Push(): enqueues the merged ranges into the
+  // client's ambient batch; flushes immediately (and waits for this op's
+  // ack) unless a StateBatch scope defers to a later barrier.
+  Status PushRangesBatched(std::vector<ValueRange> ranges);
+  // Re-marks failed ranges dirty / marks pushed ranges present.
+  void RemarkRanges(const std::vector<ValueRange>& ranges);
+  void MarkRangesPresent(const std::vector<ValueRange>& ranges);
 
   // Marks the pages fully covered by a pushed [offset,len) as present (the
   // last page counts as covered when the range reaches the value size).

@@ -178,5 +178,160 @@ TEST(KvStoreTest, OwnershipGuardBouncesForeignKeys) {
   EXPECT_EQ(store.Get("theirs-b").value(), (Bytes{3}));
 }
 
+// --- Batched execution ----------------------------------------------------------
+
+TEST(KvStoreTest, ExecuteBatchMixedOpsReturnPerOpResults) {
+  KvStore store;
+  ASSERT_TRUE(store.Set("existing", Bytes{1, 2, 3}).ok());
+
+  std::vector<KvsBatchOp> ops(5);
+  ops[0].op = KvsOp::kSet;
+  ops[0].key = "a";
+  ops[0].bytes = Bytes{9};
+  ops[1].op = KvsOp::kGet;
+  ops[1].key = "existing";
+  ops[2].op = KvsOp::kGet;
+  ops[2].key = "missing";
+  ops[3].op = KvsOp::kSetAdd;
+  ops[3].key = "set";
+  ops[3].member = "m1";
+  ops[4].op = KvsOp::kAppend;
+  ops[4].key = "existing";
+  ops[4].bytes = Bytes{4};
+
+  std::vector<KvsBatchResult> results = store.ExecuteBatch(ops);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_TRUE(results[1].status.ok());
+  EXPECT_EQ(results[1].value, (Bytes{1, 2, 3}));
+  // One op failing (per-op NotFound) does not poison its neighbours.
+  EXPECT_EQ(results[2].status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(results[3].status.ok());
+  EXPECT_TRUE(results[3].flag);
+  EXPECT_TRUE(results[4].status.ok());
+  EXPECT_EQ(results[4].length, 4u);
+  EXPECT_EQ(store.Get("a").value(), (Bytes{9}));
+  EXPECT_EQ(store.Get("existing").value(), (Bytes{1, 2, 3, 4}));
+}
+
+TEST(KvStoreTest, ExecuteBatchPreservesPerKeyOrder) {
+  KvStore store;
+  std::vector<KvsBatchOp> ops(3);
+  for (auto& op : ops) {
+    op.key = "k";
+  }
+  ops[0].op = KvsOp::kSet;
+  ops[0].bytes = Bytes{1};
+  ops[1].op = KvsOp::kAppend;
+  ops[1].bytes = Bytes{2};
+  ops[2].op = KvsOp::kGet;
+  auto results = store.ExecuteBatch(ops);
+  EXPECT_EQ(results[2].value, (Bytes{1, 2}));
+}
+
+TEST(KvStoreTest, ExecuteBatchBouncesFilteredKeysEvenBeforeTheyExist) {
+  // Regression for the batched flavour of the enumeration race: a batch
+  // containing a key that does NOT exist yet on a shard whose migration
+  // filter marks it as moving must bounce that op per-op — creating it
+  // would strand the key behind the coordinator's enumeration — while the
+  // non-moving ops in the same batch land.
+  KvStore store;
+  ASSERT_TRUE(store.Set("kept", Bytes{1}).ok());
+  store.SetMigrationFilter([](const std::string& key) { return key.rfind("mv-", 0) == 0; });
+
+  std::vector<KvsBatchOp> ops(3);
+  ops[0].op = KvsOp::kSet;
+  ops[0].key = "mv-new";  // does not exist; filter says it is moving
+  ops[0].bytes = Bytes{2};
+  ops[1].op = KvsOp::kSetRange;
+  ops[1].key = "kept";
+  ops[1].offset = 0;
+  ops[1].bytes = Bytes{9};
+  ops[2].op = KvsOp::kSetAdd;
+  ops[2].key = "mv-other";  // also moving, also nonexistent
+  ops[2].member = "m";
+
+  auto results = store.ExecuteBatch(ops);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kWrongMaster);
+  EXPECT_TRUE(results[1].status.ok());
+  EXPECT_EQ(results[2].status.code(), StatusCode::kWrongMaster);
+  EXPECT_FALSE(store.Exists("mv-new"));
+  EXPECT_EQ(store.Get("kept").value(), (Bytes{9}));
+
+  // After the flip the filter clears and the same batch lands whole.
+  store.ClearMigrationFilter();
+  auto retried = store.ExecuteBatch(ops);
+  EXPECT_TRUE(retried[0].status.ok());
+  EXPECT_TRUE(retried[2].status.ok());
+  EXPECT_EQ(store.Get("mv-new").value(), (Bytes{2}));
+}
+
+TEST(KvStoreTest, ExecuteBatchBouncesFrozenKeyOnly) {
+  KvStore store;
+  ASSERT_TRUE(store.Set("frozen", Bytes{1}).ok());
+  ASSERT_TRUE(store.Set("live", Bytes{2}).ok());
+  store.FreezeKey("frozen");
+  std::vector<KvsBatchOp> ops(2);
+  ops[0].op = KvsOp::kSet;
+  ops[0].key = "frozen";
+  ops[0].bytes = Bytes{9};
+  ops[1].op = KvsOp::kSet;
+  ops[1].key = "live";
+  ops[1].bytes = Bytes{9};
+  auto results = store.ExecuteBatch(ops);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kWrongMaster);
+  EXPECT_TRUE(results[1].status.ok());
+  store.UnfreezeKey("frozen");
+  EXPECT_EQ(store.Get("frozen").value(), (Bytes{1}));  // the write never landed
+}
+
+// --- Range coalescing -----------------------------------------------------------
+
+TEST(MergeValueRangesTest, AdjacentRangesFuseIntoOneRun) {
+  std::vector<ValueRange> ranges;
+  ranges.push_back(ValueRange{0, Bytes{1, 2}});
+  ranges.push_back(ValueRange{2, Bytes{3, 4}});  // touches the first: [0,2)+[2,4)
+  ranges.push_back(ValueRange{10, Bytes{5}});    // disjoint
+  auto merged = MergeValueRanges(std::move(ranges));
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].offset, 0u);
+  EXPECT_EQ(merged[0].bytes, (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(merged[1].offset, 10u);
+  EXPECT_EQ(merged[1].bytes, (Bytes{5}));
+}
+
+TEST(MergeValueRangesTest, OverlappingRangesLaterWriteWins) {
+  // Applying the ranges sequentially through SetRanges would leave the
+  // later write's bytes on the overlap; the merge must preserve that.
+  std::vector<ValueRange> ranges;
+  ranges.push_back(ValueRange{0, Bytes{1, 1, 1, 1}});
+  ranges.push_back(ValueRange{2, Bytes{7, 7}});
+  auto merged = MergeValueRanges(std::move(ranges));
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].offset, 0u);
+  EXPECT_EQ(merged[0].bytes, (Bytes{1, 1, 7, 7}));
+}
+
+TEST(MergeValueRangesTest, UnsortedInputAndEmptyRangesHandled) {
+  std::vector<ValueRange> ranges;
+  ranges.push_back(ValueRange{8, Bytes{8, 9}});
+  ranges.push_back(ValueRange{4, Bytes{}});  // empty: dropped
+  ranges.push_back(ValueRange{6, Bytes{6, 7}});
+  auto merged = MergeValueRanges(std::move(ranges));
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].offset, 6u);
+  EXPECT_EQ(merged[0].bytes, (Bytes{6, 7, 8, 9}));
+}
+
+TEST(MergeValueRangesTest, DisjointRangesUnchangedBytesAndCount) {
+  std::vector<ValueRange> ranges;
+  ranges.push_back(ValueRange{0, Bytes{1}});
+  ranges.push_back(ValueRange{5, Bytes{2}});
+  auto merged = MergeValueRanges(ranges);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].bytes, (Bytes{1}));
+  EXPECT_EQ(merged[1].bytes, (Bytes{2}));
+}
+
 }  // namespace
 }  // namespace faasm

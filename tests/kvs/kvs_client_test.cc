@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/framing.h"
 #include "runtime/cluster.h"
 
 namespace faasm {
@@ -194,6 +195,194 @@ TEST_F(KvsClientTest, CentralTierAddRemoveHostLeavesTierUntouched) {
   EXPECT_EQ(cluster.migration_stats().epoch_flips, 0u);
   EXPECT_EQ(cluster.migration_stats().keys_moved, 0u);
   EXPECT_EQ(cluster.migration_stats().bytes_moved, 0u);
+}
+
+// --- Batched ops ----------------------------------------------------------------
+
+TEST_F(KvsClientTest, BatchShipsAllOpsInOneRpc) {
+  KvsClient client(&network_, "host-0");
+  ASSERT_TRUE(client.Set("seed", Bytes{1, 2, 3}).ok());
+  network_.ResetStats();
+
+  Status set_status = Internal("ack never fired");
+  Result<Bytes> got = Internal("ack never fired");
+  bool added = false;
+
+  OpBatch batch;
+  batch.Set("a", Bytes{4}, [&](const Status& s) { set_status = s; });
+  batch.SetRange("seed", 1, Bytes{9});
+  batch.SetAdd("members", "m1", [&](const Status& s) { added = s.ok(); });
+  batch.Get("seed", [&](const Result<Bytes>& value) { got = value; });
+  batch.Append("log", Bytes{7, 7});
+  ASSERT_EQ(batch.size(), 5u);
+
+  Status status = client.ExecuteBatchNow(std::move(batch));
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  // Five ops, ONE round trip.
+  EXPECT_EQ(network_.StatsFor("host-0").tx_messages, 1u);
+  EXPECT_EQ(network_.StatsFor("host-0").rx_messages, 1u);
+
+  EXPECT_TRUE(set_status.ok());
+  EXPECT_TRUE(added);
+  ASSERT_TRUE(got.ok());
+  // The Get ran after the SetRange in the same batch (per-key order holds).
+  EXPECT_EQ(got.value(), (Bytes{1, 9, 3}));
+  EXPECT_EQ(store_.Get("a").value(), (Bytes{4}));
+  EXPECT_EQ(store_.Get("log").value(), (Bytes{7, 7}));
+}
+
+TEST_F(KvsClientTest, BatchAggregateStatusReportsPerOpFailure) {
+  KvsClient client(&network_, "host-0");
+  OpBatch batch;
+  Status get_status = OkStatus();
+  batch.Get("missing", [&](const Result<Bytes>& value) { get_status = value.status(); });
+  batch.Set("fine", Bytes{1});
+  Status status = client.ExecuteBatchNow(std::move(batch));
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);  // aggregate carries the op error
+  EXPECT_EQ(get_status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(store_.Exists("fine"));  // the other op still landed
+}
+
+TEST_F(KvsClientTest, ConsecutiveSetRangesOnOneKeyCoalesce) {
+  KvsClient client(&network_, "host-0");
+  int acks = 0;
+  OpBatch batch;
+  std::vector<ValueRange> first;
+  first.push_back(ValueRange{0, Bytes{1, 2}});
+  std::vector<ValueRange> second;
+  second.push_back(ValueRange{2, Bytes{3, 4}});  // adjacent to the first push
+  batch.SetRanges("k", std::move(first), [&](const Status& s) { acks += s.ok() ? 1 : 0; });
+  batch.SetRanges("k", std::move(second), [&](const Status& s) { acks += s.ok() ? 1 : 0; });
+  // Two pushes of one key in one batch: a single sub-op with merged runs.
+  EXPECT_EQ(batch.size(), 1u);
+  ASSERT_TRUE(client.ExecuteBatchNow(std::move(batch)).ok());
+  EXPECT_EQ(acks, 2);  // both acks fire with the merged op's status
+  EXPECT_EQ(store_.Get("k").value(), (Bytes{1, 2, 3, 4}));
+}
+
+TEST_F(KvsClientTest, BatchGroupsPerEndpointAndRunsMasterLocalInProcess) {
+  // Sharded layout: host-0 serves its own shard, host-1's shard is remote.
+  ShardMap map;
+  map.AddShard(ShardMap::EndpointForHost("host-0"));
+  map.AddShard(ShardMap::EndpointForHost("host-1"));
+  KvStore local_shard;
+  KvStore remote_shard;
+  KvsServer remote_server(&remote_shard, &network_, ShardMap::EndpointForHost("host-1"), &map);
+  KvsClient client(&network_, "host-0", &map, &local_shard);
+
+  // Pick keys mastered on each side.
+  std::string local_key, remote_key;
+  for (int i = 0; i < 100000 && (local_key.empty() || remote_key.empty()); ++i) {
+    std::string probe = "probe-" + std::to_string(i);
+    std::string& slot =
+        map.MasterFor(probe) == ShardMap::EndpointForHost("host-0") ? local_key : remote_key;
+    if (slot.empty()) {
+      slot = std::move(probe);
+    }
+  }
+
+  network_.ResetStats();
+  OpBatch batch;
+  batch.Set(local_key, Bytes{1});
+  batch.Set(remote_key, Bytes{3});
+  ASSERT_TRUE(client.ExecuteBatchNow(std::move(batch)).ok());
+
+  // The master-local group ran in process: at most ONE RPC left this host
+  // (the remote group), regardless of how many keys each group held.
+  EXPECT_LE(network_.StatsFor("host-0").tx_messages, 1u);
+  EXPECT_EQ(remote_shard.Get(remote_key).value(), (Bytes{3}));
+  EXPECT_EQ(local_shard.Get(local_key).value(), (Bytes{1}));
+}
+
+TEST_F(KvsClientTest, BatchRetriesOnlyBouncedOpsUntilTheyLand) {
+  // Scripted shard: bounces every op of the first two batch requests with a
+  // per-op kWrongMaster (a shard mid-handoff), then serves for real. The
+  // client must retry JUST the bounced ops against the (unchanged) route
+  // until they land.
+  ShardMap map;
+  map.AddShard(ShardMap::EndpointForHost("host-1"));
+  KvStore shard;
+  int requests = 0;
+  network_.RegisterEndpoint(ShardMap::EndpointForHost("host-1"), [&](const Bytes& request) {
+    ++requests;
+    ByteReader reader(request);
+    auto op = reader.Get<uint8_t>();
+    EXPECT_EQ(op.value(), 18);  // kBatch
+    auto count_in = ReadFrameBatch(reader);
+    Bytes response;
+    ByteWriter writer(response);
+    writer.Put<uint8_t>(0);  // framing-level OK
+    if (requests <= 2) {
+      // Bounce every sub-op individually.
+      BeginFrameBatch(writer, static_cast<uint32_t>(count_in.value().size()));
+      for (size_t i = 0; i < count_in.value().size(); ++i) {
+        Bytes part;
+        ByteWriter part_writer(part);
+        part_writer.Put<uint8_t>(static_cast<uint8_t>(StatusCode::kWrongMaster));
+        AppendFrame(writer, part);
+      }
+      return response;
+    }
+    // Serve for real from the third request on.
+    BeginFrameBatch(writer, static_cast<uint32_t>(count_in.value().size()));
+    for (const Bytes& part : count_in.value()) {
+      ByteReader part_reader(part);
+      (void)part_reader.Get<uint8_t>();
+      auto key = part_reader.GetString();
+      auto value = part_reader.GetBytes();
+      (void)shard.Set(key.value(), value.value());
+      Bytes out;
+      ByteWriter out_writer(out);
+      out_writer.Put<uint8_t>(0);
+      AppendFrame(writer, out);
+    }
+    return response;
+  });
+
+  KvsClient client(&network_, "host-0", &map, /*local_store=*/nullptr);
+  OpBatch batch;
+  batch.Set("k1", Bytes{1});
+  batch.Set("k2", Bytes{2});
+  Status status = client.ExecuteBatchNow(std::move(batch));
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(requests, 3);  // two full bounces, then the ops landed together
+  EXPECT_EQ(shard.Get("k1").value(), (Bytes{1}));
+  EXPECT_EQ(shard.Get("k2").value(), (Bytes{2}));
+  network_.UnregisterEndpoint(ShardMap::EndpointForHost("host-1"));
+}
+
+TEST_F(KvsClientTest, BatchStraddlingMigrationBouncesOnlyMovingKeys) {
+  // An ownership-checking server bounces the sub-ops for keys it does not
+  // master; without a routable alternative (centralised client pinned at
+  // this server) the bounce surfaces per-op while the mastered ops land.
+  ShardMap map;
+  map.AddShard(ShardMap::EndpointForHost("host-1"));
+  map.AddShard(ShardMap::EndpointForHost("host-2"));
+  KvStore shard;
+  KvsServer shard_server(&shard, &network_, ShardMap::EndpointForHost("host-1"), &map);
+
+  std::string mine, foreign;
+  for (int i = 0; i < 100000 && (mine.empty() || foreign.empty()); ++i) {
+    std::string probe = "probe-" + std::to_string(i);
+    std::string& slot =
+        map.MasterFor(probe) == ShardMap::EndpointForHost("host-1") ? mine : foreign;
+    if (slot.empty()) {
+      slot = std::move(probe);
+    }
+  }
+
+  KvsClient pinned(&network_, "host-0", ShardMap::EndpointForHost("host-1"));
+  Status mine_status = Internal("unset");
+  Status foreign_status = Internal("unset");
+  OpBatch batch;
+  batch.Set(mine, Bytes{1}, [&](const Status& s) { mine_status = s; });
+  batch.Set(foreign, Bytes{2}, [&](const Status& s) { foreign_status = s; });
+  Status status = pinned.ExecuteBatchNow(std::move(batch));
+  EXPECT_EQ(status.code(), StatusCode::kWrongMaster);
+  EXPECT_TRUE(mine_status.ok());
+  EXPECT_EQ(foreign_status.code(), StatusCode::kWrongMaster);
+  EXPECT_EQ(shard.Get(mine).value(), (Bytes{1}));
+  EXPECT_FALSE(shard.Exists(foreign));
 }
 
 TEST_F(KvsClientTest, TrafficIsAccounted) {

@@ -20,10 +20,12 @@ TEST(NetworkTest, RpcDeliversAndAccounts) {
   auto out = net.Call("host-0", "kvs", Bytes{1, 2, 3});
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out.value(), (Bytes{1, 2, 3, 0xFF}));
-  EXPECT_EQ(net.total_bytes(), 7u);  // 3 request + 4 response
-  EXPECT_EQ(net.StatsFor("host-0").tx_bytes, 3u);
-  EXPECT_EQ(net.StatsFor("host-0").rx_bytes, 4u);
-  EXPECT_EQ(net.StatsFor("kvs").rx_bytes, 3u);
+  // Each direction pays payload + the fixed per-message envelope.
+  const uint64_t overhead = config.per_message_overhead_bytes;
+  EXPECT_EQ(net.total_bytes(), 7u + 2 * overhead);  // 3 request + 4 response
+  EXPECT_EQ(net.StatsFor("host-0").tx_bytes, 3u + overhead);
+  EXPECT_EQ(net.StatsFor("host-0").rx_bytes, 4u + overhead);
+  EXPECT_EQ(net.StatsFor("kvs").rx_bytes, 3u + overhead);
 }
 
 TEST(NetworkTest, UnknownEndpointFails) {
@@ -62,6 +64,7 @@ TEST(NetworkTest, LatencyChargedToVirtualClock) {
   NetworkConfig config;
   config.base_latency_ns = 1 * kMillisecond;
   config.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s: 1000 bytes = 1 ms
+  config.per_message_overhead_bytes = 0;  // keep the arithmetic exact below
   InProcNetwork net(&executor.clock(), config);
   net.RegisterEndpoint("svc", [](const Bytes&) { return Bytes(1000); });
 

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstring>
+#include <memory>
 
 #include "runtime/cluster.h"
 #include "state/ddo.h"
@@ -134,6 +135,129 @@ TEST(RebalanceTest, NoAcknowledgedIncrementLostAcrossHostChurn) {
   // else — is in the final values, wherever each key's master ended up.
   for (int i = 0; i < kCounters; ++i) {
     EXPECT_EQ(ReadCounter(cluster, i), acked[i]) << CounterKey(i);
+  }
+}
+
+// Registers "inc_all": one call increments EVERY counter exactly once
+// through the BATCHED push path — global write locks on all counters
+// (ordered, so concurrent calls serialise instead of deadlocking), fresh
+// pulls, increments, deferred pushes inside one StateBatch scope, then the
+// scope's flush barrier (per-op kWrongMaster retry underneath) and the
+// unlocks. The call acks only if the barrier and every unlock succeeded.
+void RegisterBatchedIncrementAll(FaasmCluster& cluster) {
+  ASSERT_TRUE(
+      cluster.registry()
+          .RegisterNative(
+              "inc_all",
+              [](InvocationContext& ctx) {
+                std::array<std::unique_ptr<SharedArray<uint64_t>>, kCounters> counters;
+                for (int i = 0; i < kCounters; ++i) {
+                  counters[i] = std::make_unique<SharedArray<uint64_t>>(&ctx.state(),
+                                                                       CounterKey(i));
+                  if (!counters[i]->kv().LockGlobalWrite().ok()) {
+                    for (int j = 0; j < i; ++j) {
+                      (void)counters[j]->kv().UnlockGlobalWrite();
+                    }
+                    return 2;
+                  }
+                }
+                int code = 0;
+                // Pull + increment everything BEFORE the batch scope: Pull
+                // is itself a flush barrier, so pulls interleaved with the
+                // deferred pushes would flush them one by one.
+                for (int i = 0; i < kCounters && code == 0; ++i) {
+                  counters[i]->kv().InvalidateReplica();
+                  if (!counters[i]->Attach().ok()) {
+                    code = 3;
+                    break;
+                  }
+                  uint64_t* value = counters[i]->WritableElements(0, 1);
+                  if (value == nullptr) {
+                    code = 4;
+                    break;
+                  }
+                  *value += 1;
+                  counters[i]->MarkDirtyElements(0, 1);
+                }
+                if (code == 0) {
+                  StateBatch batch(ctx.state());
+                  for (int i = 0; i < kCounters && code == 0; ++i) {
+                    if (!counters[i]->Push().ok()) {  // accepted into the batch
+                      code = 5;
+                    }
+                  }
+                  // THE barrier: all eight pushes become durable here, in at
+                  // most one RPC per master shard, before any lock releases.
+                  if (!batch.Close().ok() && code == 0) {
+                    code = 6;
+                  }
+                }
+                for (int i = kCounters - 1; i >= 0; --i) {
+                  if (!counters[i]->kv().UnlockGlobalWrite().ok() && code == 0) {
+                    code = 7;
+                  }
+                }
+                return code;
+              })
+          .ok());
+}
+
+TEST(RebalanceTest, BatchedCountersSurviveHostChurnWithoutLostAcks) {
+  // The PR-4 churn harness rerun through the BATCHED path: counters are
+  // hammered via StateBatch-scoped multi-key pushes while six membership
+  // changes migrate their masters underneath. A batch racing a migration
+  // bounces per op and retries only the bounced ops; every acked call must
+  // be reflected exactly once in the final values.
+  ClusterConfig config;
+  config.hosts = 4;
+  ASSERT_TRUE(config.batch_state_ops);  // batched protocol is the default
+  FaasmCluster cluster(config);
+  for (int i = 0; i < kCounters; ++i) {
+    ASSERT_TRUE(cluster.kvs().Set(CounterKey(i), Bytes(sizeof(uint64_t), 0)).ok());
+  }
+  RegisterBatchedIncrementAll(cluster);
+
+  const uint64_t epoch_before = cluster.shard_map().epoch();
+  uint64_t acked_calls = 0;
+
+  cluster.Run([&](Frontend& frontend) {
+    const std::vector<std::pair<bool, std::string>> churn = {
+        {true, ""},         {false, "host-1"}, {true, ""},
+        {false, "host-4"},  {true, ""},        {false, "host-0"},
+    };
+    for (const auto& [add, name] : churn) {
+      std::vector<uint64_t> batch_ids;
+      for (int i = 0; i < 4; ++i) {
+        auto id = frontend.Submit("inc_all", Bytes{});
+        ASSERT_TRUE(id.ok());
+        batch_ids.push_back(id.value());
+      }
+
+      if (add) {
+        auto added = cluster.AddHost();
+        ASSERT_TRUE(added.ok()) << added.status().ToString();
+      } else {
+        Status removed = cluster.RemoveHost(name);
+        ASSERT_TRUE(removed.ok()) << removed.ToString();
+      }
+
+      for (uint64_t id : batch_ids) {
+        auto code = frontend.Await(id);
+        ASSERT_TRUE(code.ok()) << code.status().ToString();
+        ASSERT_EQ(code.value(), 0) << "batched increment refused mid-churn";
+        acked_calls += 1;
+      }
+    }
+  });
+
+  EXPECT_EQ(cluster.shard_map().epoch(), epoch_before + 6);
+  EXPECT_GT(cluster.migration_stats().keys_moved, 0u);
+  EXPECT_EQ(cluster.migration_stats().epoch_flips, 6u);
+
+  // Every acked call incremented every counter exactly once — nothing lost,
+  // nothing doubled, wherever each key's master ended up.
+  for (int i = 0; i < kCounters; ++i) {
+    EXPECT_EQ(ReadCounter(cluster, i), acked_calls) << CounterKey(i);
   }
 }
 
