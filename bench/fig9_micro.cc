@@ -14,6 +14,16 @@
 // key — and writes the columns as the CI artifact BENCH_batch.json:
 //
 //   fig9_micro --state-batch [--tiny] [--json BENCH_batch.json]
+//
+// READ-PATH MICRO MODE (`--read-batch`, implied by `--read-json`): the
+// read-side ablation (bench/read_batch_util.h) — K immutable values
+// re-pulled every round through grouped kGetBatch prefetches, per-key pulls
+// (batch off), and the leased per-host read cache — written as the CI
+// artifact BENCH_read.json. Gates: zero bad reads everywhere, >=4x fewer
+// cross-host pull RPCs grouped vs per-key, >=90% cache hit rate on the
+// hot working set:
+//
+//   fig9_micro --read-batch [--tiny] [--read-json BENCH_read.json]
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -22,6 +32,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/read_batch_util.h"
 #include "bench/state_batch_util.h"
 #include "common/clock.h"
 #include "wasm/instance.h"
@@ -180,6 +191,75 @@ int RunStateBatchMicroMode(bool tiny, const std::string& json_path) {
   return 0;
 }
 
+// Writes the read-path artifact (CI uploads it as BENCH_read.json).
+bool WriteReadJson(const std::string& path, bool tiny, const ReadMicroConfig& config,
+                   const ReadMicroPoint& grouped, const ReadMicroPoint& per_key,
+                   const ReadMicroPoint& cached) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig9_micro_read_batch\",\n  \"tiny\": %s,\n",
+               tiny ? "true" : "false");
+  std::fprintf(f, "  \"hosts\": %d,\n  \"keys\": %d,\n  \"rounds\": %d,\n", config.hosts,
+               config.keys, config.rounds);
+  std::fprintf(f, "  \"columns\": {\n");
+  WriteReadMicroPointJson(f, "grouped", grouped, ",");
+  WriteReadMicroPointJson(f, "per_key", per_key, ",");
+  WriteReadMicroPointJson(f, "grouped_cached", cached, "");
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\n[wrote %s]\n", path.c_str());
+  return true;
+}
+
+// Returns 0 when the read-path gates hold: zero bad reads in every column,
+// grouped prefetches cut cross-host pull RPCs by at least 4x vs per-key
+// pulls, and the leased cache serves at least 90% of hot-key lookups.
+int RunStateReadMicroMode(bool tiny, const std::string& json_path) {
+  PrintHeader("Read micro: grouped (kGetBatch) + cached vs per-key pulls");
+  const ReadMicroConfig grouped_config = ReadMicroConfig::ForScale(tiny, true, false);
+  const ReadMicroConfig per_key_config = ReadMicroConfig::ForScale(tiny, false, false);
+  const ReadMicroConfig cached_config = ReadMicroConfig::ForScale(tiny, true, true);
+  std::printf("[%d immutable values across %d hosts, %d rounds of pull-all]\n",
+              grouped_config.keys, grouped_config.hosts, grouped_config.rounds);
+  std::printf("%18s | %10s %12s %12s %8s %9s\n", "read path", "pull RPCs", "net (MB)",
+              "time (ms)", "bad", "hit rate");
+  const ReadMicroPoint grouped = RunStateReadMicro(grouped_config);
+  PrintReadMicroRow("grouped", grouped);
+  const ReadMicroPoint per_key = RunStateReadMicro(per_key_config);
+  PrintReadMicroRow("per-key", per_key);
+  const ReadMicroPoint cached = RunStateReadMicro(cached_config);
+  PrintReadMicroRow("grouped+cache", cached);
+  std::printf("(a grouped prefetch pulls the working set in at most one kGetBatch per\n"
+              " master endpoint; the leased cache serves repeats with zero RPCs)\n");
+
+  if (!json_path.empty() &&
+      !WriteReadJson(json_path, tiny, grouped_config, grouped, per_key, cached)) {
+    return 1;
+  }
+  if (grouped.bad_reads != 0 || per_key.bad_reads != 0 || cached.bad_reads != 0) {
+    std::fprintf(stderr, "FAIL: bad reads (grouped=%llu per_key=%llu cached=%llu)\n",
+                 static_cast<unsigned long long>(grouped.bad_reads),
+                 static_cast<unsigned long long>(per_key.bad_reads),
+                 static_cast<unsigned long long>(cached.bad_reads));
+    return 1;
+  }
+  if (grouped.pull_rpcs * 4 > per_key.pull_rpcs) {
+    std::fprintf(stderr, "FAIL: grouped reads did not cut pull RPCs 4x (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(grouped.pull_rpcs),
+                 static_cast<unsigned long long>(per_key.pull_rpcs));
+    return 1;
+  }
+  if (cached.hit_rate < 0.90) {
+    std::fprintf(stderr, "FAIL: read-cache hit rate %.1f%% below 90%%\n",
+                 cached.hit_rate * 100);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace faasm
 
@@ -187,22 +267,32 @@ int main(int argc, char** argv) {
   // Our flags select the state-op micro mode; anything else goes to
   // google-benchmark unchanged.
   bool state_batch = false;
+  bool read_batch = false;
   bool tiny = false;
   std::string json_path;
+  std::string read_json_path;
   std::vector<char*> forwarded;
   forwarded.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--state-batch") {
       state_batch = true;
+    } else if (arg == "--read-batch") {
+      read_batch = true;
     } else if (arg == "--tiny") {
       tiny = true;
     } else if (arg == "--json" && i + 1 < argc) {
       state_batch = true;  // --json implies the micro mode (CI artifact)
       json_path = argv[++i];
+    } else if (arg == "--read-json" && i + 1 < argc) {
+      read_batch = true;  // --read-json implies the read micro mode
+      read_json_path = argv[++i];
     } else {
       forwarded.push_back(argv[i]);
     }
+  }
+  if (read_batch) {
+    return faasm::RunStateReadMicroMode(tiny, read_json_path);
   }
   if (state_batch) {
     return faasm::RunStateBatchMicroMode(tiny, json_path);

@@ -9,7 +9,14 @@
 using namespace faasm;
 
 int main() {
-  FaasmCluster cluster;
+  // Serving weights are written once and read forever: the canonical
+  // workload for the leased per-host read cache (repeat weight pulls are
+  // served with zero tier RPCs; an epoch flip or local write still
+  // invalidates). Read-modify-write workloads must NOT set this.
+  ClusterConfig config;
+  config.read_cache = true;
+  config.read_lease_ns = 50 * kMillisecond;
+  FaasmCluster cluster(config);
   const MlpDims dims;
   SeedMlpWeights(cluster.kvs(), dims);
   if (!RegisterMlpWasm(cluster.registry(), "infer", dims).ok()) {

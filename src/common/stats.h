@@ -3,12 +3,26 @@
 #ifndef FAASM_COMMON_STATS_H_
 #define FAASM_COMMON_STATS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 namespace faasm {
+
+// Monotonic event counter (read-cache hits/misses, server RPC tallies).
+// Relaxed atomics: counters feed reports and bench gates, never
+// synchronisation.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
 
 class Summary {
  public:

@@ -165,6 +165,11 @@ Result<Bytes> KvStore::GetRange(const std::string& key, size_t offset, size_t le
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
   FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
+  return GetRangeLocked(shard, key, offset, len);
+}
+
+Result<Bytes> KvStore::GetRangeLocked(const Shard& shard, const std::string& key, size_t offset,
+                                      size_t len) {
   auto it = shard.values.find(key);
   if (it == shard.values.end()) {
     return NotFound("kvs: no such key: " + key);
@@ -173,7 +178,9 @@ Result<Bytes> KvStore::GetRange(const std::string& key, size_t offset, size_t le
   if (offset > value.size()) {
     return OutOfRange("kvs: range start past end of value");
   }
-  const size_t end = std::min(value.size(), offset + len);
+  // `len` may be the whole-value sentinel (UINT64_MAX): clamp without
+  // computing offset + len, which would wrap.
+  const size_t end = len >= value.size() - offset ? value.size() : offset + len;
   return Bytes(value.begin() + offset, value.begin() + end);
 }
 
@@ -321,6 +328,14 @@ KvsBatchResult KvStore::ApplyLocked(Shard& shard, const KvsBatchOp& op) {
   switch (op.op) {
     case KvsOp::kGet: {
       auto value = GetLocked(shard, op.key);
+      result.status = value.status();
+      if (value.ok()) {
+        result.value = std::move(value).value();
+      }
+      break;
+    }
+    case KvsOp::kGetRange: {
+      auto value = GetRangeLocked(shard, op.key, op.offset, op.len);
       result.status = value.status();
       if (value.ok()) {
         result.value = std::move(value).value();

@@ -71,7 +71,15 @@ enum class KvsOp : uint8_t {
   // A framed group of sub-ops executed as one request (ExecuteBatch): the
   // cross-shard ops of one state push travel as ONE RPC per endpoint.
   kBatch = 18,
+  // Read-only twin of kBatch: carries only kGet/kGetRange sub-ops (the
+  // grouped pulls of one prefetch). Same framing and per-op result vector;
+  // a mutating sub-op smuggled into one is rejected per op with
+  // InvalidArgument instead of executing.
+  kGetBatch = 19,
 };
+
+// True for the sub-ops a kGetBatch (read-only batch) may carry.
+inline bool IsReadBatchOp(KvsOp op) { return op == KvsOp::kGet || op == KvsOp::kGetRange; }
 
 // One write range of a batched SetRanges: `bytes` lands at `offset`.
 struct ValueRange {
@@ -88,6 +96,7 @@ std::vector<ValueRange> MergeValueRanges(std::vector<ValueRange> ranges);
 
 // One sub-op of a batched request. `op` says which fields are meaningful:
 //   kGet                 — key only
+//   kGetRange            — offset + len
 //   kSet / kAppend       — bytes
 //   kSetRange            — offset + bytes
 //   kSetRanges           — ranges
@@ -97,6 +106,7 @@ struct KvsBatchOp {
   KvsOp op = KvsOp::kGet;
   std::string key;
   uint64_t offset = 0;
+  uint64_t len = 0;  // kGetRange only
   Bytes bytes;
   std::vector<ValueRange> ranges;
   std::string member;
@@ -106,7 +116,7 @@ struct KvsBatchOp {
 // one payload field is meaningful, depending on the op.
 struct KvsBatchResult {
   Status status = OkStatus();
-  Bytes value;          // kGet
+  Bytes value;          // kGet / kGetRange
   uint64_t length = 0;  // kAppend: value length after the append
   bool flag = false;    // kSetAdd / kSetRemove: membership changed
 };
@@ -238,6 +248,8 @@ class KvStore {
   // require the key's shard.mutex and assume CheckServableLocked passed.
   static Status SetLocked(Shard& shard, const std::string& key, Bytes value);
   static Result<Bytes> GetLocked(const Shard& shard, const std::string& key);
+  static Result<Bytes> GetRangeLocked(const Shard& shard, const std::string& key, size_t offset,
+                                      size_t len);
   static Status SetRangeLocked(Shard& shard, const std::string& key, size_t offset,
                                const Bytes& bytes);
   static Status SetRangesLocked(Shard& shard, const std::string& key,

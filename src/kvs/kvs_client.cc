@@ -40,6 +40,10 @@ Bytes EncodeBatchOp(const KvsBatchOp& op) {
     case KvsOp::kGet:
     case KvsOp::kDelete:
       break;
+    case KvsOp::kGetRange:
+      writer.Put<uint64_t>(op.offset);
+      writer.Put<uint64_t>(op.len);
+      break;
     case KvsOp::kSet:
     case KvsOp::kAppend:
       writer.PutBytes(op.bytes);
@@ -76,6 +80,11 @@ Result<KvsBatchOp> DecodeBatchOp(const Bytes& part) {
     case KvsOp::kGet:
     case KvsOp::kDelete:
       break;
+    case KvsOp::kGetRange: {
+      FAASM_ASSIGN_OR_RETURN(op.offset, reader.Get<uint64_t>());
+      FAASM_ASSIGN_OR_RETURN(op.len, reader.Get<uint64_t>());
+      break;
+    }
     case KvsOp::kSet:
     case KvsOp::kAppend: {
       FAASM_ASSIGN_OR_RETURN(op.bytes, reader.GetBytes());
@@ -117,6 +126,7 @@ Bytes EncodeBatchResult(const KvsOp op, const KvsBatchResult& result) {
   }
   switch (op) {
     case KvsOp::kGet:
+    case KvsOp::kGetRange:
       writer.PutBytes(result.value);
       break;
     case KvsOp::kAppend:
@@ -140,7 +150,8 @@ KvsBatchResult DecodeBatchResult(const KvsOp op, const Bytes& part) {
     return result;
   }
   switch (op) {
-    case KvsOp::kGet: {
+    case KvsOp::kGet:
+    case KvsOp::kGetRange: {
       auto value = reader.GetBytes();
       if (!value.ok()) {
         result.status = value.status();
@@ -195,10 +206,15 @@ Bytes KvsServer::Handle(const Bytes& request) {
     WriteStatus(writer, InvalidArgument("malformed request"));
     return response;
   }
-  if (static_cast<KvsOp>(op_byte.value()) == KvsOp::kBatch) {
+  const KvsOp op = static_cast<KvsOp>(op_byte.value());
+  if (op == KvsOp::kGet || op == KvsOp::kGetRange || op == KvsOp::kSize ||
+      op == KvsOp::kGetBatch) {
+    read_rpcs_.Increment();
+  }
+  if (op == KvsOp::kBatch || op == KvsOp::kGetBatch) {
     // Batched request: no top-level key — each framed sub-op carries its
     // own, and ownership is checked per op.
-    HandleBatch(reader, writer);
+    HandleBatch(reader, writer, /*read_only=*/op == KvsOp::kGetBatch);
     return response;
   }
   auto key = reader.GetString();
@@ -386,7 +402,7 @@ Bytes KvsServer::Handle(const Bytes& request) {
   return response;
 }
 
-void KvsServer::HandleBatch(ByteReader& reader, ByteWriter& writer) {
+void KvsServer::HandleBatch(ByteReader& reader, ByteWriter& writer, bool read_only) {
   auto parts = ReadFrameBatch(reader);
   if (!parts.ok()) {
     WriteStatus(writer, InvalidArgument("malformed batch request"));
@@ -407,6 +423,12 @@ void KvsServer::HandleBatch(ByteReader& reader, ByteWriter& writer) {
       continue;
     }
     ops.push_back(std::move(op).value());
+    // A kGetBatch is read-only by contract: a mutating sub-op smuggled in
+    // is rejected here, before it can touch the store.
+    if (read_only && !IsReadBatchOp(ops[i].op)) {
+      results[i].status = InvalidArgument("kvs: mutating op in read batch");
+      continue;
+    }
     // Same epoch-aware ownership check as single ops, applied per sub-op so
     // a batch straddling a membership change bounces only the moved keys.
     if (map_ != nullptr && map_->MasterFor(ops[i].key) != endpoint_) {
@@ -438,7 +460,10 @@ void KvsServer::HandleBatch(ByteReader& reader, ByteWriter& writer) {
 // --- Client -------------------------------------------------------------------
 
 KvsClient::KvsClient(InProcNetwork* network, std::string source, std::string server)
-    : network_(network), source_(std::move(source)), server_(std::move(server)) {}
+    : network_(network),
+      source_(std::move(source)),
+      server_(std::move(server)),
+      read_cache_(&network->clock(), nullptr) {}
 
 KvsClient::KvsClient(InProcNetwork* network, std::string source, const ShardMap* shards,
                      KvStore* local_store)
@@ -446,7 +471,8 @@ KvsClient::KvsClient(InProcNetwork* network, std::string source, const ShardMap*
       source_(std::move(source)),
       shards_(shards),
       local_store_(local_store),
-      local_endpoint_(ShardMap::EndpointForHost(source_)) {}
+      local_endpoint_(ShardMap::EndpointForHost(source_)),
+      read_cache_(&network->clock(), shards) {}
 
 KvsClient::Route KvsClient::RouteFor(const std::string& key) const {
   if (shards_ == nullptr) {
@@ -483,6 +509,7 @@ Result<Bytes> KvsClient::Invoke(const std::string& server, KvsOp op,
   return network_->Call(source_, server, request);
 }
 Status KvsClient::Set(const std::string& key, const Bytes& value) {
+  read_cache_.Invalidate(key);
   return Routed(
       key, [&](KvStore& store) { return store.Set(key, value); },
       [&](const std::string& server) {
@@ -498,11 +525,36 @@ Status KvsClient::Set(const std::string& key, const Bytes& value) {
       });
 }
 
-Result<Bytes> KvsClient::Get(const std::string& key) {
-  return Routed(
-      key, [&](KvStore& store) { return store.Get(key); },
+Result<Bytes> KvsClient::Read(const std::string& key, const ReadOptions& options) {
+  // Cache consult — only for reads that would cross the network (master-
+  // local reads are already free, and caching them would only add
+  // staleness).
+  const bool cacheable = read_cache_.enabled() && !options.bypass_cache;
+  if (cacheable && RouteFor(key).local == nullptr) {
+    if (auto hit = read_cache_.Lookup(key, options.offset, options.len, options.max_staleness)) {
+      return std::move(*hit);
+    }
+  }
+  // Whole-value reads travel as kGet, ranged ones as kGetRange; both are
+  // one wire read either way.
+  bool remote = false;
+  auto result = Routed(
+      key,
+      [&](KvStore& store) -> Result<Bytes> {
+        remote = false;
+        return options.whole_value() ? store.Get(key)
+                                     : store.GetRange(key, options.offset, options.len);
+      },
       [&](const std::string& server) -> Result<Bytes> {
-        auto response = Invoke(server, KvsOp::kGet, [&](ByteWriter& w) { w.PutString(key); });
+        remote = true;
+        auto response =
+            options.whole_value()
+                ? Invoke(server, KvsOp::kGet, [&](ByteWriter& w) { w.PutString(key); })
+                : Invoke(server, KvsOp::kGetRange, [&](ByteWriter& w) {
+                    w.PutString(key);
+                    w.Put<uint64_t>(options.offset);
+                    w.Put<uint64_t>(options.len);
+                  });
         if (!response.ok()) {
           return response.status();
         }
@@ -510,27 +562,16 @@ Result<Bytes> KvsClient::Get(const std::string& key) {
         FAASM_RETURN_IF_ERROR(ReadStatus(reader));
         return reader.GetBytes();
       });
-}
-
-Result<Bytes> KvsClient::GetRange(const std::string& key, uint64_t offset, uint64_t len) {
-  return Routed(
-      key, [&](KvStore& store) { return store.GetRange(key, offset, len); },
-      [&](const std::string& server) -> Result<Bytes> {
-        auto response = Invoke(server, KvsOp::kGetRange, [&](ByteWriter& w) {
-          w.PutString(key);
-          w.Put<uint64_t>(offset);
-          w.Put<uint64_t>(len);
-        });
-        if (!response.ok()) {
-          return response.status();
-        }
-        ByteReader reader(response.value());
-        FAASM_RETURN_IF_ERROR(ReadStatus(reader));
-        return reader.GetBytes();
-      });
+  // Only whole values populate the cache (a lookup can then serve any
+  // sub-range of them without ever inventing bytes it did not fetch).
+  if (remote && cacheable && result.ok() && options.whole_value()) {
+    read_cache_.InsertFull(key, result.value());
+  }
+  return result;
 }
 
 Status KvsClient::SetRange(const std::string& key, uint64_t offset, const Bytes& bytes) {
+  read_cache_.Invalidate(key);
   return Routed(
       key, [&](KvStore& store) { return store.SetRange(key, offset, bytes); },
       [&](const std::string& server) {
@@ -548,6 +589,7 @@ Status KvsClient::SetRange(const std::string& key, uint64_t offset, const Bytes&
 }
 
 Status KvsClient::SetRanges(const std::string& key, const std::vector<ValueRange>& ranges) {
+  read_cache_.Invalidate(key);
   return Routed(
       key, [&](KvStore& store) { return store.SetRanges(key, ranges); },
       [&](const std::string& server) {
@@ -568,6 +610,7 @@ Status KvsClient::SetRanges(const std::string& key, const std::vector<ValueRange
 }
 
 Result<uint64_t> KvsClient::Append(const std::string& key, const Bytes& bytes) {
+  read_cache_.Invalidate(key);
   return Routed(
       key,
       [&](KvStore& store) -> Result<uint64_t> {
@@ -589,6 +632,7 @@ Result<uint64_t> KvsClient::Append(const std::string& key, const Bytes& bytes) {
 }
 
 Status KvsClient::Delete(const std::string& key) {
+  read_cache_.Invalidate(key);
   return Routed(
       key, [&](KvStore& store) { return store.Delete(key); },
       [&](const std::string& server) {
@@ -622,13 +666,24 @@ Result<bool> KvsClient::Exists(const std::string& key) {
 }
 
 Result<uint64_t> KvsClient::Size(const std::string& key) {
-  return Routed(
+  // A fresh cached value (or size-only entry) answers without a round trip;
+  // a remote answer refreshes the size stamp so a following Pull's fetch
+  // decision and its sizing agree.
+  if (read_cache_.enabled() && RouteFor(key).local == nullptr) {
+    if (auto hit = read_cache_.LookupSize(key, ReadOptions::kLeaseStaleness)) {
+      return *hit;
+    }
+  }
+  bool remote = false;
+  auto sized = Routed(
       key,
       [&](KvStore& store) -> Result<uint64_t> {
+        remote = false;
         FAASM_ASSIGN_OR_RETURN(size_t size, store.Size(key));
         return static_cast<uint64_t>(size);
       },
       [&](const std::string& server) -> Result<uint64_t> {
+        remote = true;
         auto response = Invoke(server, KvsOp::kSize, [&](ByteWriter& w) { w.PutString(key); });
         if (!response.ok()) {
           return response.status();
@@ -637,17 +692,31 @@ Result<uint64_t> KvsClient::Size(const std::string& key) {
         FAASM_RETURN_IF_ERROR(ReadStatus(reader));
         return reader.Get<uint64_t>();
       });
+  if (remote && read_cache_.enabled() && sized.ok()) {
+    read_cache_.InsertSize(key, sized.value());
+  }
+  return sized;
 }
 
 Result<bool> KvsClient::TryLockRead(const std::string& key) {
-  return Routed(
+  auto acquired = Routed(
       key, [&](KvStore& store) { return store.TryLockRead(key, source_); },
       [&](const std::string& server) { return BoolOp(server, KvsOp::kLockRead, key, source_); });
+  if (acquired.ok() && acquired.value()) {
+    // No stale read under a lock: the first read after acquisition must
+    // refetch the bytes the lock serialises, not a leased copy.
+    read_cache_.Invalidate(key);
+  }
+  return acquired;
 }
 Result<bool> KvsClient::TryLockWrite(const std::string& key) {
-  return Routed(
+  auto acquired = Routed(
       key, [&](KvStore& store) { return store.TryLockWrite(key, source_); },
       [&](const std::string& server) { return BoolOp(server, KvsOp::kLockWrite, key, source_); });
+  if (acquired.ok() && acquired.value()) {
+    read_cache_.Invalidate(key);  // as TryLockRead
+  }
+  return acquired;
 }
 
 Status KvsClient::UnlockRead(const std::string& key) {
@@ -713,11 +782,11 @@ Result<bool> KvsClient::SetRemove(const std::string& key, const std::string& mem
 
 // --- Batched ops ----------------------------------------------------------------
 
-void OpBatch::Push(KvsBatchOp op, Ack done, GetAck get_done) {
+void OpBatch::Push(KvsBatchOp op, Ack done, ReadAck read_done) {
   Pending pending;
   pending.op = std::move(op);
   pending.done = std::move(done);
-  pending.get_done = std::move(get_done);
+  pending.read_done = std::move(read_done);
   ops_.push_back(std::move(pending));
 }
 
@@ -798,11 +867,14 @@ void OpBatch::SetRemove(std::string key, std::string member, Ack done) {
   Push(std::move(op), std::move(done));
 }
 
-void OpBatch::Get(std::string key, GetAck done) {
+void OpBatch::Read(std::string key, ReadOptions options, ReadAck done) {
   KvsBatchOp op;
-  op.op = KvsOp::kGet;
+  op.op = options.whole_value() ? KvsOp::kGet : KvsOp::kGetRange;
   op.key = std::move(key);
+  op.offset = options.offset;
+  op.len = options.len;
   Push(std::move(op), nullptr, std::move(done));
+  ops_.back().read_options = options;
 }
 
 Status BatchHandle::Wait() {
@@ -829,13 +901,13 @@ bool BatchHandle::done() const {
 }
 
 void KvsClient::CompleteOp(OpBatch::Pending& pending, KvsBatchResult result) {
-  if (pending.get_done != nullptr) {
+  if (pending.read_done != nullptr) {
     if (result.status.ok()) {
-      pending.get_done(std::move(result.value));
+      pending.read_done(std::move(result.value));
     } else {
-      pending.get_done(result.status);
+      pending.read_done(result.status);
     }
-    pending.get_done = nullptr;
+    pending.read_done = nullptr;
   }
   if (pending.done != nullptr) {
     pending.done(result.status);
@@ -847,10 +919,14 @@ std::vector<KvsBatchResult> KvsClient::RemoteBatch(const std::string& endpoint,
                                                    const std::vector<OpBatch::Pending>& ops) {
   std::vector<Bytes> parts;
   parts.reserve(ops.size());
+  bool all_reads = true;
   for (const OpBatch::Pending& pending : ops) {
     parts.push_back(EncodeBatchOp(pending.op));
+    all_reads = all_reads && IsReadBatchOp(pending.op.op);
   }
-  auto response = Invoke(endpoint, KvsOp::kBatch,
+  // A pure read group ships as kGetBatch — the wire-visible read-only twin
+  // (the server rejects any mutating sub-op in one).
+  auto response = Invoke(endpoint, all_reads ? KvsOp::kGetBatch : KvsOp::kBatch,
                          [&](ByteWriter& w) { WriteFrameBatch(w, parts); });
   std::vector<KvsBatchResult> results(ops.size());
   auto fail_all = [&](const Status& status) {
@@ -896,7 +972,7 @@ Status KvsClient::RunGroup(std::vector<OpBatch::Pending> ops) {
     ops.clear();
 
     auto settle = [&](std::vector<OpBatch::Pending>& group,
-                      std::vector<KvsBatchResult> results) {
+                      std::vector<KvsBatchResult> results, bool from_remote) {
       for (size_t i = 0; i < group.size(); ++i) {
         const bool bounced = results[i].status.code() == StatusCode::kWrongMaster;
         if (bounced && shards_ != nullptr && attempt < kMaxRedirectRetries) {
@@ -905,6 +981,12 @@ Status KvsClient::RunGroup(std::vector<OpBatch::Pending> ops) {
         }
         if (!results[i].status.ok() && first_error.ok()) {
           first_error = results[i].status;
+        }
+        // A whole-value read that crossed the network refreshes the cache
+        // (same rule as the single-op path: partial values never populate).
+        if (from_remote && read_cache_.enabled() && results[i].status.ok() &&
+            group[i].op.op == KvsOp::kGet && !group[i].read_options.bypass_cache) {
+          read_cache_.InsertFull(group[i].op.key, results[i].value);
         }
         CompleteOp(group[i], std::move(results[i]));
       }
@@ -916,10 +998,10 @@ Status KvsClient::RunGroup(std::vector<OpBatch::Pending> ops) {
       for (const OpBatch::Pending& pending : local) {
         pointers.push_back(&pending.op);
       }
-      settle(local, local_store_->ExecuteBatch(pointers));
+      settle(local, local_store_->ExecuteBatch(pointers), /*from_remote=*/false);
     }
     for (auto& [endpoint, group] : groups) {
-      settle(group, RemoteBatch(endpoint, group));
+      settle(group, RemoteBatch(endpoint, group), /*from_remote=*/true);
     }
 
     if (!ops.empty()) {
@@ -935,19 +1017,38 @@ BatchHandle KvsClient::DispatchBatch(OpBatch&& batch) {
   if (batch.ops_.empty()) {
     return handle;
   }
-  handle.clock_ = &network_->clock();
-  handle.shared_ = std::make_shared<BatchHandle::Shared>();
 
   // Initial grouping by current master. Each group becomes one activity;
   // the master-local group and single-group batches run inline (no thread
-  // spawn for the degenerate cases).
+  // spawn for the degenerate cases). Mutating ops drop the key's cached
+  // read here (before any RPC, so the cache can never mask an op already
+  // accepted into a batch); cross-host reads consult the cache and ops it
+  // serves complete immediately with zero network bytes.
   std::map<std::string, std::vector<OpBatch::Pending>> groups;
   for (OpBatch::Pending& pending : batch.ops_) {
     Route route = RouteFor(pending.op.key);
+    if (!IsReadBatchOp(pending.op.op)) {
+      read_cache_.Invalidate(pending.op.key);
+    } else if (route.local == nullptr && read_cache_.enabled() &&
+               !pending.read_options.bypass_cache) {
+      if (auto hit = read_cache_.Lookup(pending.op.key, pending.read_options.offset,
+                                        pending.read_options.len,
+                                        pending.read_options.max_staleness)) {
+        KvsBatchResult served;
+        served.value = std::move(*hit);
+        CompleteOp(pending, std::move(served));
+        continue;
+      }
+    }
     const std::string& slot = route.local != nullptr ? local_endpoint_ : route.endpoint;
     groups[slot].push_back(std::move(pending));
   }
   batch.ops_.clear();
+  if (groups.empty()) {
+    return handle;  // every op was served from the cache
+  }
+  handle.clock_ = &network_->clock();
+  handle.shared_ = std::make_shared<BatchHandle::Shared>();
   handle.shared_->outstanding = static_cast<int>(groups.size());
   {
     // Register before any group runs: a concurrent FlushBatch barrier must
@@ -1005,13 +1106,11 @@ int& ScopeDepthForThisThread(const void* client) {
 }
 }  // namespace
 
-void KvsClient::EnableBatching(Spawner spawner) {
-  batching_enabled_ = true;
-  spawner_ = std::move(spawner);
-}
-
 void KvsClient::EnqueueSetRanges(const std::string& key, std::vector<ValueRange> ranges,
                                  OpBatch::Ack done) {
+  // Invalidate at ENQUEUE time: this host's own pending (not yet flushed)
+  // write must never be masked by a leased read of the old bytes.
+  read_cache_.Invalidate(key);
   std::lock_guard<std::mutex> guard(ambient_mutex_);
   ambient_.SetRanges(key, std::move(ranges), std::move(done));
 }

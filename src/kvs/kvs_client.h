@@ -26,27 +26,55 @@
 // ownership check: it is how the migration subsystem streams a key into its
 // new master before the epoch flips.
 //
-// Constructed without a ShardMap, the client degenerates to the centralised
-// single-endpoint layout (the pre-sharding baseline, kept for ablations and
-// component tests); with no map there is no alternate route, so kWrongMaster
-// surfaces to the caller immediately.
+// Constructed without a ShardMap, the client is an ADAPTER over the same
+// routed machinery: every key resolves to the single configured endpoint
+// (the pre-sharding baseline, kept for ablations and component tests), all
+// ops — single and batched — take the identical code path, and with no map
+// there is no alternate route, so a kWrongMaster answer surfaces to the
+// caller as a typed Status (code kWrongMaster) immediately, after exactly
+// one round trip, never as a silent success.
 //
-// BATCHED OPS (the kBatch wire op). An OpBatch accumulates mutating ops
-// (plus Get) and DispatchBatch groups them by each key's CURRENT master
-// endpoint: every group travels as ONE framed RPC (net/framing.h), the
-// master-local group runs in process for zero network bytes, and groups
-// bound for different shards are issued concurrently when a spawner is
-// configured — a push touching K keys mastered on M hosts costs at most M
-// round trips, overlapped, instead of K serialised ones. The server answers
-// a per-op status vector (KvStore::ExecuteBatch runs each touched store
-// shard's group under one mutex acquisition), so a batch that straddles a
-// live migration bounces ONLY the moving keys with kWrongMaster; the client
-// re-resolves just those ops against the new epoch and retries them, with
-// the same backoff budget as single-op redirects. Per-op error/ack model:
-// each enqueued op can carry a completion callback, invoked exactly once
-// with the op's final status after retries — an op is "acked" only when its
-// callback has fired with Ok, which is what the state layer's push
-// visibility barrier (FlushBatch) waits for.
+// BATCHED OPS (the kBatch / kGetBatch wire ops). An OpBatch accumulates
+// mutating ops plus Read ops and DispatchBatch groups them by each key's
+// CURRENT master endpoint: every group travels as ONE framed RPC
+// (net/framing.h), the master-local group runs in process for zero network
+// bytes, and groups bound for different shards are issued concurrently when
+// a spawner is configured — a push (or prefetch) touching K keys mastered
+// on M hosts costs at most M round trips, overlapped, instead of K
+// serialised ones. A group made entirely of reads ships as kGetBatch, the
+// read-only twin the server refuses to let mutate anything. The server
+// answers a per-op status vector (KvStore::ExecuteBatch runs each touched
+// store shard's group under one mutex acquisition), so a batch that
+// straddles a live migration bounces ONLY the moving keys with
+// kWrongMaster; the client re-resolves just those ops against the new epoch
+// and retries them, with the same backoff budget as single-op redirects.
+// Per-op error/ack model: each enqueued op can carry a completion callback,
+// invoked exactly once with the op's final status after retries — an op is
+// "acked" only when its callback has fired with Ok, which is what the state
+// layer's push visibility barrier (FlushBatch) waits for.
+//
+// THE UNIFIED READ API. Read(key, ReadOptions) is the one read surface:
+// whole-value and ranged reads, cached and uncached, single and batched
+// (OpBatch::Read) all take it. ReadOptions selects the window
+// ({offset, len}, len defaulting to the whole value) and the staleness
+// contract ({max_staleness, bypass_cache}).
+//
+// READ CACHE COHERENCE (kvs/read_cache.h, opt-in via EnableReadCache). When
+// enabled, cross-host reads consult a per-host cache of previously pulled
+// full values before paying a round trip; hot read-mostly keys are then
+// served with zero network bytes on EVERY host, not just the master. A
+// cached read MAY be stale by at most min(lease, max_staleness) of virtual
+// time relative to writes made by OTHER hosts. It is NEVER stale with
+// respect to:
+//   - this host's own writes — every local mutation (Set/SetRange/
+//     SetRanges/Append/Delete, batched ops at ENQUEUE time) invalidates the
+//     key's entry;
+//   - membership changes — entries are keyed by shard-map epoch, and an
+//     epoch flip invalidates implicitly;
+//   - reads under a global lock — acquiring TryLockRead/TryLockWrite
+//     invalidates the key's entry, so the first read under the lock refetches
+//     the bytes the lock serialises. Readers needing one fresh read without
+//     a lock pass max_staleness = 0 (or bypass_cache).
 #ifndef FAASM_KVS_KVS_CLIENT_H_
 #define FAASM_KVS_KVS_CLIENT_H_
 
@@ -57,7 +85,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/stats.h"
 #include "kvs/kv_store.h"
+#include "kvs/read_cache.h"
 #include "kvs/router.h"
 #include "net/network.h"
 
@@ -76,18 +106,43 @@ class KvsServer {
 
   const std::string& endpoint() const { return endpoint_; }
 
+  // Read RPCs (kGet / kGetRange / kSize / kGetBatch) this server answered
+  // over the network. Master-local reads never reach the server, so this is
+  // exactly the cross-host pull RPC count the benches gate on.
+  uint64_t read_rpc_count() const { return read_rpcs_.value(); }
+
  private:
   Bytes Handle(const Bytes& request);
-  // kBatch: decodes the framed sub-ops, pre-checks ownership per op (a
-  // batch straddling a membership change bounces only the moved keys),
+  // kBatch / kGetBatch: decodes the framed sub-ops, pre-checks ownership per
+  // op (a batch straddling a membership change bounces only the moved keys),
   // executes the rest through KvStore::ExecuteBatch, and frames the per-op
-  // results back.
-  void HandleBatch(ByteReader& reader, ByteWriter& writer);
+  // results back. `read_only` (kGetBatch) rejects mutating sub-ops per op.
+  void HandleBatch(ByteReader& reader, ByteWriter& writer, bool read_only);
 
   KvStore* store_;
   InProcNetwork* network_;
   std::string endpoint_;
   const ShardMap* map_;
+  Counter read_rpcs_;
+};
+
+// Options of the unified read API (KvsClient::Read / OpBatch::Read):
+// the read window and the staleness contract in one place.
+struct ReadOptions {
+  // `len` sentinel: read from `offset` to the end of the value.
+  static constexpr uint64_t kWholeValue = ~uint64_t{0};
+  // `max_staleness` sentinel: bound cached reads by the client's lease alone.
+  static constexpr TimeNs kLeaseStaleness = -1;
+
+  uint64_t offset = 0;
+  uint64_t len = kWholeValue;
+  // Tightest staleness this read tolerates from the read cache; 0 forces a
+  // fetch (the result still refreshes the cache).
+  TimeNs max_staleness = kLeaseStaleness;
+  // Skip the cache entirely: neither served from it nor installed into it.
+  bool bypass_cache = false;
+
+  bool whole_value() const { return offset == 0 && len == kWholeValue; }
 };
 
 // Builder for one batched request: accumulates sub-ops (with optional
@@ -97,8 +152,8 @@ class OpBatch {
  public:
   // Invoked exactly once with the op's final status (after any redirects).
   using Ack = std::function<void(const Status&)>;
-  // kGet completion: the value, or the op's error.
-  using GetAck = std::function<void(const Result<Bytes>&)>;
+  // Read completion: the value (the requested window), or the op's error.
+  using ReadAck = std::function<void(const Result<Bytes>&)>;
 
   void Set(std::string key, Bytes value, Ack done = nullptr);
   void SetRange(std::string key, uint64_t offset, Bytes bytes, Ack done = nullptr);
@@ -109,7 +164,11 @@ class OpBatch {
   void Delete(std::string key, Ack done = nullptr);
   void SetAdd(std::string key, std::string member, Ack done = nullptr);
   void SetRemove(std::string key, std::string member, Ack done = nullptr);
-  void Get(std::string key, GetAck done);
+  // The unified read, batched: ships as kGet (whole value) or kGetRange
+  // inside the group; cache-eligible under the same rules as
+  // KvsClient::Read.
+  void Read(std::string key, ReadOptions options, ReadAck done);
+  void Read(std::string key, ReadAck done) { Read(std::move(key), ReadOptions{}, std::move(done)); }
 
   size_t size() const { return ops_.size(); }
   bool empty() const { return ops_.empty(); }
@@ -119,11 +178,12 @@ class OpBatch {
 
   struct Pending {
     KvsBatchOp op;
-    Ack done;         // status-only ops
-    GetAck get_done;  // kGet
+    Ack done;            // status-only ops
+    ReadAck read_done;   // kGet / kGetRange
+    ReadOptions read_options;  // read ops: the cache contract
   };
 
-  void Push(KvsBatchOp op, Ack done, GetAck get_done = nullptr);
+  void Push(KvsBatchOp op, Ack done, ReadAck read_done = nullptr);
 
   std::vector<Pending> ops_;
 };
@@ -169,8 +229,12 @@ class KvsClient {
             KvStore* local_store);
 
   Status Set(const std::string& key, const Bytes& value);
-  Result<Bytes> Get(const std::string& key);
-  Result<Bytes> GetRange(const std::string& key, uint64_t offset, uint64_t len);
+  // The unified read: Read(key) is a whole-value read, Read(key, {.offset,
+  // .len}) a ranged one; {.max_staleness, .bypass_cache} pin the staleness
+  // contract per read. Routed like every other op (master-local reads are
+  // in-process); cross-host reads consult the read cache first when one is
+  // enabled, and whole-value fetches refresh it.
+  Result<Bytes> Read(const std::string& key, const ReadOptions& options = {});
   Status SetRange(const std::string& key, uint64_t offset, const Bytes& bytes);
   // Batched multi-range write: N ranges cost one round trip (delta push).
   Status SetRanges(const std::string& key, const std::vector<ValueRange>& ranges);
@@ -201,8 +265,31 @@ class KvsClient {
   // --- Ambient state-op batching (per-instance lifecycle) -----------------------
   // The runtime enables this per FaasmInstance; the state layer then routes
   // Push() traffic through an ambient OpBatch owned by this client.
-  void EnableBatching(Spawner spawner);
+  void EnableBatching() { batching_enabled_ = true; }
+  void EnableBatching(Spawner spawner) {
+    SetSpawner(std::move(spawner));
+    batching_enabled_ = true;
+  }
+  // Concurrency for DispatchBatch groups, independent of the write-batching
+  // toggle (read batches pipeline even under the --batch=off ablation).
+  void SetSpawner(Spawner spawner) { spawner_ = std::move(spawner); }
   bool batching_enabled() const { return batching_enabled_; }
+
+  // --- Read-side controls --------------------------------------------------------
+  // Grouped-read toggle consumed by the state layer's prefetch paths: when
+  // off (the --read-batch=off ablation), multi-key reads fall back to one
+  // RPC per op. Batches already built still execute either way.
+  void set_read_batching(bool on) { read_batching_ = on; }
+  bool read_batching() const { return read_batching_; }
+  // Turns on the per-host read cache with the given lease (see the coherence
+  // rules above). Off by default: cached reads may lag other hosts' writes
+  // by up to the lease, which read-modify-write workloads must not opt into.
+  void EnableReadCache(TimeNs lease_ns) { read_cache_.set_lease(lease_ns); }
+  bool read_cache_enabled() const { return read_cache_.enabled(); }
+  const ReadCache& read_cache() const { return read_cache_; }
+  // Drops the key's cached read (exposed for DDOs/tests; internal callers
+  // are the mutating ops and the lock acquisitions).
+  void InvalidateCachedReads(const std::string& key) { read_cache_.Invalidate(key); }
 
   // Enqueues a delta push into the ambient batch (callers: StateKeyValue).
   void EnqueueSetRanges(const std::string& key, std::vector<ValueRange> ranges,
@@ -289,8 +376,9 @@ class KvsClient {
   // re-resolution + backoff until they land or the retry budget runs out.
   // Returns the group's first op error (Ok when every op landed).
   Status RunGroup(std::vector<OpBatch::Pending> ops);
-  // Sends one group's ops to `endpoint` as a single kBatch RPC and decodes
-  // the per-op results; a transport/framing error fails every op alike.
+  // Sends one group's ops to `endpoint` as a single framed RPC — kGetBatch
+  // when the whole group is reads, kBatch otherwise — and decodes the
+  // per-op results; a transport/framing error fails every op alike.
   std::vector<KvsBatchResult> RemoteBatch(const std::string& endpoint,
                                           const std::vector<OpBatch::Pending>& ops);
   // Completes `pending` with `result`, firing its ack exactly once.
@@ -314,10 +402,15 @@ class KvsClient {
   // scope on one Faaslet's call never demotes another call's scopeless
   // Push from being its own barrier.
   bool batching_enabled_ = false;
+  bool read_batching_ = true;
   Spawner spawner_;
   mutable std::mutex ambient_mutex_;
   OpBatch ambient_;
   std::vector<std::shared_ptr<BatchHandle::Shared>> inflight_;  // guarded by ambient_mutex_
+
+  // Per-host read cache (disabled until EnableReadCache). Thread-safe;
+  // consulted/installed only for routes that would cross the network.
+  ReadCache read_cache_;
 };
 
 }  // namespace faasm

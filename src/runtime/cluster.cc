@@ -65,6 +65,9 @@ std::unique_ptr<FaasmInstance> FaasmCluster::MakeHost(const std::string& name,
   host_config.max_concurrent_calls = config_.max_concurrent_per_host;
   host_config.warm_set_ttl_ns = config_.warm_set_ttl_ns;
   host_config.batch_state_ops = config_.batch_state_ops;
+  host_config.batch_state_reads = config_.batch_state_reads;
+  host_config.read_cache = config_.read_cache;
+  host_config.read_lease_ns = config_.read_lease_ns;
   return std::make_unique<FaasmInstance>(host_config, &executor_, network_.get(), &registry_,
                                          &calls_, &files_, &shard_map_, local_shard);
 }

@@ -50,6 +50,12 @@ struct ClusterConfig {
   // Batched state-op protocol (see HostConfig::batch_state_ops). Off is the
   // one-RPC-per-op baseline kept for the --batch=off ablation.
   bool batch_state_ops = true;
+  // Read half (kGetBatch prefetch grouping; HostConfig::batch_state_reads).
+  bool batch_state_reads = true;
+  // Per-host read cache + lease (HostConfig::read_cache / read_lease_ns).
+  // Opt-in: see the coherence rules in kvs_client.h.
+  bool read_cache = false;
+  TimeNs read_lease_ns = 2 * kMillisecond;
   NetworkConfig network;
 };
 

@@ -57,11 +57,17 @@ FaasmInstance::FaasmInstance(HostConfig config, SimExecutor* executor, InProcNet
       cpu_(&executor->clock(), config_.cores),
       share_rng_(HashBytes(reinterpret_cast<const uint8_t*>(config_.name.data()),
                            config_.name.size())) {
+  // Multi-endpoint batch groups (writes AND grouped reads) overlap their
+  // round trips on spawned activities regardless of the batching toggles.
+  kvs_.SetSpawner([this](std::function<void()> fn) { executor_->Spawn(std::move(fn)); });
   if (config_.batch_state_ops) {
     // Batched state-op protocol: state pushes enqueue into the client's
-    // ambient batch, and multi-endpoint flushes overlap their round trips
-    // on spawned activities.
-    kvs_.EnableBatching([this](std::function<void()> fn) { executor_->Spawn(std::move(fn)); });
+    // ambient batch.
+    kvs_.EnableBatching();
+  }
+  kvs_.set_read_batching(config_.batch_state_reads);
+  if (config_.read_cache) {
+    kvs_.EnableReadCache(config_.read_lease_ns);
   }
 }
 
@@ -465,7 +471,7 @@ Result<std::unique_ptr<Faaslet>> FaasmInstance::ColdStart(const FunctionSpec& sp
     }
   }
   if (proto == nullptr && use_global_proto) {
-    auto remote = kvs_.Get("proto:" + spec.name);
+    auto remote = kvs_.Read("proto:" + spec.name);
     if (remote.ok()) {
       auto parsed = ProtoFaaslet::Deserialize(remote.value());
       if (parsed.ok()) {

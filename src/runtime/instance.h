@@ -40,6 +40,15 @@ struct HostConfig {
   // across shards. Off = the unbatched one-RPC-per-op baseline (the
   // --batch=off ablation).
   bool batch_state_ops = true;
+  // Read half of the batched protocol (kGetBatch): multi-key prefetches
+  // group into per-endpoint read-only RPCs. Off = one pull per key (the
+  // --read-batch=off ablation). Independent of batch_state_ops.
+  bool batch_state_reads = true;
+  // Per-host read cache (kvs/read_cache.h). Off by default: cached reads may
+  // lag OTHER hosts' writes by up to read_lease_ns, which read-modify-write
+  // workloads must not opt into (see the coherence rules in kvs_client.h).
+  bool read_cache = false;
+  TimeNs read_lease_ns = 2 * kMillisecond;
 };
 
 class FaasmInstance {
@@ -101,6 +110,9 @@ class FaasmInstance {
   const std::string& name() const { return config_.name; }
   LocalTier& tier() { return *tier_; }
   KvsClient& kvs() { return kvs_; }
+  // This host's shard server, or null in centralised mode. Benches read its
+  // read_rpc_count() to gate cross-host pull RPC reductions.
+  const KvsServer* shard_server() const { return shard_server_.get(); }
   MemoryAccountant& memory_accountant() { return memory_; }
   const MemoryAccountant& memory_accountant() const { return memory_; }
   HostCpuModel& cpu() { return cpu_; }

@@ -34,6 +34,42 @@ size_t LocalTier::key_count() const {
   return values_.size();
 }
 
+Status LocalTier::Prefetch(const std::vector<std::string>& keys) {
+  if (keys.empty()) {
+    return OkStatus();
+  }
+  // Sync point: like Pull, a prefetch must observe this host's own earlier
+  // (possibly still batched) pushes.
+  FAASM_RETURN_IF_ERROR(kvs_->FlushBatch());
+  if (!kvs_->read_batching()) {
+    // Ablation fallback: one sized pull per key, serialised.
+    for (const std::string& key : keys) {
+      FAASM_RETURN_IF_ERROR(Lookup(key)->Pull());
+    }
+    return OkStatus();
+  }
+  // Whole-value reads for every key, grouped per master endpoint into
+  // kGetBatch RPCs; each ack installs into the replica as it lands.
+  auto first_error = std::make_shared<std::mutex>();
+  auto status = std::make_shared<Status>(OkStatus());
+  OpBatch batch;
+  for (const std::string& key : keys) {
+    std::shared_ptr<StateKeyValue> replica = Lookup(key);
+    batch.Read(key, [replica, first_error, status](const Result<Bytes>& value) {
+      Status installed = value.ok() ? replica->InstallPulled(value.value()) : value.status();
+      if (!installed.ok()) {
+        std::lock_guard<std::mutex> guard(*first_error);
+        if (status->ok()) {
+          *status = installed;
+        }
+      }
+    });
+  }
+  FAASM_RETURN_IF_ERROR(kvs_->ExecuteBatchNow(std::move(batch)));
+  std::lock_guard<std::mutex> guard(*first_error);
+  return *status;
+}
+
 void LocalTier::Clear() {
   // Settle pending batched pushes first: their acks re-mark/mark-present
   // against the replicas about to be dropped.

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "state/state_key_value.h"
 
@@ -41,6 +42,14 @@ class LocalTier {
   // Cheap no-op when nothing is pending; the runtime calls it at host-
   // interface sync points and at call completion.
   Status FlushBatched() { return kvs_->FlushBatch(); }
+
+  // Read-side twin of the batched push: pulls every listed key's whole value
+  // in at most one kGetBatch RPC per master endpoint (grouped and pipelined
+  // like DispatchBatch) and installs each into its replica via InstallPulled,
+  // so the keys' next Pull() is free. With read batching disabled on the
+  // client this degrades to a per-key Pull(). Returns the first error (a
+  // missing key is an error; prefetch what exists).
+  Status Prefetch(const std::vector<std::string>& keys);
 
   // Drops every replica (host teardown in tests). Flushes first: a pending
   // batched push holds bookkeeping callbacks into the replicas.

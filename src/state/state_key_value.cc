@@ -72,7 +72,18 @@ void StateKeyValue::MarkDirty(size_t offset, size_t len) {
 }
 
 Status StateKeyValue::FetchRange(size_t offset, size_t len) {
-  FAASM_ASSIGN_OR_RETURN(Bytes chunk, kvs_->GetRange(key_, offset, len));
+  // Whole-value fetches go out as whole-value reads so the per-host read
+  // cache (when enabled) can serve and be refreshed by them; partial fetches
+  // stay ranged and never populate the cache.
+  ReadOptions options;
+  options.offset = offset;
+  if (offset != 0 || len < size_) {
+    options.len = len;
+  }
+  FAASM_ASSIGN_OR_RETURN(Bytes chunk, kvs_->Read(key_, options));
+  if (chunk.size() > len) {
+    chunk.resize(len);  // whole-value read of a value grown since sizing
+  }
   if (offset + chunk.size() > region_->mapped_size()) {
     return Internal("state fetch larger than replica");
   }
@@ -86,9 +97,26 @@ Status StateKeyValue::Pull() {
   // Sync point: a pull must observe this host's own earlier (possibly still
   // batched) pushes, so the pending batch flushes first.
   FAASM_RETURN_IF_ERROR(kvs_->FlushBatch());
+  if (pulled_fresh_.exchange(false)) {
+    return OkStatus();  // a Prefetch installed the value since the last invalidation
+  }
   FAASM_ASSIGN_OR_RETURN(uint64_t global_size, kvs_->Size(key_));
   FAASM_RETURN_IF_ERROR(EnsureCapacity(global_size));
   return PullChunk(0, global_size);
+}
+
+Status StateKeyValue::InstallPulled(const Bytes& value) {
+  FAASM_RETURN_IF_ERROR(EnsureCapacity(value.size()));
+  LockWrite();
+  std::memcpy(region_->host_view(), value.data(), value.size());
+  UnlockWrite();
+  {
+    std::lock_guard<std::mutex> guard(pages_mutex_);
+    std::fill(page_present_.begin(), page_present_.end(), false);
+    MarkPushedRangePresentLocked(0, value.size());
+  }
+  pulled_fresh_.store(true, std::memory_order_release);
+  return OkStatus();
 }
 
 Status StateKeyValue::PullChunk(size_t offset, size_t len) {
@@ -290,13 +318,14 @@ Status StateKeyValue::Append(const Bytes& bytes) {
   return result.status();
 }
 
-Result<Bytes> StateKeyValue::ReadAppended() { return kvs_->Get(key_ + ":log"); }
+Result<Bytes> StateKeyValue::ReadAppended() { return kvs_->Read(key_ + ":log"); }
 
 Status StateKeyValue::LockGlobalRead() {
   FAASM_RETURN_IF_ERROR(kvs_->FlushBatch());  // sync point
   while (true) {
     FAASM_ASSIGN_OR_RETURN(bool acquired, kvs_->TryLockRead(key_));
     if (acquired) {
+      RefreshForLock();
       return OkStatus();
     }
     clock_->SleepFor(100 * kMicrosecond);
@@ -308,9 +337,34 @@ Status StateKeyValue::LockGlobalWrite() {
   while (true) {
     FAASM_ASSIGN_OR_RETURN(bool acquired, kvs_->TryLockWrite(key_));
     if (acquired) {
+      RefreshForLock();
       return OkStatus();
     }
     clock_->SleepFor(100 * kMicrosecond);
+  }
+}
+
+void StateKeyValue::RefreshForLock() {
+  // Under a freshly acquired global lock the replica must re-pull anything it
+  // cached before the lock (the lock holder it waited on may have pushed).
+  // Clean pages lose their present bit; pages overlapping unpushed local
+  // writes stay, or the refetch would read global bytes over them.
+  pulled_fresh_.store(false, std::memory_order_release);
+  if (region_ == nullptr) {
+    return;
+  }
+  std::vector<DirtyRun> dirty = region_->dirty().CollectDirtyRuns();
+  std::lock_guard<std::mutex> guard(pages_mutex_);
+  std::fill(page_present_.begin(), page_present_.end(), false);
+  for (const DirtyRun& run : dirty) {
+    if (run.len == 0 || run.offset >= size_) {
+      continue;
+    }
+    const size_t first = run.offset / kStatePageBytes;
+    const size_t last = (run.offset + run.len - 1) / kStatePageBytes;
+    for (size_t p = first; p <= last && p < page_present_.size(); ++p) {
+      page_present_[p] = true;
+    }
   }
 }
 
@@ -326,6 +380,7 @@ Status StateKeyValue::UnlockGlobalWrite() {
 }
 
 void StateKeyValue::InvalidateReplica() {
+  pulled_fresh_.store(false, std::memory_order_release);
   std::lock_guard<std::mutex> guard(pages_mutex_);
   std::fill(page_present_.begin(), page_present_.end(), false);
 }

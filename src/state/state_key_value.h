@@ -16,7 +16,11 @@
 //
 //   Pull  — page-granular presence tracking (`page_present_`): only missing
 //           state pages are fetched, so sparse readers (e.g. the SGD matrix
-//           column slices) transfer only what they read.
+//           column slices) transfer only what they read. Fetches go through
+//           the client's unified read API (KvsClient::Read), so whole-value
+//           pulls are served by (and refresh) the per-host read cache when
+//           one is enabled, and multi-key prefetches group into kGetBatch
+//           RPCs (LocalTier::Prefetch → InstallPulled).
 //   Push  — page-granular dirty tracking (the SharedRegion's DirtyTracker):
 //           writers that go through WritableData()/MarkDirty() — the host
 //           interface, the DDOs, and guest stores into mapped state — record
@@ -70,6 +74,22 @@
 //     migration a formerly master-local replica simply pays cross-host
 //     round trips again (and vice versa); the bytes it holds stay valid
 //     because a frozen key cannot be mutated during the handoff.
+//
+// READ CACHE COHERENCE (kvs/read_cache.h, opt-in per host). When the host's
+// client has the read cache enabled, a cross-host pull may be served from a
+// leased local copy. When is a cached read ALLOWED to be stale, and when is
+// it not?
+//   - ALLOWED: relative to writes pushed by OTHER hosts within the lease —
+//     the ordinary two-tier weak-consistency window (§4.3), merely extended
+//     by a bounded lease. Keys that cannot tolerate this must not enable
+//     the cache (or read with max_staleness = 0 / bypass_cache).
+//   - NEVER: relative to this host's own pushes (every local write, batched
+//     or not, invalidates the key's cached read at enqueue time); across a
+//     membership change (entries are epoch-keyed); and under a global lock —
+//     acquiring LockGlobalRead/Write drops the client's cached read AND this
+//     replica's clean pages (dirty pages hold unpushed local writes and are
+//     kept), so the first pull under the lock refetches the bytes the lock
+//     serialises. No stale read under a lock, ever.
 //
 // Consistency rules of the delta-push protocol:
 //   - Between pushes, the global tier may lag the replica arbitrarily; a
@@ -161,8 +181,15 @@ class StateKeyValue {
 
   // --- Two-tier synchronisation ------------------------------------------------
   // Pull the whole value; allocates the replica at the global size if needed.
-  // No-op (beyond a size check) if every page is already present.
+  // No-op (beyond a size check) if every page is already present, and a pure
+  // no-op when a Prefetch already installed the value since the last
+  // invalidation.
   Status Pull();
+  // Installs a complete value fetched out of band (the batched-prefetch
+  // path, LocalTier::Prefetch): a wholesale refresh equivalent to
+  // InvalidateReplica() + Pull() — every page is replaced, including pages
+  // holding unpushed local writes. The next Pull() is then free.
+  Status InstallPulled(const Bytes& value);
   // Pull only [offset, offset+len); fetches just the missing state pages.
   Status PullChunk(size_t offset, size_t len);
   // Delta push: coalesces the dirty pages into runs and ships them as one
@@ -218,6 +245,11 @@ class StateKeyValue {
   // Requires pages_mutex_.
   void MarkPushedRangePresentLocked(size_t offset, size_t len);
 
+  // Lock-acquisition freshness (see the coherence rules above): drops the
+  // prefetch freshness flag and every CLEAN page's present bit, keeping
+  // dirty pages (unpushed local writes must not be refetched over).
+  void RefreshForLock();
+
   std::string key_;
   KvsClient* kvs_;
   Clock* clock_;
@@ -228,6 +260,9 @@ class StateKeyValue {
   PollLock local_lock_;
   mutable std::mutex pages_mutex_;
   std::vector<bool> page_present_;
+  // Set by InstallPulled, consumed by the next Pull() (which then skips even
+  // the sizing RPC); cleared by InvalidateReplica and lock acquisition.
+  std::atomic<bool> pulled_fresh_{false};
 };
 
 }  // namespace faasm

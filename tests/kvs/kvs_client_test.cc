@@ -27,20 +27,20 @@ class KvsClientTest : public ::testing::Test {
 TEST_F(KvsClientTest, SetGetRoundTrip) {
   KvsClient client(&network_, "host-0");
   ASSERT_TRUE(client.Set("key", Bytes{5, 6, 7}).ok());
-  EXPECT_EQ(client.Get("key").value(), (Bytes{5, 6, 7}));
+  EXPECT_EQ(client.Read("key").value(), (Bytes{5, 6, 7}));
   EXPECT_EQ(store_.Get("key").value(), (Bytes{5, 6, 7}));  // really server-side
 }
 
 TEST_F(KvsClientTest, MissingKeyPropagatesNotFound) {
   KvsClient client(&network_, "host-0");
-  EXPECT_EQ(client.Get("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(client.Read("missing").status().code(), StatusCode::kNotFound);
   EXPECT_EQ(client.Size("missing").status().code(), StatusCode::kNotFound);
 }
 
 TEST_F(KvsClientTest, RangedOps) {
   KvsClient client(&network_, "host-0");
   ASSERT_TRUE(client.Set("key", Bytes{0, 1, 2, 3, 4}).ok());
-  EXPECT_EQ(client.GetRange("key", 1, 3).value(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(client.Read("key", ReadOptions{.offset = 1, .len = 3}).value(), (Bytes{1, 2, 3}));
   ASSERT_TRUE(client.SetRange("key", 4, Bytes{9, 9}).ok());
   EXPECT_EQ(client.Size("key").value(), 6u);
 }
@@ -138,7 +138,7 @@ TEST_F(KvsClientTest, WrongMasterSurfacesImmediatelyWithoutShardMap) {
   KvsClient pinned(&network_, "host-0", ShardMap::EndpointForHost("host-1"));
   network_.ResetStats();
   EXPECT_EQ(pinned.Set(foreign_key, Bytes{1}).code(), StatusCode::kWrongMaster);
-  EXPECT_EQ(pinned.Get(foreign_key).status().code(), StatusCode::kWrongMaster);
+  EXPECT_EQ(pinned.Read(foreign_key).status().code(), StatusCode::kWrongMaster);
   // No retry storm: exactly one round trip per op.
   EXPECT_EQ(network_.StatsFor("host-0").tx_messages, 2u);
   EXPECT_FALSE(shard.Exists(foreign_key));
@@ -184,10 +184,10 @@ TEST_F(KvsClientTest, CentralTierAddRemoveHostLeavesTierUntouched) {
     EXPECT_EQ(cluster.host(cluster.host_count() - 1).name(), added.value());
     // The new host's client routes to the central endpoint like everyone.
     EXPECT_FALSE(cluster.host(cluster.host_count() - 1).kvs().MasterLocal("stable"));
-    EXPECT_EQ(cluster.host(0).kvs().Get("stable").value(), (Bytes{4, 2}));
+    EXPECT_EQ(cluster.host(0).kvs().Read("stable").value(), (Bytes{4, 2}));
 
     ASSERT_TRUE(cluster.RemoveHost(added.value()).ok());
-    EXPECT_EQ(cluster.host(0).kvs().Get("stable").value(), (Bytes{4, 2}));
+    EXPECT_EQ(cluster.host(0).kvs().Read("stable").value(), (Bytes{4, 2}));
   });
 
   EXPECT_EQ(cluster.shard_map().epoch(), epoch_before);
@@ -212,7 +212,7 @@ TEST_F(KvsClientTest, BatchShipsAllOpsInOneRpc) {
   batch.Set("a", Bytes{4}, [&](const Status& s) { set_status = s; });
   batch.SetRange("seed", 1, Bytes{9});
   batch.SetAdd("members", "m1", [&](const Status& s) { added = s.ok(); });
-  batch.Get("seed", [&](const Result<Bytes>& value) { got = value; });
+  batch.Read("seed", [&](const Result<Bytes>& value) { got = value; });
   batch.Append("log", Bytes{7, 7});
   ASSERT_EQ(batch.size(), 5u);
 
@@ -235,7 +235,7 @@ TEST_F(KvsClientTest, BatchAggregateStatusReportsPerOpFailure) {
   KvsClient client(&network_, "host-0");
   OpBatch batch;
   Status get_status = OkStatus();
-  batch.Get("missing", [&](const Result<Bytes>& value) { get_status = value.status(); });
+  batch.Read("missing", [&](const Result<Bytes>& value) { get_status = value.status(); });
   batch.Set("fine", Bytes{1});
   Status status = client.ExecuteBatchNow(std::move(batch));
   EXPECT_EQ(status.code(), StatusCode::kNotFound);  // aggregate carries the op error
@@ -385,6 +385,145 @@ TEST_F(KvsClientTest, BatchStraddlingMigrationBouncesOnlyMovingKeys) {
   EXPECT_FALSE(shard.Exists(foreign));
 }
 
+// --- Unified read API + read cache ----------------------------------------------
+
+TEST_F(KvsClientTest, ReadCacheServesRepeatReadsWithoutRpcs) {
+  KvsClient client(&network_, "host-0");
+  client.EnableReadCache(kSecond);
+  ASSERT_TRUE(client.Set("key", Bytes{1, 2, 3}).ok());
+  ASSERT_TRUE(client.Read("key").ok());  // miss: fetches and installs
+
+  network_.ResetStats();
+  auto again = client.Read("key");  // hit: served locally
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), (Bytes{1, 2, 3}));
+  // Ranged reads slice the cached full value; Size() is answered from it too.
+  EXPECT_EQ(client.Read("key", ReadOptions{.offset = 1, .len = 2}).value(), (Bytes{2, 3}));
+  EXPECT_EQ(client.Size("key").value(), 3u);
+  EXPECT_EQ(network_.StatsFor("host-0").tx_messages, 0u);  // zero network bytes
+  EXPECT_GE(client.read_cache().hits(), 3u);
+}
+
+TEST_F(KvsClientTest, OwnWritesInvalidateCachedReads) {
+  KvsClient client(&network_, "host-0");
+  client.EnableReadCache(kSecond);
+  ASSERT_TRUE(client.Set("key", Bytes{1}).ok());
+  ASSERT_TRUE(client.Read("key").ok());
+  // The host's own write drops its cached read: the next read refetches.
+  ASSERT_TRUE(client.Set("key", Bytes{2}).ok());
+  EXPECT_EQ(client.Read("key").value(), (Bytes{2}));
+  EXPECT_GE(client.read_cache().invalidations(), 1u);
+}
+
+TEST_F(KvsClientTest, LockAcquisitionForcesFreshReadOfForeignWrite) {
+  KvsClient client(&network_, "host-0");
+  client.EnableReadCache(kSecond);
+  ASSERT_TRUE(client.Set("key", Bytes{1}).ok());
+  ASSERT_TRUE(client.Read("key").ok());
+
+  // Another host writes behind this client's cache (directly at the store:
+  // no invalidation reaches host-0). Within the lease the cached read is
+  // allowed to be stale...
+  ASSERT_TRUE(store_.Set("key", Bytes{9}).ok());
+  EXPECT_EQ(client.Read("key").value(), (Bytes{1}));
+
+  // ...but never under a global lock: acquisition drops the cached entry,
+  // so the first read under the lock observes the serialised bytes.
+  ASSERT_TRUE(client.TryLockWrite("key").value());
+  EXPECT_EQ(client.Read("key").value(), (Bytes{9}));
+  ASSERT_TRUE(client.UnlockWrite("key").ok());
+}
+
+TEST_F(KvsClientTest, ZeroStalenessAndBypassSkipTheCache) {
+  KvsClient client(&network_, "host-0");
+  client.EnableReadCache(kSecond);
+  ASSERT_TRUE(client.Set("key", Bytes{1}).ok());
+  ASSERT_TRUE(client.Read("key").ok());
+  ASSERT_TRUE(store_.Set("key", Bytes{7}).ok());  // foreign write
+
+  // max_staleness = 0 forces the fetch (and refreshes the cache with it).
+  EXPECT_EQ(client.Read("key", ReadOptions{.max_staleness = 0}).value(), (Bytes{7}));
+  EXPECT_EQ(client.Read("key").value(), (Bytes{7}));  // refreshed entry serves
+
+  // bypass_cache neither serves from nor installs into the cache.
+  ASSERT_TRUE(store_.Set("key", Bytes{8}).ok());
+  EXPECT_EQ(client.Read("key", ReadOptions{.bypass_cache = true}).value(), (Bytes{8}));
+  EXPECT_EQ(client.Read("key").value(), (Bytes{7}));  // old entry still cached
+}
+
+TEST_F(KvsClientTest, PureReadBatchShipsAsGetBatchInOneRpc) {
+  KvsClient client(&network_, "host-0");
+  ASSERT_TRUE(client.Set("a", Bytes{1}).ok());
+  ASSERT_TRUE(client.Set("b", Bytes{2, 2}).ok());
+  network_.ResetStats();
+  const uint64_t reads_before = server_.read_rpc_count();
+
+  Result<Bytes> got_a = Internal("ack never fired");
+  Result<Bytes> got_b = Internal("ack never fired");
+  OpBatch batch;
+  batch.Read("a", [&](const Result<Bytes>& value) { got_a = value; });
+  batch.Read("b", ReadOptions{.offset = 1, .len = 1},
+             [&](const Result<Bytes>& value) { got_b = value; });
+  ASSERT_TRUE(client.ExecuteBatchNow(std::move(batch)).ok());
+
+  EXPECT_EQ(got_a.value(), (Bytes{1}));
+  EXPECT_EQ(got_b.value(), (Bytes{2}));
+  // One RPC for the group, and it arrived as kGetBatch: the server's read-RPC
+  // counter moved (kBatch would not count).
+  EXPECT_EQ(network_.StatsFor("host-0").tx_messages, 1u);
+  EXPECT_EQ(server_.read_rpc_count(), reads_before + 1);
+}
+
+TEST_F(KvsClientTest, MixedBatchShipsAsMutatingBatch) {
+  KvsClient client(&network_, "host-0");
+  ASSERT_TRUE(client.Set("seed", Bytes{5}).ok());
+  const uint64_t reads_before = server_.read_rpc_count();
+  Result<Bytes> got = Internal("ack never fired");
+  OpBatch batch;
+  batch.Set("w", Bytes{1});
+  batch.Read("seed", [&](const Result<Bytes>& value) { got = value; });
+  ASSERT_TRUE(client.ExecuteBatchNow(std::move(batch)).ok());
+  EXPECT_EQ(got.value(), (Bytes{5}));
+  EXPECT_TRUE(store_.Exists("w"));
+  // The group held a mutation, so it travelled as kBatch (not counted as a
+  // read RPC).
+  EXPECT_EQ(server_.read_rpc_count(), reads_before);
+}
+
+TEST_F(KvsClientTest, ServerRejectsMutatingOpSmuggledIntoReadBatch) {
+  // Hand-craft a kGetBatch frame holding a kGet AND a kSet: the server must
+  // serve the read and reject the mutation per-op, leaving the store clean.
+  ASSERT_TRUE(store_.Set("present", Bytes{3}).ok());
+  Bytes get_part;
+  {
+    ByteWriter w(get_part);
+    w.Put<uint8_t>(static_cast<uint8_t>(KvsOp::kGet));
+    w.PutString("present");
+  }
+  Bytes set_part;
+  {
+    ByteWriter w(set_part);
+    w.Put<uint8_t>(static_cast<uint8_t>(KvsOp::kSet));
+    w.PutString("smuggled");
+    w.PutBytes(Bytes{9});
+  }
+  Bytes request;
+  ByteWriter writer(request);
+  writer.Put<uint8_t>(static_cast<uint8_t>(KvsOp::kGetBatch));
+  WriteFrameBatch(writer, {get_part, set_part});
+
+  auto response = network_.Call("host-0", "kvs", request);
+  ASSERT_TRUE(response.ok());
+  ByteReader reader(response.value());
+  EXPECT_EQ(reader.Get<uint8_t>().value(), 0u);  // framing-level OK
+  auto parts = ReadFrameBatch(reader);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts.value().size(), 2u);
+  EXPECT_EQ(static_cast<StatusCode>(parts.value()[0][0]), StatusCode::kOk);
+  EXPECT_EQ(static_cast<StatusCode>(parts.value()[1][0]), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(store_.Exists("smuggled"));  // the mutation never ran
+}
+
 TEST_F(KvsClientTest, TrafficIsAccounted) {
   KvsClient client(&network_, "host-0");
   network_.ResetStats();
@@ -392,7 +531,7 @@ TEST_F(KvsClientTest, TrafficIsAccounted) {
   // Request carries at least the 1000-byte value.
   EXPECT_GT(network_.StatsFor("host-0").tx_bytes, 1000u);
   const uint64_t after_set = network_.total_bytes();
-  auto value = client.Get("key");
+  auto value = client.Read("key");
   ASSERT_TRUE(value.ok());
   EXPECT_GT(network_.total_bytes(), after_set + 1000);  // response carries value
 }

@@ -163,7 +163,7 @@ TEST_F(KvsRoutingTest, PerKeyOpsLandOnMasterShard) {
     const std::string key = "k-" + std::to_string(i);
     ASSERT_TRUE(client.Set(key, Bytes{1, 2, 3}).ok());
     EXPECT_TRUE(StoreMastering(key)->Exists(key)) << key;
-    EXPECT_EQ(client.Get(key).value(), (Bytes{1, 2, 3}));
+    EXPECT_EQ(client.Read(key).value(), (Bytes{1, 2, 3}));
   }
 }
 
@@ -189,7 +189,7 @@ TEST_F(KvsRoutingTest, MasterLocalFastPathMovesZeroNetworkBytes) {
 
   network_.ResetStats();
   ASSERT_TRUE(client.Set(local_key, Bytes(4096, 9)).ok());
-  EXPECT_EQ(client.Get(local_key).value().size(), 4096u);
+  EXPECT_EQ(client.Read(local_key).value().size(), 4096u);
   std::vector<ValueRange> ranges;
   ranges.push_back(ValueRange{0, Bytes{1}});
   ASSERT_TRUE(client.SetRanges(local_key, ranges).ok());

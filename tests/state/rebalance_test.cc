@@ -261,6 +261,98 @@ TEST(RebalanceTest, BatchedCountersSurviveHostChurnWithoutLostAcks) {
   }
 }
 
+constexpr int kFrozenKeys = 12;
+constexpr size_t kFrozenBytes = 64;
+
+std::string FrozenKey(int i) { return "frozen-" + std::to_string(i); }
+
+// Registers "read_all": drops every local replica, then pulls all frozen
+// keys through the GROUPED read path (one kGetBatch per master endpoint,
+// per-op kWrongMaster retry underneath) and byte-checks each value against
+// its seeded pattern. Distinct nonzero codes separate a refused prefetch
+// from a stale or torn read.
+void RegisterBatchedReadAll(FaasmCluster& cluster) {
+  ASSERT_TRUE(cluster.registry()
+                  .RegisterNative("read_all",
+                                  [](InvocationContext& ctx) {
+                                    std::vector<std::string> keys;
+                                    for (int i = 0; i < kFrozenKeys; ++i) {
+                                      keys.push_back(FrozenKey(i));
+                                      ctx.state().Lookup(keys.back())->InvalidateReplica();
+                                    }
+                                    if (!ctx.state().Prefetch(keys).ok()) {
+                                      return 2;
+                                    }
+                                    for (int i = 0; i < kFrozenKeys; ++i) {
+                                      auto kv = ctx.state().Lookup(keys[i]);
+                                      if (kv->Pull().ok() == false || kv->size() != kFrozenBytes) {
+                                        return 3;
+                                      }
+                                      const uint8_t* bytes = kv->data();
+                                      for (size_t b = 0; b < kFrozenBytes; ++b) {
+                                        if (bytes[b] != uint8_t(i + 1)) {
+                                          return 4;  // stale or torn read
+                                        }
+                                      }
+                                    }
+                                    return 0;
+                                  })
+                  .ok());
+}
+
+TEST(RebalanceTest, BatchedReadsSurviveHostChurnWithoutBadReads) {
+  // The read-side churn harness: immutable values are prefetched via
+  // kGetBatch groups while six membership changes migrate their masters
+  // underneath. A grouped read racing a migration bounces per op and
+  // retries against the new route; every acked call must have observed
+  // every key's exact seeded bytes — zero stale or torn reads.
+  ClusterConfig config;
+  config.hosts = 4;
+  ASSERT_TRUE(config.batch_state_reads);  // grouped reads are the default
+  FaasmCluster cluster(config);
+  for (int i = 0; i < kFrozenKeys; ++i) {
+    ASSERT_TRUE(cluster.kvs().Set(FrozenKey(i), Bytes(kFrozenBytes, uint8_t(i + 1))).ok());
+  }
+  RegisterBatchedReadAll(cluster);
+
+  const uint64_t epoch_before = cluster.shard_map().epoch();
+  uint64_t acked_calls = 0;
+
+  cluster.Run([&](Frontend& frontend) {
+    const std::vector<std::pair<bool, std::string>> churn = {
+        {true, ""},         {false, "host-1"}, {true, ""},
+        {false, "host-4"},  {true, ""},        {false, "host-0"},
+    };
+    for (const auto& [add, name] : churn) {
+      std::vector<uint64_t> batch_ids;
+      for (int i = 0; i < 4; ++i) {
+        auto id = frontend.Submit("read_all", Bytes{});
+        ASSERT_TRUE(id.ok());
+        batch_ids.push_back(id.value());
+      }
+
+      if (add) {
+        auto added = cluster.AddHost();
+        ASSERT_TRUE(added.ok()) << added.status().ToString();
+      } else {
+        Status removed = cluster.RemoveHost(name);
+        ASSERT_TRUE(removed.ok()) << removed.ToString();
+      }
+
+      for (uint64_t id : batch_ids) {
+        auto code = frontend.Await(id);
+        ASSERT_TRUE(code.ok()) << code.status().ToString();
+        ASSERT_EQ(code.value(), 0) << "batched read failed mid-churn";
+        acked_calls += 1;
+      }
+    }
+  });
+
+  EXPECT_EQ(cluster.shard_map().epoch(), epoch_before + 6);
+  EXPECT_GT(cluster.migration_stats().keys_moved, 0u);
+  EXPECT_EQ(acked_calls, 24u);
+}
+
 TEST(RebalanceTest, LockHeldAcrossMigrationStillExcludes) {
   ClusterConfig config;
   config.hosts = 4;
@@ -298,7 +390,7 @@ TEST(RebalanceTest, LockHeldAcrossMigrationStillExcludes) {
     ASSERT_TRUE(cluster.host(1).kvs().UnlockWrite(key).ok());
 
     // The value itself survived the move.
-    EXPECT_EQ(cluster.host(2).kvs().Get(key).value(), (Bytes{1, 2, 3}));
+    EXPECT_EQ(cluster.host(2).kvs().Read(key).value(), (Bytes{1, 2, 3}));
   });
 }
 
