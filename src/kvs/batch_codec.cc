@@ -1,0 +1,225 @@
+#include "kvs/batch_codec.h"
+
+#include <algorithm>
+
+namespace faasm {
+
+namespace {
+
+// One body serving both dialects: the replica channel inserts its apply
+// sequence between the key and the args and admits the lock ops.
+Bytes EncodeOpImpl(const KvsBatchOp& op, bool replica, uint64_t seq) {
+  Bytes out;
+  ByteWriter writer(out);
+  writer.Put<uint8_t>(static_cast<uint8_t>(op.op));
+  writer.PutString(op.key);
+  if (replica) {
+    writer.Put<uint64_t>(seq);
+  }
+  switch (op.op) {
+    case KvsOp::kGet:
+    case KvsOp::kDelete:
+      break;
+    case KvsOp::kGetRange:
+      writer.Put<uint64_t>(op.offset);
+      writer.Put<uint64_t>(op.len);
+      break;
+    case KvsOp::kSet:
+    case KvsOp::kAppend:
+      writer.PutBytes(op.bytes);
+      break;
+    case KvsOp::kSetRange:
+      writer.Put<uint64_t>(op.offset);
+      writer.PutBytes(op.bytes);
+      break;
+    case KvsOp::kSetRanges: {
+      writer.Put<uint32_t>(static_cast<uint32_t>(op.ranges.size()));
+      for (const ValueRange& range : op.ranges) {
+        writer.Put<uint64_t>(range.offset);
+        writer.PutBytes(range.bytes);
+      }
+      break;
+    }
+    case KvsOp::kSetAdd:
+    case KvsOp::kSetRemove:
+      writer.PutString(op.member);
+      break;
+    case KvsOp::kLockRead:
+    case KvsOp::kLockWrite:
+    case KvsOp::kUnlockRead:
+    case KvsOp::kUnlockWrite:
+      // Replica dialect only: the lock owner (public batches cannot carry
+      // lock ops, so this arm never shapes a public byte).
+      writer.PutString(op.member);
+      break;
+    default:
+      break;  // not batchable; the server answers InvalidArgument
+  }
+  return out;
+}
+
+Result<KvsBatchOp> DecodeOpImpl(const Bytes& part, bool replica) {
+  ByteReader reader(part);
+  KvsBatchOp op;
+  FAASM_ASSIGN_OR_RETURN(uint8_t code, reader.Get<uint8_t>());
+  op.op = static_cast<KvsOp>(code);
+  FAASM_ASSIGN_OR_RETURN(op.key, reader.GetString());
+  if (replica) {
+    FAASM_ASSIGN_OR_RETURN(op.seq, reader.Get<uint64_t>());
+  }
+  switch (op.op) {
+    case KvsOp::kGet:
+    case KvsOp::kDelete:
+      break;
+    case KvsOp::kGetRange: {
+      FAASM_ASSIGN_OR_RETURN(op.offset, reader.Get<uint64_t>());
+      FAASM_ASSIGN_OR_RETURN(op.len, reader.Get<uint64_t>());
+      break;
+    }
+    case KvsOp::kSet:
+    case KvsOp::kAppend: {
+      FAASM_ASSIGN_OR_RETURN(op.bytes, reader.GetBytes());
+      break;
+    }
+    case KvsOp::kSetRange: {
+      FAASM_ASSIGN_OR_RETURN(op.offset, reader.Get<uint64_t>());
+      FAASM_ASSIGN_OR_RETURN(op.bytes, reader.GetBytes());
+      break;
+    }
+    case KvsOp::kSetRanges: {
+      FAASM_ASSIGN_OR_RETURN(uint32_t count, reader.Get<uint32_t>());
+      op.ranges.reserve(std::min<uint32_t>(count, 1024));
+      for (uint32_t i = 0; i < count; ++i) {
+        ValueRange range;
+        FAASM_ASSIGN_OR_RETURN(range.offset, reader.Get<uint64_t>());
+        FAASM_ASSIGN_OR_RETURN(range.bytes, reader.GetBytes());
+        op.ranges.push_back(std::move(range));
+      }
+      break;
+    }
+    case KvsOp::kSetAdd:
+    case KvsOp::kSetRemove: {
+      FAASM_ASSIGN_OR_RETURN(op.member, reader.GetString());
+      break;
+    }
+    case KvsOp::kLockRead:
+    case KvsOp::kLockWrite:
+    case KvsOp::kUnlockRead:
+    case KvsOp::kUnlockWrite: {
+      if (!replica) {
+        return InvalidArgument("kvs: op not batchable");
+      }
+      FAASM_ASSIGN_OR_RETURN(op.member, reader.GetString());
+      break;
+    }
+    default:
+      return InvalidArgument("kvs: op not batchable");
+  }
+  return op;
+}
+
+}  // namespace
+
+void WriteStatus(ByteWriter& writer, const Status& status) {
+  writer.Put<uint8_t>(static_cast<uint8_t>(status.code()));
+}
+
+Status ReadStatus(ByteReader& reader) {
+  auto code = reader.Get<uint8_t>();
+  if (!code.ok()) {
+    return Internal("kvs: malformed response");
+  }
+  const auto status_code = static_cast<StatusCode>(code.value());
+  if (status_code == StatusCode::kOk) {
+    return OkStatus();
+  }
+  return Status(status_code, "kvs remote error");
+}
+
+Bytes EncodeBatchOp(const KvsBatchOp& op) { return EncodeOpImpl(op, /*replica=*/false, 0); }
+
+Result<KvsBatchOp> DecodeBatchOp(const Bytes& part) {
+  return DecodeOpImpl(part, /*replica=*/false);
+}
+
+Bytes EncodeReplicaOp(const KvsBatchOp& op, uint64_t seq) {
+  return EncodeOpImpl(op, /*replica=*/true, seq);
+}
+
+Result<KvsBatchOp> DecodeReplicaOp(const Bytes& part) {
+  return DecodeOpImpl(part, /*replica=*/true);
+}
+
+Bytes EncodeBatchResult(const KvsOp op, const KvsBatchResult& result) {
+  Bytes out;
+  ByteWriter writer(out);
+  WriteStatus(writer, result.status);
+  if (!result.status.ok()) {
+    return out;
+  }
+  switch (op) {
+    case KvsOp::kGet:
+    case KvsOp::kGetRange:
+      writer.PutBytes(result.value);
+      break;
+    case KvsOp::kAppend:
+      writer.Put<uint64_t>(result.length);
+      break;
+    case KvsOp::kSetAdd:
+    case KvsOp::kSetRemove:
+    case KvsOp::kLockRead:
+    case KvsOp::kLockWrite:
+      writer.Put<uint8_t>(result.flag ? 1 : 0);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+KvsBatchResult DecodeBatchResult(const KvsOp op, const Bytes& part) {
+  KvsBatchResult result;
+  ByteReader reader(part);
+  result.status = ReadStatus(reader);
+  if (!result.status.ok()) {
+    return result;
+  }
+  switch (op) {
+    case KvsOp::kGet:
+    case KvsOp::kGetRange: {
+      auto value = reader.GetBytes();
+      if (!value.ok()) {
+        result.status = value.status();
+      } else {
+        result.value = std::move(value).value();
+      }
+      break;
+    }
+    case KvsOp::kAppend: {
+      auto length = reader.Get<uint64_t>();
+      if (!length.ok()) {
+        result.status = length.status();
+      } else {
+        result.length = length.value();
+      }
+      break;
+    }
+    case KvsOp::kSetAdd:
+    case KvsOp::kSetRemove:
+    case KvsOp::kLockRead:
+    case KvsOp::kLockWrite: {
+      auto flag = reader.Get<uint8_t>();
+      if (!flag.ok()) {
+        result.status = flag.status();
+      } else {
+        result.flag = flag.value() != 0;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return result;
+}
+
+}  // namespace faasm

@@ -1,0 +1,50 @@
+// Sub-op codec shared by the public batch protocol (kvs_client.cc) and the
+// replication forward channel (kvs/replication.h).
+//
+// Two wire dialects over the same framed container (net/framing.h):
+//
+//   - the PUBLIC dialect (EncodeBatchOp/DecodeBatchOp): what kBatch /
+//     kGetBatch sub-ops have always looked like — u8 op, key, op-specific
+//     args. Lock ops are NOT batchable here (DecodeBatchOp rejects them), so
+//     extracting the codec changed no public byte.
+//   - the REPLICA dialect (EncodeReplicaOp/DecodeReplicaOp): the
+//     primary→backup forward channel. Same layout plus (a) a u64 apply
+//     sequence after the key — the backup's duplicate filter — and (b) the
+//     four lock ops, because lock state must travel to backups exactly as it
+//     travels in migration (the owner rides in `member`).
+//
+// Results (EncodeBatchResult/DecodeBatchResult) are shared: status byte,
+// then an op-keyed payload. Lock-acquire results carry the acquired flag;
+// the public dialect never produces them (its decode refused the op).
+#ifndef FAASM_KVS_BATCH_CODEC_H_
+#define FAASM_KVS_BATCH_CODEC_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "kvs/kv_store.h"
+
+namespace faasm {
+
+// Response layout shared by every KVS wire answer: u8 status code first,
+// payload after (only when ok).
+void WriteStatus(ByteWriter& writer, const Status& status);
+Status ReadStatus(ByteReader& reader);
+
+// Public dialect (kBatch / kGetBatch sub-ops). DecodeBatchOp answers
+// InvalidArgument("kvs: op not batchable") for any op outside the public
+// batchable set — including the lock ops the replica dialect accepts.
+Bytes EncodeBatchOp(const KvsBatchOp& op);
+Result<KvsBatchOp> DecodeBatchOp(const Bytes& part);
+
+// Replica dialect (primary→backup forwards). `seq` is the primary's apply
+// sequence for the op; DecodeReplicaOp fills KvsBatchOp::seq with it.
+Bytes EncodeReplicaOp(const KvsBatchOp& op, uint64_t seq);
+Result<KvsBatchOp> DecodeReplicaOp(const Bytes& part);
+
+// Per-op result, both dialects.
+Bytes EncodeBatchResult(KvsOp op, const KvsBatchResult& result);
+KvsBatchResult DecodeBatchResult(KvsOp op, const Bytes& part);
+
+}  // namespace faasm
+
+#endif  // FAASM_KVS_BATCH_CODEC_H_

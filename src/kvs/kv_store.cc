@@ -13,7 +13,22 @@ constexpr size_t kMaxValueBytes = size_t{1} << 34;  // 16 GiB
 bool RangeIsSane(size_t offset, size_t len) {
   return offset <= kMaxValueBytes && len <= kMaxValueBytes - offset;
 }
+
+// Counts a mutation as in flight from store entry until the update hook
+// returned, which is the window the failover quiesce barrier waits out.
+struct MutationScope {
+  explicit MutationScope(std::atomic<int>& inflight) : inflight_(inflight) {
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~MutationScope() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+  std::atomic<int>& inflight_;
+};
 }  // namespace
+
+int& KvStore::HookPause::Depth() {
+  static thread_local int depth = 0;
+  return depth;
+}
 
 Bytes KeyExport::Serialize() const {
   Bytes out;
@@ -26,6 +41,7 @@ Bytes KeyExport::Serialize() const {
   for (const std::string& member : set_members) {
     writer.PutString(member);
   }
+  writer.Put<uint64_t>(seq);
   return out;
 }
 
@@ -43,7 +59,14 @@ Result<KeyExport> KeyExport::Deserialize(const Bytes& bytes) {
     FAASM_ASSIGN_OR_RETURN(std::string member, reader.GetString());
     record.set_members.push_back(std::move(member));
   }
+  FAASM_ASSIGN_OR_RETURN(record.seq, reader.Get<uint64_t>());
   return record;
+}
+
+bool KeyExport::SameContent(const KeyExport& other) const {
+  return has_value == other.has_value && value == other.value &&
+         lock_readers == other.lock_readers && lock_writer == other.lock_writer &&
+         set_members == other.set_members;
 }
 
 std::vector<ValueRange> MergeValueRanges(std::vector<ValueRange> ranges) {
@@ -106,11 +129,49 @@ std::vector<ValueRange> MergeValueRanges(std::vector<ValueRange> ranges) {
   return out;
 }
 
+bool KvStore::ShouldForward(const KvsBatchOp& op, const KvsBatchResult& result) {
+  if (!result.status.ok() || !IsMutatingOp(op.op)) {
+    return false;
+  }
+  // A lock try that did not acquire is a successful op that changed nothing.
+  if ((op.op == KvsOp::kLockRead || op.op == KvsOp::kLockWrite) && !result.flag) {
+    return false;
+  }
+  return true;
+}
+
+KvsBatchResult KvStore::MutateOne(const KvsBatchOp& op) {
+  MutationScope scope(inflight_);
+  const bool forwarding = ForwardingActive();
+  KvsBatchResult result;
+  uint64_t seq = 0;
+  {
+    Shard& shard = ShardFor(op.key);
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    result.status = CheckServableLocked(shard, op.key);
+    if (result.status.ok()) {
+      result = ApplyLocked(shard, op);
+      if (forwarding && ShouldForward(op, result)) {
+        // Captured under the shard mutex: for any key, seq order == apply
+        // order, which is what lets a backup drop duplicates by floor.
+        seq = mutation_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+      }
+    }
+  }
+  if (seq != 0) {
+    // Outside the mutex: the hook may cross the network (sync replication
+    // acks after the backups applied) and must never hold a shard lock.
+    hook_({ForwardedOp{&op, seq}});
+  }
+  return result;
+}
+
 Status KvStore::Set(const std::string& key, Bytes value) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> guard(shard.mutex);
-  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
-  return SetLocked(shard, key, std::move(value));
+  KvsBatchOp op;
+  op.op = KvsOp::kSet;
+  op.key = key;
+  op.bytes = std::move(value);
+  return MutateOne(op).status;
 }
 
 Status KvStore::SetLocked(Shard& shard, const std::string& key, Bytes value) {
@@ -151,10 +212,10 @@ Result<size_t> KvStore::Size(const std::string& key) const {
 }
 
 Status KvStore::Delete(const std::string& key) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> guard(shard.mutex);
-  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
-  return DeleteLocked(shard, key);
+  KvsBatchOp op;
+  op.op = KvsOp::kDelete;
+  op.key = key;
+  return MutateOne(op).status;
 }
 
 Status KvStore::DeleteLocked(Shard& shard, const std::string& key) {
@@ -185,10 +246,12 @@ Result<Bytes> KvStore::GetRangeLocked(const Shard& shard, const std::string& key
 }
 
 Status KvStore::SetRange(const std::string& key, size_t offset, const Bytes& bytes) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> guard(shard.mutex);
-  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
-  return SetRangeLocked(shard, key, offset, bytes);
+  KvsBatchOp op;
+  op.op = KvsOp::kSetRange;
+  op.key = key;
+  op.offset = offset;
+  op.bytes = bytes;
+  return MutateOne(op).status;
 }
 
 Status KvStore::SetRangeLocked(Shard& shard, const std::string& key, size_t offset,
@@ -205,10 +268,11 @@ Status KvStore::SetRangeLocked(Shard& shard, const std::string& key, size_t offs
 }
 
 Status KvStore::SetRanges(const std::string& key, const std::vector<ValueRange>& ranges) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> guard(shard.mutex);
-  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
-  return SetRangesLocked(shard, key, ranges);
+  KvsBatchOp op;
+  op.op = KvsOp::kSetRanges;
+  op.key = key;
+  op.ranges = ranges;
+  return MutateOne(op).status;
 }
 
 Status KvStore::SetRangesLocked(Shard& shard, const std::string& key,
@@ -233,10 +297,13 @@ Status KvStore::SetRangesLocked(Shard& shard, const std::string& key,
 }
 
 Result<size_t> KvStore::Append(const std::string& key, const Bytes& bytes) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> guard(shard.mutex);
-  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
-  return AppendLocked(shard, key, bytes);
+  KvsBatchOp op;
+  op.op = KvsOp::kAppend;
+  op.key = key;
+  op.bytes = bytes;
+  KvsBatchResult result = MutateOne(op);
+  FAASM_RETURN_IF_ERROR(result.status);
+  return static_cast<size_t>(result.length);
 }
 
 Result<size_t> KvStore::AppendLocked(Shard& shard, const std::string& key, const Bytes& bytes) {
@@ -245,59 +312,50 @@ Result<size_t> KvStore::AppendLocked(Shard& shard, const std::string& key, const
   return value.size();
 }
 
-Result<bool> KvStore::TryLockRead(const std::string& key, const std::string& /*owner*/) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> guard(shard.mutex);
-  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
-  LockState& lock = shard.locks[key];
-  if (!lock.writer.empty()) {
-    return false;
-  }
-  ++lock.readers;
-  return true;
+Result<bool> KvStore::TryLockRead(const std::string& key, const std::string& owner) {
+  KvsBatchOp op;
+  op.op = KvsOp::kLockRead;
+  op.key = key;
+  op.member = owner;
+  KvsBatchResult result = MutateOne(op);
+  FAASM_RETURN_IF_ERROR(result.status);
+  return result.flag;
 }
 
 Result<bool> KvStore::TryLockWrite(const std::string& key, const std::string& owner) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> guard(shard.mutex);
-  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
-  LockState& lock = shard.locks[key];
-  if (!lock.writer.empty() || lock.readers > 0) {
-    return false;
-  }
-  lock.writer = owner;
-  return true;
+  KvsBatchOp op;
+  op.op = KvsOp::kLockWrite;
+  op.key = key;
+  op.member = owner;
+  KvsBatchResult result = MutateOne(op);
+  FAASM_RETURN_IF_ERROR(result.status);
+  return result.flag;
 }
 
-Status KvStore::UnlockRead(const std::string& key, const std::string& /*owner*/) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> guard(shard.mutex);
-  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
-  LockState& lock = shard.locks[key];
-  if (lock.readers <= 0) {
-    return FailedPrecondition("kvs: read-unlock without lock: " + key);
-  }
-  --lock.readers;
-  return OkStatus();
+Status KvStore::UnlockRead(const std::string& key, const std::string& owner) {
+  KvsBatchOp op;
+  op.op = KvsOp::kUnlockRead;
+  op.key = key;
+  op.member = owner;
+  return MutateOne(op).status;
 }
 
 Status KvStore::UnlockWrite(const std::string& key, const std::string& owner) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> guard(shard.mutex);
-  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
-  LockState& lock = shard.locks[key];
-  if (lock.writer != owner) {
-    return FailedPrecondition("kvs: write-unlock by non-owner: " + key);
-  }
-  lock.writer.clear();
-  return OkStatus();
+  KvsBatchOp op;
+  op.op = KvsOp::kUnlockWrite;
+  op.key = key;
+  op.member = owner;
+  return MutateOne(op).status;
 }
 
 Result<bool> KvStore::SetAdd(const std::string& key, const std::string& member) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> guard(shard.mutex);
-  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
-  return SetAddLocked(shard, key, member);
+  KvsBatchOp op;
+  op.op = KvsOp::kSetAdd;
+  op.key = key;
+  op.member = member;
+  KvsBatchResult result = MutateOne(op);
+  FAASM_RETURN_IF_ERROR(result.status);
+  return result.flag;
 }
 
 Result<bool> KvStore::SetAddLocked(Shard& shard, const std::string& key,
@@ -306,10 +364,13 @@ Result<bool> KvStore::SetAddLocked(Shard& shard, const std::string& key,
 }
 
 Result<bool> KvStore::SetRemove(const std::string& key, const std::string& member) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> guard(shard.mutex);
-  FAASM_RETURN_IF_ERROR(CheckServableLocked(shard, key));
-  return SetRemoveLocked(shard, key, member);
+  KvsBatchOp op;
+  op.op = KvsOp::kSetRemove;
+  op.key = key;
+  op.member = member;
+  KvsBatchResult result = MutateOne(op);
+  FAASM_RETURN_IF_ERROR(result.status);
+  return result.flag;
 }
 
 Result<bool> KvStore::SetRemoveLocked(Shard& shard, const std::string& key,
@@ -372,6 +433,43 @@ KvsBatchResult KvStore::ApplyLocked(Shard& shard, const KvsBatchOp& op) {
       }
       break;
     }
+    // Lock ops, with the owner in `member`. Unreachable from the public
+    // batch wire (its decode rejects them); they arrive here from the
+    // single-op funnel (MutateOne) and the replication forward channel.
+    case KvsOp::kLockRead: {
+      LockState& lock = shard.locks[op.key];
+      result.flag = lock.writer.empty();
+      if (result.flag) {
+        ++lock.readers;
+      }
+      break;
+    }
+    case KvsOp::kLockWrite: {
+      LockState& lock = shard.locks[op.key];
+      result.flag = lock.writer.empty() && lock.readers == 0;
+      if (result.flag) {
+        lock.writer = op.member;
+      }
+      break;
+    }
+    case KvsOp::kUnlockRead: {
+      LockState& lock = shard.locks[op.key];
+      if (lock.readers <= 0) {
+        result.status = FailedPrecondition("kvs: read-unlock without lock: " + op.key);
+        break;
+      }
+      --lock.readers;
+      break;
+    }
+    case KvsOp::kUnlockWrite: {
+      LockState& lock = shard.locks[op.key];
+      if (lock.writer != op.member) {
+        result.status = FailedPrecondition("kvs: write-unlock by non-owner: " + op.key);
+        break;
+      }
+      lock.writer.clear();
+      break;
+    }
     default:
       result.status = InvalidArgument("kvs: op not batchable");
       break;
@@ -380,7 +478,16 @@ KvsBatchResult KvStore::ApplyLocked(Shard& shard, const KvsBatchOp& op) {
 }
 
 std::vector<KvsBatchResult> KvStore::ExecuteBatch(const std::vector<const KvsBatchOp*>& ops) {
+  MutationScope scope(inflight_);
+  const bool forwarding = ForwardingActive();
   std::vector<KvsBatchResult> results(ops.size());
+  // Per-op apply sequences, captured under each bucket's shard mutex
+  // (0 = not forwarded). The hook fires ONCE for the whole batch, after
+  // every mutex is released, so one forward RPC can carry the batch.
+  std::vector<uint64_t> seqs;
+  if (forwarding) {
+    seqs.assign(ops.size(), 0);
+  }
   // Bucket op indices by internal shard, preserving request order within
   // each bucket (ops on the same key always share a bucket, so their
   // relative order survives the grouping).
@@ -402,9 +509,23 @@ std::vector<KvsBatchResult> KvStore::ExecuteBatch(const std::vector<const KvsBat
       Status servable = CheckServableLocked(shard, op.key);
       if (servable.ok()) {
         results[i] = ApplyLocked(shard, op);
+        if (forwarding && ShouldForward(op, results[i])) {
+          seqs[i] = mutation_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+        }
       } else {
         results[i].status = std::move(servable);
       }
+    }
+  }
+  if (forwarding) {
+    std::vector<ForwardedOp> applied;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (seqs[i] != 0) {
+        applied.push_back(ForwardedOp{ops[i], seqs[i]});
+      }
+    }
+    if (!applied.empty()) {
+      hook_(applied);
     }
   }
   return results;
@@ -492,6 +613,10 @@ KeyExport KvStore::ExportKey(const std::string& key) const {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> guard(shard.mutex);
   KeyExport record;
+  // Floor for the installing backup's duplicate filter: any op on this key
+  // with seq <= the snapshot's is already folded in (the key's own shard
+  // mutex is held, so no smaller-seq op on it can still be mid-apply).
+  record.seq = mutation_seq_.load(std::memory_order_relaxed);
   if (auto it = shard.values.find(key); it != shard.values.end()) {
     record.has_value = true;
     record.value = it->second;

@@ -30,6 +30,7 @@
 #ifndef FAASM_KVS_KV_STORE_H_
 #define FAASM_KVS_KV_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -81,6 +82,29 @@ enum class KvsOp : uint8_t {
 // True for the sub-ops a kGetBatch (read-only batch) may carry.
 inline bool IsReadBatchOp(KvsOp op) { return op == KvsOp::kGet || op == KvsOp::kGetRange; }
 
+// True for ops that mutate store state. This is the set the replication
+// substrate (kvs/replication.h) forwards primary→backup; the lock ops count
+// because lock state must survive a failover exactly as it survives a
+// migration.
+inline bool IsMutatingOp(KvsOp op) {
+  switch (op) {
+    case KvsOp::kSet:
+    case KvsOp::kSetRange:
+    case KvsOp::kSetRanges:
+    case KvsOp::kAppend:
+    case KvsOp::kDelete:
+    case KvsOp::kLockRead:
+    case KvsOp::kLockWrite:
+    case KvsOp::kUnlockRead:
+    case KvsOp::kUnlockWrite:
+    case KvsOp::kSetAdd:
+    case KvsOp::kSetRemove:
+      return true;
+    default:
+      return false;
+  }
+}
+
 // One write range of a batched SetRanges: `bytes` lands at `offset`.
 struct ValueRange {
   uint64_t offset = 0;
@@ -110,6 +134,10 @@ struct KvsBatchOp {
   Bytes bytes;
   std::vector<ValueRange> ranges;
   std::string member;
+  // Replication forward channel only (kvs/batch_codec.h, replica dialect):
+  // the primary's apply sequence for this op. Always 0 on the public kBatch
+  // wire and for locally built batches.
+  uint64_t seq = 0;
 };
 
 // Per-op outcome of ExecuteBatch, index-aligned with the request. At most
@@ -130,6 +158,10 @@ struct KeyExport {
   int lock_readers = 0;
   std::string lock_writer;
   std::vector<std::string> set_members;
+  // The exporting store's apply sequence at snapshot time. A backup that
+  // installs this record uses it as the key's duplicate-filter floor:
+  // forwarded ops with seq <= this were already folded into the snapshot.
+  uint64_t seq = 0;
 
   // Wire encoding (payload of the kMigrateInstall op).
   Bytes Serialize() const;
@@ -138,6 +170,10 @@ struct KeyExport {
   bool empty() const {
     return !has_value && lock_readers == 0 && lock_writer.empty() && set_members.empty();
   }
+  // Footprint equality IGNORING `seq`: a primary's sequence moves on every
+  // mutation anywhere in the store, so reconciliation must compare content,
+  // not counters, or it would re-stream every key every pass.
+  bool SameContent(const KeyExport& other) const;
 };
 
 class KvStore {
@@ -219,6 +255,45 @@ class KvStore {
   size_t key_count() const;
   size_t total_bytes() const;
 
+  // --- Replication forwarding (kvs/replication.h) -------------------------------
+  // One successfully applied mutating op, as handed to the update hook.
+  // `op` stays valid only for the duration of the hook call; `seq` is the
+  // store-wide apply sequence captured under the op's shard mutex, so for
+  // any single key, seq order equals apply order.
+  struct ForwardedOp {
+    const KvsBatchOp* op = nullptr;
+    uint64_t seq = 0;
+  };
+  using UpdateHook = std::function<void(const std::vector<ForwardedOp>&)>;
+  // Installs the hook fired — OUTSIDE every shard mutex, on the mutating
+  // caller's thread — after each successful mutating apply (per op for the
+  // single-op methods; once per batch, with every applied op, for
+  // ExecuteBatch). Wire it before the store serves traffic: installation is
+  // not synchronised against in-flight ops. Lock acquisitions that did not
+  // acquire (flag=false) changed nothing and are not forwarded.
+  void SetUpdateHook(UpdateHook hook) { hook_ = std::move(hook); }
+  // Ops currently between "entered the store" and "hook returned". The
+  // failover quiesce barrier waits for 0: with the dead store fenced, zero
+  // here means every op that will ever be acked has finished forwarding.
+  int inflight_mutations() const { return inflight_.load(); }
+
+  // RAII: suppresses update-hook calls from the current thread. Seeding and
+  // mirror paths (ShardedKvs, the replication manager's own installs) write
+  // stores whose replication is handled by other means — and may run on
+  // threads that must not touch the network clock — so forwarding them
+  // again would double-apply or deadlock.
+  class HookPause {
+   public:
+    HookPause() { ++Depth(); }
+    ~HookPause() { --Depth(); }
+    HookPause(const HookPause&) = delete;
+    HookPause& operator=(const HookPause&) = delete;
+    static bool active() { return Depth() > 0; }
+
+   private:
+    static int& Depth();
+  };
+
  private:
   struct LockState {
     int readers = 0;
@@ -263,6 +338,18 @@ class KvStore {
   // Applies one batch sub-op (shard.mutex held, servability checked).
   static KvsBatchResult ApplyLocked(Shard& shard, const KvsBatchOp& op);
 
+  // The single-op mutation funnel: servability check + ApplyLocked under
+  // the key's shard mutex, then — outside the mutex — the update hook with
+  // the op's captured apply sequence. Every public mutating method routes
+  // through here so none can dodge the forwarding path.
+  KvsBatchResult MutateOne(const KvsBatchOp& op);
+  // True when `op`'s successful result changed state worth forwarding (a
+  // lock try that did not acquire is applied-but-inert).
+  static bool ShouldForward(const KvsBatchOp& op, const KvsBatchResult& result);
+  // Forward only when a hook is installed and this thread is not inside a
+  // HookPause (seeding / mirror writes).
+  bool ForwardingActive() const { return hook_ != nullptr && !HookPause::active(); }
+
   // Requires shard.mutex. The single point every status-capable op funnels
   // through, so none can forget the freeze, the migration filter, or the
   // ownership guard.
@@ -280,6 +367,14 @@ class KvStore {
   }
 
   mutable Shard shards_[kShards];
+  // Set once before the store serves traffic (SetUpdateHook); read
+  // unsynchronised on the mutation path.
+  UpdateHook hook_;
+  // Store-wide apply sequence, incremented under the mutating op's shard
+  // mutex, so per-key ordering is exact. Starts at 1 (0 = "no floor").
+  std::atomic<uint64_t> mutation_seq_{0};
+  // See inflight_mutations().
+  mutable std::atomic<int> inflight_{0};
 };
 
 }  // namespace faasm

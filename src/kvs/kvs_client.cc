@@ -4,187 +4,13 @@
 #include <functional>
 #include <map>
 
+#include "kvs/batch_codec.h"
 #include "net/framing.h"
 
 namespace faasm {
 
-namespace {
-// Response layout: u8 status_code, then payload (op-specific).
-void WriteStatus(ByteWriter& writer, const Status& status) {
-  writer.Put<uint8_t>(static_cast<uint8_t>(status.code()));
-}
-
-Status ReadStatus(ByteReader& reader) {
-  auto code = reader.Get<uint8_t>();
-  if (!code.ok()) {
-    return Internal("kvs: malformed response");
-  }
-  const auto status_code = static_cast<StatusCode>(code.value());
-  if (status_code == StatusCode::kOk) {
-    return OkStatus();
-  }
-  return Status(status_code, "kvs remote error");
-}
-
-// --- Batch sub-op codec ---------------------------------------------------------
-// A sub-request reuses the single-op wire layout (u8 op, key, args); a
-// sub-response reuses the single-op response layout (u8 status, payload).
-// Both travel length-prefixed inside one kBatch frame (net/framing.h).
-
-Bytes EncodeBatchOp(const KvsBatchOp& op) {
-  Bytes out;
-  ByteWriter writer(out);
-  writer.Put<uint8_t>(static_cast<uint8_t>(op.op));
-  writer.PutString(op.key);
-  switch (op.op) {
-    case KvsOp::kGet:
-    case KvsOp::kDelete:
-      break;
-    case KvsOp::kGetRange:
-      writer.Put<uint64_t>(op.offset);
-      writer.Put<uint64_t>(op.len);
-      break;
-    case KvsOp::kSet:
-    case KvsOp::kAppend:
-      writer.PutBytes(op.bytes);
-      break;
-    case KvsOp::kSetRange:
-      writer.Put<uint64_t>(op.offset);
-      writer.PutBytes(op.bytes);
-      break;
-    case KvsOp::kSetRanges: {
-      writer.Put<uint32_t>(static_cast<uint32_t>(op.ranges.size()));
-      for (const ValueRange& range : op.ranges) {
-        writer.Put<uint64_t>(range.offset);
-        writer.PutBytes(range.bytes);
-      }
-      break;
-    }
-    case KvsOp::kSetAdd:
-    case KvsOp::kSetRemove:
-      writer.PutString(op.member);
-      break;
-    default:
-      break;  // not batchable; the server answers InvalidArgument
-  }
-  return out;
-}
-
-Result<KvsBatchOp> DecodeBatchOp(const Bytes& part) {
-  ByteReader reader(part);
-  KvsBatchOp op;
-  FAASM_ASSIGN_OR_RETURN(uint8_t code, reader.Get<uint8_t>());
-  op.op = static_cast<KvsOp>(code);
-  FAASM_ASSIGN_OR_RETURN(op.key, reader.GetString());
-  switch (op.op) {
-    case KvsOp::kGet:
-    case KvsOp::kDelete:
-      break;
-    case KvsOp::kGetRange: {
-      FAASM_ASSIGN_OR_RETURN(op.offset, reader.Get<uint64_t>());
-      FAASM_ASSIGN_OR_RETURN(op.len, reader.Get<uint64_t>());
-      break;
-    }
-    case KvsOp::kSet:
-    case KvsOp::kAppend: {
-      FAASM_ASSIGN_OR_RETURN(op.bytes, reader.GetBytes());
-      break;
-    }
-    case KvsOp::kSetRange: {
-      FAASM_ASSIGN_OR_RETURN(op.offset, reader.Get<uint64_t>());
-      FAASM_ASSIGN_OR_RETURN(op.bytes, reader.GetBytes());
-      break;
-    }
-    case KvsOp::kSetRanges: {
-      FAASM_ASSIGN_OR_RETURN(uint32_t count, reader.Get<uint32_t>());
-      op.ranges.reserve(std::min<uint32_t>(count, 1024));
-      for (uint32_t i = 0; i < count; ++i) {
-        ValueRange range;
-        FAASM_ASSIGN_OR_RETURN(range.offset, reader.Get<uint64_t>());
-        FAASM_ASSIGN_OR_RETURN(range.bytes, reader.GetBytes());
-        op.ranges.push_back(std::move(range));
-      }
-      break;
-    }
-    case KvsOp::kSetAdd:
-    case KvsOp::kSetRemove: {
-      FAASM_ASSIGN_OR_RETURN(op.member, reader.GetString());
-      break;
-    }
-    default:
-      return InvalidArgument("kvs: op not batchable");
-  }
-  return op;
-}
-
-Bytes EncodeBatchResult(const KvsOp op, const KvsBatchResult& result) {
-  Bytes out;
-  ByteWriter writer(out);
-  WriteStatus(writer, result.status);
-  if (!result.status.ok()) {
-    return out;
-  }
-  switch (op) {
-    case KvsOp::kGet:
-    case KvsOp::kGetRange:
-      writer.PutBytes(result.value);
-      break;
-    case KvsOp::kAppend:
-      writer.Put<uint64_t>(result.length);
-      break;
-    case KvsOp::kSetAdd:
-    case KvsOp::kSetRemove:
-      writer.Put<uint8_t>(result.flag ? 1 : 0);
-      break;
-    default:
-      break;
-  }
-  return out;
-}
-
-KvsBatchResult DecodeBatchResult(const KvsOp op, const Bytes& part) {
-  KvsBatchResult result;
-  ByteReader reader(part);
-  result.status = ReadStatus(reader);
-  if (!result.status.ok()) {
-    return result;
-  }
-  switch (op) {
-    case KvsOp::kGet:
-    case KvsOp::kGetRange: {
-      auto value = reader.GetBytes();
-      if (!value.ok()) {
-        result.status = value.status();
-      } else {
-        result.value = std::move(value).value();
-      }
-      break;
-    }
-    case KvsOp::kAppend: {
-      auto length = reader.Get<uint64_t>();
-      if (!length.ok()) {
-        result.status = length.status();
-      } else {
-        result.length = length.value();
-      }
-      break;
-    }
-    case KvsOp::kSetAdd:
-    case KvsOp::kSetRemove: {
-      auto flag = reader.Get<uint8_t>();
-      if (!flag.ok()) {
-        result.status = flag.status();
-      } else {
-        result.flag = flag.value() != 0;
-      }
-      break;
-    }
-    default:
-      break;
-  }
-  return result;
-}
-}  // namespace
+// The wire codec (WriteStatus/ReadStatus, the batch sub-op dialects) lives
+// in kvs/batch_codec.{h,cc}, shared with the replication forward channel.
 
 // --- Server -------------------------------------------------------------------
 
@@ -210,6 +36,13 @@ Bytes KvsServer::Handle(const Bytes& request) {
   if (op == KvsOp::kGet || op == KvsOp::kGetRange || op == KvsOp::kSize ||
       op == KvsOp::kGetBatch) {
     read_rpcs_.Increment();
+  }
+  // Write-side twin of the read tally. kBatch counts as one write RPC (its
+  // sub-ops may mix, but only a mutating batch ships as kBatch);
+  // kMigrateInstall is excluded — stream traffic is accounted by the
+  // migration/replication subsystems, not as client write load.
+  if (IsMutatingOp(op) || op == KvsOp::kBatch) {
+    write_rpcs_.Increment();
   }
   if (op == KvsOp::kBatch || op == KvsOp::kGetBatch) {
     // Batched request: no top-level key — each framed sub-op carries its
@@ -974,7 +807,10 @@ Status KvsClient::RunGroup(std::vector<OpBatch::Pending> ops) {
     auto settle = [&](std::vector<OpBatch::Pending>& group,
                       std::vector<KvsBatchResult> results, bool from_remote) {
       for (size_t i = 0; i < group.size(); ++i) {
-        const bool bounced = results[i].status.code() == StatusCode::kWrongMaster;
+        // kUnavailable bounces like kWrongMaster: the master crashed and its
+        // endpoint vanished; the failover epoch flip reroutes the retry.
+        const bool bounced = results[i].status.code() == StatusCode::kWrongMaster ||
+                             results[i].status.code() == StatusCode::kUnavailable;
         if (bounced && shards_ != nullptr && attempt < kMaxRedirectRetries) {
           ops.push_back(std::move(group[i]));  // retry just this op
           continue;

@@ -26,6 +26,14 @@
 // ownership check: it is how the migration subsystem streams a key into its
 // new master before the epoch flips.
 //
+// CRASHES (runtime/cluster.h KillHost) are discovered the same way, one
+// error code earlier: a killed host's endpoints vanish from the network, so
+// ops against it fail with kUnavailable at the transport. With a map the
+// client treats that exactly like kWrongMaster — back off, re-resolve,
+// retry — because the failover path (kvs/replication.h) promotes a backup
+// and flips the epoch, after which the retry routes to the new master.
+// Without a map, kUnavailable surfaces immediately, like every other error.
+//
 // Constructed without a ShardMap, the client is an ADAPTER over the same
 // routed machinery: every key resolves to the single configured endpoint
 // (the pre-sharding baseline, kept for ablations and component tests), all
@@ -110,6 +118,11 @@ class KvsServer {
   // over the network. Master-local reads never reach the server, so this is
   // exactly the cross-host pull RPC count the benches gate on.
   uint64_t read_rpc_count() const { return read_rpcs_.value(); }
+  // Write-side twin: mutating single-op RPCs plus kBatch requests this
+  // server answered. Excludes kMigrateInstall (migration/replication
+  // streams are accounted by their own subsystems). Replication tests bound
+  // the forwarded-op RPC overhead against this baseline.
+  uint64_t write_rpc_count() const { return write_rpcs_.value(); }
 
  private:
   Bytes Handle(const Bytes& request);
@@ -124,6 +137,7 @@ class KvsServer {
   std::string endpoint_;
   const ShardMap* map_;
   Counter read_rpcs_;
+  Counter write_rpcs_;
 };
 
 // Options of the unified read API (KvsClient::Read / OpBatch::Read):
@@ -339,6 +353,18 @@ class KvsClient {
   static bool IsWrongMaster(const Result<T>& result) {
     return !result.ok() && result.status().code() == StatusCode::kWrongMaster;
   }
+  // A crashed master (FaasmCluster::KillHost) is discovered as kUnavailable:
+  // its endpoints unregister abruptly, so in-flight and fresh ops fail at
+  // the transport. With a map, that is as transient as kWrongMaster — the
+  // failover flips the epoch and the retry reroutes to the promoted master —
+  // so both share the redirect/backoff budget.
+  static bool IsUnavailable(const Status& status) {
+    return status.code() == StatusCode::kUnavailable;
+  }
+  template <typename T>
+  static bool IsUnavailable(const Result<T>& result) {
+    return !result.ok() && result.status().code() == StatusCode::kUnavailable;
+  }
 
   // Resolves `key`'s route and dispatches: master-local ops run `local`
   // against the in-process store (zero network bytes), the rest run
@@ -357,7 +383,8 @@ class KvsClient {
     while (true) {
       Route route = RouteFor(key);
       R result = route.local != nullptr ? R(local(*route.local)) : R(remote(route.endpoint));
-      if (!IsWrongMaster(result) || shards_ == nullptr || attempt >= kMaxRedirectRetries) {
+      const bool retryable = IsWrongMaster(result) || IsUnavailable(result);
+      if (!retryable || shards_ == nullptr || attempt >= kMaxRedirectRetries) {
         return result;
       }
       ++attempt;

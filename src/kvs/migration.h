@@ -1,4 +1,23 @@
-// Shard migration: the data-plane half of dynamic cluster membership.
+// Shard migration: the data-plane half of dynamic cluster membership — and
+// the SHARED STREAM CORE of the replication substrate (kvs/replication.h).
+//
+// One mechanism moves key footprints between stores everywhere in this
+// codebase: a frozen, consistent KeyExport snapshot (value bytes, lock
+// ownership, set members) shipped as a kMigrateInstall RPC and installed
+// before any routing change becomes visible. ShardMigrator built it for
+// planned membership changes; the replication layer reuses the identical
+// wire op and record for backup catch-up (Reconcile streams a lagging
+// replica the same bytes a migration would) and for crash failover
+// (promoting a backup copy into a new master IS a migration stream whose
+// source happens to be a replica). Two guarantees are therefore inherited,
+// not re-implemented, by every consumer of the stream:
+//
+//   - PRE-FLIP INSTALLS: data lands on its destination before the epoch
+//     flip that routes clients at it, so a post-flip write can never be
+//     clobbered by a stale install;
+//   - FILTER-BEFORE-ENUMERATE: the migration filter goes up before any key
+//     listing, bouncing creations of moving keys, so no key can be created
+//     behind the plan and stranded (the enumeration race).
 //
 // When a host joins or leaves the sharded global tier (runtime/cluster.h
 // AddHost/RemoveHost), ~1/N of the keyspace changes master. ShardMigrator

@@ -1,0 +1,535 @@
+#include "kvs/replication.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "kvs/batch_codec.h"
+#include "net/framing.h"
+
+namespace faasm {
+
+std::vector<std::string> BackupsFor(const std::set<std::string>& endpoints,
+                                    const std::string& primary, int factor) {
+  std::vector<std::string> backups;
+  if (factor <= 1 || endpoints.empty()) {
+    return backups;
+  }
+  const std::vector<std::string> ordered(endpoints.begin(), endpoints.end());
+  const size_t others = ordered.size() - (endpoints.count(primary) > 0 ? 1 : 0);
+  const size_t want = std::min<size_t>(static_cast<size_t>(factor - 1), others);
+  // First endpoint strictly after `primary` in sorted order, wrapping: the
+  // clockwise walk that mirrors ring succession.
+  size_t start = std::upper_bound(ordered.begin(), ordered.end(), primary) - ordered.begin();
+  for (size_t step = 0; step < ordered.size() && backups.size() < want; ++step) {
+    const std::string& candidate = ordered[(start + step) % ordered.size()];
+    if (candidate != primary) {
+      backups.push_back(candidate);
+    }
+  }
+  return backups;
+}
+
+std::string ReplicaEndpointForHost(const std::string& host) { return "rep:" + host; }
+
+// --- ReplicaShard -------------------------------------------------------------
+
+std::vector<KvsBatchResult> ReplicaShard::ApplyForwarded(const std::vector<KvsBatchOp>& ops) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<KvsBatchResult> results(ops.size());
+  std::vector<const KvsBatchOp*> fresh;
+  std::vector<size_t> fresh_index;
+  fresh.reserve(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    uint64_t& floor = floor_[ops[i].key];
+    if (ops[i].seq <= floor) {
+      // Already folded into an installed snapshot, or an older write that
+      // lost a same-key race: dropping it is what keeps replay idempotent.
+      skipped_ops_.Increment();
+      continue;  // results[i] defaults to Ok
+    }
+    floor = ops[i].seq;
+    fresh.push_back(&ops[i]);
+    fresh_index.push_back(i);
+  }
+  std::vector<KvsBatchResult> applied = store_.ExecuteBatch(fresh);
+  for (size_t j = 0; j < applied.size(); ++j) {
+    results[fresh_index[j]] = std::move(applied[j]);
+  }
+  return results;
+}
+
+void ReplicaShard::Install(const std::string& key, const KeyExport& record, bool only_if_newer) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (only_if_newer) {
+    auto it = floor_.find(key);
+    if (it != floor_.end() && it->second > record.seq) {
+      return;  // a forward newer than this snapshot already applied
+    }
+  }
+  floor_[key] = record.seq;
+  store_.InstallKey(key, record);
+}
+
+void ReplicaShard::AnchorFloor(const std::string& key, uint64_t seq) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  floor_[key] = seq;
+}
+
+void ReplicaShard::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  floor_.erase(key);
+  store_.EraseKey(key);
+}
+
+void ReplicaShard::Clear() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  floor_.clear();
+  for (const std::string& key : store_.Keys()) {
+    store_.EraseKey(key);
+  }
+}
+
+// --- ReplicaServer ------------------------------------------------------------
+
+ReplicaServer::ReplicaServer(ReplicaShard* shard, InProcNetwork* network, std::string endpoint)
+    : shard_(shard), network_(network), endpoint_(std::move(endpoint)) {
+  network_->RegisterEndpoint(endpoint_, [this](const Bytes& request) { return Handle(request); });
+}
+
+ReplicaServer::~ReplicaServer() { network_->UnregisterEndpoint(endpoint_); }
+
+Bytes ReplicaServer::Handle(const Bytes& request) {
+  Bytes out;
+  ByteWriter writer(out);
+  ByteReader reader(request);
+  auto code = reader.Get<uint8_t>();
+  if (!code.ok()) {
+    WriteStatus(writer, InvalidArgument("replica: empty request"));
+    return out;
+  }
+  const auto op = static_cast<KvsOp>(code.value());
+
+  if (op == KvsOp::kMigrateInstall) {
+    // A catch-up / promotion snapshot: same wire as the migration stream.
+    auto key = reader.GetString();
+    if (!key.ok()) {
+      WriteStatus(writer, key.status());
+      return out;
+    }
+    auto payload = reader.GetBytes();
+    if (!payload.ok()) {
+      WriteStatus(writer, payload.status());
+      return out;
+    }
+    auto record = KeyExport::Deserialize(payload.value());
+    if (!record.ok()) {
+      WriteStatus(writer, record.status());
+      return out;
+    }
+    shard_->Install(key.value(), record.value());
+    WriteStatus(writer, OkStatus());
+    return out;
+  }
+
+  if (op != KvsOp::kBatch) {
+    WriteStatus(writer, InvalidArgument("replica: unsupported op"));
+    return out;
+  }
+
+  auto parts = ReadFrameBatch(reader);
+  if (!parts.ok()) {
+    WriteStatus(writer, parts.status());
+    return out;
+  }
+  // Decode every sub-op first so results stay index-aligned even when a part
+  // is malformed (mirrors KvsServer::HandleBatch).
+  std::vector<Status> decode_status(parts.value().size(), OkStatus());
+  std::vector<KvsBatchOp> decoded;
+  std::vector<size_t> decoded_index;
+  for (size_t i = 0; i < parts.value().size(); ++i) {
+    auto decoded_op = DecodeReplicaOp(parts.value()[i]);
+    if (!decoded_op.ok()) {
+      decode_status[i] = decoded_op.status();
+      continue;
+    }
+    decoded.push_back(std::move(decoded_op).value());
+    decoded_index.push_back(i);
+  }
+  std::vector<KvsBatchResult> applied = shard_->ApplyForwarded(decoded);
+  std::vector<KvsBatchResult> results(parts.value().size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    results[i].status = decode_status[i];
+  }
+  std::vector<KvsOp> result_ops(parts.value().size(), KvsOp::kGet);
+  for (size_t j = 0; j < decoded_index.size(); ++j) {
+    result_ops[decoded_index[j]] = decoded[j].op;
+    results[decoded_index[j]] = std::move(applied[j]);
+  }
+
+  forward_rpcs_.Increment();
+  forwarded_ops_.Increment(decoded.size());
+
+  WriteStatus(writer, OkStatus());
+  std::vector<Bytes> result_parts;
+  result_parts.reserve(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    result_parts.push_back(EncodeBatchResult(result_ops[i], results[i]));
+  }
+  WriteFrameBatch(writer, result_parts);
+  return out;
+}
+
+// --- ShardReplicator ----------------------------------------------------------
+
+ShardReplicator::ShardReplicator(InProcNetwork* network, const ShardMap* map,
+                                 std::string primary_endpoint, const ReplicationConfig* config,
+                                 ReplicationStats* stats)
+    : network_(network),
+      map_(map),
+      primary_endpoint_(std::move(primary_endpoint)),
+      config_(config),
+      stats_(stats) {}
+
+std::vector<std::string> ShardReplicator::BackupReplicaEndpoints() const {
+  std::vector<std::string> replicas;
+  for (const std::string& backup :
+       BackupsFor(map_->Snapshot().endpoints(), primary_endpoint_, config_->factor)) {
+    const std::string host = ShardMap::HostForEndpoint(backup);
+    if (!host.empty()) {
+      replicas.push_back(ReplicaEndpointForHost(host));
+    }
+  }
+  return replicas;
+}
+
+void ShardReplicator::OnApplied(const std::vector<KvStore::ForwardedOp>& ops) {
+  std::vector<Bytes> parts;
+  parts.reserve(ops.size());
+  for (const KvStore::ForwardedOp& forwarded : ops) {
+    parts.push_back(EncodeReplicaOp(*forwarded.op, forwarded.seq));
+  }
+  if (parts.empty()) {
+    return;
+  }
+  if (config_->sync) {
+    Ship(std::move(parts), ops.size());
+    return;
+  }
+  std::vector<Bytes> ready;
+  size_t ready_ops = 0;
+  {
+    std::lock_guard<std::mutex> guard(queue_mutex_);
+    for (Bytes& part : parts) {
+      queue_.push_back(std::move(part));
+    }
+    queued_ops_ += ops.size();
+    if (queued_ops_ < static_cast<size_t>(config_->max_lag_ops)) {
+      return;  // still under the lag bound
+    }
+    ready.swap(queue_);
+    ready_ops = queued_ops_;
+    queued_ops_ = 0;
+  }
+  Ship(std::move(ready), ready_ops);
+}
+
+void ShardReplicator::Flush() {
+  std::vector<Bytes> ready;
+  size_t ready_ops = 0;
+  {
+    std::lock_guard<std::mutex> guard(queue_mutex_);
+    ready.swap(queue_);
+    ready_ops = queued_ops_;
+    queued_ops_ = 0;
+  }
+  if (!ready.empty()) {
+    Ship(std::move(ready), ready_ops);
+  }
+}
+
+size_t ShardReplicator::DropQueue() {
+  std::lock_guard<std::mutex> guard(queue_mutex_);
+  queue_.clear();
+  const size_t dropped = queued_ops_;
+  queued_ops_ = 0;
+  stats_->async_dropped_ops.Increment(dropped);
+  return dropped;
+}
+
+size_t ShardReplicator::queued_op_count() const {
+  std::lock_guard<std::mutex> guard(queue_mutex_);
+  return queued_ops_;
+}
+
+void ShardReplicator::Ship(std::vector<Bytes> parts, size_t op_count) {
+  Bytes request;
+  request.reserve(16);  // quiets a GCC 12 -Wstringop-overflow false positive
+  ByteWriter writer(request);
+  writer.Put<uint8_t>(static_cast<uint8_t>(KvsOp::kBatch));
+  WriteFrameBatch(writer, parts);
+  for (const std::string& replica : BackupReplicaEndpoints()) {
+    auto response = network_->Call(primary_endpoint_, replica, request);
+    if (response.ok()) {
+      stats_->forward_rpcs.Increment();
+      stats_->forwarded_ops.Increment(op_count);
+    } else {
+      // A dead or unreachable backup: the op stays applied and acked on the
+      // primary; the backup converges at the next Reconcile (or is replaced
+      // by failover). Never blocks the ack path beyond this one attempt.
+      stats_->dropped_forward_ops.Increment(op_count);
+    }
+  }
+}
+
+// --- ReplicationManager -------------------------------------------------------
+
+ReplicationManager::ReplicationManager(InProcNetwork* network, ShardMap* map,
+                                       const std::map<std::string, KvStore*>* primary_stores,
+                                       ReplicationConfig config)
+    : network_(network), map_(map), primary_stores_(primary_stores), config_(config) {}
+
+void ReplicationManager::AttachHost(const std::string& host, KvStore* primary) {
+  auto it = hosts_.find(host);
+  if (it == hosts_.end()) {
+    HostState state;
+    state.replica = std::make_unique<ReplicaShard>();
+    state.server =
+        std::make_unique<ReplicaServer>(state.replica.get(), network_, ReplicaEndpointForHost(host));
+    state.replicator = std::make_unique<ShardReplicator>(
+        network_, map_, ShardMap::EndpointForHost(host), &config_, &stats_);
+    it = hosts_.emplace(host, std::move(state)).first;
+  } else {
+    // A re-added host name: its fresh primary starts a NEW sequence space,
+    // so stale floors (and stale backup copies) must not filter its forwards.
+    it->second.replica->Clear();
+  }
+  ShardReplicator* replicator = it->second.replicator.get();
+  primary->SetUpdateHook(
+      [replicator](const std::vector<KvStore::ForwardedOp>& ops) { replicator->OnApplied(ops); });
+}
+
+ReplicaShard* ReplicationManager::ReplicaForHost(const std::string& host) {
+  auto it = hosts_.find(host);
+  return it == hosts_.end() ? nullptr : it->second.replica.get();
+}
+
+KvStore* ReplicationManager::PrimaryStoreAt(const std::string& endpoint) const {
+  auto it = primary_stores_->find(endpoint);
+  return it == primary_stores_->end() ? nullptr : it->second;
+}
+
+void ReplicationManager::MirrorKey(const std::string& key) {
+  const ShardAssignment assignment = map_->Snapshot();
+  const std::string master = assignment.MasterFor(key);
+  KvStore* primary = PrimaryStoreAt(master);
+  if (primary == nullptr) {
+    return;
+  }
+  const KeyExport record = primary->ExportKey(key);
+  for (const std::string& backup : BackupsFor(assignment.endpoints(), master, config_.factor)) {
+    ReplicaShard* replica = ReplicaForHost(ShardMap::HostForEndpoint(backup));
+    if (replica == nullptr) {
+      continue;
+    }
+    if (record.empty()) {
+      replica->Erase(key);
+    } else {
+      replica->Install(key, record, /*only_if_newer=*/true);
+    }
+  }
+}
+
+Result<uint64_t> ReplicationManager::StreamInstall(const std::string& from, const std::string& to,
+                                                   const std::string& key,
+                                                   const KeyExport& record) {
+  Bytes request;
+  ByteWriter writer(request);
+  writer.Put<uint8_t>(static_cast<uint8_t>(KvsOp::kMigrateInstall));
+  writer.PutString(key);
+  writer.PutBytes(record.Serialize());
+  FAASM_ASSIGN_OR_RETURN(Bytes response, network_->Call(from, to, request));
+  ByteReader reader(response);
+  FAASM_RETURN_IF_ERROR(ReadStatus(reader));
+  return static_cast<uint64_t>(request.size());
+}
+
+void ReplicationManager::Reconcile() {
+  FlushAll();
+  const ShardAssignment assignment = map_->Snapshot();
+
+  // Catch-up: every primary streams what its backups are missing. Content
+  // comparison (not seq comparison) decides what moves; matching copies only
+  // re-anchor their floor, which is what carries the duplicate filter across
+  // a primary change into the new primary's sequence space.
+  for (const std::string& primary_endpoint : assignment.endpoints()) {
+    KvStore* primary = PrimaryStoreAt(primary_endpoint);
+    if (primary == nullptr) {
+      continue;
+    }
+    const std::vector<std::string> backups =
+        BackupsFor(assignment.endpoints(), primary_endpoint, config_.factor);
+    if (backups.empty()) {
+      continue;
+    }
+    for (const std::string& key : primary->Keys()) {
+      if (assignment.MasterFor(key) != primary_endpoint) {
+        continue;  // residue of an unfinished handoff; not ours to replicate
+      }
+      primary->FreezeKey(key);
+      const KeyExport record = primary->ExportKey(key);
+      for (const std::string& backup_endpoint : backups) {
+        const std::string backup_host = ShardMap::HostForEndpoint(backup_endpoint);
+        ReplicaShard* replica = ReplicaForHost(backup_host);
+        if (replica == nullptr) {
+          continue;
+        }
+        const KeyExport have = replica->store()->ExportKey(key);
+        if (have.SameContent(record)) {
+          replica->AnchorFloor(key, record.seq);
+          continue;
+        }
+        auto streamed =
+            StreamInstall(primary_endpoint, ReplicaEndpointForHost(backup_host), key, record);
+        if (streamed.ok()) {
+          stats_.catchup_keys.Increment();
+          stats_.catchup_bytes.Increment(streamed.value());
+        }
+      }
+      primary->UnfreezeKey(key);
+    }
+  }
+
+  // GC: drop replica copies this assignment no longer expects the host to
+  // hold (its primary died or moved, the backup set rotated, or the key was
+  // deleted at its primary).
+  for (auto& [host, state] : hosts_) {
+    const std::string host_endpoint = ShardMap::EndpointForHost(host);
+    for (const std::string& key : state.replica->store()->Keys()) {
+      bool keep = false;
+      const std::string master = assignment.MasterFor(key);
+      if (!master.empty() && master != host_endpoint &&
+          assignment.endpoints().count(host_endpoint) > 0) {
+        const std::vector<std::string> backups =
+            BackupsFor(assignment.endpoints(), master, config_.factor);
+        KvStore* primary = PrimaryStoreAt(master);
+        keep = primary != nullptr && !primary->ExportKey(key).empty() &&
+               std::find(backups.begin(), backups.end(), host_endpoint) != backups.end();
+      }
+      if (!keep) {
+        state.replica->Erase(key);
+        stats_.replica_gc_keys.Increment();
+      }
+    }
+  }
+}
+
+FailoverStats ReplicationManager::Failover(const std::string& dead_endpoint) {
+  FailoverStats result;
+  const ShardAssignment before = map_->Snapshot();
+  const ShardAssignment after = before.Without(dead_endpoint);
+  const std::string dead_host = ShardMap::HostForEndpoint(dead_endpoint);
+
+  // The dead host's own unshipped forwards die with it (async mode).
+  if (auto it = hosts_.find(dead_host); it != hosts_.end()) {
+    result.async_dropped_ops = it->second.replicator->DropQueue();
+  }
+
+  // Union of keys the surviving backups hold for the dead primary: the only
+  // copies a crash leaves. (The dead store's memory is consulted below for
+  // lost-key ACCOUNTING only — a real deployment has no such luxury.)
+  const std::vector<std::string> backups =
+      BackupsFor(before.endpoints(), dead_endpoint, config_.factor);
+  std::set<std::string> candidates;
+  for (const std::string& backup : backups) {
+    ReplicaShard* replica = ReplicaForHost(ShardMap::HostForEndpoint(backup));
+    if (replica == nullptr) {
+      continue;
+    }
+    for (std::string& key : replica->store()->Keys()) {
+      if (before.MasterFor(key) == dead_endpoint) {
+        candidates.insert(std::move(key));
+      }
+    }
+  }
+
+  // Promote: install each surviving copy into its post-failover master,
+  // BEFORE the epoch flips (migration's install-before-flip guarantee).
+  for (const std::string& key : candidates) {
+    const std::string new_master = after.MasterFor(key);
+    if (new_master.empty()) {
+      result.lost_keys++;
+      continue;
+    }
+    KeyExport record;
+    std::string source_host;
+    for (const std::string& backup : backups) {
+      const std::string host = ShardMap::HostForEndpoint(backup);
+      ReplicaShard* replica = ReplicaForHost(host);
+      if (replica == nullptr) {
+        continue;
+      }
+      record = replica->store()->ExportKey(key);
+      if (!record.empty()) {
+        source_host = host;
+        break;
+      }
+    }
+    if (record.empty()) {
+      result.lost_keys++;
+      continue;
+    }
+    if (ShardMap::EndpointForHost(source_host) == new_master) {
+      // The promoting backup IS the new master: the copy is already on the
+      // right machine, so promotion is a local install, zero network bytes —
+      // the replication twin of the co-located fast path.
+      KvStore* primary = PrimaryStoreAt(new_master);
+      if (primary != nullptr) {
+        KvStore::HookPause pause;
+        primary->InstallKey(key, record);
+        result.promoted_keys++;
+      } else {
+        result.lost_keys++;
+      }
+      continue;
+    }
+    auto streamed = StreamInstall(ReplicaEndpointForHost(source_host), new_master, key, record);
+    if (streamed.ok()) {
+      result.promoted_keys++;
+      result.bytes_streamed += streamed.value();
+    } else {
+      result.lost_keys++;
+    }
+  }
+
+  // Lost-key accounting + hygiene: footprints only the dead primary held.
+  KvStore* dead_store = PrimaryStoreAt(dead_endpoint);
+  if (dead_store != nullptr) {
+    for (const std::string& key : dead_store->Keys()) {
+      if (before.MasterFor(key) == dead_endpoint && candidates.count(key) == 0) {
+        result.lost_keys++;
+      }
+      dead_store->EraseKey(key);
+    }
+  }
+
+  map_->RemoveShard(dead_endpoint);  // FLIP: clients reroute from here on
+  result.epoch = map_->epoch();
+
+  // The dead host's replica shard serves nothing any more.
+  if (auto it = hosts_.find(dead_host); it != hosts_.end()) {
+    it->second.replica->Clear();
+  }
+
+  stats_.failovers.Increment();
+  stats_.promoted_keys.Increment(result.promoted_keys);
+  stats_.lost_keys.Increment(result.lost_keys);
+  return result;
+}
+
+void ReplicationManager::FlushAll() {
+  for (auto& [host, state] : hosts_) {
+    state.replicator->Flush();
+  }
+}
+
+}  // namespace faasm

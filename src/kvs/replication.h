@@ -1,0 +1,280 @@
+// Per-shard primary-backup replication: the migration stream promoted into a
+// standing replication substrate (the generalisation of kvs/migration.h).
+//
+// Each host's primary shard keeps R-1 live BACKUP copies on the next R-1
+// hosts clockwise from it in sorted endpoint order (BackupsFor). Three data
+// paths keep the backups current:
+//
+//   - FORWARDING: every mutating op a primary applies is handed to its
+//     ShardReplicator through KvStore::SetUpdateHook and shipped to each
+//     backup's ReplicaServer ("rep:<host>") as a kBatch of replica-dialect
+//     sub-ops (kvs/batch_codec.h) — the same framed protocol the public
+//     batch path rides. In SYNC mode the ship happens on the mutating
+//     caller's thread before the op returns, so an acked op is on every
+//     live backup. In ASYNC mode ops queue and ship once max_lag_ops
+//     accumulate: the bounded-lag ablation, which may lose the queue on a
+//     crash.
+//   - CATCH-UP (Reconcile): after any membership change, each primary
+//     streams the keys its backups are missing — the migration stream
+//     (kMigrateInstall + KeyExport) aimed at a replica endpoint. Lock state
+//     and SET members travel with the key, exactly as they do in migration.
+//   - FAILOVER: when a host dies abruptly (FaasmCluster::KillHost), every
+//     key it mastered is promoted from a surviving backup copy into the
+//     key's post-failover master, installs landing BEFORE the ShardMap
+//     epoch flips (migration's install-before-flip guarantee, inherited),
+//     so clients recover through the ordinary kWrongMaster/kUnavailable
+//     bounce and the (key, epoch)-keyed read cache invalidates implicitly.
+//
+// DUPLICATE FILTERING. Every forwarded op carries the primary's apply
+// sequence (captured under the op's shard mutex, so per-key seq order equals
+// apply order), and a streamed KeyExport carries the sequence its snapshot
+// folded in. A ReplicaShard keeps a per-key floor — the highest sequence it
+// has applied or installed — and drops anything at or below it: a forwarded
+// op that raced the snapshot that already contains it can never double-apply
+// (the paired Append/lock hazard of naive resend).
+//
+// ORDERING CONTRACT. Per key, forwards apply in primary-apply order for any
+// lock-serialised or single-writer workload (the state layer's push
+// discipline). Two UNSERIALISED writers racing the same key may see their
+// forwards arrive reordered; the floor then keeps the newest write and the
+// next Reconcile converges the copies — the last-writer-wins relaxation
+// replicated KVS tiers (Anna, Cloudburst) make for exactly this case.
+#ifndef FAASM_KVS_REPLICATION_H_
+#define FAASM_KVS_REPLICATION_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/stats.h"
+#include "kvs/kv_store.h"
+#include "kvs/router.h"
+#include "net/network.h"
+
+namespace faasm {
+
+struct ReplicationConfig {
+  // Copies per shard, primary included. 1 = no replication (today's
+  // behaviour, byte-for-byte: no hooks fire, no replica endpoints exist).
+  int factor = 1;
+  // Sync: a mutating op acks only after every live backup applied its
+  // forward. Async: forwards queue per primary and ship every max_lag_ops.
+  bool sync = true;
+  int max_lag_ops = 32;
+};
+
+// The R-1 backup endpoints for `primary`: the next distinct endpoints
+// clockwise from it in sorted order (wrapping), primary excluded. Pure
+// function of the endpoint set, so every host computes the same backups
+// with zero coordination — the same property mastership itself has. Works
+// when `primary` is absent from the set (mid-failover lookups).
+std::vector<std::string> BackupsFor(const std::set<std::string>& endpoints,
+                                    const std::string& primary, int factor);
+
+// Replica-channel endpoint of `host` ("rep:<host>"), beside its primary
+// shard endpoint "kvs:<host>".
+std::string ReplicaEndpointForHost(const std::string& host);
+
+// Cumulative substrate counters (bench gates and tests).
+struct ReplicationStats {
+  Counter forwarded_ops;      // replica-dialect sub-ops shipped
+  Counter forward_rpcs;       // kBatch RPCs carrying them
+  Counter dropped_forward_ops;  // ops whose ship failed (dead backup)
+  Counter skipped_ops;        // duplicates the floor filter dropped
+  Counter catchup_keys;       // keys streamed by Reconcile
+  Counter catchup_bytes;
+  Counter replica_gc_keys;    // stale replica copies reclaimed
+  Counter failovers;
+  Counter promoted_keys;
+  Counter lost_keys;          // no surviving copy (R=1, or every backup dead)
+  Counter async_dropped_ops;  // queued-not-shipped ops lost to a crash
+};
+
+// One failover's outcome (KillHost returns it; the cluster accumulates).
+struct FailoverStats {
+  uint64_t promoted_keys = 0;
+  uint64_t lost_keys = 0;
+  uint64_t bytes_streamed = 0;
+  uint64_t async_dropped_ops = 0;
+  TimeNs duration_ns = 0;
+  uint64_t epoch = 0;  // map epoch after the flip
+
+  FailoverStats& operator+=(const FailoverStats& other) {
+    promoted_keys += other.promoted_keys;
+    lost_keys += other.lost_keys;
+    bytes_streamed += other.bytes_streamed;
+    async_dropped_ops += other.async_dropped_ops;
+    duration_ns += other.duration_ns;
+    epoch = other.epoch > epoch ? other.epoch : epoch;
+    return *this;
+  }
+};
+
+// One host's backup store: the KvStore holding every key this host backs up
+// for OTHER primaries, plus the per-key duplicate-filter floor. The store
+// has no ownership guard (it deliberately holds keys the map says belong
+// elsewhere) and no update hook (backups never forward).
+class ReplicaShard {
+ public:
+  KvStore* store() { return &store_; }
+  const KvStore* store() const { return &store_; }
+
+  // Applies forwarded ops in order, dropping any whose seq is at or below
+  // the key's floor (already folded into an installed snapshot, or an older
+  // racing write). Applied ops raise the floor to their seq. Returns one
+  // result per op, index-aligned; dropped duplicates answer Ok.
+  std::vector<KvsBatchResult> ApplyForwarded(const std::vector<KvsBatchOp>& ops);
+
+  // Installs a streamed snapshot and re-anchors the floor to its seq. With
+  // `only_if_newer` (the in-process mirror path) a snapshot older than the
+  // floor is skipped instead of regressing state a forward already applied;
+  // catch-up and failover installs force, because they re-anchor the floor
+  // across a primary change (a NEW sequence space).
+  void Install(const std::string& key, const KeyExport& record, bool only_if_newer = false);
+  // Re-anchors the floor without touching data (Reconcile, on content match:
+  // the primary changed but the bytes did not).
+  void AnchorFloor(const std::string& key, uint64_t seq);
+  void Erase(const std::string& key);
+  void Clear();
+
+  uint64_t skipped_op_count() const { return skipped_ops_.value(); }
+
+ private:
+  KvStore store_;
+  // Serialises floor reads/updates against installs; the store has its own
+  // internal locking.
+  std::mutex mutex_;
+  std::map<std::string, uint64_t> floor_;
+  Counter skipped_ops_;
+};
+
+// Serves one host's ReplicaShard on "rep:<host>": kBatch carries replica-
+// dialect forwards, kMigrateInstall carries catch-up snapshots. Separate
+// from the host's KvsServer so backup traffic can never be mistaken for
+// (or bounced by) the primary protocol's ownership checks.
+class ReplicaServer {
+ public:
+  ReplicaServer(ReplicaShard* shard, InProcNetwork* network, std::string endpoint);
+  ~ReplicaServer();
+
+  const std::string& endpoint() const { return endpoint_; }
+  // Forward kBatch RPCs this replica answered (tests bound the forwarded-op
+  // overhead with this, the write-side twin of KvsServer::read_rpc_count).
+  uint64_t forward_rpc_count() const { return forward_rpcs_.value(); }
+  uint64_t forwarded_op_count() const { return forwarded_ops_.value(); }
+
+ private:
+  Bytes Handle(const Bytes& request);
+
+  ReplicaShard* shard_;
+  InProcNetwork* network_;
+  std::string endpoint_;
+  Counter forward_rpcs_;
+  Counter forwarded_ops_;
+};
+
+// One primary's forwarding half: the KvStore update-hook target. Encodes
+// applied ops in the replica dialect and ships them — synchronously (sync
+// mode) or once max_lag_ops queue up (async) — to each current backup's
+// replica endpoint, resolved against the live map at ship time.
+class ShardReplicator {
+ public:
+  ShardReplicator(InProcNetwork* network, const ShardMap* map, std::string primary_endpoint,
+                  const ReplicationConfig* config, ReplicationStats* stats);
+
+  // The update hook body. Runs on the mutating caller's thread, outside
+  // every store shard mutex; in sync mode it returns only after every live
+  // backup applied (which is what makes an ack cover the backups).
+  void OnApplied(const std::vector<KvStore::ForwardedOp>& ops);
+
+  // Ships whatever the async queue holds (Reconcile barrier; no-op in sync
+  // mode). Must run on a clock-registered thread.
+  void Flush();
+  // Discards the queue (the owning host crashed); returns the ops lost.
+  size_t DropQueue();
+  size_t queued_op_count() const;
+
+ private:
+  void Ship(std::vector<Bytes> parts, size_t op_count);
+  std::vector<std::string> BackupReplicaEndpoints() const;
+
+  InProcNetwork* network_;
+  const ShardMap* map_;
+  std::string primary_endpoint_;
+  const ReplicationConfig* config_;
+  ReplicationStats* stats_;
+
+  mutable std::mutex queue_mutex_;
+  std::vector<Bytes> queue_;  // async mode: encoded, unshipped forwards
+  size_t queued_ops_ = 0;
+};
+
+// The cluster-side orchestrator: owns every host's ReplicaShard and
+// ShardReplicator, wires primaries' update hooks, and runs the catch-up,
+// mirror and failover flows. All membership-changing entry points
+// (Reconcile, Failover) must be called from the driver activity, like the
+// migration flows they generalise; AttachHost/MirrorKey may run before the
+// cluster serves traffic.
+class ReplicationManager {
+ public:
+  ReplicationManager(InProcNetwork* network, ShardMap* map,
+                     const std::map<std::string, KvStore*>* primary_stores,
+                     ReplicationConfig config);
+
+  // Creates (idempotently) `host`'s replica shard + replicator and installs
+  // the forwarding hook on its primary store. Call before the host serves.
+  void AttachHost(const std::string& host, KvStore* primary);
+  ReplicaShard* ReplicaForHost(const std::string& host);
+
+  // In-process mirror of one key's current footprint onto its backups
+  // (seeding writes from ShardedKvs: no network, no clock — safe from
+  // unregistered threads).
+  void MirrorKey(const std::string& key);
+
+  // Converges every backup with its primary: flushes async queues, streams
+  // keys whose content differs (freezing each key across its export, so no
+  // forward races the snapshot), re-anchors floors across primary changes,
+  // and reclaims replica copies this epoch no longer assigns. Call after
+  // every membership change.
+  void Reconcile();
+
+  // Promotes every key `dead_endpoint` mastered from a surviving backup
+  // copy into the key's post-failover master (installs BEFORE the epoch
+  // flips), counts the keys with no surviving copy, then flips the map.
+  // The caller must have fenced and quiesced the dead store first.
+  FailoverStats Failover(const std::string& dead_endpoint);
+
+  void FlushAll();
+
+  const ReplicationConfig& config() const { return config_; }
+  const ReplicationStats& stats() const { return stats_; }
+
+ private:
+  struct HostState {
+    std::unique_ptr<ReplicaShard> replica;
+    std::unique_ptr<ReplicaServer> server;
+    std::unique_ptr<ShardReplicator> replicator;
+  };
+
+  KvStore* PrimaryStoreAt(const std::string& endpoint) const;
+  // Streams one snapshot over the interconnect as a kMigrateInstall aimed at
+  // `to` (a replica endpoint, or a primary endpoint during promotion).
+  // Returns the request size for byte accounting.
+  Result<uint64_t> StreamInstall(const std::string& from, const std::string& to,
+                                 const std::string& key, const KeyExport& record);
+
+  InProcNetwork* network_;
+  ShardMap* map_;
+  const std::map<std::string, KvStore*>* primary_stores_;  // endpoint -> shard
+  ReplicationConfig config_;
+  ReplicationStats stats_;
+  std::map<std::string, HostState> hosts_;  // host name -> state
+};
+
+}  // namespace faasm
+
+#endif  // FAASM_KVS_REPLICATION_H_

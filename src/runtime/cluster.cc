@@ -11,6 +11,16 @@ FaasmCluster::FaasmCluster(ClusterConfig config)
       calls_(&executor_.clock()) {
   const bool sharded = config.state_tier == StateTier::kSharded;
   if (sharded) {
+    // Replication substrate first: RegisterShard attaches each host to it
+    // as the shard appears, so backups exist before any traffic does.
+    if (config.replication_factor > 1) {
+      ReplicationConfig replication_config;
+      replication_config.factor = config.replication_factor;
+      replication_config.sync = config.replication_sync;
+      replication_config.max_lag_ops = config.replication_max_lag_ops;
+      replication_ = std::make_unique<ReplicationManager>(network_.get(), &shard_map_,
+                                                          &shard_stores_, replication_config);
+    }
     // One shard per host, mastered by consistent hashing. Each host serves
     // its shard on "kvs:<host>" (the FaasmInstance registers the server).
     for (int i = 0; i < config.hosts; ++i) {
@@ -28,6 +38,13 @@ FaasmCluster::FaasmCluster(ClusterConfig config)
         std::make_unique<KvsServer>(kvs_shards_.back().get(), network_.get());
   }
   kvs_.Attach(&shard_map_);
+  if (replication_ != nullptr) {
+    // Seeding writes through the direct view get backups too, via the
+    // in-process mirror (no network, no clock — seeding threads are
+    // typically not registered with the simulation).
+    kvs_.SetMutationObserver(
+        [this](const std::string& key) { replication_->MirrorKey(key); });
+  }
 
   for (int i = 0; i < config.hosts; ++i) {
     const std::string name = "host-" + std::to_string(next_host_index_++);
@@ -53,6 +70,9 @@ KvStore* FaasmCluster::RegisterShard(const std::string& name) {
   store->SetOwnershipGuard([map = &shard_map_, endpoint](const std::string& key) {
     return map->MasterFor(key) == endpoint;
   });
+  if (replication_ != nullptr) {
+    replication_->AttachHost(name, store);
+  }
   return store;
 }
 
@@ -96,6 +116,11 @@ Result<std::string> FaasmCluster::AddHost() {
       return stats.status();
     }
     migration_stats_ += stats.value();
+    if (replication_ != nullptr) {
+      // The new epoch rotated some backup assignments: catch the new
+      // backups up and reclaim copies the old assignment left behind.
+      replication_->Reconcile();
+    }
   }
 
   // Only now expose the host to frontend round-robin.
@@ -140,6 +165,9 @@ Status FaasmCluster::RemoveHost(const std::string& name) {
       return stats.status();
     }
     migration_stats_ += stats.value();
+    if (replication_ != nullptr) {
+      replication_->Reconcile();
+    }
   }
 
   // Close intake and drain AGAIN: a peer with a stale warm-set view may
@@ -158,6 +186,79 @@ Status FaasmCluster::RemoveHost(const std::string& name) {
   host->ReleaseRetiredMemory();
   retired_hosts_.push_back(std::move(host));
   return OkStatus();
+}
+
+Result<FailoverStats> FaasmCluster::KillHost(const std::string& name) {
+  auto it = hosts_.begin();
+  for (; it != hosts_.end(); ++it) {
+    if ((*it)->name() == name) {
+      break;
+    }
+  }
+  if (it == hosts_.end()) {
+    return NotFound("cluster: no host named '" + name + "'");
+  }
+  if (hosts_.size() <= 1) {
+    return FailedPrecondition("cluster: cannot kill the last host");
+  }
+
+  std::unique_ptr<FaasmInstance> host = std::move(*it);
+  hosts_.erase(it);
+
+  const TimeNs start = executor_.clock().Now();
+
+  // The crash: every endpoint the host serves vanishes at once and nothing
+  // in its mailbox will ever run — fail those calls now so their Awaits
+  // return an error instead of hanging. In-flight executions are zombies:
+  // they run to completion but the cluster no longer routes anything at
+  // them.
+  host->Kill();
+  host->FailAbandonedMail();
+
+  FailoverStats stats;
+  if (config_.state_tier == StateTier::kSharded) {
+    const std::string endpoint = ShardMap::EndpointForHost(name);
+    KvStore* dead_store = shard_stores_[endpoint];
+    // Fence the corpse: a zombie execution that already resolved its route
+    // at the dead shard must not mutate state the failover is about to
+    // snapshot — from here every op on it bounces with kWrongMaster.
+    dead_store->SetMigrationFilter([](const std::string&) { return true; });
+    // Quiesce: mutations that passed the fence before it went up finish
+    // under the shard mutexes; wait them out so the promotion below reads a
+    // stable store.
+    executor_.clock().WaitFor([&] { return dead_store->inflight_mutations() == 0; });
+
+    if (replication_ != nullptr) {
+      // Promote every key the dead shard mastered from a surviving backup
+      // into its post-failover master, then flip the epoch (inside
+      // Failover). Clients recover through the ordinary kWrongMaster /
+      // kUnavailable bounce; the (key, epoch)-keyed read cache invalidates
+      // implicitly at the flip.
+      stats = replication_->Failover(endpoint);
+      // Restore the invariant the crash broke: every surviving shard has
+      // R-1 live backups again (the promoted keys' new masters included).
+      replication_->Reconcile();
+    } else {
+      // No replication: the dead shard's keys have no other copy. Count
+      // them as lost, erase the corpse (hygiene — the store object stays
+      // allocated so stragglers bounce on the fence) and flip the epoch so
+      // survivors re-master the keyspace.
+      for (const auto& key : dead_store->Keys()) {
+        ++stats.lost_keys;
+        dead_store->EraseKey(key);
+      }
+      shard_map_.RemoveShard(endpoint);
+      stats.epoch = shard_map_.epoch();
+    }
+  }
+  stats.duration_ns = executor_.clock().Now() - start;
+  failover_stats_ += stats;
+
+  // Retire the corpse. Unlike graceful removal, its memory is NOT released:
+  // zombie executions may still be accounting against it, and a crashed
+  // host's bill stopping instantly is an accounting fiction anyway.
+  retired_hosts_.push_back(std::move(host));
+  return stats;
 }
 
 void FaasmCluster::Shutdown() {

@@ -10,6 +10,12 @@
 // drains the host first (warm-set withdrawal, in-flight calls and mailbox
 // run down) so no acknowledged work is lost. Retired instances stay alive
 // (inert) until Shutdown so outstanding Awaits and metrics keep working.
+//
+// MEMBERSHIP CAN ALSO FAIL: KillHost() removes a host abruptly — no drain,
+// no handoff, mail dropped. With replication_factor > 1 the replication
+// substrate (kvs/replication.h) promotes every key the dead shard mastered
+// from a live backup copy before the epoch flips, so no acknowledged update
+// is lost; at factor 1 the dead shard's keys are gone and counted.
 #ifndef FAASM_RUNTIME_CLUSTER_H_
 #define FAASM_RUNTIME_CLUSTER_H_
 
@@ -20,6 +26,7 @@
 #include "core/vfs.h"
 #include "kvs/kvs_client.h"
 #include "kvs/migration.h"
+#include "kvs/replication.h"
 #include "kvs/router.h"
 #include "net/network.h"
 #include "runtime/call_table.h"
@@ -56,6 +63,15 @@ struct ClusterConfig {
   // Opt-in: see the coherence rules in kvs_client.h.
   bool read_cache = false;
   TimeNs read_lease_ns = 2 * kMillisecond;
+  // Copies per shard, primary included (kvs/replication.h). 1 = no
+  // replication: no replica endpoints, no forwarding hooks — byte-for-byte
+  // today's behaviour. >1 keeps R-1 live backups per shard and makes
+  // KillHost lossless for acknowledged updates. Sharded tier only.
+  int replication_factor = 1;
+  // Sync forwarding (ack covers backups) vs bounded-lag async (the
+  // ablation; a crash may lose up to replication_max_lag_ops queued ops).
+  bool replication_sync = true;
+  int replication_max_lag_ops = 32;
   NetworkConfig network;
 };
 
@@ -158,8 +174,22 @@ class FaasmCluster {
   // pending Awaits against it stay valid until Shutdown. Refuses to remove
   // the last host. Call from the driver activity.
   Status RemoveHost(const std::string& name);
+  // Abruptly kills `name`: no drain, no handoff. The host's endpoints
+  // vanish (peers and clients fail fast with kUnavailable and re-route),
+  // calls sitting unexecuted in its mailbox fail with Internal, in-flight
+  // executions run to completion as zombies. In sharded mode the dead
+  // shard's keys are then recovered: with replication every key it mastered
+  // is promoted from a surviving backup BEFORE the epoch flips (acked
+  // updates survive); at factor 1 they are lost and counted. Refuses to
+  // kill the last host. Call from the driver activity.
+  Result<FailoverStats> KillHost(const std::string& name);
   // Cumulative shard-migration accounting across every membership change.
   const MigrationStats& migration_stats() const { return migration_stats_; }
+  // Cumulative failover accounting across every KillHost.
+  const FailoverStats& failover_stats() const { return failover_stats_; }
+  // The replication substrate, or null at replication_factor 1 (and in
+  // central mode). Tests and benches read its stats().
+  const ReplicationManager* replication() const { return replication_.get(); }
 
   // --- Cluster-wide metrics --------------------------------------------------------
   uint64_t network_bytes() const { return network_->total_bytes(); }
@@ -187,6 +217,10 @@ class FaasmCluster {
   std::vector<std::unique_ptr<KvStore>> kvs_shards_;
   std::map<std::string, KvStore*> shard_stores_;  // endpoint -> shard (migration)
   std::unique_ptr<KvsServer> central_kvs_server_;  // kCentral only
+  // Replication substrate (sharded mode, replication_factor > 1): owns every
+  // host's replica shard/server/replicator. Constructed before the first
+  // RegisterShard so hosts attach as their shards appear.
+  std::unique_ptr<ReplicationManager> replication_;
   ShardedKvs kvs_;
   GlobalFileStore files_;
   FunctionRegistry registry_;
@@ -197,6 +231,7 @@ class FaasmCluster {
   std::vector<std::unique_ptr<FaasmInstance>> retired_hosts_;
   int next_host_index_ = 0;
   MigrationStats migration_stats_;
+  FailoverStats failover_stats_;
   bool shut_down_ = false;
 };
 

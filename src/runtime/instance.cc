@@ -184,6 +184,35 @@ void FaasmInstance::ReleaseRetiredMemory() {
   SyncTierAccounting();
 }
 
+void FaasmInstance::Kill() {
+  // Crash semantics: everything vanishes at once, with no handoff. Order
+  // matters only in that stop_/draining_ go first, so any zombie activity
+  // that wakes after this observes a dead host and stops re-advertising.
+  stop_.store(true);
+  draining_.store(true);
+  network_->UnregisterEndpoint(config_.name);
+  if (shard_server_ != nullptr) {
+    network_->UnregisterEndpoint(shard_server_->endpoint());
+  }
+  // The replica channel (kvs/replication.h) dies with the host too. The
+  // endpoint exists only when the cluster runs replication; unregistering a
+  // never-registered name is a no-op.
+  network_->UnregisterEndpoint("rep:" + config_.name);
+  // NOTE: shard_server_ (and the instance itself) must stay alive — a
+  // handler on another thread may be mid-request; unregistering only stops
+  // NEW calls from routing here.
+}
+
+void FaasmInstance::FailAbandonedMail() {
+  while (auto message = network_->Poll(config_.name)) {
+    auto call = DecodeSharedCall(*message);
+    if (call.ok()) {
+      (void)calls_->Fail(call.value().id,
+                         "host '" + config_.name + "' crashed before executing call");
+    }
+  }
+}
+
 void FaasmInstance::CloseIntake() {
   // Late work-sharing sends now fail at the sender, which falls back to
   // executing locally (ScheduleCall), so no NEW call can be stranded; the

@@ -100,6 +100,22 @@ class FaasmInstance {
   void ReleaseRetiredMemory();
   bool draining() const { return draining_.load(); }
 
+  // --- Crash removal (cluster failover) ----------------------------------------
+  // The abrupt counterpart of the drain protocol (runtime/cluster.h
+  // KillHost): no drain, no handoff. Stops the dispatcher and unregisters
+  // every endpoint the host serves — its work-sharing mailbox endpoint, its
+  // shard server, and its replica channel — so peers and clients fail fast
+  // with kUnavailable instead of queueing on a corpse. In-flight executions
+  // become zombies: they run to completion (the simulation cannot reach into
+  // a thread), but nothing new is accepted and nothing the host mastered is
+  // served again. The server objects stay alive — a handler mid-flight on
+  // another thread must not have its server destroyed under it.
+  void Kill();
+  // Fails every call still sitting in the killed host's mailbox (accepted by
+  // Submit, never executed): the frontend's Await gets an Internal error
+  // instead of hanging forever. Call after Kill().
+  void FailAbandonedMail();
+
   // Submits a call (from a frontend or a chained call on this host) and
   // schedules it per the distributed policy. Returns the call id.
   Result<uint64_t> Submit(const std::string& function, Bytes input);

@@ -110,6 +110,37 @@ TEST_F(ReadCacheTest, EpochFlipInvalidatesImplicitly) {
   EXPECT_EQ(*hit, (Bytes{8}));
 }
 
+TEST_F(ReadCacheTest, FailoverPromotionInvalidatesLikeAnyEpochFlip) {
+  // A crash failover is a shard REMOVAL with a backup promoted in its place
+  // (runtime/cluster.h KillHost): the epoch bumps exactly once, and a value
+  // cached against the dead master's epoch must not be served from the
+  // promoted copy's era — the backup may already have taken newer writes.
+  ShardMap map;
+  map.AddShard(ShardMap::EndpointForHost("host-0"));
+  map.AddShard(ShardMap::EndpointForHost("host-1"));
+  ReadCache cache(&clock_, &map);
+  cache.set_lease(kLease);
+
+  cache.InsertFull("k", Bytes{1});  // read while host-1 was alive
+  const uint64_t epoch_before = map.epoch();
+
+  // host-1 dies; Failover promotes its keys elsewhere and removes the shard.
+  map.RemoveShard(ShardMap::EndpointForHost("host-1"));
+  EXPECT_EQ(map.epoch(), epoch_before + 1);
+
+  // Well inside the lease window, yet the pre-crash value is refused.
+  clock_.Advance(1);
+  EXPECT_FALSE(cache.Lookup("k", 0, kWhole, ReadCache::kLeaseStaleness).has_value());
+  EXPECT_EQ(cache.invalidations(), 1u);
+
+  // The first post-promotion read repopulates under the survivor epoch and
+  // serves normally from then on.
+  cache.InsertFull("k", Bytes{2});
+  auto hit = cache.Lookup("k", 0, kWhole, ReadCache::kLeaseStaleness);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (Bytes{2}));
+}
+
 TEST_F(ReadCacheTest, LookupSizeFallsBackToTheCachedValue) {
   cache_.InsertFull("k", Bytes{1, 2, 3, 4});
   auto size = cache_.LookupSize("k", ReadCache::kLeaseStaleness);
