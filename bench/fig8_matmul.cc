@@ -5,13 +5,232 @@
 //
 // Sizes are scaled down from the paper's 100..8000 sweep so that the real
 // leaf computations finish in seconds on this machine (see EXPERIMENTS.md).
+//
+// GUEST EXECUTION TIER ABLATION (always runs first): the gemm kernel under
+// the interpreter's execution tiers, composed one at a time —
+//   baseline    switch dispatch + inline bounds checks + no fusion (the seed)
+//   +threaded   computed-goto dispatch
+//   +guard      guard-page bounds elision (no inline bounds branches)
+//   +fused      superinstruction fusion (the shipping default)
+// Every tier must produce the bit-identical checksum, the native twin's
+// checksum, and the identical instructions_retired count; a quick OOB probe
+// checks that both bounds tiers still convert a wild access into the same
+// trap. The run GATES on the full fast tier reaching >= 2x the baseline's
+// interpreted instructions per second.
+//
+//   fig8_matmul [--tiny] [--json <path>]
+//
+// --tiny runs only the ablation at a smaller size (CI smoke); --json writes
+// the ablation result (BENCH_guest.json in CI).
+#include <cmath>
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "baseline/knative.h"
+#include "common/clock.h"
 #include "runtime/cluster.h"
+#include "wasm/instance.h"
+#include "workloads/kernels.h"
 #include "workloads/matmul.h"
 
 namespace faasm {
 namespace {
+
+// --- Guest execution tier ablation --------------------------------------------
+
+struct GuestTier {
+  const char* name;
+  wasm::GuestDispatch dispatch;
+  wasm::GuestBounds bounds;
+  bool fused;
+};
+
+constexpr GuestTier kGuestTiers[] = {
+    {"baseline", wasm::GuestDispatch::kSwitch, wasm::GuestBounds::kChecked, false},
+    {"+threaded", wasm::GuestDispatch::kThreaded, wasm::GuestBounds::kChecked, false},
+    {"+guard", wasm::GuestDispatch::kThreaded, wasm::GuestBounds::kGuardPage, false},
+    {"+fused", wasm::GuestDispatch::kThreaded, wasm::GuestBounds::kGuardPage, true},
+};
+
+struct TierResult {
+  double checksum = 0;
+  uint64_t retired = 0;
+  double seconds = 0;
+  double mips = 0;  // interpreted wire instructions per second / 1e6
+  bool guard_effective = false;
+  bool ok = false;
+};
+
+TierResult RunGuestTier(const GuestTier& tier, uint32_t n, int reps) {
+  TierResult result;
+  const Kernel& gemm = PolybenchKernels()[0];
+  auto compiled_fused = gemm.build_wasm();
+  if (!compiled_fused.ok()) {
+    std::fprintf(stderr, "gemm build failed: %s\n",
+                 compiled_fused.status().ToString().c_str());
+    return result;
+  }
+  auto compiled = compiled_fused.value();
+  if (!tier.fused) {
+    // Recompile the same decoded module with the fusion peephole off.
+    wasm::CompileOptions copts;
+    copts.fuse_superinstructions = false;
+    auto unfused = wasm::CompileModule(compiled->module, copts);
+    if (!unfused.ok()) {
+      std::fprintf(stderr, "gemm recompile failed: %s\n",
+                   unfused.status().ToString().c_str());
+      return result;
+    }
+    compiled = unfused.value();
+  }
+  wasm::InstanceOptions options;
+  options.dispatch = tier.dispatch;
+  options.bounds = tier.bounds;
+  auto instance = wasm::Instance::Create(compiled, nullptr, nullptr, options);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "gemm instantiation failed: %s\n",
+                 instance.status().ToString().c_str());
+    return result;
+  }
+  auto& inst = *instance.value();
+  result.guard_effective = inst.effective_bounds() == wasm::GuestBounds::kGuardPage;
+
+  // Warm-up call: checksum agreement plus page faults out of the timed loop.
+  auto warm = inst.CallExport("run", {wasm::MakeI32(static_cast<int32_t>(n))});
+  if (!warm.ok()) {
+    std::fprintf(stderr, "gemm run failed: %s\n", warm.status().ToString().c_str());
+    return result;
+  }
+  result.checksum = warm.value()[0].f64;
+
+  // Timed reps: best-of to shed scheduler noise; retired is exact per call.
+  double best_mips = 0;
+  for (int r = 0; r < reps; ++r) {
+    const uint64_t retired_before = inst.instructions_retired();
+    Stopwatch watch;
+    auto out = inst.CallExport("run", {wasm::MakeI32(static_cast<int32_t>(n))});
+    const double seconds = static_cast<double>(watch.ElapsedNs()) / 1e9;
+    if (!out.ok() || out.value()[0].f64 != result.checksum) {
+      std::fprintf(stderr, "gemm rep diverged: %s\n", out.status().ToString().c_str());
+      return result;
+    }
+    result.retired = inst.instructions_retired() - retired_before;
+    const double mips = static_cast<double>(result.retired) / seconds / 1e6;
+    if (mips > best_mips) {
+      best_mips = mips;
+      result.seconds = seconds;
+    }
+  }
+  result.mips = best_mips;
+  result.ok = true;
+  return result;
+}
+
+// Both bounds tiers must turn a wild access into the same trap. Returns true
+// when checked and guard (as instantiated, post any sanitizer downgrade)
+// agree on kMemoryOutOfBounds.
+bool ProbeOobAgreement() {
+  const Kernel& gemm = PolybenchKernels()[0];
+  auto compiled = gemm.build_wasm();
+  if (!compiled.ok()) {
+    return false;
+  }
+  // run(n) with a huge n indexes far past the heap: every tier must trap.
+  for (auto bounds : {wasm::GuestBounds::kChecked, wasm::GuestBounds::kGuardPage}) {
+    wasm::InstanceOptions options;
+    options.bounds = bounds;
+    auto instance = wasm::Instance::Create(compiled.value(), nullptr, nullptr, options);
+    if (!instance.ok()) {
+      return false;
+    }
+    auto out = instance.value()->CallExport("run", {wasm::MakeI32(1 << 30)});
+    if (out.ok() || out.status().message().find("out of bounds memory access") ==
+                        std::string::npos) {
+      std::fprintf(stderr, "OOB probe: expected an out-of-bounds trap, got %s\n",
+                   out.ok() ? "success" : out.status().ToString().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+struct AblationResult {
+  TierResult tiers[4];
+  double speedup = 0;  // fast tier MIPS / baseline MIPS
+  bool agree = false;
+  bool oob_ok = false;
+  bool gated = false;   // whether the 2x gate applied
+  bool gate_ok = true;  // gate verdict (true when not applicable)
+  uint32_t n = 0;
+};
+
+AblationResult RunGuestAblation(uint32_t n, int reps) {
+  AblationResult result;
+  result.n = n;
+  PrintHeader("Guest execution tiers: gemm kernel, interpreted MIPS per tier");
+  std::printf("%-12s %14s %16s %12s %10s\n", "tier", "checksum", "retired", "time(s)",
+              "MIPS");
+  for (int t = 0; t < 4; ++t) {
+    result.tiers[t] = RunGuestTier(kGuestTiers[t], n, reps);
+    const TierResult& r = result.tiers[t];
+    if (!r.ok) {
+      return result;
+    }
+    std::printf("%-12s %14.6f %16llu %12.4f %10.1f\n", kGuestTiers[t].name, r.checksum,
+                static_cast<unsigned long long>(r.retired), r.seconds, r.mips);
+  }
+
+  const double native = PolybenchKernels()[0].native(n);
+  result.agree = true;
+  for (const TierResult& r : result.tiers) {
+    if (r.checksum != native || r.retired != result.tiers[0].retired) {
+      result.agree = false;
+    }
+  }
+  result.oob_ok = ProbeOobAgreement();
+  result.speedup = result.tiers[0].mips > 0 ? result.tiers[3].mips / result.tiers[0].mips : 0;
+
+  // The 2x gate compares the full fast tier against the seed configuration;
+  // it only applies when the fast tiers are actually available (sanitizer
+  // builds pin the checked tier, and non-GNU compilers lose computed goto).
+  result.gated = result.tiers[3].guard_effective;
+  result.gate_ok = !result.gated || result.speedup >= 2.0;
+
+  std::printf("\nfast-tier speedup: %.2fx over the seed interpreter (gate: >= 2x%s)\n",
+              result.speedup, result.gated ? "" : ", skipped: fast tiers unavailable");
+  std::printf("agreement: checksums %s native, retired counts %s%s\n",
+              result.agree ? "match" : "DIVERGE", result.agree ? "identical" : "DIVERGE",
+              result.oob_ok ? ", OOB traps agree" : ", OOB PROBE FAILED");
+  return result;
+}
+
+bool WriteGuestJson(const std::string& path, const AblationResult& r) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig8_matmul\",\n  \"mode\": \"guest-tiers\",\n");
+  std::fprintf(f, "  \"kernel\": \"gemm\",\n  \"n\": %u,\n", r.n);
+  std::fprintf(f, "  \"tiers\": {\n");
+  for (int t = 0; t < 4; ++t) {
+    std::fprintf(f, "    \"%s\": {\"mips\": %.2f, \"retired\": %llu, \"seconds\": %.6f}%s\n",
+                 kGuestTiers[t].name, r.tiers[t].mips,
+                 static_cast<unsigned long long>(r.tiers[t].retired), r.tiers[t].seconds,
+                 t + 1 < 4 ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"speedup\": %.3f,\n  \"agree\": %s,\n  \"oob_agree\": %s,\n",
+               r.speedup, r.agree ? "true" : "false", r.oob_ok ? "true" : "false");
+  std::fprintf(f, "  \"gated\": %s,\n  \"gate_ok\": %s\n}\n", r.gated ? "true" : "false",
+               r.gate_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("[wrote %s]\n", path.c_str());
+  return true;
+}
+
+// --- Distributed matmul sweep (the paper figure) -------------------------------
 
 struct Point {
   double seconds = 0;
@@ -63,8 +282,34 @@ Point RunKnative(uint32_t n) {
 }  // namespace
 }  // namespace faasm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace faasm;
+  bool tiny = false;
+  std::string json_path;
+  FlagTable flags;
+  flags.AddBool("--tiny", &tiny, "ablation only, smaller kernel size (CI smoke)");
+  flags.AddString("--json", &json_path, "write the guest-tier ablation result as JSON");
+  if (!flags.Parse(argc, argv)) {
+    return 2;
+  }
+
+  const AblationResult ablation = RunGuestAblation(tiny ? 40 : 72, tiny ? 3 : 5);
+  bool ok = true;
+  for (const TierResult& r : ablation.tiers) {
+    ok = ok && r.ok;
+  }
+  ok = ok && ablation.agree && ablation.oob_ok && ablation.gate_ok;
+  if (!json_path.empty() && !WriteGuestJson(json_path, ablation)) {
+    ok = false;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "guest-tier ablation FAILED\n");
+    return 1;
+  }
+  if (tiny) {
+    return 0;
+  }
+
   PrintHeader("Figure 8: distributed matmul (64 mult + 9 merge functions per multiply)");
   PrintContainerCalibration(ContainerModel{});
   std::printf("\n%8s | %12s %14s | %12s %14s | %10s\n", "size", "faasm_t(s)", "faasm_net(MB)",

@@ -5,6 +5,11 @@
 // Faaslet/Proto-Faaslet numbers are real measurements on this machine;
 // Docker rows are the paper's calibrated constants (no container runtime
 // offline; see DESIGN.md).
+//
+//   tab3_coldstart [--iters=<n>] [--tiny] [--json <path>]
+//
+// Exits non-zero if the generous cold-start gate fails (creation latency
+// regressing by an order of magnitude).
 #include <x86intrin.h>
 
 #include <algorithm>
@@ -115,12 +120,20 @@ double MeasureFootprint(CreateFn create, int count) {
 int main(int argc, char** argv) {
   using namespace faasm;
 
-  // Optional iteration override (`tab3_coldstart <iters>`) so CI smoke runs
-  // can exercise the harness without paying for full statistical quality.
   int iters = 300;
-  if (argc > 1) {
-    iters = std::max(1, std::atoi(argv[1]));
+  bool tiny = false;
+  std::string json_path;
+  FlagTable flags;
+  flags.AddInt("--iters", &iters, "creation iterations (default 300)");
+  flags.AddBool("--tiny", &tiny, "few iterations, skip nothing (CI smoke)");
+  flags.AddString("--json", &json_path, "write the measurements as JSON");
+  if (!flags.Parse(argc, argv)) {
+    return 2;
   }
+  if (tiny) {
+    iters = std::min(iters, 20);
+  }
+  iters = std::max(1, iters);
   const int batch = std::min(200, iters);
 
   PrintHeader("Table 3: cold-start comparison, no-op function");
@@ -187,5 +200,35 @@ int main(int argc, char** argv) {
   std::printf("%-34s %10.2f ms (measured)\n", "Faaslet + runtime image cold", vm_cold.init_ms);
   std::printf("%-34s %10.3f ms (measured, %0.0fx vs container)\n", "Proto-Faaslet restore",
               vm_restore.init_ms, (docker.python_cold_start_ns / 1e6) / vm_restore.init_ms);
-  return 0;
+
+  // Generous no-regression gate: interpreter-side changes (e.g. the 8 GiB
+  // guard reservation each linear memory now maps) must not blow up creation
+  // latency. The bounds are far above any healthy machine's numbers and only
+  // catch order-of-magnitude regressions.
+  const bool gate_ok = faaslet.init_ms < 250.0 && proto_m.init_ms < 50.0;
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "cold-start gate FAILED: faaslet %.2f ms (limit 250), proto %.3f ms "
+                 "(limit 50)\n",
+                 faaslet.init_ms, proto_m.init_ms);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"tab3_coldstart\",\n  \"iters\": %d,\n", iters);
+    std::fprintf(f, "  \"faaslet\": {\"init_ms\": %.4f, \"footprint_kb\": %.1f},\n",
+                 faaslet.init_ms, faaslet.footprint_bytes / 1024.0);
+    std::fprintf(f, "  \"proto\": {\"init_ms\": %.4f, \"footprint_kb\": %.1f},\n",
+                 proto_m.init_ms, proto_m.footprint_bytes / 1024.0);
+    std::fprintf(f, "  \"minivm\": {\"cold_ms\": %.4f, \"restore_ms\": %.4f},\n",
+                 vm_cold.init_ms, vm_restore.init_ms);
+    std::fprintf(f, "  \"gate_ok\": %s\n}\n", gate_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("\n[wrote %s]\n", json_path.c_str());
+  }
+  return gate_ok ? 0 : 1;
 }

@@ -67,8 +67,11 @@ Status Faaslet::Instantiate() {
   if (spec_.module != nullptr) {
     resolver_ = std::make_unique<wasm::MapImportResolver>();
     RegisterHostInterface(*this, *resolver_);
-    FAASM_ASSIGN_OR_RETURN(instance_,
-                           wasm::Instance::Create(spec_.module, resolver_.get(), memory_.get()));
+    wasm::InstanceOptions instance_options;
+    instance_options.bounds = env_.guest_bounds;
+    instance_options.dispatch = env_.guest_dispatch;
+    FAASM_ASSIGN_OR_RETURN(instance_, wasm::Instance::Create(spec_.module, resolver_.get(),
+                                                             memory_.get(), instance_options));
   } else if (!spec_.native) {
     return InvalidArgument("FunctionSpec has neither wasm module nor native function");
   }
@@ -268,9 +271,13 @@ Result<uint32_t> Faaslet::DlOpen(const std::string& path) {
   FAASM_ASSIGN_OR_RETURN(wasm::Module module, wasm::DecodeModule(binary));
   FAASM_ASSIGN_OR_RETURN(auto compiled, wasm::CompileModule(std::move(module)));
   // The loaded module shares this Faaslet's memory — the dynamic-linking
-  // convention of a shared address space.
-  FAASM_ASSIGN_OR_RETURN(auto instance,
-                         wasm::Instance::Create(compiled, resolver_.get(), memory_.get()));
+  // convention of a shared address space. It runs on the same guest tiers as
+  // the main instance.
+  wasm::InstanceOptions dyn_options;
+  dyn_options.bounds = env_.guest_bounds;
+  dyn_options.dispatch = env_.guest_dispatch;
+  FAASM_ASSIGN_OR_RETURN(auto instance, wasm::Instance::Create(compiled, resolver_.get(),
+                                                               memory_.get(), dyn_options));
   DynModule dyn;
   dyn.instance = std::move(instance);
   dyn_modules_.push_back(std::move(dyn));

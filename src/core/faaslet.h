@@ -71,6 +71,11 @@ struct FaasletEnv {
   // Per-Faaslet vnet traffic shaping (tc equivalent); 1 Gbps line rate.
   double vnet_rate_bytes_per_sec = 125e6;
   double vnet_burst_bytes = 2e6;
+
+  // Guest execution tiers (wasm/instance.h); defaults are the fast tiers,
+  // downgraded automatically when the build cannot support them.
+  wasm::GuestBounds guest_bounds = wasm::GuestBounds::kGuardPage;
+  wasm::GuestDispatch guest_dispatch = wasm::GuestDispatch::kThreaded;
 };
 
 class Faaslet : public InvocationContext {

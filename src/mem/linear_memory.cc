@@ -16,7 +16,7 @@ Result<std::unique_ptr<LinearMemory>> LinearMemory::Create(uint32_t initial_page
   if (max_pages < initial_pages) {
     return InvalidArgument("LinearMemory: max_pages < initial_pages");
   }
-  if (static_cast<uint64_t>(max_pages) * kWasmPageBytes > kReservationBytes) {
+  if (static_cast<uint64_t>(max_pages) * kWasmPageBytes > kMaxLinearBytes) {
     return InvalidArgument("LinearMemory: max_pages exceeds 32-bit address space");
   }
   void* base = mmap(nullptr, kReservationBytes, PROT_NONE,

@@ -4,9 +4,15 @@
 // guest offsets so the function sees one dense linear address space whose
 // tail pages alias shared physical memory (paper §3.3, Fig. 2).
 //
-// All guest accesses are explicitly bounds checked against the committed
-// size; out-of-bounds accesses surface as traps in the interpreter, never as
-// signals.
+// Out-of-bounds enforcement depends on the interpreter's bounds tier
+// (wasm/instance.h GuestBounds). The checked tier tests InBounds() before
+// every access. The guard-page tier elides those tests: the reservation
+// spans the entire reachable range of a 32-bit address plus a 32-bit static
+// offset, so any unchecked guest access past the committed frontier lands on
+// a PROT_NONE page and raises SIGSEGV, which a scoped handler
+// (wasm/guard_trap.h) converts back into an ordinary out-of-bounds trap.
+// Either way the fault never escapes the sandbox; only the mechanism —
+// branch vs. signal — differs.
 #ifndef FAASM_MEM_LINEAR_MEMORY_H_
 #define FAASM_MEM_LINEAR_MEMORY_H_
 
@@ -24,8 +30,14 @@ namespace faasm {
 
 class LinearMemory {
  public:
-  // Reservation large enough for a full 32-bit wasm address space.
-  static constexpr size_t kReservationBytes = size_t{1} << 32;
+  // Committed memory can cover at most the full 32-bit wasm address space.
+  static constexpr size_t kMaxLinearBytes = size_t{1} << 32;
+
+  // The reservation covers every address the interpreter's guard-page tier
+  // can compute without a bounds check: a u32 base address plus a u32 static
+  // offset (< 2^33), plus one wasm page of redzone for the widest access.
+  // Everything past kMaxLinearBytes is permanently PROT_NONE.
+  static constexpr size_t kReservationBytes = (size_t{1} << 33) + kWasmPageBytes;
 
   // `initial_pages`/`max_pages` are wasm (64 KiB) pages. `max_pages` is the
   // per-function memory limit enforced on grow (§3.2 "Memory").

@@ -477,6 +477,8 @@ FaasletEnv FaasmInstance::MakeEnv() {
   env.chain = [this](const std::string& fn, Bytes in) { return Submit(fn, std::move(in)); };
   env.await = [this](uint64_t id) { return Await(id); };
   env.get_output = [this](uint64_t id) { return calls_->Output(id); };
+  env.guest_bounds = config_.guest_bounds;
+  env.guest_dispatch = config_.guest_dispatch;
   return env;
 }
 

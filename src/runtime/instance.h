@@ -49,6 +49,12 @@ struct HostConfig {
   // workloads must not opt into (see the coherence rules in kvs_client.h).
   bool read_cache = false;
   TimeNs read_lease_ns = 2 * kMillisecond;
+  // Guest execution tiers for every Faaslet on this host (wasm/instance.h).
+  // Defaults are the fast tiers (guard-page bounds elision + threaded
+  // dispatch); the checked/switch tiers are the ablation baselines and the
+  // automatic fallback under sanitizers or non-GNU compilers.
+  wasm::GuestBounds guest_bounds = wasm::GuestBounds::kGuardPage;
+  wasm::GuestDispatch guest_dispatch = wasm::GuestDispatch::kThreaded;
 };
 
 class FaasmInstance {

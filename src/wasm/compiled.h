@@ -44,6 +44,13 @@ struct CompiledFunction {
   std::vector<ValType> locals;  // expanded, excluding params
   std::vector<Instr> code;
   std::vector<BrTableData> br_tables;
+  // retired_prefix[k] = wire instructions represented by code[0..k): the
+  // prefix sum of per-instruction retire weights (a fused superinstruction
+  // counts for every instruction it replaced). The interpreter charges fuel
+  // and instructions_retired from deltas of this array at block boundaries,
+  // which keeps both exact and identical across dispatch/fusion tiers.
+  // Size = code.size() + 1.
+  std::vector<uint32_t> retired_prefix;
 };
 
 struct CompiledModule {
@@ -58,10 +65,23 @@ struct CompiledModule {
   }
 };
 
+struct CompileOptions {
+  // Run the superinstruction fusion peephole over each compiled body
+  // (opcodes.h kFuse*). Off = the unfused ablation baseline; semantics,
+  // traps and retired counts are identical either way.
+  bool fuse_superinstructions = true;
+};
+
+// Number of wire instructions a preprocessed opcode retires: the fused
+// superinstructions report the length of the run they replaced, everything
+// else reports 1.
+uint32_t InstrRetireWeight(uint16_t op);
+
 // Validates every function body and produces preprocessed code. Returns an
 // error for any module that violates the WebAssembly validation rules; such
 // modules are rejected at upload time and never reach a Faaslet.
-Result<std::shared_ptr<const CompiledModule>> CompileModule(Module module);
+Result<std::shared_ptr<const CompiledModule>> CompileModule(Module module,
+                                                            const CompileOptions& options = {});
 
 }  // namespace faasm::wasm
 

@@ -730,9 +730,292 @@ Status FunctionCompiler::Step() {
   }
 }
 
+// --- Superinstruction fusion --------------------------------------------------
+//
+// A peephole over the preprocessed Instr stream. Runs after branch targets
+// are resolved: it computes the set of branch-target ("leader") pcs, greedily
+// replaces runs of 2-4 instructions that do not span a leader with one fused
+// opcode (opcodes.h kFuse*), and then remaps every branch target through the
+// old-pc -> new-pc map. Operand-stack heights are unchanged — a fused
+// sequence pushes and pops exactly what the original run did — so the unwind
+// info baked into branches stays valid.
+
+constexpr uint16_t U16(Op op) { return static_cast<uint16_t>(op); }
+constexpr uint16_t U16(IOp op) { return static_cast<uint16_t>(op); }
+
+bool IsLocalGet(const Instr& i) { return i.op == U16(Op::kLocalGet); }
+bool IsI32Const(const Instr& i) { return i.op == U16(Op::kI32Const); }
+bool IsAnyConst(const Instr& i) {
+  return i.op >= U16(Op::kI32Const) && i.op <= U16(Op::kF64Const);
+}
+bool IsLoadOp(uint16_t op) { return op >= U16(Op::kI32Load) && op <= U16(Op::kI64Load32U); }
+bool IsStoreOp(uint16_t op) { return op >= U16(Op::kI32Store) && op <= U16(Op::kI64Store32); }
+
+// Numeric operators that pop two values and push one — the only shapes the
+// push-two-then-redispatch superinstructions may target.
+bool IsBinaryNumeric(uint16_t op) {
+  return (op >= U16(Op::kI32Eq) && op <= U16(Op::kF64Ge)) ||       // comparisons (not eqz)
+         (op >= U16(Op::kI32Add) && op <= U16(Op::kI32Rotr)) ||    // i32 arith
+         (op >= U16(Op::kI64Add) && op <= U16(Op::kI64Rotr)) ||    // i64 arith
+         (op >= U16(Op::kF32Add) && op <= U16(Op::kF32Copysign)) ||
+         (op >= U16(Op::kF64Add) && op <= U16(Op::kF64Copysign));
+}
+
+// Eqz ops sit inside the comparison ranges; exclude them explicitly.
+bool IsBinary(uint16_t op) {
+  return IsBinaryNumeric(op) && op != U16(Op::kI64Eqz);
+}
+
+// Tries to fuse the run starting at `i`. Interior instructions must not be
+// branch targets (is_target); the first instruction may be. On success,
+// writes the fused instruction and returns the number of inputs consumed.
+size_t TryFuse(const std::vector<Instr>& in, const std::vector<uint8_t>& is_target, size_t i,
+               Instr* out) {
+  const size_t n = in.size();
+  const auto interior_clear = [&](size_t count) {
+    for (size_t k = 1; k < count; ++k) {
+      if (is_target[i + k] != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const Instr& a = in[i];
+  const Instr* b = i + 1 < n ? &in[i + 1] : nullptr;
+  const Instr* c = i + 2 < n ? &in[i + 2] : nullptr;
+  const Instr* d = i + 3 < n ? &in[i + 3] : nullptr;
+  const Instr* e = i + 4 < n ? &in[i + 4] : nullptr;
+  const Instr* g = i + 5 < n ? &in[i + 5] : nullptr;
+
+  // Row-major address idiom starting at `from`: get a; get n; mul; get b; add.
+  const auto is_row_major = [&](size_t from) {
+    return IsLocalGet(in[from]) && IsLocalGet(in[from + 1]) &&
+           in[from + 2].op == U16(Op::kI32Mul) && IsLocalGet(in[from + 3]) &&
+           in[from + 4].op == U16(Op::kI32Add);
+  };
+
+  if (g != nullptr && IsLocalGet(a) && interior_clear(6) && is_row_major(i + 1) &&
+      a.a < 0x10000 && b->a < 0x10000 && c->a < 0x10000 && e->a < 0x10000) {
+    // get x; get a; get n; mul; get b; add — operand push + row-major index.
+    *out = Instr{U16(IOp::kFuseGetRowMajor), (a.a << 16) | b->a, (c->a << 16) | e->a, 0};
+    return 6;
+  }
+  if (e != nullptr && interior_clear(5) && is_row_major(i)) {
+    *out = Instr{U16(IOp::kFuseRowMajor), a.a, b->a, d->a};
+    return 5;
+  }
+  if (d != nullptr && IsLocalGet(a) && interior_clear(4)) {
+    // Counted-loop exit test: get i; (get lim | const lim); ge_s; br_if(0).
+    const bool ges_brif =
+        c->op == U16(Op::kI32GeS) && d->op == U16(Op::kBrIf) && d->b == 0;
+    if (ges_brif && IsLocalGet(*b) && a.a < 0x10000 && b->a < 0x10000) {
+      *out = Instr{U16(IOp::kFuseLoopGeSLL), d->a, (a.a << 16) | b->a, d->imm};
+      return 4;
+    }
+    if (ges_brif && IsI32Const(*b)) {
+      *out = Instr{U16(IOp::kFuseLoopGeSLC), d->a, a.a,
+                   (d->imm << 32) | (b->imm & 0xFFFFFFFFu)};
+      return 4;
+    }
+    // Loop increment: get src; const step; add; set dst.
+    if (IsI32Const(*b) && c->op == U16(Op::kI32Add) && d->op == U16(Op::kLocalSet)) {
+      *out = Instr{U16(IOp::kFuseIncLocal), a.a, d->a, b->imm & 0xFFFFFFFFu};
+      return 4;
+    }
+  }
+  if (c != nullptr && IsLocalGet(a) && interior_clear(3)) {
+    if (IsLocalGet(*b) && IsBinary(c->op)) {
+      *out = Instr{U16(IOp::kFuseGetGetOp), a.a, b->a, c->op};
+      return 3;
+    }
+    if (IsAnyConst(*b) && IsBinary(c->op)) {
+      *out = Instr{U16(IOp::kFuseGetConstOp), a.a, c->op, b->imm};
+      return 3;
+    }
+  }
+  if (c != nullptr && interior_clear(3)) {
+    // Index scaling feeding a load: const c; i32.mul; <load>. The handler
+    // reproduces the multiply's 32-bit wrap, then redispatches to the load.
+    if (IsI32Const(a) && b->op == U16(Op::kI32Mul) && IsLoadOp(c->op)) {
+      *out = Instr{U16(IOp::kFuseScaleLoad), static_cast<uint32_t>(a.imm), c->op, c->imm};
+      return 3;
+    }
+    // Dot-product accumulation tail: f64.mul; f64.add; local.set.
+    if (a.op == U16(Op::kF64Mul) && b->op == U16(Op::kF64Add) &&
+        c->op == U16(Op::kLocalSet)) {
+      *out = Instr{U16(IOp::kFuseF64MulAddSet), c->a, 0, 0};
+      return 3;
+    }
+  }
+  if (b != nullptr && interior_clear(2)) {
+    if (b->op == U16(Op::kBrIf)) {
+      uint16_t fused = 0;
+      switch (a.op) {
+        case U16(Op::kI32GeS): fused = U16(IOp::kFuseGeSBrIf); break;
+        case U16(Op::kI32LtS): fused = U16(IOp::kFuseLtSBrIf); break;
+        case U16(Op::kI32Eqz): fused = U16(IOp::kFuseEqzBrIf); break;
+        case U16(Op::kI32Eq): fused = U16(IOp::kFuseEqBrIf); break;
+        case U16(Op::kI32Ne): fused = U16(IOp::kFuseNeBrIf); break;
+        default: break;
+      }
+      if (fused != 0) {
+        *out = Instr{fused, b->a, b->b, b->imm};
+        return 2;
+      }
+    }
+    if (IsLocalGet(a) && (IsLoadOp(b->op) || IsStoreOp(b->op))) {
+      *out = Instr{U16(IOp::kFuseGetMem), a.a, b->op, b->imm};
+      return 2;
+    }
+    if (IsI32Const(a) && IsLoadOp(b->op)) {
+      // Fold the constant address into the offset; the handler pushes a zero
+      // address operand. u64 arithmetic, so the checked tier still sees the
+      // exact (possibly >2^32) effective address.
+      *out = Instr{U16(IOp::kFuseConstLoad), 0, b->op, (a.imm & 0xFFFFFFFFu) + b->imm};
+      return 2;
+    }
+    if (IsLocalGet(a) && IsLocalGet(*b)) {
+      *out = Instr{U16(IOp::kFuseGetGet), a.a, b->a, 0};
+      return 2;
+    }
+    // Generic operand-push prefixes: get/const feeding any binop. These are
+    // the fallback when no longer pattern matched; together they cover most
+    // address arithmetic (get n; mul / const 8; mul / const base; add).
+    if (IsLocalGet(a) && IsBinary(b->op)) {
+      *out = Instr{U16(IOp::kFuseGetOp), a.a, b->op, 0};
+      return 2;
+    }
+    if (IsAnyConst(a) && IsBinary(b->op)) {
+      *out = Instr{U16(IOp::kFuseConstOp), 0, b->op, a.imm};
+      return 2;
+    }
+  }
+  return 0;
+}
+
+void FuseFunction(CompiledFunction* fn) {
+  const std::vector<Instr>& in = fn->code;
+  if (in.empty()) {
+    return;
+  }
+
+  // Leaders: every pc some branch can land on. Fusing across one would leave
+  // a branch pointing into the middle of a superinstruction.
+  std::vector<uint8_t> is_target(in.size() + 1, 0);
+  for (const Instr& ins : in) {
+    switch (ins.op) {
+      case U16(IOp::kJump):
+      case U16(IOp::kJumpIfZero):
+      case U16(Op::kBr):
+      case U16(Op::kBrIf):
+        is_target[ins.a] = 1;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const BrTableData& table : fn->br_tables) {
+    for (const BrTableTarget& target : table.targets) {
+      is_target[target.pc] = 1;
+    }
+  }
+
+  std::vector<Instr> out;
+  out.reserve(in.size());
+  // pc_map[old_pc] -> new pc. Interior pcs of a fused run map to the fused
+  // instruction (no branch targets them — leaders are never interior).
+  std::vector<uint32_t> pc_map(in.size() + 1, 0);
+  size_t i = 0;
+  while (i < in.size()) {
+    Instr fused;
+    const size_t consumed = TryFuse(in, is_target, i, &fused);
+    const auto new_pc = static_cast<uint32_t>(out.size());
+    if (consumed > 0) {
+      for (size_t k = 0; k < consumed; ++k) {
+        pc_map[i + k] = new_pc;
+      }
+      out.push_back(fused);
+      i += consumed;
+    } else {
+      pc_map[i] = new_pc;
+      out.push_back(in[i]);
+      ++i;
+    }
+  }
+  pc_map[in.size()] = static_cast<uint32_t>(out.size());
+
+  for (Instr& ins : out) {
+    switch (ins.op) {
+      case U16(IOp::kJump):
+      case U16(IOp::kJumpIfZero):
+      case U16(Op::kBr):
+      case U16(Op::kBrIf):
+      case U16(IOp::kFuseGeSBrIf):
+      case U16(IOp::kFuseLtSBrIf):
+      case U16(IOp::kFuseEqzBrIf):
+      case U16(IOp::kFuseEqBrIf):
+      case U16(IOp::kFuseNeBrIf):
+      case U16(IOp::kFuseLoopGeSLL):
+      case U16(IOp::kFuseLoopGeSLC):
+        ins.a = pc_map[ins.a];
+        break;
+      default:
+        break;
+    }
+  }
+  for (BrTableData& table : fn->br_tables) {
+    for (BrTableTarget& target : table.targets) {
+      target.pc = pc_map[target.pc];
+    }
+  }
+  fn->code = std::move(out);
+}
+
+void BuildRetiredPrefix(CompiledFunction* fn) {
+  fn->retired_prefix.resize(fn->code.size() + 1);
+  uint32_t sum = 0;
+  for (size_t k = 0; k < fn->code.size(); ++k) {
+    fn->retired_prefix[k] = sum;
+    sum += InstrRetireWeight(fn->code[k].op);
+  }
+  fn->retired_prefix[fn->code.size()] = sum;
+}
+
 }  // namespace
 
-Result<std::shared_ptr<const CompiledModule>> CompileModule(Module module) {
+uint32_t InstrRetireWeight(uint16_t op) {
+  switch (static_cast<IOp>(op)) {
+    case IOp::kFuseGetGet:
+    case IOp::kFuseGetMem:
+    case IOp::kFuseConstLoad:
+    case IOp::kFuseGeSBrIf:
+    case IOp::kFuseLtSBrIf:
+    case IOp::kFuseEqzBrIf:
+    case IOp::kFuseEqBrIf:
+    case IOp::kFuseNeBrIf:
+    case IOp::kFuseGetOp:
+    case IOp::kFuseConstOp:
+      return 2;
+    case IOp::kFuseGetGetOp:
+    case IOp::kFuseGetConstOp:
+    case IOp::kFuseF64MulAddSet:
+    case IOp::kFuseScaleLoad:
+      return 3;
+    case IOp::kFuseIncLocal:
+    case IOp::kFuseLoopGeSLL:
+    case IOp::kFuseLoopGeSLC:
+      return 4;
+    case IOp::kFuseRowMajor:
+      return 5;
+    case IOp::kFuseGetRowMajor:
+      return 6;
+    default:
+      return 1;
+  }
+}
+
+Result<std::shared_ptr<const CompiledModule>> CompileModule(Module module,
+                                                            const CompileOptions& options) {
   auto compiled = std::make_shared<CompiledModule>();
   compiled->functions.reserve(module.bodies.size());
   for (uint32_t i = 0; i < module.bodies.size(); ++i) {
@@ -742,7 +1025,12 @@ Result<std::shared_ptr<const CompiledModule>> CompileModule(Module module) {
       return Status(fn.status().code(), "function #" + std::to_string(i) + ": " +
                                             fn.status().message());
     }
-    compiled->functions.push_back(std::move(fn).value());
+    CompiledFunction compiled_fn = std::move(fn).value();
+    if (options.fuse_superinstructions) {
+      FuseFunction(&compiled_fn);
+    }
+    BuildRetiredPrefix(&compiled_fn);
+    compiled->functions.push_back(std::move(compiled_fn));
   }
   compiled->module = std::move(module);
   return std::shared_ptr<const CompiledModule>(std::move(compiled));

@@ -1,0 +1,65 @@
+#include "wasm/guard_trap.h"
+
+#include <signal.h>
+
+#include <cstring>
+#include <mutex>
+
+namespace faasm::wasm {
+
+namespace {
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+thread_local internal::GuardWindow* g_active_window = nullptr;
+
+// Async-signal context: reads only the faulting address and the thread's
+// window stack head, then either longjmps out or restores the default
+// disposition so the re-executed access crashes normally.
+void GuardSignalHandler(int sig, siginfo_t* info, void* /*ucontext*/) {
+  internal::GuardWindow* window = g_active_window;
+  const uint8_t* addr = static_cast<const uint8_t*>(info->si_addr);
+  if (window != nullptr && addr >= window->base && addr < window->base + window->len) {
+    siglongjmp(window->jump_buffer, 1);
+  }
+  signal(sig, SIG_DFL);
+}
+
+std::once_flag g_install_once;
+
+void InstallGuardHandler() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = GuardSignalHandler;
+  sa.sa_flags = SA_SIGINFO;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGSEGV, &sa, nullptr);
+  sigaction(SIGBUS, &sa, nullptr);
+}
+
+}  // namespace
+
+bool GuardTrapSupported() { return !kSanitized; }
+
+GuardTrapScope::GuardTrapScope(const uint8_t* base, size_t len) {
+  std::call_once(g_install_once, InstallGuardHandler);
+  window_.base = base;
+  window_.len = len;
+  window_.prev = g_active_window;
+  g_active_window = &window_;
+}
+
+GuardTrapScope::~GuardTrapScope() { g_active_window = window_.prev; }
+
+}  // namespace faasm::wasm

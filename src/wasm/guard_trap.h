@@ -1,0 +1,59 @@
+// Scoped SIGSEGV/SIGBUS recovery for the guard-page bounds tier.
+//
+// LinearMemory reserves the full u32-address + u32-static-offset range
+// (8 GiB + redzone) with only the committed prefix mapped readable/writable,
+// so an interpreter tier that skips inline bounds checks can never reach
+// memory outside the reservation: a wild guest access faults on a PROT_NONE
+// page. GuardTrapScope arms a per-thread recovery window over the
+// reservation; the process-wide handler converts a fault inside the active
+// window into a siglongjmp back to the dispatch loop's sigsetjmp, where it
+// becomes an ordinary TrapKind::kMemoryOutOfBounds. Faults anywhere else
+// re-raise with the default disposition and crash as before.
+#ifndef FAASM_WASM_GUARD_TRAP_H_
+#define FAASM_WASM_GUARD_TRAP_H_
+
+#include <csetjmp>
+#include <cstddef>
+#include <cstdint>
+
+namespace faasm::wasm {
+
+namespace internal {
+// Per-thread stack of armed recovery windows (nested Instance::Run calls via
+// host functions push one each). POD so the signal handler can walk it.
+struct GuardWindow {
+  GuardWindow* prev = nullptr;
+  const uint8_t* base = nullptr;
+  size_t len = 0;
+  sigjmp_buf jump_buffer;
+};
+}  // namespace internal
+
+// True when the guard-page tier can run in this build. Sanitizer builds
+// intercept the intentional guard fault before our handler sees it (ASan
+// reports it as a SEGV crash), so they pin the checked tier instead — the CI
+// sanitizer lane relies on this downgrade.
+bool GuardTrapSupported();
+
+// RAII: installs the process-wide handler on first use and arms this
+// thread's recovery window for [base, base + len). The caller must
+// sigsetjmp(jump_buffer(), 1) before running unchecked guest code; savemask
+// 1 matters, as the handler longjmps with the signal still blocked and the
+// restore unblocks it.
+class GuardTrapScope {
+ public:
+  GuardTrapScope(const uint8_t* base, size_t len);
+  ~GuardTrapScope();
+
+  GuardTrapScope(const GuardTrapScope&) = delete;
+  GuardTrapScope& operator=(const GuardTrapScope&) = delete;
+
+  sigjmp_buf& jump_buffer() { return window_.jump_buffer; }
+
+ private:
+  internal::GuardWindow window_;
+};
+
+}  // namespace faasm::wasm
+
+#endif  // FAASM_WASM_GUARD_TRAP_H_

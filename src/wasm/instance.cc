@@ -1,9 +1,14 @@
 #include "wasm/instance.h"
 
+#include <atomic>
 #include <bit>
 #include <cmath>
+#include <csetjmp>
 #include <cstring>
 #include <limits>
+#include <mutex>
+
+#include "wasm/guard_trap.h"
 
 namespace faasm::wasm {
 
@@ -78,6 +83,18 @@ Result<std::unique_ptr<Instance>> Instance::Create(std::shared_ptr<const Compile
 
 Status Instance::Instantiate(ImportResolver* resolver, LinearMemory* external_memory) {
   const Module& module = compiled_->module;
+
+  // Resolve the requested execution tiers against what this build supports;
+  // the start function (below) already runs on the effective tiers.
+  effective_bounds_ = options_.bounds;
+  if (effective_bounds_ == GuestBounds::kGuardPage && !GuardTrapSupported()) {
+    effective_bounds_ = GuestBounds::kChecked;  // sanitizer builds
+  }
+#if FAASM_INTERP_COMPUTED_GOTO
+  effective_dispatch_ = options_.dispatch;
+#else
+  effective_dispatch_ = GuestDispatch::kSwitch;
+#endif
 
   // Imports.
   for (const Import& import : module.imports) {
@@ -262,1101 +279,91 @@ Result<std::vector<Value>> Instance::CallFunction(uint32_t func_index, std::vect
 
 // --- Interpreter core ---------------------------------------------------------
 
+// RAII accounting for one Run() activation. Keeping the counters in members
+// (saved/restored here for nesting through host functions) makes the retired
+// count exact on every exit path, including a guard-page longjmp that
+// abandons the dispatch loop's stack frame mid-segment.
+class Instance::CallScope {
+ public:
+  explicit CallScope(Instance* instance)
+      : instance_(instance),
+        entry_depth_(instance->frames_.size() - 1),
+        saved_retired_(instance->retired_in_call_),
+        saved_block_start_(instance->block_start_pc_) {
+    instance->retired_in_call_ = 0;
+    instance->block_start_pc_ = instance->frames_.back().pc;
+  }
+
+  ~CallScope() {
+    uint64_t total = instance_->retired_in_call_;
+    if (instance_->frames_.size() > entry_depth_) {
+      // Abrupt exit (trap): charge the in-flight segment of the top frame.
+      const Frame& top = instance_->frames_.back();
+      const uint32_t* prefix = top.fn->retired_prefix.data();
+      total += prefix[top.pc] - prefix[instance_->block_start_pc_];
+    }
+    instance_->instructions_retired_ += total;
+    instance_->retired_in_call_ = saved_retired_;
+    instance_->block_start_pc_ = saved_block_start_;
+  }
+
+  CallScope(const CallScope&) = delete;
+  CallScope& operator=(const CallScope&) = delete;
+
+ private:
+  Instance* instance_;
+  size_t entry_depth_;
+  uint64_t saved_retired_;
+  uint32_t saved_block_start_;
+};
+
 Status Instance::Run() {
-  const size_t entry_depth = frames_.size() - 1;
-  Frame* frame = &frames_.back();
-  const Instr* code = frame->fn->code.data();
-
-  uint64_t fuel = fuel_limit_ == 0 ? UINT64_MAX : fuel_limit_;
-  uint64_t retired = 0;
-
-  LinearMemory* mem = memory_;
-
-// Convenience accessors over the operand stack.
-#define TOP() stack_[sp_ - 1]
-#define TOP2() stack_[sp_ - 2]
-#define POP() stack_[--sp_]
-#define PUSH(v)                                     \
-  do {                                              \
-    stack_[sp_++] = (v);                            \
-  } while (0)
-
-#define MEM_CHECK(addr64, len)                                       \
-  if (mem == nullptr || !mem->InBounds((addr64), (len))) {           \
-    instructions_retired_ += retired;                                \
-    return TrapStatus(TrapKind::kMemoryOutOfBounds);                 \
+  CallScope scope(this);
+  if (effective_bounds_ == GuestBounds::kGuardPage && memory_ != nullptr) {
+    return RunWithGuard();
   }
-
-  for (;;) {
-    if (--fuel == 0) {
-      instructions_retired_ += retired;
-      return TrapStatus(TrapKind::kFuelExhausted);
-    }
-    ++retired;
-    const Instr ins = code[frame->pc++];
-    switch (ins.op) {
-      case static_cast<uint16_t>(Op::kUnreachable):
-        instructions_retired_ += retired;
-        return TrapStatus(TrapKind::kUnreachable);
-
-      case static_cast<uint16_t>(IOp::kJump):
-        frame->pc = ins.a;
-        break;
-      case static_cast<uint16_t>(IOp::kJumpIfZero): {
-        const uint32_t cond = POP().i32;
-        if (cond == 0) {
-          frame->pc = ins.a;
-        }
-        break;
-      }
-
-      case static_cast<uint16_t>(Op::kBr): {
-        const uint32_t arity = ins.b;
-        const size_t target_sp = frame->operand_base + ins.imm;
-        for (uint32_t i = 0; i < arity; ++i) {
-          stack_[target_sp + i] = stack_[sp_ - arity + i];
-        }
-        sp_ = target_sp + arity;
-        frame->pc = ins.a;
-        break;
-      }
-      case static_cast<uint16_t>(Op::kBrIf): {
-        const uint32_t cond = POP().i32;
-        if (cond != 0) {
-          const uint32_t arity = ins.b;
-          const size_t target_sp = frame->operand_base + ins.imm;
-          for (uint32_t i = 0; i < arity; ++i) {
-            stack_[target_sp + i] = stack_[sp_ - arity + i];
-          }
-          sp_ = target_sp + arity;
-          frame->pc = ins.a;
-        }
-        break;
-      }
-      case static_cast<uint16_t>(Op::kBrTable): {
-        const BrTableData& table = frame->fn->br_tables[ins.a];
-        uint32_t index = POP().i32;
-        if (index >= table.targets.size() - 1) {
-          index = static_cast<uint32_t>(table.targets.size() - 1);  // default
-        }
-        const BrTableTarget& target = table.targets[index];
-        const uint32_t arity = table.arity;
-        const size_t target_sp = frame->operand_base + target.height;
-        for (uint32_t i = 0; i < arity; ++i) {
-          stack_[target_sp + i] = stack_[sp_ - arity + i];
-        }
-        sp_ = target_sp + arity;
-        frame->pc = target.pc;
-        break;
-      }
-
-      case static_cast<uint16_t>(Op::kReturn):
-      case static_cast<uint16_t>(IOp::kReturnEnd): {
-        const uint32_t arity =
-            ins.op == static_cast<uint16_t>(Op::kReturn) ? ins.b : frame->fn->result_arity;
-        const size_t result_base = frame->locals_base;
-        for (uint32_t i = 0; i < arity; ++i) {
-          stack_[result_base + i] = stack_[sp_ - arity + i];
-        }
-        sp_ = result_base + arity;
-        frames_.pop_back();
-        if (frames_.size() == entry_depth) {
-          instructions_retired_ += retired;
-          return OkStatus();
-        }
-        frame = &frames_.back();
-        code = frame->fn->code.data();
-        break;
-      }
-
-      case static_cast<uint16_t>(Op::kCall): {
-        const uint32_t callee = ins.a;
-        if (compiled_->is_import(callee)) {
-          Status status = CallHostFunction(callee);
-          if (!status.ok()) {
-            instructions_retired_ += retired;
-            return status;
-          }
-        } else {
-          Status status = PushFrame(callee);
-          if (!status.ok()) {
-            instructions_retired_ += retired;
-            return status;
-          }
-          frame = &frames_.back();
-          code = frame->fn->code.data();
-        }
-        break;
-      }
-      case static_cast<uint16_t>(Op::kCallIndirect): {
-        const uint32_t table_slot = POP().i32;
-        if (table_slot >= table_.size()) {
-          instructions_retired_ += retired;
-          return TrapStatus(TrapKind::kUndefinedElement);
-        }
-        const uint32_t callee = table_[table_slot];
-        if (callee == kNullFunc) {
-          instructions_retired_ += retired;
-          return TrapStatus(TrapKind::kUninitializedElement);
-        }
-        const FuncType& expected = compiled_->module.types[ins.a];
-        const FuncType& actual = compiled_->module.function_type(callee);
-        if (!(expected == actual)) {
-          instructions_retired_ += retired;
-          return TrapStatus(TrapKind::kIndirectCallTypeMismatch);
-        }
-        if (compiled_->is_import(callee)) {
-          Status status = CallHostFunction(callee);
-          if (!status.ok()) {
-            instructions_retired_ += retired;
-            return status;
-          }
-        } else {
-          Status status = PushFrame(callee);
-          if (!status.ok()) {
-            instructions_retired_ += retired;
-            return status;
-          }
-          frame = &frames_.back();
-          code = frame->fn->code.data();
-        }
-        break;
-      }
-
-      case static_cast<uint16_t>(Op::kDrop):
-        --sp_;
-        break;
-      case static_cast<uint16_t>(Op::kSelect): {
-        const uint32_t cond = POP().i32;
-        const Value b = POP();
-        if (cond == 0) {
-          TOP() = b;
-        }
-        break;
-      }
-
-      case static_cast<uint16_t>(Op::kLocalGet):
-        PUSH(stack_[frame->locals_base + ins.a]);
-        break;
-      case static_cast<uint16_t>(Op::kLocalSet):
-        stack_[frame->locals_base + ins.a] = POP();
-        break;
-      case static_cast<uint16_t>(Op::kLocalTee):
-        stack_[frame->locals_base + ins.a] = TOP();
-        break;
-      case static_cast<uint16_t>(Op::kGlobalGet):
-        PUSH(globals_[ins.a]);
-        break;
-      case static_cast<uint16_t>(Op::kGlobalSet):
-        globals_[ins.a] = POP();
-        break;
-
-      // --- Loads ------------------------------------------------------------
-      case static_cast<uint16_t>(Op::kI32Load): {
-        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
-        MEM_CHECK(addr, 4);
-        uint32_t v;
-        std::memcpy(&v, mem->base() + addr, 4);
-        TOP() = MakeI32(v);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Load): {
-        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
-        MEM_CHECK(addr, 8);
-        uint64_t v;
-        std::memcpy(&v, mem->base() + addr, 8);
-        TOP() = MakeI64(v);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32Load): {
-        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
-        MEM_CHECK(addr, 4);
-        float v;
-        std::memcpy(&v, mem->base() + addr, 4);
-        TOP() = MakeF32(v);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Load): {
-        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
-        MEM_CHECK(addr, 8);
-        double v;
-        std::memcpy(&v, mem->base() + addr, 8);
-        TOP() = MakeF64(v);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32Load8S): {
-        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
-        MEM_CHECK(addr, 1);
-        int8_t v;
-        std::memcpy(&v, mem->base() + addr, 1);
-        TOP() = MakeI32(static_cast<uint32_t>(static_cast<int32_t>(v)));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32Load8U): {
-        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
-        MEM_CHECK(addr, 1);
-        uint8_t v;
-        std::memcpy(&v, mem->base() + addr, 1);
-        TOP() = MakeI32(v);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32Load16S): {
-        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
-        MEM_CHECK(addr, 2);
-        int16_t v;
-        std::memcpy(&v, mem->base() + addr, 2);
-        TOP() = MakeI32(static_cast<uint32_t>(static_cast<int32_t>(v)));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32Load16U): {
-        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
-        MEM_CHECK(addr, 2);
-        uint16_t v;
-        std::memcpy(&v, mem->base() + addr, 2);
-        TOP() = MakeI32(v);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Load8S): {
-        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
-        MEM_CHECK(addr, 1);
-        int8_t v;
-        std::memcpy(&v, mem->base() + addr, 1);
-        TOP() = MakeI64(static_cast<uint64_t>(static_cast<int64_t>(v)));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Load8U): {
-        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
-        MEM_CHECK(addr, 1);
-        uint8_t v;
-        std::memcpy(&v, mem->base() + addr, 1);
-        TOP() = MakeI64(v);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Load16S): {
-        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
-        MEM_CHECK(addr, 2);
-        int16_t v;
-        std::memcpy(&v, mem->base() + addr, 2);
-        TOP() = MakeI64(static_cast<uint64_t>(static_cast<int64_t>(v)));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Load16U): {
-        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
-        MEM_CHECK(addr, 2);
-        uint16_t v;
-        std::memcpy(&v, mem->base() + addr, 2);
-        TOP() = MakeI64(v);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Load32S): {
-        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
-        MEM_CHECK(addr, 4);
-        int32_t v;
-        std::memcpy(&v, mem->base() + addr, 4);
-        TOP() = MakeI64(static_cast<uint64_t>(static_cast<int64_t>(v)));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Load32U): {
-        const uint64_t addr = static_cast<uint64_t>(TOP().i32) + ins.imm;
-        MEM_CHECK(addr, 4);
-        uint32_t v;
-        std::memcpy(&v, mem->base() + addr, 4);
-        TOP() = MakeI64(v);
-        break;
-      }
-
-      // --- Stores -------------------------------------------------------------
-      case static_cast<uint16_t>(Op::kI32Store): {
-        const Value v = POP();
-        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
-        MEM_CHECK(addr, 4);
-        std::memcpy(mem->base() + addr, &v.i32, 4);
-        mem->MarkDirty(addr, 4);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Store): {
-        const Value v = POP();
-        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
-        MEM_CHECK(addr, 8);
-        std::memcpy(mem->base() + addr, &v.i64, 8);
-        mem->MarkDirty(addr, 8);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32Store): {
-        const Value v = POP();
-        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
-        MEM_CHECK(addr, 4);
-        std::memcpy(mem->base() + addr, &v.f32, 4);
-        mem->MarkDirty(addr, 4);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Store): {
-        const Value v = POP();
-        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
-        MEM_CHECK(addr, 8);
-        std::memcpy(mem->base() + addr, &v.f64, 8);
-        mem->MarkDirty(addr, 8);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32Store8): {
-        const Value v = POP();
-        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
-        MEM_CHECK(addr, 1);
-        const uint8_t byte = static_cast<uint8_t>(v.i32);
-        std::memcpy(mem->base() + addr, &byte, 1);
-        mem->MarkDirty(addr, 1);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32Store16): {
-        const Value v = POP();
-        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
-        MEM_CHECK(addr, 2);
-        const uint16_t half = static_cast<uint16_t>(v.i32);
-        std::memcpy(mem->base() + addr, &half, 2);
-        mem->MarkDirty(addr, 2);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Store8): {
-        const Value v = POP();
-        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
-        MEM_CHECK(addr, 1);
-        const uint8_t byte = static_cast<uint8_t>(v.i64);
-        std::memcpy(mem->base() + addr, &byte, 1);
-        mem->MarkDirty(addr, 1);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Store16): {
-        const Value v = POP();
-        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
-        MEM_CHECK(addr, 2);
-        const uint16_t half = static_cast<uint16_t>(v.i64);
-        std::memcpy(mem->base() + addr, &half, 2);
-        mem->MarkDirty(addr, 2);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Store32): {
-        const Value v = POP();
-        const uint64_t addr = static_cast<uint64_t>(POP().i32) + ins.imm;
-        MEM_CHECK(addr, 4);
-        const uint32_t word = static_cast<uint32_t>(v.i64);
-        std::memcpy(mem->base() + addr, &word, 4);
-        mem->MarkDirty(addr, 4);
-        break;
-      }
-
-      case static_cast<uint16_t>(Op::kMemorySize):
-        PUSH(MakeI32(mem != nullptr ? mem->size_pages() : 0));
-        break;
-      case static_cast<uint16_t>(Op::kMemoryGrow): {
-        const uint32_t delta = TOP().i32;
-        TOP() = MakeI32(mem != nullptr ? mem->Grow(delta) : UINT32_MAX);
-        break;
-      }
-
-      // --- Constants ----------------------------------------------------------
-      case static_cast<uint16_t>(Op::kI32Const):
-        PUSH(MakeI32(static_cast<uint32_t>(ins.imm)));
-        break;
-      case static_cast<uint16_t>(Op::kI64Const):
-        PUSH(MakeI64(ins.imm));
-        break;
-      case static_cast<uint16_t>(Op::kF32Const): {
-        float f;
-        const uint32_t bits = static_cast<uint32_t>(ins.imm);
-        std::memcpy(&f, &bits, 4);
-        PUSH(MakeF32(f));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Const): {
-        double d;
-        std::memcpy(&d, &ins.imm, 8);
-        PUSH(MakeF64(d));
-        break;
-      }
-
-      // --- i32 comparisons ------------------------------------------------------
-      case static_cast<uint16_t>(Op::kI32Eqz):
-        TOP() = MakeI32(TOP().i32 == 0);
-        break;
-      case static_cast<uint16_t>(Op::kI32Eq): {
-        const uint32_t b = POP().i32;
-        TOP() = MakeI32(TOP().i32 == b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32Ne): {
-        const uint32_t b = POP().i32;
-        TOP() = MakeI32(TOP().i32 != b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32LtS): {
-        const int32_t b = static_cast<int32_t>(POP().i32);
-        TOP() = MakeI32(static_cast<int32_t>(TOP().i32) < b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32LtU): {
-        const uint32_t b = POP().i32;
-        TOP() = MakeI32(TOP().i32 < b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32GtS): {
-        const int32_t b = static_cast<int32_t>(POP().i32);
-        TOP() = MakeI32(static_cast<int32_t>(TOP().i32) > b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32GtU): {
-        const uint32_t b = POP().i32;
-        TOP() = MakeI32(TOP().i32 > b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32LeS): {
-        const int32_t b = static_cast<int32_t>(POP().i32);
-        TOP() = MakeI32(static_cast<int32_t>(TOP().i32) <= b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32LeU): {
-        const uint32_t b = POP().i32;
-        TOP() = MakeI32(TOP().i32 <= b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32GeS): {
-        const int32_t b = static_cast<int32_t>(POP().i32);
-        TOP() = MakeI32(static_cast<int32_t>(TOP().i32) >= b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32GeU): {
-        const uint32_t b = POP().i32;
-        TOP() = MakeI32(TOP().i32 >= b);
-        break;
-      }
-
-      // --- i64 comparisons ------------------------------------------------------
-      case static_cast<uint16_t>(Op::kI64Eqz):
-        TOP() = MakeI32(TOP().i64 == 0);
-        break;
-      case static_cast<uint16_t>(Op::kI64Eq): {
-        const uint64_t b = POP().i64;
-        TOP() = MakeI32(TOP().i64 == b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Ne): {
-        const uint64_t b = POP().i64;
-        TOP() = MakeI32(TOP().i64 != b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64LtS): {
-        const int64_t b = static_cast<int64_t>(POP().i64);
-        TOP() = MakeI32(static_cast<int64_t>(TOP().i64) < b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64LtU): {
-        const uint64_t b = POP().i64;
-        TOP() = MakeI32(TOP().i64 < b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64GtS): {
-        const int64_t b = static_cast<int64_t>(POP().i64);
-        TOP() = MakeI32(static_cast<int64_t>(TOP().i64) > b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64GtU): {
-        const uint64_t b = POP().i64;
-        TOP() = MakeI32(TOP().i64 > b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64LeS): {
-        const int64_t b = static_cast<int64_t>(POP().i64);
-        TOP() = MakeI32(static_cast<int64_t>(TOP().i64) <= b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64LeU): {
-        const uint64_t b = POP().i64;
-        TOP() = MakeI32(TOP().i64 <= b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64GeS): {
-        const int64_t b = static_cast<int64_t>(POP().i64);
-        TOP() = MakeI32(static_cast<int64_t>(TOP().i64) >= b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64GeU): {
-        const uint64_t b = POP().i64;
-        TOP() = MakeI32(TOP().i64 >= b);
-        break;
-      }
-
-      // --- float comparisons -----------------------------------------------------
-      case static_cast<uint16_t>(Op::kF32Eq): {
-        const float b = POP().f32;
-        TOP() = MakeI32(TOP().f32 == b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32Ne): {
-        const float b = POP().f32;
-        TOP() = MakeI32(TOP().f32 != b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32Lt): {
-        const float b = POP().f32;
-        TOP() = MakeI32(TOP().f32 < b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32Gt): {
-        const float b = POP().f32;
-        TOP() = MakeI32(TOP().f32 > b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32Le): {
-        const float b = POP().f32;
-        TOP() = MakeI32(TOP().f32 <= b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32Ge): {
-        const float b = POP().f32;
-        TOP() = MakeI32(TOP().f32 >= b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Eq): {
-        const double b = POP().f64;
-        TOP() = MakeI32(TOP().f64 == b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Ne): {
-        const double b = POP().f64;
-        TOP() = MakeI32(TOP().f64 != b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Lt): {
-        const double b = POP().f64;
-        TOP() = MakeI32(TOP().f64 < b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Gt): {
-        const double b = POP().f64;
-        TOP() = MakeI32(TOP().f64 > b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Le): {
-        const double b = POP().f64;
-        TOP() = MakeI32(TOP().f64 <= b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Ge): {
-        const double b = POP().f64;
-        TOP() = MakeI32(TOP().f64 >= b);
-        break;
-      }
-
-      // --- i32 arithmetic --------------------------------------------------------
-      case static_cast<uint16_t>(Op::kI32Clz):
-        TOP() = MakeI32(TOP().i32 == 0 ? 32 : std::countl_zero(TOP().i32));
-        break;
-      case static_cast<uint16_t>(Op::kI32Ctz):
-        TOP() = MakeI32(TOP().i32 == 0 ? 32 : std::countr_zero(TOP().i32));
-        break;
-      case static_cast<uint16_t>(Op::kI32Popcnt):
-        TOP() = MakeI32(std::popcount(TOP().i32));
-        break;
-      case static_cast<uint16_t>(Op::kI32Add): {
-        const uint32_t b = POP().i32;
-        TOP() = MakeI32(TOP().i32 + b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32Sub): {
-        const uint32_t b = POP().i32;
-        TOP() = MakeI32(TOP().i32 - b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32Mul): {
-        const uint32_t b = POP().i32;
-        TOP() = MakeI32(TOP().i32 * b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32DivS): {
-        const int32_t b = static_cast<int32_t>(POP().i32);
-        const int32_t a = static_cast<int32_t>(TOP().i32);
-        if (b == 0) {
-          instructions_retired_ += retired;
-          return TrapStatus(TrapKind::kIntegerDivideByZero);
-        }
-        if (a == INT32_MIN && b == -1) {
-          instructions_retired_ += retired;
-          return TrapStatus(TrapKind::kIntegerOverflow);
-        }
-        TOP() = MakeI32(static_cast<uint32_t>(a / b));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32DivU): {
-        const uint32_t b = POP().i32;
-        if (b == 0) {
-          instructions_retired_ += retired;
-          return TrapStatus(TrapKind::kIntegerDivideByZero);
-        }
-        TOP() = MakeI32(TOP().i32 / b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32RemS): {
-        const int32_t b = static_cast<int32_t>(POP().i32);
-        const int32_t a = static_cast<int32_t>(TOP().i32);
-        if (b == 0) {
-          instructions_retired_ += retired;
-          return TrapStatus(TrapKind::kIntegerDivideByZero);
-        }
-        TOP() = MakeI32(static_cast<uint32_t>(b == -1 ? 0 : a % b));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32RemU): {
-        const uint32_t b = POP().i32;
-        if (b == 0) {
-          instructions_retired_ += retired;
-          return TrapStatus(TrapKind::kIntegerDivideByZero);
-        }
-        TOP() = MakeI32(TOP().i32 % b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32And): {
-        const uint32_t b = POP().i32;
-        TOP() = MakeI32(TOP().i32 & b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32Or): {
-        const uint32_t b = POP().i32;
-        TOP() = MakeI32(TOP().i32 | b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32Xor): {
-        const uint32_t b = POP().i32;
-        TOP() = MakeI32(TOP().i32 ^ b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32Shl): {
-        const uint32_t b = POP().i32 & 31;
-        TOP() = MakeI32(TOP().i32 << b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32ShrS): {
-        const uint32_t b = POP().i32 & 31;
-        TOP() = MakeI32(static_cast<uint32_t>(static_cast<int32_t>(TOP().i32) >> b));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32ShrU): {
-        const uint32_t b = POP().i32 & 31;
-        TOP() = MakeI32(TOP().i32 >> b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32Rotl): {
-        const uint32_t b = POP().i32 & 31;
-        TOP() = MakeI32(std::rotl(TOP().i32, static_cast<int>(b)));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32Rotr): {
-        const uint32_t b = POP().i32 & 31;
-        TOP() = MakeI32(std::rotr(TOP().i32, static_cast<int>(b)));
-        break;
-      }
-
-      // --- i64 arithmetic --------------------------------------------------------
-      case static_cast<uint16_t>(Op::kI64Clz):
-        TOP() = MakeI64(TOP().i64 == 0 ? 64 : std::countl_zero(TOP().i64));
-        break;
-      case static_cast<uint16_t>(Op::kI64Ctz):
-        TOP() = MakeI64(TOP().i64 == 0 ? 64 : std::countr_zero(TOP().i64));
-        break;
-      case static_cast<uint16_t>(Op::kI64Popcnt):
-        TOP() = MakeI64(std::popcount(TOP().i64));
-        break;
-      case static_cast<uint16_t>(Op::kI64Add): {
-        const uint64_t b = POP().i64;
-        TOP() = MakeI64(TOP().i64 + b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Sub): {
-        const uint64_t b = POP().i64;
-        TOP() = MakeI64(TOP().i64 - b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Mul): {
-        const uint64_t b = POP().i64;
-        TOP() = MakeI64(TOP().i64 * b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64DivS): {
-        const int64_t b = static_cast<int64_t>(POP().i64);
-        const int64_t a = static_cast<int64_t>(TOP().i64);
-        if (b == 0) {
-          instructions_retired_ += retired;
-          return TrapStatus(TrapKind::kIntegerDivideByZero);
-        }
-        if (a == INT64_MIN && b == -1) {
-          instructions_retired_ += retired;
-          return TrapStatus(TrapKind::kIntegerOverflow);
-        }
-        TOP() = MakeI64(static_cast<uint64_t>(a / b));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64DivU): {
-        const uint64_t b = POP().i64;
-        if (b == 0) {
-          instructions_retired_ += retired;
-          return TrapStatus(TrapKind::kIntegerDivideByZero);
-        }
-        TOP() = MakeI64(TOP().i64 / b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64RemS): {
-        const int64_t b = static_cast<int64_t>(POP().i64);
-        const int64_t a = static_cast<int64_t>(TOP().i64);
-        if (b == 0) {
-          instructions_retired_ += retired;
-          return TrapStatus(TrapKind::kIntegerDivideByZero);
-        }
-        TOP() = MakeI64(static_cast<uint64_t>(b == -1 ? 0 : a % b));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64RemU): {
-        const uint64_t b = POP().i64;
-        if (b == 0) {
-          instructions_retired_ += retired;
-          return TrapStatus(TrapKind::kIntegerDivideByZero);
-        }
-        TOP() = MakeI64(TOP().i64 % b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64And): {
-        const uint64_t b = POP().i64;
-        TOP() = MakeI64(TOP().i64 & b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Or): {
-        const uint64_t b = POP().i64;
-        TOP() = MakeI64(TOP().i64 | b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Xor): {
-        const uint64_t b = POP().i64;
-        TOP() = MakeI64(TOP().i64 ^ b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Shl): {
-        const uint64_t b = POP().i64 & 63;
-        TOP() = MakeI64(TOP().i64 << b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64ShrS): {
-        const uint64_t b = POP().i64 & 63;
-        TOP() = MakeI64(static_cast<uint64_t>(static_cast<int64_t>(TOP().i64) >> b));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64ShrU): {
-        const uint64_t b = POP().i64 & 63;
-        TOP() = MakeI64(TOP().i64 >> b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Rotl): {
-        const uint64_t b = POP().i64 & 63;
-        TOP() = MakeI64(std::rotl(TOP().i64, static_cast<int>(b)));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64Rotr): {
-        const uint64_t b = POP().i64 & 63;
-        TOP() = MakeI64(std::rotr(TOP().i64, static_cast<int>(b)));
-        break;
-      }
-
-      // --- f32 arithmetic --------------------------------------------------------
-      case static_cast<uint16_t>(Op::kF32Abs):
-        TOP() = MakeF32(std::fabs(TOP().f32));
-        break;
-      case static_cast<uint16_t>(Op::kF32Neg):
-        TOP() = MakeF32(-TOP().f32);
-        break;
-      case static_cast<uint16_t>(Op::kF32Ceil):
-        TOP() = MakeF32(std::ceil(TOP().f32));
-        break;
-      case static_cast<uint16_t>(Op::kF32Floor):
-        TOP() = MakeF32(std::floor(TOP().f32));
-        break;
-      case static_cast<uint16_t>(Op::kF32Trunc):
-        TOP() = MakeF32(std::trunc(TOP().f32));
-        break;
-      case static_cast<uint16_t>(Op::kF32Nearest):
-        TOP() = MakeF32(std::nearbyintf(TOP().f32));
-        break;
-      case static_cast<uint16_t>(Op::kF32Sqrt):
-        TOP() = MakeF32(std::sqrt(TOP().f32));
-        break;
-      case static_cast<uint16_t>(Op::kF32Add): {
-        const float b = POP().f32;
-        TOP() = MakeF32(TOP().f32 + b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32Sub): {
-        const float b = POP().f32;
-        TOP() = MakeF32(TOP().f32 - b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32Mul): {
-        const float b = POP().f32;
-        TOP() = MakeF32(TOP().f32 * b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32Div): {
-        const float b = POP().f32;
-        TOP() = MakeF32(TOP().f32 / b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32Min): {
-        const float b = POP().f32;
-        TOP() = MakeF32(WasmFMin(TOP().f32, b));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32Max): {
-        const float b = POP().f32;
-        TOP() = MakeF32(WasmFMax(TOP().f32, b));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32Copysign): {
-        const float b = POP().f32;
-        TOP() = MakeF32(std::copysign(TOP().f32, b));
-        break;
-      }
-
-      // --- f64 arithmetic --------------------------------------------------------
-      case static_cast<uint16_t>(Op::kF64Abs):
-        TOP() = MakeF64(std::fabs(TOP().f64));
-        break;
-      case static_cast<uint16_t>(Op::kF64Neg):
-        TOP() = MakeF64(-TOP().f64);
-        break;
-      case static_cast<uint16_t>(Op::kF64Ceil):
-        TOP() = MakeF64(std::ceil(TOP().f64));
-        break;
-      case static_cast<uint16_t>(Op::kF64Floor):
-        TOP() = MakeF64(std::floor(TOP().f64));
-        break;
-      case static_cast<uint16_t>(Op::kF64Trunc):
-        TOP() = MakeF64(std::trunc(TOP().f64));
-        break;
-      case static_cast<uint16_t>(Op::kF64Nearest):
-        TOP() = MakeF64(std::nearbyint(TOP().f64));
-        break;
-      case static_cast<uint16_t>(Op::kF64Sqrt):
-        TOP() = MakeF64(std::sqrt(TOP().f64));
-        break;
-      case static_cast<uint16_t>(Op::kF64Add): {
-        const double b = POP().f64;
-        TOP() = MakeF64(TOP().f64 + b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Sub): {
-        const double b = POP().f64;
-        TOP() = MakeF64(TOP().f64 - b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Mul): {
-        const double b = POP().f64;
-        TOP() = MakeF64(TOP().f64 * b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Div): {
-        const double b = POP().f64;
-        TOP() = MakeF64(TOP().f64 / b);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Min): {
-        const double b = POP().f64;
-        TOP() = MakeF64(WasmFMin(TOP().f64, b));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Max): {
-        const double b = POP().f64;
-        TOP() = MakeF64(WasmFMax(TOP().f64, b));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64Copysign): {
-        const double b = POP().f64;
-        TOP() = MakeF64(std::copysign(TOP().f64, b));
-        break;
-      }
-
-      // --- Conversions -------------------------------------------------------------
-      case static_cast<uint16_t>(Op::kI32WrapI64):
-        TOP() = MakeI32(static_cast<uint32_t>(TOP().i64));
-        break;
-      case static_cast<uint16_t>(Op::kI32TruncF32S): {
-        int32_t out = 0;
-        Status s = TruncChecked<float, int32_t>(TOP().f32, -2147483648.0f, 2147483648.0f, true, &out);
-        if (!s.ok()) {
-          instructions_retired_ += retired;
-          return s;
-        }
-        TOP() = MakeI32(static_cast<uint32_t>(out));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32TruncF32U): {
-        uint32_t out = 0;
-        Status s = TruncChecked<float, uint32_t>(TOP().f32, -1.0f, 4294967296.0f, false, &out);
-        if (!s.ok()) {
-          instructions_retired_ += retired;
-          return s;
-        }
-        TOP() = MakeI32(out);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32TruncF64S): {
-        int32_t out = 0;
-        Status s = TruncChecked<double, int32_t>(TOP().f64, -2147483649.0, 2147483648.0, false, &out);
-        if (!s.ok()) {
-          instructions_retired_ += retired;
-          return s;
-        }
-        TOP() = MakeI32(static_cast<uint32_t>(out));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI32TruncF64U): {
-        uint32_t out = 0;
-        Status s = TruncChecked<double, uint32_t>(TOP().f64, -1.0, 4294967296.0, false, &out);
-        if (!s.ok()) {
-          instructions_retired_ += retired;
-          return s;
-        }
-        TOP() = MakeI32(out);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64ExtendI32S):
-        TOP() = MakeI64(static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(TOP().i32))));
-        break;
-      case static_cast<uint16_t>(Op::kI64ExtendI32U):
-        TOP() = MakeI64(TOP().i32);
-        break;
-      case static_cast<uint16_t>(Op::kI64TruncF32S): {
-        int64_t out = 0;
-        Status s = TruncChecked<float, int64_t>(TOP().f32, -9223372036854775808.0f,
-                                                9223372036854775808.0f, true, &out);
-        if (!s.ok()) {
-          instructions_retired_ += retired;
-          return s;
-        }
-        TOP() = MakeI64(static_cast<uint64_t>(out));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64TruncF32U): {
-        uint64_t out = 0;
-        Status s = TruncChecked<float, uint64_t>(TOP().f32, -1.0f, 18446744073709551616.0f, false,
-                                                 &out);
-        if (!s.ok()) {
-          instructions_retired_ += retired;
-          return s;
-        }
-        TOP() = MakeI64(out);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64TruncF64S): {
-        int64_t out = 0;
-        Status s = TruncChecked<double, int64_t>(TOP().f64, -9223372036854775808.0,
-                                                 9223372036854775808.0, true, &out);
-        if (!s.ok()) {
-          instructions_retired_ += retired;
-          return s;
-        }
-        TOP() = MakeI64(static_cast<uint64_t>(out));
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64TruncF64U): {
-        uint64_t out = 0;
-        Status s = TruncChecked<double, uint64_t>(TOP().f64, -1.0, 18446744073709551616.0, false,
-                                                  &out);
-        if (!s.ok()) {
-          instructions_retired_ += retired;
-          return s;
-        }
-        TOP() = MakeI64(out);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32ConvertI32S):
-        TOP() = MakeF32(static_cast<float>(static_cast<int32_t>(TOP().i32)));
-        break;
-      case static_cast<uint16_t>(Op::kF32ConvertI32U):
-        TOP() = MakeF32(static_cast<float>(TOP().i32));
-        break;
-      case static_cast<uint16_t>(Op::kF32ConvertI64S):
-        TOP() = MakeF32(static_cast<float>(static_cast<int64_t>(TOP().i64)));
-        break;
-      case static_cast<uint16_t>(Op::kF32ConvertI64U):
-        TOP() = MakeF32(static_cast<float>(TOP().i64));
-        break;
-      case static_cast<uint16_t>(Op::kF32DemoteF64):
-        TOP() = MakeF32(static_cast<float>(TOP().f64));
-        break;
-      case static_cast<uint16_t>(Op::kF64ConvertI32S):
-        TOP() = MakeF64(static_cast<double>(static_cast<int32_t>(TOP().i32)));
-        break;
-      case static_cast<uint16_t>(Op::kF64ConvertI32U):
-        TOP() = MakeF64(static_cast<double>(TOP().i32));
-        break;
-      case static_cast<uint16_t>(Op::kF64ConvertI64S):
-        TOP() = MakeF64(static_cast<double>(static_cast<int64_t>(TOP().i64)));
-        break;
-      case static_cast<uint16_t>(Op::kF64ConvertI64U):
-        TOP() = MakeF64(static_cast<double>(TOP().i64));
-        break;
-      case static_cast<uint16_t>(Op::kF64PromoteF32):
-        TOP() = MakeF64(static_cast<double>(TOP().f32));
-        break;
-      case static_cast<uint16_t>(Op::kI32ReinterpretF32): {
-        uint32_t bits;
-        std::memcpy(&bits, &TOP().f32, 4);
-        TOP() = MakeI32(bits);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kI64ReinterpretF64): {
-        uint64_t bits;
-        std::memcpy(&bits, &TOP().f64, 8);
-        TOP() = MakeI64(bits);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF32ReinterpretI32): {
-        float f;
-        std::memcpy(&f, &TOP().i32, 4);
-        TOP() = MakeF32(f);
-        break;
-      }
-      case static_cast<uint16_t>(Op::kF64ReinterpretI64): {
-        double d;
-        std::memcpy(&d, &TOP().i64, 8);
-        TOP() = MakeF64(d);
-        break;
-      }
-
-      case static_cast<uint16_t>(Op::kI32Extend8S):
-        TOP() = MakeI32(static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(TOP().i32))));
-        break;
-      case static_cast<uint16_t>(Op::kI32Extend16S):
-        TOP() =
-            MakeI32(static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(TOP().i32))));
-        break;
-      case static_cast<uint16_t>(Op::kI64Extend8S):
-        TOP() = MakeI64(static_cast<uint64_t>(static_cast<int64_t>(static_cast<int8_t>(TOP().i64))));
-        break;
-      case static_cast<uint16_t>(Op::kI64Extend16S):
-        TOP() =
-            MakeI64(static_cast<uint64_t>(static_cast<int64_t>(static_cast<int16_t>(TOP().i64))));
-        break;
-      case static_cast<uint16_t>(Op::kI64Extend32S):
-        TOP() =
-            MakeI64(static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(TOP().i64))));
-        break;
-
-      default:
-        instructions_retired_ += retired;
-        return Internal("interpreter: unknown preprocessed opcode " + std::to_string(ins.op));
-    }
-  }
-
-#undef TOP
-#undef TOP2
-#undef POP
-#undef PUSH
-#undef MEM_CHECK
+  return RunLoop<true>();
 }
+
+Status Instance::RunWithGuard() {
+  GuardTrapScope guard(memory_->base(), LinearMemory::kReservationBytes);
+  if (sigsetjmp(guard.jump_buffer(), 1) != 0) {
+    // A guest access faulted on the PROT_NONE tail of the reservation. A
+    // store that straddles the committed frontier may have written its first
+    // bytes before faulting, so conservatively dirty the frontier page to
+    // keep delta extraction sound.
+    if (memory_->size_bytes() > 0) {
+      memory_->MarkDirty(memory_->size_bytes() - 1, 1);
+    }
+    return TrapStatus(TrapKind::kMemoryOutOfBounds);
+  }
+  return RunLoop<false>();
+}
+
+template <bool kChecked>
+Status Instance::RunLoop() {
+#if FAASM_INTERP_COMPUTED_GOTO
+  if (effective_dispatch_ == GuestDispatch::kThreaded) {
+    return RunThreaded<kChecked>();
+  }
+#endif
+  return RunSwitch<kChecked>();
+}
+
+template <bool kChecked>
+Status Instance::RunSwitch() {
+#define FAASM_THREADED 0
+#include "wasm/interp_body.inc"
+#undef FAASM_THREADED
+}
+
+#if FAASM_INTERP_COMPUTED_GOTO
+template <bool kChecked>
+Status Instance::RunThreaded() {
+#define FAASM_THREADED 1
+#include "wasm/interp_body.inc"
+#undef FAASM_THREADED
+}
+#endif
 
 }  // namespace faasm::wasm

@@ -2,11 +2,28 @@
 // linear memory and a value/call stack. One Faaslet owns one Instance; many
 // instances share one immutable CompiledModule.
 //
-// Execution is a pre-decoded switch interpreter. It enforces the wasm
-// security model at run time: every memory access is bounds checked against
-// the Faaslet's LinearMemory, control flow can only follow validated edges,
-// and indirect calls check signatures. An optional fuel limit bounds
-// execution for tests and fair scheduling.
+// Execution is a pre-decoded interpreter with two orthogonal fast-path axes,
+// both selectable per instance (InstanceOptions) for ablation:
+//
+//   Bounds tier (GuestBounds)
+//     kChecked    every load/store runs LinearMemory::InBounds inline.
+//     kGuardPage  no inline checks. LinearMemory reserves the whole
+//                 u32-address + u32-offset range PROT_NONE; a wild access
+//                 faults and a scoped SIGSEGV handler (wasm/guard_trap.h)
+//                 converts the fault into TrapKind::kMemoryOutOfBounds.
+//                 Downgraded to kChecked under sanitizers.
+//
+//   Dispatch tier (GuestDispatch)
+//     kSwitch     classic switch dispatch loop.
+//     kThreaded   computed-goto threaded dispatch (GNU extension); each
+//                 handler ends in its own indirect branch. Downgraded to
+//                 kSwitch when the compiler lacks the extension.
+//
+// Either way the wasm security model holds: out-of-bounds accesses trap,
+// control flow can only follow validated edges, and indirect calls check
+// signatures. An optional fuel limit bounds execution for tests and fair
+// scheduling; fuel and instructions_retired are charged per straight-line
+// segment (exact, and identical across every tier combination).
 #ifndef FAASM_WASM_INSTANCE_H_
 #define FAASM_WASM_INSTANCE_H_
 
@@ -18,6 +35,14 @@
 #include "common/status.h"
 #include "mem/linear_memory.h"
 #include "wasm/compiled.h"
+
+// Computed-goto dispatch needs the GNU labels-as-values extension. Define
+// FAASM_NO_COMPUTED_GOTO to force the portable switch loop everywhere.
+#if !defined(FAASM_NO_COMPUTED_GOTO) && (defined(__GNUC__) || defined(__clang__))
+#define FAASM_INTERP_COMPUTED_GOTO 1
+#else
+#define FAASM_INTERP_COMPUTED_GOTO 0
+#endif
 
 namespace faasm::wasm {
 
@@ -45,6 +70,18 @@ class MapImportResolver : public ImportResolver {
   std::vector<std::tuple<std::string, std::string, HostFn>> entries_;
 };
 
+// How guest memory accesses are bounds-enforced (see file comment).
+enum class GuestBounds {
+  kChecked,
+  kGuardPage,
+};
+
+// How the interpreter dispatches opcodes (see file comment).
+enum class GuestDispatch {
+  kSwitch,
+  kThreaded,
+};
+
 struct InstanceOptions {
   // Maximum call-frame depth before a stack-exhaustion trap.
   uint32_t max_call_depth = 1024;
@@ -52,6 +89,10 @@ struct InstanceOptions {
   uint32_t max_stack_values = 1u << 20;
   // Default memory max (wasm pages) when the module declares none.
   uint32_t default_max_pages = 1u << 12;  // 256 MiB
+  // Requested execution tiers. The effective tiers may be downgraded (see
+  // Instance::effective_bounds / effective_dispatch).
+  GuestBounds bounds = GuestBounds::kGuardPage;
+  GuestDispatch dispatch = GuestDispatch::kThreaded;
 };
 
 class Instance {
@@ -78,7 +119,13 @@ class Instance {
   // --- Execution accounting --------------------------------------------------
   // 0 disables the limit. The budget applies per CallExport/CallFunction.
   void set_fuel_limit(uint64_t fuel) { fuel_limit_ = fuel; }
+  // Exact wire-instruction count, updated when the outermost call returns
+  // (host functions observing it mid-call see the value at entry).
   uint64_t instructions_retired() const { return instructions_retired_; }
+
+  // The tiers actually in effect after build/sanitizer downgrades.
+  GuestBounds effective_bounds() const { return effective_bounds_; }
+  GuestDispatch effective_dispatch() const { return effective_dispatch_; }
 
  private:
   struct Frame {
@@ -88,13 +135,35 @@ class Instance {
     uint32_t operand_base;  // stack index of the first operand slot
   };
 
+  // RAII accounting for one Run(): zeroes the per-call segment counters on
+  // entry and folds them (plus any in-flight segment at an abrupt trap exit,
+  // including a guard-page longjmp) into instructions_retired_ on exit.
+  class CallScope;
+
   Instance(std::shared_ptr<const CompiledModule> compiled, const InstanceOptions& options)
       : compiled_(std::move(compiled)), options_(options) {}
 
   Status Instantiate(ImportResolver* resolver, LinearMemory* external_memory);
 
-  // Runs the interpreter until the entry frame returns.
+  // Runs the interpreter until the entry frame returns. Routes to the
+  // effective bounds/dispatch tier.
   Status Run();
+
+  // Guard-page tier: arms the SIGSEGV recovery window, sigsetjmps, and runs
+  // the unchecked loop. Lives in its own frame so the setjmp does not
+  // constrain the dispatch loop's locals.
+  Status RunWithGuard();
+
+  // Picks switch vs threaded dispatch for one bounds tier.
+  template <bool kChecked>
+  Status RunLoop();
+
+  template <bool kChecked>
+  Status RunSwitch();
+#if FAASM_INTERP_COMPUTED_GOTO
+  template <bool kChecked>
+  Status RunThreaded();
+#endif
 
   Status CallHostFunction(uint32_t func_index);
 
@@ -119,6 +188,16 @@ class Instance {
 
   uint64_t fuel_limit_ = 0;
   uint64_t instructions_retired_ = 0;
+
+  GuestBounds effective_bounds_ = GuestBounds::kChecked;
+  GuestDispatch effective_dispatch_ = GuestDispatch::kSwitch;
+
+  // Per-call segment accounting (members, not locals, so a guard-page
+  // longjmp cannot clobber them): wire instructions retired by completed
+  // segments of the current Run, and the pc where the running straight-line
+  // segment of the top frame began.
+  uint64_t retired_in_call_ = 0;
+  uint32_t block_start_pc_ = 0;
 };
 
 }  // namespace faasm::wasm

@@ -206,7 +206,68 @@ enum class IOp : uint16_t {
   kJump = 0x100,       // unconditional jump, no stack unwind (if/else plumbing)
   kJumpIfZero = 0x101, // conditional forward jump, no stack unwind
   kReturnEnd = 0x102,  // implicit return at the end of the function body
+
+  // --- Superinstructions (0x110+) -------------------------------------------
+  //
+  // Emitted by the peephole fusion pass in compiler.cc (CompileOptions::
+  // fuse_superinstructions). Each replaces a run of 2-4 wire instructions;
+  // InstrRetireWeight (compiled.h) maps it back to that count so the
+  // instructions_retired counter is invariant under fusion. Fusion never
+  // crosses a branch-target boundary, so these only appear inside straight-
+  // line code. Several are "prefix" superinstructions: they push operands and
+  // then re-dispatch to the opcode carried in a field, reusing the plain
+  // handler for the tail instruction.
+
+  // local.get a; local.get b
+  kFuseGetGet = 0x110,
+  // local.get a; local.get b; <binop> — imm = the binop opcode (redispatch)
+  kFuseGetGetOp = 0x111,
+  // local.get a; <const>; <binop> — b = the binop opcode, imm = const bits
+  kFuseGetConstOp = 0x112,
+  // local.get a; <load/store> — b = the memory opcode, imm = its offset
+  kFuseGetMem = 0x113,
+  // i32.const; <load> — b = the load opcode, imm = folded const+offset
+  // address (the handler sees a zero address operand)
+  kFuseConstLoad = 0x114,
+  // local.get a; i32.const imm; i32.add; local.set b  (loop increment)
+  kFuseIncLocal = 0x115,
+  // <i32 compare>; br_if — a = target pc, b = arity, imm = unwind height
+  kFuseGeSBrIf = 0x116,
+  kFuseLtSBrIf = 0x117,
+  kFuseEqzBrIf = 0x118,
+  kFuseEqBrIf = 0x119,
+  kFuseNeBrIf = 0x11A,
+  // Counted-loop exit test, arity 0 (builder.cc For* skeleton):
+  // local.get l1; local.get l2; i32.ge_s; br_if — b = (l1 << 16) | l2
+  kFuseLoopGeSLL = 0x11B,
+  // local.get l; i32.const c; i32.ge_s; br_if — b = l,
+  // imm = (height << 32) | (uint32_t)c
+  kFuseLoopGeSLC = 0x11C,
+  // local.get a; <binop> — b = the binop opcode (redispatch)
+  kFuseGetOp = 0x11D,
+  // <const>; <binop> — b = the binop opcode, imm = const bits (redispatch)
+  kFuseConstOp = 0x11E,
+  // f64.mul; f64.add; local.set a — the dot-product accumulation tail.
+  // Evaluated as two separately-rounded operations, never contracted to an
+  // fma, so results stay bit-identical to the unfused tier.
+  kFuseF64MulAddSet = 0x11F,
+  // local.get a; local.get n; i32.mul; local.get b; i32.add — the row-major
+  // index idiom (a*n+b, both ops wrapping mod 2^32). a = l_a, b = l_n,
+  // imm = l_b.
+  kFuseRowMajor = 0x120,
+  // local.get x; <row-major a,n,b> — the same with a leading operand push
+  // (e.g. the accumulator before an indexed load). All four locals must be
+  // < 0x10000: a = (l_x << 16) | l_a, b = (l_n << 16) | l_b.
+  kFuseGetRowMajor = 0x121,
+  // i32.const c; i32.mul; <load> — index scaling folded into the address
+  // operand: pushes (u32)(idx * c), then redispatches to the load in b with
+  // imm = the load's offset. The 32-bit wrap of the multiply is preserved.
+  kFuseScaleLoad = 0x122,
 };
+
+// Upper bound on preprocessed opcode values; sizes the threaded-dispatch
+// jump table in the interpreter.
+inline constexpr size_t kInterpOpLimit = 0x130;
 
 }  // namespace faasm::wasm
 

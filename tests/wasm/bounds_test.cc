@@ -1,0 +1,262 @@
+// Out-of-bounds boundary tests for the guest memory tiers: every load/store
+// width probed at the last-valid and first-invalid byte, with and without a
+// nonzero static offset, plus addr+offset combinations that overflow 32 bits.
+// Each probe runs under every (bounds, dispatch) tier combination and must
+// agree exactly — same ok/trap outcome, same trap kind. The guard-page tier
+// has no inline bounds branches, so these tests are the proof that the
+// SIGSEGV-to-trap conversion reproduces the checked tier's semantics at the
+// byte level.
+//
+// Deliberately NOT tested: memory contents after a trapped store. The guard
+// tier may have written the in-bounds prefix of a frontier-straddling store
+// before faulting; the checked tier writes nothing. The spec allows either.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/linear_memory.h"
+#include "wasm/builder.h"
+#include "wasm/decoder.h"
+#include "wasm/instance.h"
+
+namespace faasm::wasm {
+namespace {
+
+struct Tier {
+  GuestBounds bounds;
+  GuestDispatch dispatch;
+  const char* name;
+};
+
+const Tier kTiers[] = {
+    {GuestBounds::kChecked, GuestDispatch::kSwitch, "checked/switch"},
+    {GuestBounds::kChecked, GuestDispatch::kThreaded, "checked/threaded"},
+    {GuestBounds::kGuardPage, GuestDispatch::kSwitch, "guard/switch"},
+    {GuestBounds::kGuardPage, GuestDispatch::kThreaded, "guard/threaded"},
+};
+
+// One memory access shape: the op, its access width, and whether it stores.
+struct AccessCase {
+  Op op;
+  uint32_t len;
+  bool is_store;
+  const char* name;
+};
+
+const AccessCase kAccesses[] = {
+    {Op::kI32Load, 4, false, "i32.load"},
+    {Op::kI64Load, 8, false, "i64.load"},
+    {Op::kF32Load, 4, false, "f32.load"},
+    {Op::kF64Load, 8, false, "f64.load"},
+    {Op::kI32Load8S, 1, false, "i32.load8_s"},
+    {Op::kI32Load8U, 1, false, "i32.load8_u"},
+    {Op::kI32Load16S, 2, false, "i32.load16_s"},
+    {Op::kI32Load16U, 2, false, "i32.load16_u"},
+    {Op::kI64Load8S, 1, false, "i64.load8_s"},
+    {Op::kI64Load8U, 1, false, "i64.load8_u"},
+    {Op::kI64Load16S, 2, false, "i64.load16_s"},
+    {Op::kI64Load16U, 2, false, "i64.load16_u"},
+    {Op::kI64Load32S, 4, false, "i64.load32_s"},
+    {Op::kI64Load32U, 4, false, "i64.load32_u"},
+    {Op::kI32Store, 4, true, "i32.store"},
+    {Op::kI64Store, 8, true, "i64.store"},
+    {Op::kF32Store, 4, true, "f32.store"},
+    {Op::kF64Store, 8, true, "f64.store"},
+    {Op::kI32Store8, 1, true, "i32.store8"},
+    {Op::kI32Store16, 2, true, "i32.store16"},
+    {Op::kI64Store8, 1, true, "i64.store8"},
+    {Op::kI64Store16, 2, true, "i64.store16"},
+    {Op::kI64Store32, 4, true, "i64.store32"},
+};
+
+// Pushes a stored value of the type `op` expects.
+void EmitStoreValue(FunctionBuilder& f, Op op) {
+  switch (op) {
+    case Op::kI64Store:
+    case Op::kI64Store8:
+    case Op::kI64Store16:
+    case Op::kI64Store32:
+      f.I64Const(-1);
+      break;
+    case Op::kF32Store:
+      f.F32Const(1.5f);
+      break;
+    case Op::kF64Store:
+      f.F64Const(2.5);
+      break;
+    default:
+      f.I32Const(-1);
+      break;
+  }
+}
+
+// Builds a one-page module whose export "f"(addr: i32) performs `op` at
+// addr+offset, and instantiates it under `tier`.
+std::unique_ptr<Instance> MakeProbe(const AccessCase& access, uint32_t offset,
+                                    const Tier& tier) {
+  ModuleBuilder b;
+  b.AddMemory(1, 1);  // exactly one page: the frontier is kWasmPageBytes
+  auto& f = b.AddFunction("f", {ValType::kI32}, {});
+  f.LocalGet(0);
+  if (access.is_store) {
+    EmitStoreValue(f, access.op);
+    f.Store(access.op, offset);
+  } else {
+    f.Load(access.op, offset);
+    f.Drop();
+  }
+  auto decoded = DecodeModule(b.Build());
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto compiled = CompileModule(std::move(decoded).value());
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  InstanceOptions options;
+  options.bounds = tier.bounds;
+  options.dispatch = tier.dispatch;
+  auto instance = Instance::Create(compiled.value(), nullptr, nullptr, options);
+  EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+  return std::move(instance).value();
+}
+
+// Runs the probe at `addr` and asserts the expected outcome; OOB must be the
+// kMemoryOutOfBounds trap specifically (not fuel, not a host error).
+void Probe(Instance& instance, uint32_t addr, bool expect_ok,
+           const std::string& context) {
+  auto out = instance.CallExport("f", {MakeI32(static_cast<int32_t>(addr))});
+  if (expect_ok) {
+    EXPECT_TRUE(out.ok()) << context << ": " << out.status().ToString();
+  } else {
+    ASSERT_FALSE(out.ok()) << context << ": access unexpectedly succeeded";
+    EXPECT_NE(out.status().message().find("out of bounds memory access"),
+              std::string::npos)
+        << context << ": wrong trap: " << out.status().ToString();
+  }
+}
+
+TEST(BoundsTest, EveryWidthAtTheFrontier) {
+  for (const auto& access : kAccesses) {
+    for (const auto& tier : kTiers) {
+      auto instance = MakeProbe(access, /*offset=*/0, tier);
+      ASSERT_NE(instance, nullptr);
+      const std::string context =
+          std::string(access.name) + " under " + tier.name;
+      const uint32_t last_valid = kWasmPageBytes - access.len;
+      Probe(*instance, 0, true, context + " @0");
+      Probe(*instance, last_valid, true, context + " @last-valid");
+      Probe(*instance, last_valid + 1, false, context + " @first-invalid");
+      Probe(*instance, kWasmPageBytes, false, context + " @frontier");
+    }
+  }
+}
+
+TEST(BoundsTest, NonzeroStaticOffset) {
+  constexpr uint32_t kOffset = 4096 + 3;  // page-crossing, unaligned
+  for (const auto& access : kAccesses) {
+    for (const auto& tier : kTiers) {
+      auto instance = MakeProbe(access, kOffset, tier);
+      ASSERT_NE(instance, nullptr);
+      const std::string context = std::string(access.name) + " offset=" +
+                                  std::to_string(kOffset) + " under " +
+                                  tier.name;
+      const uint32_t last_valid = kWasmPageBytes - kOffset - access.len;
+      Probe(*instance, last_valid, true, context + " @last-valid");
+      Probe(*instance, last_valid + 1, false, context + " @first-invalid");
+    }
+  }
+}
+
+TEST(BoundsTest, AddrPlusOffsetOverflows32Bits) {
+  // addr + offset exceeding 2^32 must trap, not wrap back into the heap. The
+  // guard tier relies on the reservation covering the full u32+u32 range
+  // (LinearMemory::kReservationBytes > 2^33), so the farthest reachable
+  // effective address still lands on PROT_NONE pages.
+  constexpr uint32_t kMaxU32 = 0xFFFFFFFFu;
+  for (const auto& tier : kTiers) {
+    const std::string context = std::string("overflow under ") + tier.name;
+    {
+      auto instance = MakeProbe(kAccesses[0], /*offset=*/kMaxU32, tier);
+      ASSERT_NE(instance, nullptr);
+      Probe(*instance, kMaxU32, false, context + " (load max+max)");
+      Probe(*instance, 0, false, context + " (load 0+max)");
+    }
+    {
+      // i64.store: the widest store at the farthest effective address.
+      auto instance = MakeProbe(kAccesses[15], /*offset=*/kMaxU32, tier);
+      ASSERT_NE(instance, nullptr);
+      Probe(*instance, kMaxU32, false, context + " (store max+max)");
+    }
+    {
+      auto instance = MakeProbe(kAccesses[0], /*offset=*/0, tier);
+      ASSERT_NE(instance, nullptr);
+      Probe(*instance, kMaxU32, false, context + " (load max+0)");
+    }
+  }
+}
+
+TEST(BoundsTest, TiersAgreeOnEveryBoundaryProbe) {
+  // Byte-exact cross-tier agreement: sweep a window of addresses around the
+  // frontier for a representative op set and require the identical ok/trap
+  // verdict from all four tier combinations at every address.
+  const AccessCase sweep_ops[] = {kAccesses[0], kAccesses[1], kAccesses[14],
+                                  kAccesses[15], kAccesses[18]};
+  for (const auto& access : sweep_ops) {
+    std::vector<std::unique_ptr<Instance>> instances;
+    for (const auto& tier : kTiers) {
+      instances.push_back(MakeProbe(access, /*offset=*/8, tier));
+      ASSERT_NE(instances.back(), nullptr);
+    }
+    for (uint32_t addr = kWasmPageBytes - 24; addr < kWasmPageBytes + 8;
+         ++addr) {
+      const auto base = instances[0]->CallExport(
+          "f", {MakeI32(static_cast<int32_t>(addr))});
+      for (size_t t = 1; t < instances.size(); ++t) {
+        const auto out = instances[t]->CallExport(
+            "f", {MakeI32(static_cast<int32_t>(addr))});
+        EXPECT_EQ(base.ok(), out.ok())
+            << access.name << " @" << addr << ": " << kTiers[0].name
+            << " vs " << kTiers[t].name;
+        if (!base.ok() && !out.ok()) {
+          EXPECT_EQ(base.status().message(), out.status().message())
+              << access.name << " @" << addr;
+        }
+      }
+    }
+  }
+}
+
+TEST(BoundsTest, GuardTierStillTrapsAfterGrow) {
+  // memory.grow moves the frontier; the guard tier's reservation is fixed, so
+  // newly committed pages become accessible and the trap line moves with the
+  // logical size — no re-arming required.
+  ModuleBuilder b;
+  b.AddMemory(1, 4);
+  auto& f = b.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.LocalGet(0);
+  f.Load(Op::kI32Load, 0);
+  auto& g = b.AddFunction("grow", {}, {ValType::kI32});
+  g.I32Const(1);
+  g.MemoryGrow();
+  auto decoded = DecodeModule(b.Build());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto compiled = CompileModule(std::move(decoded).value());
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  for (const auto& tier : kTiers) {
+    InstanceOptions options;
+    options.bounds = tier.bounds;
+    options.dispatch = tier.dispatch;
+    auto instance = Instance::Create(compiled.value(), nullptr, nullptr, options);
+    ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+    auto& inst = *instance.value();
+    Probe(inst, kWasmPageBytes, false, std::string("pre-grow ") + tier.name);
+    auto grew = inst.CallExport("grow", {});
+    ASSERT_TRUE(grew.ok()) << grew.status().ToString();
+    ASSERT_EQ(grew.value()[0].i32, 1);  // old size in pages
+    Probe(inst, kWasmPageBytes, true, std::string("post-grow ") + tier.name);
+    Probe(inst, 2 * kWasmPageBytes, false,
+          std::string("post-grow frontier ") + tier.name);
+  }
+}
+
+}  // namespace
+}  // namespace faasm::wasm
