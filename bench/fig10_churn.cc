@@ -28,9 +28,17 @@
 // zero bad reads and every shard ending with a live master. --repl=async is
 // the bounded-lag ablation: liveness is still gated, losses are reported.
 //
+// With --detect the oracle is taken out of the loop: hosts are crashed with
+// NO notification (FaasmCluster::CrashHost) and the heartbeat failure
+// detector (runtime/failure_detector.h) must notice, confirm and run the
+// failover itself. The bench measures crash-to-confirmation latency per kill
+// and additionally gates that every crash was confirmed within
+// suspicion_timeout + one heartbeat interval.
+//
 //   fig10_churn [--tiny]                                 # single-host figure
 //   fig10_churn --hosts-churn [--tier=sharded|central] [--tiny] [--json <path>]
-//   fig10_churn --kill [--replicas=<n>] [--repl=sync|async] [--tiny] [--json <path>]
+//   fig10_churn --kill [--replicas=<n>] [--repl=sync|async] [--detect] [--tiny]
+//               [--json <path>]
 #include <cstring>
 #include <queue>
 #include <set>
@@ -327,7 +335,17 @@ struct KillResult {
   bool tiny = false;
   int replicas = 2;
   bool sync = true;
+  bool detect = false;
   size_t kills = 0;
+  // --detect only: confirmed deaths, per-kill detection latency (crash ->
+  // detector confirmation, failover excluded) and the gated bound
+  // (suspicion_timeout + one heartbeat interval).
+  size_t detected = 0;
+  std::vector<double> detect_ms;
+  double detect_bound_ms = 0;
+  uint64_t heartbeats = 0;
+  uint64_t hints = 0;
+  uint64_t false_suspicions = 0;
   size_t ops = 0;
   size_t acked_increments = 0;
   size_t good_reads = 0;
@@ -376,18 +394,22 @@ void RegisterPayloadCheck(FaasmCluster& cluster, size_t payload_bytes) {
   });
 }
 
-KillResult RunKill(bool tiny, int replicas, bool sync) {
+KillResult RunKill(bool tiny, int replicas, bool sync, bool detect) {
   KillResult result;
   result.tiny = tiny;
   result.replicas = replicas;
   result.sync = sync;
+  result.detect = detect;
 
   ClusterConfig config;
   config.hosts = tiny ? 5 : 6;
   config.state_tier = StateTier::kSharded;
   config.replication_factor = replicas;
   config.replication_sync = sync;
+  config.failure_detection = detect;
   FaasmCluster cluster(config);
+  result.detect_bound_ms =
+      static_cast<double>(config.suspicion_timeout_ns + config.heartbeat_interval_ns) / 1e6;
 
   const int counters = tiny ? 4 : 8;
   const int ops_per_round = tiny ? 24 : 96;
@@ -431,13 +453,46 @@ KillResult RunKill(bool tiny, int replicas, bool sync) {
         }
         result.ops += 1;
       }
-      auto killed = cluster.KillHost(victim);
-      if (killed.ok()) {
-        result.kills += 1;
-        result.recovery_ms.push_back(static_cast<double>(killed.value().duration_ns) / 1e6);
+      if (detect) {
+        // NO oracle: pull the plug and wait for the detector to notice and
+        // self-heal. Detection latency = crash -> confirmation (deaths());
+        // recovery duration is the cluster failover-accounting delta.
+        const TimeNs killed_at = cluster.clock().Now();
+        const TimeNs recovery_before = cluster.failover_stats().duration_ns;
+        Status crashed = cluster.CrashHost(victim);
+        if (crashed.ok()) {
+          result.kills += 1;
+          const size_t want = result.kills;
+          const FailureDetector* detector = cluster.failure_detector();
+          const bool confirmed =
+              cluster.clock().WaitFor([&] { return detector->death_count() >= want; },
+                                      100 * kMicrosecond, killed_at + kSecond);
+          if (confirmed) {
+            for (const DeathRecord& death : detector->deaths()) {
+              if (death.host == victim) {
+                result.detect_ms.push_back(
+                    static_cast<double>(death.confirmed_at_ns - killed_at) / 1e6);
+              }
+            }
+            result.recovery_ms.push_back(
+                static_cast<double>(cluster.failover_stats().duration_ns - recovery_before) /
+                1e6);
+          } else {
+            std::fprintf(stderr, "detector never confirmed %s\n", victim.c_str());
+          }
+        } else {
+          std::fprintf(stderr, "CrashHost(%s) failed: %s\n", victim.c_str(),
+                       crashed.ToString().c_str());
+        }
       } else {
-        std::fprintf(stderr, "KillHost(%s) failed: %s\n", victim.c_str(),
-                     killed.status().ToString().c_str());
+        auto killed = cluster.KillHost(victim);
+        if (killed.ok()) {
+          result.kills += 1;
+          result.recovery_ms.push_back(static_cast<double>(killed.value().duration_ns) / 1e6);
+        } else {
+          std::fprintf(stderr, "KillHost(%s) failed: %s\n", victim.c_str(),
+                       killed.status().ToString().c_str());
+        }
       }
       for (const Pending& pending : batch) {
         auto code = frontend.Await(pending.id);
@@ -488,6 +543,13 @@ KillResult RunKill(bool tiny, int replicas, bool sync) {
     result.all_shards_live = result.all_shards_live && live_shards.count(shard) > 0;
   }
 
+  if (cluster.failure_detector() != nullptr) {
+    const FailureDetector* detector = cluster.failure_detector();
+    result.detected = detector->death_count();
+    result.heartbeats = detector->heartbeats_seen();
+    result.hints = detector->hints();
+    result.false_suspicions = detector->false_suspicions();
+  }
   result.failover = cluster.failover_stats();
   if (cluster.replication() != nullptr) {
     const ReplicationStats& stats = cluster.replication()->stats();
@@ -525,8 +587,23 @@ bool WriteKillJson(const std::string& path, const KillResult& r) {
     return false;
   }
   std::fprintf(f, "{\n  \"bench\": \"fig10_churn\",\n  \"mode\": \"kill\",\n");
-  std::fprintf(f, "  \"tiny\": %s,\n  \"replicas\": %d,\n  \"sync\": %s,\n",
-               r.tiny ? "true" : "false", r.replicas, r.sync ? "true" : "false");
+  std::fprintf(f, "  \"tiny\": %s,\n  \"replicas\": %d,\n  \"sync\": %s,\n  \"detect\": %s,\n",
+               r.tiny ? "true" : "false", r.replicas, r.sync ? "true" : "false",
+               r.detect ? "true" : "false");
+  if (r.detect) {
+    Summary detect_ms;
+    for (double v : r.detect_ms) {
+      detect_ms.Add(v);
+    }
+    std::fprintf(f,
+                 "  \"detection\": {\"confirmed\": %zu, \"latency_ms\": {\"p50\": %.3f, "
+                 "\"p99\": %.3f, \"max\": %.3f}, \"bound_ms\": %.3f,\n"
+                 "    \"heartbeats\": %llu, \"hints\": %llu, \"false_suspicions\": %llu},\n",
+                 r.detected, detect_ms.Median(), detect_ms.Percentile(99.0), detect_ms.Max(),
+                 r.detect_bound_ms, static_cast<unsigned long long>(r.heartbeats),
+                 static_cast<unsigned long long>(r.hints),
+                 static_cast<unsigned long long>(r.false_suspicions));
+  }
   std::fprintf(f, "  \"kills\": %zu,\n  \"ops\": %zu,\n  \"acked_increments\": %zu,\n",
                r.kills, r.ops, r.acked_increments);
   std::fprintf(f, "  \"good_reads\": %zu,\n  \"failed_ops\": %zu,\n", r.good_reads,
@@ -557,18 +634,27 @@ bool WriteKillJson(const std::string& path, const KillResult& r) {
   return true;
 }
 
-int KillMain(bool tiny, int replicas, bool sync, const std::string& json_path) {
-  PrintHeader("Figure 10c: crash failover — abrupt host kills under mixed load");
+int KillMain(bool tiny, int replicas, bool sync, bool detect, const std::string& json_path) {
+  PrintHeader(detect
+                  ? "Figure 10c: crash failover with HEARTBEAT DETECTION (no oracle)"
+                  : "Figure 10c: crash failover — abrupt host kills under mixed load");
   std::printf("lock-serialised increments + byte-checking reads while hosts are killed\n"
               "with no drain (mail dropped, endpoints gone). replicas=%d, %s forwarding:\n"
-              "%s\n\n",
+              "%s\n",
               replicas, sync ? "sync" : "async",
               replicas > 1
                   ? (sync ? "an acked op is on every live backup, so the gate is ZERO lost"
                             " or doubled acked updates."
                           : "the bounded-lag ablation — liveness gated, losses reported.")
                   : "no replication — lost keys are counted, liveness still gated.");
-  const KillResult r = RunKill(tiny, replicas, sync);
+  if (detect) {
+    std::printf("detection: nobody tells the cluster — hosts heartbeat, the detector\n"
+                "suspects silence, probes, confirms, and runs the failover itself. The\n"
+                "gate adds: every crash confirmed, max detection latency within\n"
+                "suspicion_timeout + one heartbeat interval.\n");
+  }
+  std::printf("\n");
+  const KillResult r = RunKill(tiny, replicas, sync, detect);
   std::printf("%6s %6s %6s %6s | %6s %6s | %10s %10s | %9s %9s\n", "kills", "ops", "acked",
               "failed", "lost", "badrd", "promoted", "lostkeys", "rec(ms)", "max(ms)");
   std::printf("%6zu %6zu %6zu %6zu | %6llu %6llu | %10llu %10llu | %9.2f %9.2f\n", r.kills,
@@ -585,11 +671,23 @@ int KillMain(bool tiny, int replicas, bool sync, const std::string& json_path) {
               static_cast<unsigned long long>(r.dropped_forwards),
               static_cast<unsigned long long>(r.final_epoch),
               r.all_shards_live ? "yes" : "NO");
+  if (detect) {
+    std::printf("detection: %zu/%zu crashes confirmed, latency mean %.2f ms max %.2f ms "
+                "(bound %.2f ms); %llu heartbeats, %llu hints, %llu false suspicions\n",
+                r.detected, r.kills, MeanOf(r.detect_ms), MaxOf(r.detect_ms),
+                r.detect_bound_ms, static_cast<unsigned long long>(r.heartbeats),
+                static_cast<unsigned long long>(r.hints),
+                static_cast<unsigned long long>(r.false_suspicions));
+  }
 
   bool ok = r.kills == 3 && r.all_shards_live;
   if (replicas > 1 && sync) {
     ok = ok && r.lost_acked == 0 && r.bad_reads == 0 && r.failover.lost_keys == 0 &&
          r.failover.promoted_keys > 0;
+  }
+  if (detect) {
+    ok = ok && r.detected == r.kills && r.detect_ms.size() == r.kills &&
+         MaxOf(r.detect_ms) <= r.detect_bound_ms;
   }
   if (!ok) {
     std::fprintf(stderr, "FAILOVER GATE FAILED\n");
@@ -614,6 +712,7 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"--tier=sharded|central", "global-tier layout for --hosts-churn (default sharded)"},
     {"--replicas=<n>", "copies per shard for --kill (default 2)"},
     {"--repl=sync|async", "forward mode for --kill (default sync)"},
+    {"--detect", "for --kill: no oracle — heartbeat detection finds and recovers crashes"},
     {"--tiny", "smaller datasets and op counts (CI smoke)"},
     {"--json <path>", "write the cluster-mode result as JSON"},
 };
@@ -637,6 +736,7 @@ int main(int argc, char** argv) {
   bool tiny = false;
   bool hosts_churn = false;
   bool kill = false;
+  bool detect = false;
   StateTier tier = StateTier::kSharded;
   int replicas = 2;
   bool repl_sync = true;
@@ -649,6 +749,8 @@ int main(int argc, char** argv) {
       hosts_churn = true;
     } else if (arg == "--kill") {
       kill = true;
+    } else if (arg == "--detect") {
+      detect = true;
     } else if (arg == "--tier=sharded") {
       tier = StateTier::kSharded;
     } else if (arg == "--tier=central") {
@@ -677,8 +779,13 @@ int main(int argc, char** argv) {
     PrintUsage(argv[0]);
     return 2;
   }
+  if (detect && !kill) {
+    std::fprintf(stderr, "%s: --detect requires --kill\n", argv[0]);
+    PrintUsage(argv[0]);
+    return 2;
+  }
   if (kill) {
-    return KillMain(tiny, replicas, repl_sync, json_path);
+    return KillMain(tiny, replicas, repl_sync, detect, json_path);
   }
   if (hosts_churn) {
     return HostChurnMain(tiny, tier, json_path);

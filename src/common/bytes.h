@@ -19,11 +19,16 @@ inline Bytes BytesFromString(const std::string& s) { return Bytes(s.begin(), s.e
 inline std::string StringFromBytes(const Bytes& b) { return std::string(b.begin(), b.end()); }
 
 // Append a trivially-copyable value in little-endian (host) order.
+// resize+memcpy rather than insert(range): GCC 12's -Wstringop-overflow
+// misjudges the scalar-range insert when it inlines the vector growth path
+// and flags a phantom overflow at many call sites; the explicit form keeps
+// the codegen identical without tripping it.
 template <typename T>
 void AppendScalar(Bytes& out, T value) {
   static_assert(std::is_trivially_copyable_v<T>);
-  const auto* p = reinterpret_cast<const uint8_t*>(&value);
-  out.insert(out.end(), p, p + sizeof(T));
+  const size_t offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &value, sizeof(T));
 }
 
 // Sequential writer over a growable byte vector.
@@ -38,17 +43,23 @@ class ByteWriter {
 
   void PutString(const std::string& s) {
     Put<uint32_t>(static_cast<uint32_t>(s.size()));
-    out_.insert(out_.end(), s.begin(), s.end());
+    PutRaw(s.data(), s.size());
   }
 
   void PutBytes(const Bytes& b) {
     Put<uint32_t>(static_cast<uint32_t>(b.size()));
-    out_.insert(out_.end(), b.begin(), b.end());
+    PutRaw(b.data(), b.size());
   }
 
+  // Same resize+memcpy shape as AppendScalar, for the same GCC 12
+  // -Wstringop-overflow reason.
   void PutRaw(const void* data, size_t len) {
-    const auto* p = static_cast<const uint8_t*>(data);
-    out_.insert(out_.end(), p, p + len);
+    if (len == 0) {
+      return;
+    }
+    const size_t offset = out_.size();
+    out_.resize(offset + len);
+    std::memcpy(out_.data() + offset, data, len);
   }
 
  private:

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "PERMISSION_DENIED";
     case StatusCode::kWrongMaster:
       return "WRONG_MASTER";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -30,6 +30,12 @@ enum class StatusCode {
   // master the key — the shard map changed, or the key is mid-migration.
   // Routing clients re-resolve the master and retry (kvs/kvs_client.h).
   kWrongMaster,
+  // A bounded wait or retry budget ran out before the operation could
+  // complete (kvs/kvs_client.h: the redirect budget exhausted during an
+  // extended failover window, or a BatchHandle::Wait deadline). The message
+  // carries what was being waited for — key, last endpoint, attempt count —
+  // so callers can tell "master gone" from "map stale".
+  kDeadlineExceeded,
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -83,6 +89,9 @@ inline Status PermissionDenied(std::string m) {
 }
 inline Status WrongMaster(std::string m) {
   return Status(StatusCode::kWrongMaster, std::move(m));
+}
+inline Status DeadlineExceeded(std::string m) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(m));
 }
 
 // Result<T>: holds either a T or a non-OK Status.

@@ -307,6 +307,14 @@ KvsClient::KvsClient(InProcNetwork* network, std::string source, const ShardMap*
       local_endpoint_(ShardMap::EndpointForHost(source_)),
       read_cache_(&network->clock(), shards) {}
 
+Status KvsClient::RedirectBudgetExhausted(const std::string& key, const std::string& endpoint,
+                                          int attempts, const Status& last) {
+  return DeadlineExceeded("kvs: retry budget exhausted for key '" + key + "' after " +
+                          std::to_string(attempts) + " attempts (last endpoint: " +
+                          (endpoint.empty() ? "<local>" : endpoint) +
+                          ", last error: " + last.ToString() + ")");
+}
+
 KvsClient::Route KvsClient::RouteFor(const std::string& key) const {
   if (shards_ == nullptr) {
     return Route{nullptr, server_};
@@ -710,16 +718,26 @@ void OpBatch::Read(std::string key, ReadOptions options, ReadAck done) {
   ops_.back().read_options = options;
 }
 
-Status BatchHandle::Wait() {
+Status BatchHandle::Wait(TimeNs deadline_ns) {
   if (shared_ == nullptr) {
     return OkStatus();
   }
+  const TimeNs start = clock_->Now();
   while (true) {
+    int outstanding;
     {
       std::lock_guard<std::mutex> guard(shared_->mutex);
       if (shared_->outstanding == 0) {
         return shared_->status;
       }
+      outstanding = shared_->outstanding;
+    }
+    // Deadline check AFTER the completion check, so a batch that finished
+    // exactly at the deadline still reports its real status.
+    if (deadline_ns > 0 && clock_->Now() - start >= deadline_ns) {
+      return DeadlineExceeded("kvs batch wait: " + std::to_string(outstanding) +
+                              " op group(s) still outstanding after " +
+                              std::to_string(deadline_ns / kMillisecond) + "ms");
     }
     clock_->SleepFor(50 * kMicrosecond);
   }
@@ -805,15 +823,30 @@ Status KvsClient::RunGroup(std::vector<OpBatch::Pending> ops) {
     ops.clear();
 
     auto settle = [&](std::vector<OpBatch::Pending>& group,
-                      std::vector<KvsBatchResult> results, bool from_remote) {
+                      std::vector<KvsBatchResult> results, const std::string& endpoint) {
+      const bool from_remote = !endpoint.empty();
       for (size_t i = 0; i < group.size(); ++i) {
         // kUnavailable bounces like kWrongMaster: the master crashed and its
-        // endpoint vanished; the failover epoch flip reroutes the retry.
-        const bool bounced = results[i].status.code() == StatusCode::kWrongMaster ||
-                             results[i].status.code() == StatusCode::kUnavailable;
+        // endpoint vanished; the failover epoch flip reroutes the retry. The
+        // bounce is also crash evidence — report it so the detector probes
+        // the silent host instead of waiting out the heartbeat timeout.
+        const bool unavailable = results[i].status.code() == StatusCode::kUnavailable;
+        if (unavailable && from_remote && suspicion_hook_ != nullptr) {
+          suspicion_hook_(endpoint);
+        }
+        const bool bounced =
+            results[i].status.code() == StatusCode::kWrongMaster || unavailable;
         if (bounced && shards_ != nullptr && attempt < kMaxRedirectRetries) {
           ops.push_back(std::move(group[i]));  // retry just this op
           continue;
+        }
+        if (bounced && shards_ != nullptr) {
+          // Budget ran dry while the op was still bouncing: surface the
+          // typed deadline error so the ack can tell an extended outage from
+          // a permanent one-shot failure. The op completes — a stranded op
+          // must never leave its BatchHandle waiting forever.
+          results[i].status = RedirectBudgetExhausted(group[i].op.key, endpoint, attempt,
+                                                      results[i].status);
         }
         if (!results[i].status.ok() && first_error.ok()) {
           first_error = results[i].status;
@@ -834,10 +867,10 @@ Status KvsClient::RunGroup(std::vector<OpBatch::Pending> ops) {
       for (const OpBatch::Pending& pending : local) {
         pointers.push_back(&pending.op);
       }
-      settle(local, local_store_->ExecuteBatch(pointers), /*from_remote=*/false);
+      settle(local, local_store_->ExecuteBatch(pointers), /*endpoint=*/"");
     }
     for (auto& [endpoint, group] : groups) {
-      settle(group, RemoteBatch(endpoint, group), /*from_remote=*/true);
+      settle(group, RemoteBatch(endpoint, group), endpoint);
     }
 
     if (!ops.empty()) {

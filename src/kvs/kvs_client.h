@@ -209,9 +209,18 @@ class OpBatch {
 // shards: the round trips overlap instead of serialising.
 class BatchHandle {
  public:
+  // Wait() is deadline-bounded: a batch whose ops never complete (a crashed
+  // endpoint with no failover to reroute to, a wedged group activity) makes
+  // Wait return kDeadlineExceeded instead of spinning forever. The default
+  // budget dwarfs the per-op redirect budget (kMaxRedirectRetries ×
+  // kRedirectBackoffNs ≈ 0.41s virtual), so it only fires on genuine wedges.
+  static constexpr TimeNs kDefaultWaitDeadlineNs = 30 * kSecond;
+
   BatchHandle() = default;
 
-  Status Wait();
+  Status Wait() { return Wait(kDefaultWaitDeadlineNs); }
+  // deadline_ns <= 0 waits forever (the pre-deadline behaviour; tests only).
+  Status Wait(TimeNs deadline_ns);
   bool done() const;
 
  private:
@@ -331,6 +340,17 @@ class KvsClient {
 
   const std::string& source() const { return source_; }
 
+  // --- Failure-detection evidence ---------------------------------------------
+  // Invoked (when set) with the endpoint of every op that bounced with
+  // kUnavailable, BEFORE the retry sleeps. The cluster wires this to
+  // FailureDetector::ReportSuspicion so client traffic accelerates crash
+  // detection: the client still retries (the bounce is transient once the
+  // failover reroutes it), but the detector gets to probe the silent host on
+  // its next sweep instead of waiting out the heartbeat timeout. Must be
+  // cheap and non-blocking — it runs on the op's own activity.
+  using SuspicionHook = std::function<void(const std::string& endpoint)>;
+  void SetSuspicionHook(SuspicionHook hook) { suspicion_hook_ = std::move(hook); }
+
   // Bound on kWrongMaster redirect retries before the error surfaces. The
   // op stalls while its key is frozen mid-migration, so the retry budget
   // (kMaxRedirectRetries × kRedirectBackoffNs of virtual time) must cover a
@@ -365,6 +385,16 @@ class KvsClient {
   static bool IsUnavailable(const Result<T>& result) {
     return !result.ok() && result.status().code() == StatusCode::kUnavailable;
   }
+  static Status StatusFrom(const Status& status) { return status; }
+  template <typename T>
+  static Status StatusFrom(const Result<T>& result) {
+    return result.status();
+  }
+  // The typed budget-exhaustion error (kDeadlineExceeded): carries the key,
+  // the endpoint last tried, the attempt count, and the last transport
+  // error, so callers can tell "master gone for good" from "map stale".
+  static Status RedirectBudgetExhausted(const std::string& key, const std::string& endpoint,
+                                        int attempts, const Status& last);
 
   // Resolves `key`'s route and dispatches: master-local ops run `local`
   // against the in-process store (zero network bytes), the rest run
@@ -382,10 +412,22 @@ class KvsClient {
     int attempt = 0;
     while (true) {
       Route route = RouteFor(key);
+      const std::string endpoint = route.local != nullptr ? local_endpoint_ : route.endpoint;
       R result = route.local != nullptr ? R(local(*route.local)) : R(remote(route.endpoint));
-      const bool retryable = IsWrongMaster(result) || IsUnavailable(result);
-      if (!retryable || shards_ == nullptr || attempt >= kMaxRedirectRetries) {
+      const bool unavailable = IsUnavailable(result);
+      if (unavailable && suspicion_hook_ != nullptr && route.local == nullptr) {
+        suspicion_hook_(endpoint);
+      }
+      const bool retryable = IsWrongMaster(result) || unavailable;
+      if (!retryable || shards_ == nullptr) {
         return result;
+      }
+      if (attempt >= kMaxRedirectRetries) {
+        // The budget covers any single migration or failover window; running
+        // it dry means the op waited out an extended outage with no new
+        // route appearing. Surface the typed deadline error, not the raw
+        // bounce, so the caller knows the client did not just give up early.
+        return R(RedirectBudgetExhausted(key, endpoint, attempt, StatusFrom(result)));
       }
       ++attempt;
       network_->clock().SleepFor(kRedirectBackoffNs);
@@ -431,6 +473,7 @@ class KvsClient {
   bool batching_enabled_ = false;
   bool read_batching_ = true;
   Spawner spawner_;
+  SuspicionHook suspicion_hook_;
   mutable std::mutex ambient_mutex_;
   OpBatch ambient_;
   std::vector<std::shared_ptr<BatchHandle::Shared>> inflight_;  // guarded by ambient_mutex_

@@ -36,6 +36,12 @@ std::string ReplicaEndpointForHost(const std::string& host) { return "rep:" + ho
 std::vector<KvsBatchResult> ReplicaShard::ApplyForwarded(const std::vector<KvsBatchOp>& ops) {
   std::lock_guard<std::mutex> guard(mutex_);
   std::vector<KvsBatchResult> results(ops.size());
+  if (fenced_) {
+    for (KvsBatchResult& result : results) {
+      result.status = Unavailable("replica: fenced (host failed over)");
+    }
+    return results;
+  }
   std::vector<const KvsBatchOp*> fresh;
   std::vector<size_t> fresh_index;
   fresh.reserve(ops.size());
@@ -60,6 +66,9 @@ std::vector<KvsBatchResult> ReplicaShard::ApplyForwarded(const std::vector<KvsBa
 
 void ReplicaShard::Install(const std::string& key, const KeyExport& record, bool only_if_newer) {
   std::lock_guard<std::mutex> guard(mutex_);
+  if (fenced_) {
+    return;
+  }
   if (only_if_newer) {
     auto it = floor_.find(key);
     if (it != floor_.end() && it->second > record.seq) {
@@ -72,6 +81,9 @@ void ReplicaShard::Install(const std::string& key, const KeyExport& record, bool
 
 void ReplicaShard::AnchorFloor(const std::string& key, uint64_t seq) {
   std::lock_guard<std::mutex> guard(mutex_);
+  if (fenced_) {
+    return;
+  }
   floor_[key] = seq;
 }
 
@@ -87,6 +99,27 @@ void ReplicaShard::Clear() {
   for (const std::string& key : store_.Keys()) {
     store_.EraseKey(key);
   }
+}
+
+void ReplicaShard::Fence() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  fenced_ = true;
+  // Drop the corpse's copies NOW, not at the eventual Clear: a second crash
+  // racing this failover must find nothing here to promote from.
+  floor_.clear();
+  for (const std::string& key : store_.Keys()) {
+    store_.EraseKey(key);
+  }
+}
+
+void ReplicaShard::Unfence() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  fenced_ = false;
+}
+
+bool ReplicaShard::fenced() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return fenced_;
 }
 
 // --- ReplicaServer ------------------------------------------------------------
@@ -300,7 +333,9 @@ void ReplicationManager::AttachHost(const std::string& host, KvStore* primary) {
     it = hosts_.emplace(host, std::move(state)).first;
   } else {
     // A re-added host name: its fresh primary starts a NEW sequence space,
-    // so stale floors (and stale backup copies) must not filter its forwards.
+    // so stale floors (and stale backup copies) must not filter its forwards
+    // — and a crash fence from the name's previous life must not reject them.
+    it->second.replica->Unfence();
     it->second.replica->Clear();
   }
   ShardReplicator* replicator = it->second.replicator.get();
@@ -311,6 +346,17 @@ void ReplicationManager::AttachHost(const std::string& host, KvStore* primary) {
 ReplicaShard* ReplicationManager::ReplicaForHost(const std::string& host) {
   auto it = hosts_.find(host);
   return it == hosts_.end() ? nullptr : it->second.replica.get();
+}
+
+const ReplicaShard* ReplicationManager::ReplicaForHost(const std::string& host) const {
+  auto it = hosts_.find(host);
+  return it == hosts_.end() ? nullptr : it->second.replica.get();
+}
+
+void ReplicationManager::FenceHost(const std::string& host) {
+  if (auto it = hosts_.find(host); it != hosts_.end()) {
+    it->second.replica->Fence();
+  }
 }
 
 KvStore* ReplicationManager::PrimaryStoreAt(const std::string& endpoint) const {
@@ -343,6 +389,7 @@ Result<uint64_t> ReplicationManager::StreamInstall(const std::string& from, cons
                                                    const std::string& key,
                                                    const KeyExport& record) {
   Bytes request;
+  request.reserve(16);  // quiets a GCC 12 -Wstringop-overflow false positive
   ByteWriter writer(request);
   writer.Put<uint8_t>(static_cast<uint8_t>(KvsOp::kMigrateInstall));
   writer.PutString(key);
@@ -414,6 +461,12 @@ void ReplicationManager::Reconcile() {
         KvStore* primary = PrimaryStoreAt(master);
         keep = primary != nullptr && !primary->ExportKey(key).empty() &&
                std::find(backups.begin(), backups.end(), host_endpoint) != backups.end();
+        // Hold any copy whose master is unreachable (crashed, failover
+        // pending): it may be the LAST copy — a promotion deferred because
+        // the post-failover master died too — and erasing it now would turn
+        // a recoverable double crash into data loss. The master's own
+        // failover re-homes the key and the next Reconcile GCs normally.
+        keep = keep || !network_->HasEndpoint(master);
       }
       if (!keep) {
         state.replica->Erase(key);
@@ -451,6 +504,19 @@ FailoverStats ReplicationManager::Failover(const std::string& dead_endpoint) {
       }
     }
   }
+  // A double crash strands copies OUTSIDE the dead host's official backup
+  // set: failing over crash #1 re-masters a key onto crash #2's (still
+  // unconfirmed) shard, the install bounces, and the copy stays parked on
+  // crash #1's backup — which is not in OUR backup list. Every replica shard
+  // is scanned as a fallback so those copies are promoted now, when the map
+  // finally says this host's keys must move.
+  for (auto& [host, state] : hosts_) {
+    for (std::string& key : state.replica->store()->Keys()) {
+      if (before.MasterFor(key) == dead_endpoint) {
+        candidates.insert(std::move(key));
+      }
+    }
+  }
 
   // Promote: install each surviving copy into its post-failover master,
   // BEFORE the epoch flips (migration's install-before-flip guarantee).
@@ -475,6 +541,20 @@ FailoverStats ReplicationManager::Failover(const std::string& dead_endpoint) {
       }
     }
     if (record.empty()) {
+      // Fallback for the widened candidates: the official backups hold
+      // nothing, so take the copy from whichever replica parked it (a
+      // deferred promotion from an earlier overlapping failover). Official
+      // backups were preferred above because they are the actively
+      // maintained copies.
+      for (auto& [host, state] : hosts_) {
+        record = state.replica->store()->ExportKey(key);
+        if (!record.empty()) {
+          source_host = host;
+          break;
+        }
+      }
+    }
+    if (record.empty()) {
       result.lost_keys++;
       continue;
     }
@@ -496,6 +576,13 @@ FailoverStats ReplicationManager::Failover(const std::string& dead_endpoint) {
     if (streamed.ok()) {
       result.promoted_keys++;
       result.bytes_streamed += streamed.value();
+    } else if (!network_->HasEndpoint(new_master)) {
+      // The post-failover master is unreachable: it crashed too and its own
+      // recovery has not run yet. The copy is NOT lost — it stays on its
+      // source replica (Reconcile's GC holds copies whose master is
+      // unreachable), and that master's failover promotes it via the widened
+      // candidate scan above.
+      stats_.deferred_promotions.Increment();
     } else {
       result.lost_keys++;
     }

@@ -18,12 +18,21 @@
 //     streams the keys its backups are missing — the migration stream
 //     (kMigrateInstall + KeyExport) aimed at a replica endpoint. Lock state
 //     and SET members travel with the key, exactly as they do in migration.
-//   - FAILOVER: when a host dies abruptly (FaasmCluster::KillHost), every
-//     key it mastered is promoted from a surviving backup copy into the
-//     key's post-failover master, installs landing BEFORE the ShardMap
-//     epoch flips (migration's install-before-flip guarantee, inherited),
-//     so clients recover through the ordinary kWrongMaster/kUnavailable
-//     bounce and the (key, epoch)-keyed read cache invalidates implicitly.
+//   - FAILOVER: when a host dies abruptly, every key it mastered is
+//     promoted from a surviving backup copy into the key's post-failover
+//     master, installs landing BEFORE the ShardMap epoch flips
+//     (migration's install-before-flip guarantee, inherited), so clients
+//     recover through the ordinary kWrongMaster/kUnavailable bounce and
+//     the (key, epoch)-keyed read cache invalidates implicitly. Two
+//     callers drive it: the oracle (FaasmCluster::KillHost — the test
+//     harness says who died, kept for deterministic tests) and the
+//     heartbeat failure detector (runtime/failure_detector.h — CrashHost
+//     pulls the plug and the alive → suspect → probe → dead machine
+//     notices on its own); both funnel into the same fence → quiesce →
+//     Failover → Reconcile pipeline. FenceHost additionally seals a dead
+//     host's rep: mirror — its fenced ReplicaShard drops its copies so a
+//     racing second failover can never promote from memory that no
+//     longer exists, and Reconcile re-homes the backups it held.
 //
 // DUPLICATE FILTERING. Every forwarded op carries the primary's apply
 // sequence (captured under the op's shard mutex, so per-key seq order equals
@@ -92,6 +101,10 @@ struct ReplicationStats {
   Counter promoted_keys;
   Counter lost_keys;          // no surviving copy (R=1, or every backup dead)
   Counter async_dropped_ops;  // queued-not-shipped ops lost to a crash
+  // Promotions parked for later: the key's post-failover master was itself
+  // unreachable (a double crash, recovery pending), so the surviving copy
+  // stays on its replica until THAT master's failover promotes it.
+  Counter deferred_promotions;
 };
 
 // One failover's outcome (KillHost returns it; the cluster accumulates).
@@ -141,14 +154,27 @@ class ReplicaShard {
   void Erase(const std::string& key);
   void Clear();
 
+  // Crash fence — the replica-side twin of the dead PRIMARY's migration
+  // filter (FaasmCluster::HandleConfirmedDeath). The corpse's mirror store
+  // holds backups it kept for OTHER shards; fencing drops them and rejects
+  // everything after — forwards answer kUnavailable, installs and floor
+  // anchors no-op — so a zombie's in-process mirror can never land state on
+  // a host the map no longer trusts, and a later double-crash can never
+  // promote from a corpse. Reconcile re-homes the dropped backups onto the
+  // post-failover backup set. Unfence() re-arms a re-added host name.
+  void Fence();
+  void Unfence();
+  bool fenced() const;
+
   uint64_t skipped_op_count() const { return skipped_ops_.value(); }
 
  private:
   KvStore store_;
   // Serialises floor reads/updates against installs; the store has its own
   // internal locking.
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::map<std::string, uint64_t> floor_;
+  bool fenced_ = false;
   Counter skipped_ops_;
 };
 
@@ -229,6 +255,13 @@ class ReplicationManager {
   // the forwarding hook on its primary store. Call before the host serves.
   void AttachHost(const std::string& host, KvStore* primary);
   ReplicaShard* ReplicaForHost(const std::string& host);
+  const ReplicaShard* ReplicaForHost(const std::string& host) const;
+
+  // Fences `host`'s replica shard (see ReplicaShard::Fence). Part of the
+  // crash path: the cluster fences BOTH of a dead host's stores — primary
+  // (migration filter) and mirror (this) — before quiescing and failing
+  // over, so neither side of the corpse can absorb or serve state again.
+  void FenceHost(const std::string& host);
 
   // In-process mirror of one key's current footprint onto its backups
   // (seeding writes from ShardedKvs: no network, no clock — safe from

@@ -17,6 +17,11 @@ void InProcNetwork::UnregisterEndpoint(const std::string& name) {
   endpoints_.erase(name);
 }
 
+bool InProcNetwork::HasEndpoint(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return endpoints_.count(name) > 0;
+}
+
 void InProcNetwork::ChargeTransfer(size_t bytes) {
   if (!config_.charge_latency) {
     return;

@@ -54,6 +54,10 @@ class InProcNetwork {
   // --- Endpoints -------------------------------------------------------------
   void RegisterEndpoint(const std::string& name, RpcHandler handler);
   void UnregisterEndpoint(const std::string& name);
+  // True while `name` is registered. A crashed host's endpoints unregister
+  // atomically with the crash, so this doubles as the cheap reachability
+  // probe recovery flows use to tell "dead" from "slow" without an RPC.
+  bool HasEndpoint(const std::string& name) const;
 
   // --- Synchronous RPC -------------------------------------------------------
   // Sends `request` from `from` to `to`, runs the handler, returns the

@@ -46,12 +46,30 @@ FaasmCluster::FaasmCluster(ClusterConfig config)
         [this](const std::string& key) { replication_->MirrorKey(key); });
   }
 
+  if (config.failure_detection) {
+    // Detector before the hosts: MakeHost reads its endpoint into every
+    // HostConfig so heartbeat activities have a mailbox from their first
+    // beat.
+    FailureDetectorConfig detector_config;
+    detector_config.heartbeat_interval_ns = config.heartbeat_interval_ns;
+    detector_config.suspicion_timeout_ns = config.suspicion_timeout_ns;
+    detector_ = std::make_unique<FailureDetector>(
+        network_.get(), &executor_.clock(), detector_config,
+        [this](const std::string& host) { HandleConfirmedDeath(host); });
+  }
+
   for (int i = 0; i < config.hosts; ++i) {
     const std::string name = "host-" + std::to_string(next_host_index_++);
     hosts_.push_back(MakeHost(name, sharded ? kvs_shards_[i].get() : nullptr));
   }
   for (auto& host : hosts_) {
     host->Start();
+    if (detector_ != nullptr) {
+      detector_->Track(host->name());
+    }
+  }
+  if (detector_ != nullptr) {
+    executor_.Spawn([this] { detector_->Run(); });
   }
 }
 
@@ -88,11 +106,25 @@ std::unique_ptr<FaasmInstance> FaasmCluster::MakeHost(const std::string& name,
   host_config.batch_state_reads = config_.batch_state_reads;
   host_config.read_cache = config_.read_cache;
   host_config.read_lease_ns = config_.read_lease_ns;
-  return std::make_unique<FaasmInstance>(host_config, &executor_, network_.get(), &registry_,
-                                         &calls_, &files_, &shard_map_, local_shard);
+  if (detector_ != nullptr) {
+    host_config.failure_detector_endpoint = detector_->config().endpoint;
+    host_config.heartbeat_interval_ns = config_.heartbeat_interval_ns;
+    host_config.suspicion_timeout_ns = config_.suspicion_timeout_ns;
+  }
+  auto host = std::make_unique<FaasmInstance>(host_config, &executor_, network_.get(), &registry_,
+                                              &calls_, &files_, &shard_map_, local_shard);
+  if (detector_ != nullptr) {
+    // Client evidence feeds detection: every kUnavailable bounce this host's
+    // ops see schedules a corroborating probe on the detector's next sweep.
+    FailureDetector* detector = detector_.get();
+    host->kvs().SetSuspicionHook(
+        [detector](const std::string& endpoint) { detector->ReportSuspicion(endpoint); });
+  }
+  return host;
 }
 
 Result<std::string> FaasmCluster::AddHost() {
+  PollLock::WriteGuard membership(membership_lock_);
   const bool sharded = config_.state_tier == StateTier::kSharded;
   const std::string name = "host-" + std::to_string(next_host_index_++);
 
@@ -123,12 +155,18 @@ Result<std::string> FaasmCluster::AddHost() {
     }
   }
 
-  // Only now expose the host to frontend round-robin.
+  // Only now expose the host to frontend round-robin (and the detector:
+  // Track starts the suspicion window at now, so the new host has a full
+  // timeout before its first heartbeat is due).
+  if (detector_ != nullptr) {
+    detector_->Track(name);
+  }
   hosts_.push_back(std::move(host));
   return name;
 }
 
 Status FaasmCluster::RemoveHost(const std::string& name) {
+  PollLock::WriteGuard membership(membership_lock_);
   auto it = hosts_.begin();
   for (; it != hosts_.end(); ++it) {
     if ((*it)->name() == name) {
@@ -140,6 +178,14 @@ Status FaasmCluster::RemoveHost(const std::string& name) {
   }
   if (hosts_.size() <= 1) {
     return FailedPrecondition("cluster: cannot remove the last host");
+  }
+
+  // Stand the detector down FIRST: removal stops the host's heartbeats and
+  // (at CloseIntake) unregisters its probe endpoint, which an armed
+  // detector would read as a crash and fail over a host that is handing its
+  // keys off cleanly.
+  if (detector_ != nullptr) {
+    detector_->Forget(name);
   }
 
   // Take the host out of frontend rotation, then drain: it withdraws from
@@ -159,8 +205,12 @@ Status FaasmCluster::RemoveHost(const std::string& name) {
     if (!stats.ok()) {
       // Migration abandoned pre-flip: the shard is still in the map, so the
       // host must keep serving. Restore it fully — back into rotation,
-      // re-advertising its warm pools — and leave the removal retryable.
+      // re-advertising its warm pools, re-armed in the detector — and leave
+      // the removal retryable.
       host->CancelDrain();
+      if (detector_ != nullptr) {
+        detector_->Track(name);
+      }
       hosts_.push_back(std::move(host));
       return stats.status();
     }
@@ -189,6 +239,7 @@ Status FaasmCluster::RemoveHost(const std::string& name) {
 }
 
 Result<FailoverStats> FaasmCluster::KillHost(const std::string& name) {
+  PollLock::WriteGuard membership(membership_lock_);
   auto it = hosts_.begin();
   for (; it != hosts_.end(); ++it) {
     if ((*it)->name() == name) {
@@ -205,7 +256,12 @@ Result<FailoverStats> FaasmCluster::KillHost(const std::string& name) {
   std::unique_ptr<FaasmInstance> host = std::move(*it);
   hosts_.erase(it);
 
-  const TimeNs start = executor_.clock().Now();
+  // The oracle handles this death itself: stand the detector down so its
+  // eventual probe failure does not race a second recovery (Recover is
+  // idempotent anyway; Forget just saves the detector the probe).
+  if (detector_ != nullptr) {
+    detector_->Forget(name);
+  }
 
   // The crash: every endpoint the host serves vanishes at once and nothing
   // in its mailbox will ever run — fail those calls now so their Awaits
@@ -215,14 +271,92 @@ Result<FailoverStats> FaasmCluster::KillHost(const std::string& name) {
   host->Kill();
   host->FailAbandonedMail();
 
+  FailoverStats stats = RecoverDeadShardLocked(name);
+
+  // Retire the corpse. Unlike graceful removal, its memory is NOT released:
+  // zombie executions may still be accounting against it, and a crashed
+  // host's bill stopping instantly is an accounting fiction anyway.
+  retired_hosts_.push_back(std::move(host));
+  return stats;
+}
+
+Status FaasmCluster::CrashHost(const std::string& name) {
+  PollLock::WriteGuard membership(membership_lock_);
+  auto it = hosts_.begin();
+  for (; it != hosts_.end(); ++it) {
+    if ((*it)->name() == name) {
+      break;
+    }
+  }
+  if (it == hosts_.end()) {
+    return NotFound("cluster: no host named '" + name + "'");
+  }
+  if (hosts_.size() <= 1) {
+    return FailedPrecondition("cluster: cannot crash the last host");
+  }
+
+  // The plug, pulled: same abrupt death as KillHost, but NOTHING downstream
+  // is told. The shard map still routes at the corpse (ops bounce
+  // kUnavailable and retry), the backup sets still list it, and recovery
+  // starts only when the failure detector confirms the silence. The
+  // detector is deliberately NOT told either — noticing is its job.
+  std::unique_ptr<FaasmInstance> host = std::move(*it);
+  hosts_.erase(it);
+  host->Kill();
+  host->FailAbandonedMail();
+  // The machine's MEMORY died with it: seal both of its stores now, exactly
+  // as the recovery fence will again later. Without this, the corpse's own
+  // zombie executions keep the in-process fast path into its primary store
+  // — and when an overlapping failover transiently re-masters a key onto
+  // the (unconfirmed-dead) corpse, a zombie's lock/unlock applies against a
+  // store that never held the key's promoted state, silently corrupting
+  // lock ownership (a lock released into the void is held forever).
+  // Fencing makes every such op bounce kWrongMaster and retry until the
+  // detector-driven failover routes it at the promoted copy. The mirror
+  // fence also drops its backup copies, so no later failover can promote
+  // from memory that no longer exists.
+  if (config_.state_tier == StateTier::kSharded) {
+    if (auto store = shard_stores_.find(ShardMap::EndpointForHost(name));
+        store != shard_stores_.end()) {
+      store->second->SetMigrationFilter([](const std::string&) { return true; });
+    }
+    if (replication_ != nullptr) {
+      replication_->FenceHost(name);
+    }
+  }
+  retired_hosts_.push_back(std::move(host));
+  return OkStatus();
+}
+
+void FaasmCluster::HandleConfirmedDeath(const std::string& name) {
+  // Runs on the detector activity. The membership lock serialises this
+  // recovery against concurrent AddHost/RemoveHost/KillHost flows (all of
+  // which sleep virtual time inside — hence a PollLock).
+  PollLock::WriteGuard membership(membership_lock_);
+  RecoverDeadShardLocked(name);
+}
+
+FailoverStats FaasmCluster::RecoverDeadShardLocked(const std::string& name) {
   FailoverStats stats;
+  if (!recovered_hosts_.insert(name).second) {
+    return stats;  // the other path (oracle vs detection) got here first
+  }
+  const TimeNs start = executor_.clock().Now();
+
   if (config_.state_tier == StateTier::kSharded) {
     const std::string endpoint = ShardMap::EndpointForHost(name);
     KvStore* dead_store = shard_stores_[endpoint];
-    // Fence the corpse: a zombie execution that already resolved its route
-    // at the dead shard must not mutate state the failover is about to
-    // snapshot — from here every op on it bounces with kWrongMaster.
+    // Fence the corpse — BOTH of its stores, before anything is promoted:
+    //   - its primary shard: a zombie execution that already resolved its
+    //     route at the dead shard must not mutate state the failover is
+    //     about to snapshot — from here every op on it bounces kWrongMaster;
+    //   - its replica mirror: backups it held for OTHER shards are dropped
+    //     and rejected from now on, so no later failover can promote from a
+    //     corpse (Reconcile below re-homes them onto live backups).
     dead_store->SetMigrationFilter([](const std::string&) { return true; });
+    if (replication_ != nullptr) {
+      replication_->FenceHost(name);
+    }
     // Quiesce: mutations that passed the fence before it went up finish
     // under the shard mutexes; wait them out so the promotion below reads a
     // stable store.
@@ -253,11 +387,6 @@ Result<FailoverStats> FaasmCluster::KillHost(const std::string& name) {
   }
   stats.duration_ns = executor_.clock().Now() - start;
   failover_stats_ += stats;
-
-  // Retire the corpse. Unlike graceful removal, its memory is NOT released:
-  // zombie executions may still be accounting against it, and a crashed
-  // host's bill stopping instantly is an accounting fiction anyway.
-  retired_hosts_.push_back(std::move(host));
   return stats;
 }
 
@@ -266,6 +395,9 @@ void FaasmCluster::Shutdown() {
     return;
   }
   shut_down_ = true;
+  if (detector_ != nullptr) {
+    detector_->Stop();
+  }
   for (auto& host : hosts_) {
     host->Stop();
   }

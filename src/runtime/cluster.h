@@ -11,18 +11,40 @@
 // run down) so no acknowledged work is lost. Retired instances stay alive
 // (inert) until Shutdown so outstanding Awaits and metrics keep working.
 //
-// MEMBERSHIP CAN ALSO FAIL: KillHost() removes a host abruptly — no drain,
-// no handoff, mail dropped. With replication_factor > 1 the replication
-// substrate (kvs/replication.h) promotes every key the dead shard mastered
-// from a live backup copy before the epoch flips, so no acknowledged update
-// is lost; at factor 1 the dead shard's keys are gone and counted.
+// MEMBERSHIP CAN ALSO FAIL: a host can crash — no drain, no handoff, mail
+// dropped. Two paths lead from a crash to recovery:
+//
+//   - ORACLE (KillHost): the driver both crashes the host and runs recovery
+//     synchronously, as an omniscient test harness can. Deterministic; kept
+//     as the baseline.
+//   - DETECTION (CrashHost + failure_detection): the driver only pulls the
+//     plug. Every host publishes heartbeats (HostConfig::heartbeat_interval_ns)
+//     to a FailureDetector activity, which moves silent hosts through
+//     alive → suspect → dead (runtime/failure_detector.h): silence past
+//     suspicion_timeout_ns raises suspicion, a direct probe corroborates it
+//     (slow-but-alive hosts answer and clear — no false-positive failover),
+//     and kUnavailable bounces reported by every host's KvsClient accelerate
+//     the probe. On confirmation the detector drives HandleConfirmedDeath —
+//     the same fence → quiesce → Failover → Reconcile recovery KillHost
+//     runs — so the cluster self-heals with no oracle in the loop.
+//
+// Either way, with replication_factor > 1 the replication substrate
+// (kvs/replication.h) promotes every key the dead shard mastered from a
+// live backup copy before the epoch flips, so no acknowledged update is
+// lost; at factor 1 the dead shard's keys are gone and counted. Both of the
+// corpse's stores are fenced first: its primary shard (migration filter —
+// zombie writes bounce kWrongMaster) and its replica mirror
+// (ReplicaShard::Fence — backups it held for other shards are dropped and
+// re-homed by Reconcile, never promoted from a corpse).
 #ifndef FAASM_RUNTIME_CLUSTER_H_
 #define FAASM_RUNTIME_CLUSTER_H_
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
+#include "common/poll_lock.h"
 #include "core/vfs.h"
 #include "kvs/kvs_client.h"
 #include "kvs/migration.h"
@@ -30,6 +52,7 @@
 #include "kvs/router.h"
 #include "net/network.h"
 #include "runtime/call_table.h"
+#include "runtime/failure_detector.h"
 #include "runtime/instance.h"
 #include "runtime/registry.h"
 #include "sim/sim_clock.h"
@@ -72,6 +95,16 @@ struct ClusterConfig {
   // ablation; a crash may lose up to replication_max_lag_ops queued ops).
   bool replication_sync = true;
   int replication_max_lag_ops = 32;
+  // Heartbeat failure detection (runtime/failure_detector.h). When on, every
+  // host heartbeats a detector activity that confirms crashes autonomously
+  // and runs the KillHost recovery itself — CrashHost() with no further
+  // driver involvement self-heals. Detection latency is bounded by
+  // suspicion_timeout + one heartbeat interval (the detector sweeps every
+  // heartbeat_interval / 2). Off: the oracle KillHost is the only recovery
+  // path, byte-for-byte today's behaviour.
+  bool failure_detection = false;
+  TimeNs heartbeat_interval_ns = 5 * kMillisecond;
+  TimeNs suspicion_timeout_ns = 20 * kMillisecond;
   NetworkConfig network;
 };
 
@@ -174,15 +207,27 @@ class FaasmCluster {
   // pending Awaits against it stay valid until Shutdown. Refuses to remove
   // the last host. Call from the driver activity.
   Status RemoveHost(const std::string& name);
-  // Abruptly kills `name`: no drain, no handoff. The host's endpoints
-  // vanish (peers and clients fail fast with kUnavailable and re-route),
-  // calls sitting unexecuted in its mailbox fail with Internal, in-flight
-  // executions run to completion as zombies. In sharded mode the dead
-  // shard's keys are then recovered: with replication every key it mastered
-  // is promoted from a surviving backup BEFORE the epoch flips (acked
-  // updates survive); at factor 1 they are lost and counted. Refuses to
-  // kill the last host. Call from the driver activity.
+  // Abruptly kills `name` AND runs recovery — the oracle path: no drain, no
+  // handoff. The host's endpoints vanish (peers and clients fail fast with
+  // kUnavailable and re-route), calls sitting unexecuted in its mailbox fail
+  // with Internal, in-flight executions run to completion as zombies. In
+  // sharded mode the dead shard's keys are then recovered: with replication
+  // every key it mastered is promoted from a surviving backup BEFORE the
+  // epoch flips (acked updates survive); at factor 1 they are lost and
+  // counted. Refuses to kill the last host. Call from the driver activity.
+  // Under failure_detection the detector is told to stand down for this
+  // host (Forget) — the oracle beat it to the recovery.
   Result<FailoverStats> KillHost(const std::string& name);
+  // Crashes `name` WITHOUT recovery or any oracle notification: the pulled
+  // plug. The host's endpoints vanish and its mail fails exactly as in
+  // KillHost, and its stores are sealed — the machine's memory is gone, so
+  // its own zombies bounce off the local fast path and its replica copies
+  // can never again source a promotion. But the shard map, backup sets and
+  // failover stats are untouched: recovery happens only when the failure
+  // detector confirms the death (requires failure_detection; without it the
+  // dead shard stays orphaned and every op on it retries into a deadline
+  // error). Refuses to crash the last host. Call from the driver activity.
+  Status CrashHost(const std::string& name);
   // Cumulative shard-migration accounting across every membership change.
   const MigrationStats& migration_stats() const { return migration_stats_; }
   // Cumulative failover accounting across every KillHost.
@@ -190,6 +235,11 @@ class FaasmCluster {
   // The replication substrate, or null at replication_factor 1 (and in
   // central mode). Tests and benches read its stats().
   const ReplicationManager* replication() const { return replication_.get(); }
+  // The failure detector, or null unless failure_detection is on. Benches
+  // read deaths() for detection-latency accounting; a death is published
+  // there only AFTER its recovery completed, so waiting out death_count()
+  // also waits out the failover.
+  const FailureDetector* failure_detector() const { return detector_.get(); }
 
   // --- Cluster-wide metrics --------------------------------------------------------
   uint64_t network_bytes() const { return network_->total_bytes(); }
@@ -205,6 +255,16 @@ class FaasmCluster {
   // Allocates and wires `name`'s global-tier shard: store table, seeding
   // view, and the live-map ownership guard. Returns the store.
   KvStore* RegisterShard(const std::string& name);
+  // The detector's DeathHandler: takes the membership lock and recovers the
+  // confirmed-dead host's shard. Runs on the detector activity.
+  void HandleConfirmedDeath(const std::string& name);
+  // The shared recovery entry both KillHost (oracle) and HandleConfirmedDeath
+  // (detection) drive: fence the dead primary AND its replica mirror,
+  // quiesce, promote from surviving backups (or count the loss at factor 1),
+  // flip the epoch, Reconcile, accumulate failover stats. Idempotent per
+  // host name — whichever path arrives second is a no-op. Caller must hold
+  // membership_lock_.
+  FailoverStats RecoverDeadShardLocked(const std::string& name);
 
   ClusterConfig config_;
   SimExecutor executor_;
@@ -221,6 +281,19 @@ class FaasmCluster {
   // host's replica shard/server/replicator. Constructed before the first
   // RegisterShard so hosts attach as their shards appear.
   std::unique_ptr<ReplicationManager> replication_;
+  // Failure detector (failure_detection only). Declared after network_ so it
+  // unregisters its endpoint before the network dies.
+  std::unique_ptr<FailureDetector> detector_;
+  // Serialises every membership-changing flow — AddHost, RemoveHost,
+  // KillHost, CrashHost and the detector's HandleConfirmedDeath — against
+  // each other. A PollLock, not a std::mutex: these flows sleep virtual time
+  // inside (drain waits, quiesce waits, failover streams), and a registered
+  // thread parked in a kernel mutex would stall the virtual clock.
+  PollLock membership_lock_{&executor_.clock()};
+  // Host names whose crash recovery already ran (oracle or detection),
+  // guarded by membership_lock_: makes the two recovery paths idempotent
+  // when both notice the same death.
+  std::set<std::string> recovered_hosts_;
   ShardedKvs kvs_;
   GlobalFileStore files_;
   FunctionRegistry registry_;

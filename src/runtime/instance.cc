@@ -1,6 +1,7 @@
 #include "runtime/instance.h"
 
 #include "common/log.h"
+#include "runtime/failure_detector.h"
 
 namespace faasm {
 
@@ -81,9 +82,27 @@ void FaasmInstance::Start() {
   // mailbox. Registering makes the name routable for accounting.
   network_->RegisterEndpoint(config_.name, [](const Bytes&) { return Bytes{}; });
   executor_->Spawn([this] { DispatchLoop(); });
+  if (!config_.failure_detector_endpoint.empty() && config_.heartbeat_interval_ns > 0) {
+    executor_->Spawn([this] { HeartbeatLoop(); });
+  }
 }
 
 void FaasmInstance::Stop() { stop_.store(true); }
+
+void FaasmInstance::HeartbeatLoop() {
+  // Publish liveness until the host stops. Send (not Call): a heartbeat is
+  // fire-and-forget mail into the detector's mailbox, and a host must never
+  // block on the detector. Kill() silences this loop via stop_ atomically
+  // with unregistering the endpoints, so a crashed host's last heartbeat
+  // strictly precedes the probe failure that confirms its death.
+  while (!stop_.load()) {
+    if (!heartbeats_suppressed_.load()) {
+      network_->Send(config_.name, config_.failure_detector_endpoint,
+                     EncodeHeartbeat(config_.name));
+    }
+    executor_->clock().SleepFor(config_.heartbeat_interval_ns);
+  }
+}
 
 void FaasmInstance::BeginDrain() {
   if (draining_.exchange(true)) {

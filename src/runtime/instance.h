@@ -55,6 +55,17 @@ struct HostConfig {
   // automatic fallback under sanitizers or non-GNU compilers.
   wasm::GuestBounds guest_bounds = wasm::GuestBounds::kGuardPage;
   wasm::GuestDispatch guest_dispatch = wasm::GuestDispatch::kThreaded;
+  // Failure detection (runtime/failure_detector.h). When the cluster runs a
+  // detector, it names the detector's mailbox endpoint here and the host
+  // publishes one heartbeat per interval from a dedicated activity; a crash
+  // (Kill) silences it atomically with the endpoints vanishing. Empty
+  // endpoint or interval 0 = no heartbeats (oracle-only clusters).
+  std::string failure_detector_endpoint;
+  TimeNs heartbeat_interval_ns = 5 * kMillisecond;
+  // Silence threshold after which the detector suspects this host. Carried
+  // in HostConfig so hosts and detector agree on the contract; the instance
+  // itself only reads the interval.
+  TimeNs suspicion_timeout_ns = 20 * kMillisecond;
 };
 
 class FaasmInstance {
@@ -143,6 +154,11 @@ class FaasmInstance {
   size_t cold_start_count() const { return cold_starts_.load(); }
   size_t executed_call_count() const { return executed_calls_.load(); }
 
+  // Test hook (detector flap coverage): while suppressed the heartbeat
+  // activity skips its Sends but keeps running — a "slow" host whose
+  // silence exceeds the suspicion timeout while it stays fully alive.
+  void set_heartbeats_suppressed(bool suppressed) { heartbeats_suppressed_.store(suppressed); }
+
  private:
   struct FunctionPool {
     std::vector<std::unique_ptr<Faaslet>> idle;
@@ -150,6 +166,9 @@ class FaasmInstance {
   };
 
   void DispatchLoop();
+  // Publishes one heartbeat per heartbeat_interval_ns to the detector's
+  // mailbox until the host stops; crash (Kill) silences it via stop_.
+  void HeartbeatLoop();
   // Placement decision for a submitted call.
   Status ScheduleCall(uint64_t call_id, const std::string& function, Bytes input);
   // Runs the call on this host (spawning an execution activity).
@@ -220,6 +239,7 @@ class FaasmInstance {
   std::atomic<size_t> tier_bytes_accounted_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> started_{false};
+  std::atomic<bool> heartbeats_suppressed_{false};
   Rng share_rng_;
 };
 

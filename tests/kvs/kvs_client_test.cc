@@ -536,5 +536,158 @@ TEST_F(KvsClientTest, TrafficIsAccounted) {
   EXPECT_GT(network_.total_bytes(), after_set + 1000);  // response carries value
 }
 
+// --- Crash-path error surfacing (ISSUE 9 satellites) ---------------------------
+// A shard whose endpoint never answers (a crashed master nobody recovered)
+// must cost a BOUNDED retry budget and then surface a typed
+// kDeadlineExceeded naming the key, the endpoint, and the attempt count —
+// for single ops, for every stranded op in a batch, and for a Wait whose
+// dispatch wedged. Virtual time makes the 2048-retry budget free to test.
+
+TEST(KvsClientDeadShardTest, RedirectBudgetExhaustionIsTypedAndAttributed) {
+  SimExecutor executor;
+  NetworkConfig netcfg;
+  netcfg.charge_latency = false;
+  InProcNetwork network(&executor.clock(), netcfg);
+  ShardMap map;
+  map.AddShard(ShardMap::EndpointForHost("host-1"));  // never registered: dead
+  KvsClient client(&network, "host-0", &map, nullptr);
+
+  uint64_t hints = 0;
+  client.SetSuspicionHook([&](const std::string& endpoint) {
+    EXPECT_EQ(endpoint, ShardMap::EndpointForHost("host-1"));
+    ++hints;
+  });
+
+  Status status = OkStatus();
+  executor.Spawn([&] { status = client.Set("orphan-key", Bytes{1}); });
+  executor.JoinAll();
+
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  const std::string text = status.ToString();
+  EXPECT_NE(text.find("orphan-key"), std::string::npos) << text;
+  EXPECT_NE(text.find(ShardMap::EndpointForHost("host-1")), std::string::npos) << text;
+  EXPECT_NE(text.find(std::to_string(KvsClient::kMaxRedirectRetries)), std::string::npos)
+      << text;
+  // Every bounce was reported as detector evidence, not silently retried.
+  EXPECT_GE(hints, static_cast<uint64_t>(KvsClient::kMaxRedirectRetries));
+}
+
+TEST(KvsClientDeadShardTest, StrandedBatchOpsEachGetTypedAcks) {
+  SimExecutor executor;
+  NetworkConfig netcfg;
+  netcfg.charge_latency = false;
+  InProcNetwork network(&executor.clock(), netcfg);
+  ShardMap map;
+  map.AddShard(ShardMap::EndpointForHost("host-1"));
+  KvsClient client(&network, "host-0", &map, nullptr);
+
+  Status set_ack = OkStatus();
+  Status read_ack = OkStatus();
+  executor.Spawn([&] {
+    OpBatch batch;
+    batch.Set("orphan-a", Bytes{1}, [&](const Status& s) { set_ack = s; });
+    batch.Read("orphan-b", [&](const Result<Bytes>& v) { read_ack = v.status(); });
+    const Status aggregate = client.ExecuteBatchNow(std::move(batch));
+    EXPECT_EQ(aggregate.code(), StatusCode::kDeadlineExceeded);
+  });
+  executor.JoinAll();
+
+  // Both acks fired — stranded, not hung — and each names ITS OWN key.
+  EXPECT_EQ(set_ack.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(set_ack.ToString().find("orphan-a"), std::string::npos);
+  EXPECT_EQ(read_ack.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(read_ack.ToString().find("orphan-b"), std::string::npos);
+}
+
+TEST(KvsClientDeadShardTest, WaitDeadlineFiresOnWedgedDispatch) {
+  // A spawner that drops its closures models a wedged executor: the groups
+  // never run, outstanding never reaches zero, and Wait's own deadline is
+  // the only way out.
+  SimExecutor executor;
+  NetworkConfig netcfg;
+  netcfg.charge_latency = false;
+  InProcNetwork network(&executor.clock(), netcfg);
+  ShardMap map;
+  map.AddShard(ShardMap::EndpointForHost("host-1"));
+  map.AddShard(ShardMap::EndpointForHost("host-2"));
+  KvsClient client(&network, "host-0", &map, nullptr);
+  client.SetSpawner([](std::function<void()>) {});  // drops every group
+
+  // One key per shard, so both groups are remote and both go to the spawner.
+  std::string key_1;
+  std::string key_2;
+  for (int i = 0; i < 100000 && (key_1.empty() || key_2.empty()); ++i) {
+    std::string probe = "wedge-probe-" + std::to_string(i);
+    if (map.MasterFor(probe) == ShardMap::EndpointForHost("host-1")) {
+      if (key_1.empty()) key_1 = std::move(probe);
+    } else if (key_2.empty()) {
+      key_2 = std::move(probe);
+    }
+  }
+  ASSERT_FALSE(key_1.empty());
+  ASSERT_FALSE(key_2.empty());
+
+  Status status = OkStatus();
+  bool done_after_wait = true;
+  executor.Spawn([&] {
+    OpBatch batch;
+    batch.Set(key_1, Bytes{1});
+    batch.Set(key_2, Bytes{2});
+    BatchHandle handle = client.DispatchBatch(std::move(batch));
+    status = handle.Wait(10 * kMillisecond);
+    done_after_wait = handle.done();
+  });
+  executor.JoinAll();
+
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.ToString().find("outstanding"), std::string::npos) << status.ToString();
+  EXPECT_FALSE(done_after_wait);  // the deadline reported, it did not fabricate completion
+}
+
+TEST(KvsClientDeadShardTest, CrashWithoutRecoveryStrandsOpsWithTypedErrorNotAHang) {
+  // The kill-mid-batch regression: CrashHost with NO failure detection and
+  // NO oracle recovery leaves the dead shard orphaned in the map. A batch
+  // with one op on the corpse and one on a survivor must complete the
+  // survivor, strand the corpse op with the typed budget error, and return
+  // from Wait — the pre-deadline client hung here forever.
+  ClusterConfig config;
+  config.hosts = 3;  // replication_factor 1, failure_detection off
+  FaasmCluster cluster(config);
+
+  std::string doomed;
+  std::string safe;
+  for (int i = 0; i < 100000 && (doomed.empty() || safe.empty()); ++i) {
+    std::string probe = "crash-probe-" + std::to_string(i);
+    const std::string master = cluster.shard_map().MasterFor(probe);
+    if (master == ShardMap::EndpointForHost("host-1")) {
+      if (doomed.empty()) doomed = std::move(probe);
+    } else if (master == ShardMap::EndpointForHost("host-0") && safe.empty()) {
+      safe = std::move(probe);
+    }
+  }
+  ASSERT_FALSE(doomed.empty());
+  ASSERT_FALSE(safe.empty());
+
+  cluster.Run([&](Frontend&) {
+    ASSERT_TRUE(cluster.CrashHost("host-1").ok());  // nobody will ever recover it
+
+    Status doomed_ack = OkStatus();
+    Status safe_ack = Internal("never fired");
+    OpBatch batch;
+    batch.Set(doomed, Bytes{1}, [&](const Status& s) { doomed_ack = s; });
+    batch.Set(safe, Bytes{2}, [&](const Status& s) { safe_ack = s; });
+    BatchHandle handle = cluster.host(0).kvs().DispatchBatch(std::move(batch));
+
+    const Status aggregate = handle.Wait();
+    EXPECT_TRUE(handle.done());  // every group resolved — errored, not wedged
+    EXPECT_EQ(aggregate.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(doomed_ack.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_NE(doomed_ack.ToString().find(doomed), std::string::npos)
+        << doomed_ack.ToString();
+    EXPECT_TRUE(safe_ack.ok()) << safe_ack.ToString();
+    EXPECT_EQ(cluster.kvs().Get(safe).value(), (Bytes{2}));
+  });
+}
+
 }  // namespace
 }  // namespace faasm
