@@ -6,6 +6,7 @@
 #   scripts/check_build.sh                 # default RelWithDebInfo build
 #   BUILD_TYPE=Debug scripts/check_build.sh
 #   SANITIZE=ON scripts/check_build.sh     # ASan/UBSan build + tests
+#   SANITIZE=TSAN scripts/check_build.sh   # ThreadSanitizer build + tests
 #   CMAKE_ARGS="-DFAASM_WERROR=ON" scripts/check_build.sh
 #
 # Extra arguments pass straight through to ctest, for targeted reruns:
@@ -18,13 +19,22 @@ cd "$(dirname "$0")/.."
 BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}"
 SANITIZE="${SANITIZE:-OFF}"
 BUILD_DIR="${BUILD_DIR:-build}"
-if [[ "${SANITIZE}" == "ON" && "${BUILD_DIR}" == "build" ]]; then
-  BUILD_DIR=build-asan
+ASAN_UBSAN=OFF
+TSAN=OFF
+if [[ "${SANITIZE}" == "ON" ]]; then
+  ASAN_UBSAN=ON
+  [[ "${BUILD_DIR}" == "build" ]] && BUILD_DIR=build-asan
+elif [[ "${SANITIZE}" == "TSAN" ]]; then
+  TSAN=ON
+  [[ "${BUILD_DIR}" == "build" ]] && BUILD_DIR=build-tsan
+  # Suppress the intentional hogwild-SGD races; keep caller-provided options.
+  export TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp${TSAN_OPTIONS:+:${TSAN_OPTIONS}}"
 fi
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE="${BUILD_TYPE}" \
-  -DFAASM_SANITIZE="${SANITIZE}" \
+  -DFAASM_SANITIZE="${ASAN_UBSAN}" \
+  -DFAASM_TSAN="${TSAN}" \
   ${CMAKE_ARGS:-}
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"

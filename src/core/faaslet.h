@@ -51,6 +51,10 @@ struct FunctionSpec {
   // uses it as a locality hint: placement prefers the host mastering the
   // key's global-tier shard, whose push/pull cost zero network bytes.
   std::string state_affinity_key;
+  // Read-mostly widening: any HOLDER of the key's shard (master or replica
+  // backup) is an equally good placement, because the replica read tier
+  // serves the key in-process on backup hosts too (kvs_client.h).
+  bool state_affinity_read_mostly = false;
 };
 
 // Host-side wiring a Faaslet needs: clock, state tier, network, file store,

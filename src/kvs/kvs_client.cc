@@ -341,6 +341,102 @@ std::string KvsClient::MasterHostFor(const std::string& key) const {
   return ShardMap::HostForEndpoint(shards_->MasterFor(key));
 }
 
+std::vector<std::string> KvsClient::HolderHostsFor(const std::string& key) const {
+  std::vector<std::string> hosts;
+  if (shards_ == nullptr) {
+    return hosts;  // centralised mode: no host-colocated holders
+  }
+  for (const std::string& endpoint : shards_->HoldersFor(key)) {
+    const std::string host = ShardMap::HostForEndpoint(endpoint);
+    if (!host.empty()) {
+      hosts.push_back(host);
+    }
+  }
+  return hosts;
+}
+
+bool KvsClient::LocallyBacked(const std::string& master_endpoint) const {
+  if (replica_cfg_.replica == nullptr || shards_ == nullptr || local_endpoint_.empty()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> guard(holder_mutex_);
+  const uint64_t epoch = shards_->epoch();
+  if (epoch != holder_epoch_) {
+    // One recompute per flip. A flip racing between the epoch read and the
+    // snapshot can memoise the newer set under the older id; the mismatch
+    // only costs a spurious attempt or fall-through — ReplicaShard's
+    // certified-epoch check is the authoritative validity gate.
+    backed_masters_.clear();
+    const ShardAssignment snapshot = shards_->Snapshot();
+    for (const std::string& endpoint : snapshot.endpoints()) {
+      if (endpoint == local_endpoint_) {
+        continue;
+      }
+      for (const std::string& backup :
+           BackupsFor(snapshot.endpoints(), endpoint, replica_cfg_.factor)) {
+        if (backup == local_endpoint_) {
+          backed_masters_.insert(endpoint);
+          break;
+        }
+      }
+    }
+    holder_epoch_ = epoch;
+  }
+  return backed_masters_.count(master_endpoint) > 0;
+}
+
+bool KvsClient::ReplicaStalenessCovered(const ReadOptions& options) const {
+  if (options.max_staleness == ReadOptions::kLeaseStaleness) {
+    // The lease sentinel bounds CACHE staleness; it says nothing about
+    // replication lag, so async mode treats it as strict — default reads
+    // provably fall through to the master.
+    return false;
+  }
+  return options.max_staleness >= replica_cfg_.async_lag_bound_ns;
+}
+
+bool KvsClient::HasPendingAmbientWrite(const std::string& key) const {
+  std::lock_guard<std::mutex> guard(ambient_mutex_);
+  for (const OpBatch::Pending& pending : ambient_.ops_) {
+    if (pending.op.key == key && IsMutatingOp(pending.op.op)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Result<Bytes>> KvsClient::TryReplicaRead(const std::string& key,
+                                                       const ReadOptions& options) {
+  if (!replica_cfg_.sync) {
+    // Async gate, both halves: the read must explicitly tolerate the
+    // configured lag bound, AND the copy must provably have caught up —
+    // every forwarded op on the key at or below the primary's KeySeq has
+    // been folded in. Either failing means the master answers.
+    if (!ReplicaStalenessCovered(options) || replica_cfg_.primary_seq == nullptr ||
+        replica_cfg_.replica->FloorSeq(key) < replica_cfg_.primary_seq(key)) {
+      return std::nullopt;
+    }
+  }
+  Result<Bytes> result = replica_cfg_.replica->ReadValue(key, options.offset, options.len);
+  if (result.ok() || result.status().code() == StatusCode::kNotFound) {
+    // Served (a certified copy's NotFound is the truth — the master would
+    // answer the same).
+    replica_served_.Increment();
+    return result;
+  }
+  if (result.status().code() == StatusCode::kUnavailable) {
+    // Our own mirror is fenced: the cluster declared THIS host dead and a
+    // zombie is still reading. Feed the detector (it resolves "rep:<host>")
+    // and fall through — the master path's ownership checks handle the rest.
+    if (suspicion_hook_ != nullptr) {
+      suspicion_hook_(ReplicaEndpointForHost(ShardMap::HostForEndpoint(local_endpoint_)));
+    }
+  }
+  // kFailedPrecondition (stale certification) and anything unexpected fall
+  // through to the master.
+  return std::nullopt;
+}
+
 Result<Bytes> KvsClient::Invoke(const std::string& server, KvsOp op,
                                 const std::function<void(ByteWriter&)>& write_args) {
   Bytes request;
@@ -374,6 +470,26 @@ Result<Bytes> KvsClient::Read(const std::string& key, const ReadOptions& options
   if (cacheable && RouteFor(key).local == nullptr) {
     if (auto hit = read_cache_.Lookup(key, options.offset, options.len, options.max_staleness)) {
       return std::move(*hit);
+    }
+  }
+  // Tier two: a co-located replica. When this host mirrors the key's shard
+  // and the copy is certified for the live epoch (sync mode) or provably
+  // within the read's staleness budget (async mode), the backup answers
+  // in-process — zero network bytes.
+  if (replica_cfg_.replica != nullptr && RouteFor(key).local == nullptr) {
+    const std::string master = shards_ != nullptr ? shards_->MasterFor(key) : "";
+    if (!master.empty() && LocallyBacked(master)) {
+      // Read-your-writes: an ambient batch holding a pending write to this
+      // key must land on the master before a replica may answer.
+      if (HasPendingAmbientWrite(key)) {
+        FlushBatch();
+      }
+      if (auto served = TryReplicaRead(key, options)) {
+        if (cacheable && served->ok() && options.whole_value()) {
+          read_cache_.InsertFull(key, served->value());  // tier two refreshes tier one
+        }
+        return std::move(*served);
+      }
     }
   }
   // Whole-value reads travel as kGet, ranged ones as kGetRange; both are
@@ -894,19 +1010,46 @@ BatchHandle KvsClient::DispatchBatch(OpBatch&& batch) {
   // accepted into a batch); cross-host reads consult the cache and ops it
   // serves complete immediately with zero network bytes.
   std::map<std::string, std::vector<OpBatch::Pending>> groups;
+  // Keys this batch itself mutates: a later read of one in the SAME batch
+  // must not be served by a replica — it would jump the batch's own write.
+  std::set<std::string> mutated_in_batch;
   for (OpBatch::Pending& pending : batch.ops_) {
     Route route = RouteFor(pending.op.key);
     if (!IsReadBatchOp(pending.op.op)) {
       read_cache_.Invalidate(pending.op.key);
-    } else if (route.local == nullptr && read_cache_.enabled() &&
-               !pending.read_options.bypass_cache) {
-      if (auto hit = read_cache_.Lookup(pending.op.key, pending.read_options.offset,
-                                        pending.read_options.len,
-                                        pending.read_options.max_staleness)) {
-        KvsBatchResult served;
-        served.value = std::move(*hit);
-        CompleteOp(pending, std::move(served));
-        continue;
+      if (replica_cfg_.replica != nullptr) {
+        mutated_in_batch.insert(pending.op.key);
+      }
+    } else if (route.local == nullptr) {
+      if (read_cache_.enabled() && !pending.read_options.bypass_cache) {
+        if (auto hit = read_cache_.Lookup(pending.op.key, pending.read_options.offset,
+                                          pending.read_options.len,
+                                          pending.read_options.max_staleness)) {
+          KvsBatchResult served;
+          served.value = std::move(*hit);
+          CompleteOp(pending, std::move(served));
+          continue;
+        }
+      }
+      // Tier two: a co-located replica serves the read in-process. Skipped
+      // for keys this batch or the ambient batch mutates (their writes must
+      // land first; those ops fall through to the master group instead —
+      // cheaper than a flush barrier inside dispatch).
+      if (replica_cfg_.replica != nullptr && mutated_in_batch.count(pending.op.key) == 0 &&
+          LocallyBacked(route.endpoint) && !HasPendingAmbientWrite(pending.op.key)) {
+        if (auto from_replica = TryReplicaRead(pending.op.key, pending.read_options)) {
+          KvsBatchResult served;
+          served.status = from_replica->status();
+          if (from_replica->ok()) {
+            served.value = std::move(*from_replica).value();
+          }
+          if (served.status.ok() && read_cache_.enabled() &&
+              !pending.read_options.bypass_cache && pending.read_options.whole_value()) {
+            read_cache_.InsertFull(pending.op.key, served.value);
+          }
+          CompleteOp(pending, std::move(served));
+          continue;
+        }
       }
     }
     const std::string& slot = route.local != nullptr ? local_endpoint_ : route.endpoint;

@@ -67,12 +67,45 @@
 // ({offset, len}, len defaulting to the whole value) and the staleness
 // contract ({max_staleness, bypass_cache}).
 //
-// READ CACHE COHERENCE (kvs/read_cache.h, opt-in via EnableReadCache). When
-// enabled, cross-host reads consult a per-host cache of previously pulled
-// full values before paying a round trip; hot read-mostly keys are then
-// served with zero network bytes on EVERY host, not just the master. A
-// cached read MAY be stale by at most min(lease, max_staleness) of virtual
-// time relative to writes made by OTHER hosts. It is NEVER stale with
+// THE THREE-TIER READ PATH. A read that is not master-local resolves through
+// up to three tiers, cheapest first, each with its own staleness contract:
+//
+//   1. READ CACHE (kvs/read_cache.h, opt-in via EnableReadCache): a per-host
+//      cache of previously pulled full values. A hit costs nothing and MAY
+//      be stale by at most min(lease, max_staleness) of virtual time
+//      relative to OTHER hosts' writes.
+//   2. CO-LOCATED REPLICA (opt-in via EnableReplicaReads): when this host
+//      keeps a backup of the key's shard (replication_factor > 1 and
+//      BackupsFor places a copy here), the read is served from the local
+//      ReplicaShard in process — zero network bytes — under the validity
+//      rules below. OpBatch reads and LocalTier::Prefetch take the same
+//      shortcut per op while grouping.
+//   3. MASTER: the cross-host RPC (kGet/kGetRange, or the grouped
+//      kGetBatch), always correct, always paid for.
+//
+// REPLICA-READ VALIDITY. A backup copy serves only when provably current:
+//   - SYNC replication: an acked write is applied at every live backup
+//     before its ack, so a certified copy can never miss an acked write.
+//     Read-your-writes still requires one step — a pending ambient write on
+//     the key flushes (single-op Read) or disqualifies the shortcut for that
+//     op (batched reads), so a replica serve never precedes this host's own
+//     enqueued write of the key.
+//   - Validity is keyed by (key, shard-map epoch) exactly like the read
+//     cache: the copy must have been certified (installed or re-anchored by
+//     the membership-serialised mirror/Reconcile flows) at the LIVE epoch,
+//     so any migration or failover promotion invalidates every replica read
+//     at the flip and Reconcile re-certifies afterwards.
+//   - A FENCED replica (its host crashed and failed over) answers
+//     kUnavailable; the client reports it to the suspicion hook and falls
+//     through to the master — a dead host's copies never serve.
+//   - ASYNC replication: the copy may lag by up to the configured bound, so
+//     a replica read is legal only when the read EXPLICITLY tolerates it
+//     (max_staleness >= ReplicationConfig::async_lag_bound_ns — the default
+//     lease sentinel does not qualify) AND the per-key freshness probe
+//     proves the copy has caught up (replica floor seq >= primary KeySeq);
+//     otherwise the read falls through to the master.
+//
+// READ CACHE COHERENCE (tier one). A cached read is NEVER stale with
 // respect to:
 //   - this host's own writes — every local mutation (Set/SetRange/
 //     SetRanges/Append/Delete, batched ops at ENQUEUE time) invalidates the
@@ -83,12 +116,16 @@
 //     invalidates the key's entry, so the first read under the lock refetches
 //     the bytes the lock serialises. Readers needing one fresh read without
 //     a lock pass max_staleness = 0 (or bypass_cache).
+// Whole-value serves from tier two refresh tier one (a replica read is as
+// authoritative as the RPC it replaced), so later sub-range reads hit cache.
 #ifndef FAASM_KVS_KVS_CLIENT_H_
 #define FAASM_KVS_KVS_CLIENT_H_
 
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -96,6 +133,7 @@
 #include "common/stats.h"
 #include "kvs/kv_store.h"
 #include "kvs/read_cache.h"
+#include "kvs/replication.h"
 #include "kvs/router.h"
 #include "net/network.h"
 
@@ -314,6 +352,28 @@ class KvsClient {
   // are the mutating ops and the lock acquisitions).
   void InvalidateCachedReads(const std::string& key) { read_cache_.Invalidate(key); }
 
+  // --- Replica reads (tier two of the three-tier read path) --------------------
+  // Wiring for serving reads from this host's co-located backup copies. The
+  // cluster passes the host's own ReplicaShard plus the replication policy;
+  // `primary_seq` is the async-mode freshness probe — it answers the
+  // primary's KeySeq for a key. The simulation resolves it with an
+  // in-process lookup, modelling the per-key sequence metadata a real
+  // deployment piggybacks on the replication channel it already pays for
+  // (so the probe itself moves zero accounted bytes).
+  struct ReplicaReadConfig {
+    ReplicaShard* replica = nullptr;
+    int factor = 1;           // cluster replication factor (backup resolution)
+    bool sync = true;         // replication mode (async adds the probe)
+    TimeNs async_lag_bound_ns = 0;
+    std::function<uint64_t(const std::string&)> primary_seq;
+  };
+  void EnableReplicaReads(ReplicaReadConfig config) { replica_cfg_ = std::move(config); }
+  bool replica_reads_enabled() const { return replica_cfg_.replica != nullptr; }
+  // Reads this client served from the co-located replica (each one a
+  // cross-host read RPC that never happened — the per-client twin of
+  // ReplicaShard::replica_read_count).
+  uint64_t replica_served_count() const { return replica_served_.value(); }
+
   // Enqueues a delta push into the ambient batch (callers: StateKeyValue).
   void EnqueueSetRanges(const std::string& key, std::vector<ValueRange> ranges,
                         OpBatch::Ack done);
@@ -337,6 +397,11 @@ class KvsClient {
   // Host name mastering `key`, or "" when the master is not a host-colocated
   // shard (centralised mode). Pure local computation — no network.
   std::string MasterHostFor(const std::string& key) const;
+  // Every host holding a copy of `key` under the current epoch: its master
+  // first, then its backups (ShardMap::HoldersFor). The scheduler widens
+  // read-mostly state affinity over this set — any holder serves the
+  // function's reads without crossing the network. Pure local computation.
+  std::vector<std::string> HolderHostsFor(const std::string& key) const;
 
   const std::string& source() const { return source_; }
 
@@ -439,6 +504,27 @@ class KvsClient {
   Result<bool> BoolOp(const std::string& server, KvsOp op, const std::string& key,
                       const std::string& arg);
 
+  // --- Replica-read internals ---------------------------------------------------
+  // True when this host's replica shard backs `master_endpoint`'s primary
+  // under the current epoch. Memoised per epoch (the backup set is a pure
+  // function of the endpoint set, recomputed once per flip, like the read
+  // cache's epoch key).
+  bool LocallyBacked(const std::string& master_endpoint) const;
+  // Attempts to serve `key`'s read from the co-located replica. Engaged
+  // result = the read's final answer (served, counted); nullopt = fall
+  // through to the master (not locally backed was already checked by the
+  // caller; here: fenced → suspicion hook, stale certification, or an async
+  // copy the staleness policy or freshness probe disqualifies).
+  std::optional<Result<Bytes>> TryReplicaRead(const std::string& key,
+                                              const ReadOptions& options);
+  // Policy half of the async gate: does this read EXPLICITLY tolerate the
+  // configured lag bound? (The kLeaseStaleness sentinel is strict: default
+  // reads provably fall through in async mode.)
+  bool ReplicaStalenessCovered(const ReadOptions& options) const;
+  // True when the ambient batch holds a not-yet-flushed mutating op on
+  // `key` (the read-your-writes trigger).
+  bool HasPendingAmbientWrite(const std::string& key) const;
+
   // One per-endpoint slice of a dispatched batch. RunGroup drives the slice
   // to completion: issue the framed RPC (or the in-process ExecuteBatch),
   // fire the acks of landed ops, and loop the kWrongMaster bounces through
@@ -481,6 +567,15 @@ class KvsClient {
   // Per-host read cache (disabled until EnableReadCache). Thread-safe;
   // consulted/installed only for routes that would cross the network.
   ReadCache read_cache_;
+
+  // Replica-read state (disabled until EnableReplicaReads). The memoised
+  // backed-master set is guarded by holder_mutex_ (client ops run on many
+  // Faaslet threads at once).
+  ReplicaReadConfig replica_cfg_;
+  Counter replica_served_;
+  mutable std::mutex holder_mutex_;
+  mutable uint64_t holder_epoch_ = ~uint64_t{0};       // guarded by holder_mutex_
+  mutable std::set<std::string> backed_masters_;       // guarded by holder_mutex_
 };
 
 }  // namespace faasm

@@ -25,6 +25,12 @@
 // The cache is disabled until set_lease() is given a positive lease; every
 // path through it is then counted (hits/misses/invalidations) for the bench
 // ablations.
+//
+// The cache is tier ONE of the client's three-tier read path (kvs_client.h):
+// a miss may still be served in-process by a co-located replica (tier two)
+// before any RPC is paid, and a whole-value replica serve re-populates this
+// cache under the same rules as a remote fetch — tier two refreshes tier
+// one.
 #ifndef FAASM_KVS_READ_CACHE_H_
 #define FAASM_KVS_READ_CACHE_H_
 

@@ -8,27 +8,6 @@
 
 namespace faasm {
 
-std::vector<std::string> BackupsFor(const std::set<std::string>& endpoints,
-                                    const std::string& primary, int factor) {
-  std::vector<std::string> backups;
-  if (factor <= 1 || endpoints.empty()) {
-    return backups;
-  }
-  const std::vector<std::string> ordered(endpoints.begin(), endpoints.end());
-  const size_t others = ordered.size() - (endpoints.count(primary) > 0 ? 1 : 0);
-  const size_t want = std::min<size_t>(static_cast<size_t>(factor - 1), others);
-  // First endpoint strictly after `primary` in sorted order, wrapping: the
-  // clockwise walk that mirrors ring succession.
-  size_t start = std::upper_bound(ordered.begin(), ordered.end(), primary) - ordered.begin();
-  for (size_t step = 0; step < ordered.size() && backups.size() < want; ++step) {
-    const std::string& candidate = ordered[(start + step) % ordered.size()];
-    if (candidate != primary) {
-      backups.push_back(candidate);
-    }
-  }
-  return backups;
-}
-
 std::string ReplicaEndpointForHost(const std::string& host) { return "rep:" + host; }
 
 // --- ReplicaShard -------------------------------------------------------------
@@ -46,14 +25,17 @@ std::vector<KvsBatchResult> ReplicaShard::ApplyForwarded(const std::vector<KvsBa
   std::vector<size_t> fresh_index;
   fresh.reserve(ops.size());
   for (size_t i = 0; i < ops.size(); ++i) {
-    uint64_t& floor = floor_[ops[i].key];
-    if (ops[i].seq <= floor) {
+    KeyMeta& meta = meta_[ops[i].key];
+    if (ops[i].seq <= meta.floor) {
       // Already folded into an installed snapshot, or an older write that
       // lost a same-key race: dropping it is what keeps replay idempotent.
       skipped_ops_.Increment();
       continue;  // results[i] defaults to Ok
     }
-    floor = ops[i].seq;
+    // Raise the floor only: a forward keeps a certified copy exact but never
+    // touches `synced` — certification belongs to the membership-serialised
+    // install/anchor flows alone.
+    meta.floor = ops[i].seq;
     fresh.push_back(&ops[i]);
     fresh_index.push_back(i);
   }
@@ -65,37 +47,83 @@ std::vector<KvsBatchResult> ReplicaShard::ApplyForwarded(const std::vector<KvsBa
 }
 
 void ReplicaShard::Install(const std::string& key, const KeyExport& record, bool only_if_newer) {
+  InstallAt(key, record, only_if_newer, CurrentEpoch());
+}
+
+void ReplicaShard::InstallAt(const std::string& key, const KeyExport& record, bool only_if_newer,
+                             uint64_t synced_epoch) {
   std::lock_guard<std::mutex> guard(mutex_);
   if (fenced_) {
     return;
   }
   if (only_if_newer) {
-    auto it = floor_.find(key);
-    if (it != floor_.end() && it->second > record.seq) {
-      return;  // a forward newer than this snapshot already applied
+    auto it = meta_.find(key);
+    if (it != meta_.end() && it->second.floor > record.seq) {
+      // A forward newer than this snapshot already applied. Deliberately NOT
+      // certified for reads either: the copy now reflects forwards the
+      // snapshot predates, and only the next anchor proves which epoch's
+      // master they came from.
+      return;
     }
   }
-  floor_[key] = record.seq;
+  KeyMeta& meta = meta_[key];
+  meta.floor = record.seq;
+  meta.synced_epoch = synced_epoch;
+  meta.synced = true;
   store_.InstallKey(key, record);
 }
 
 void ReplicaShard::AnchorFloor(const std::string& key, uint64_t seq) {
+  AnchorFloorAt(key, seq, CurrentEpoch());
+}
+
+void ReplicaShard::AnchorFloorAt(const std::string& key, uint64_t seq, uint64_t synced_epoch) {
   std::lock_guard<std::mutex> guard(mutex_);
   if (fenced_) {
     return;
   }
-  floor_[key] = seq;
+  KeyMeta& meta = meta_[key];
+  meta.floor = seq;
+  meta.synced_epoch = synced_epoch;
+  meta.synced = true;
+}
+
+Result<Bytes> ReplicaShard::ReadValue(const std::string& key, uint64_t offset, uint64_t len) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (fenced_) {
+    return Unavailable("replica: fenced (host failed over)");
+  }
+  auto it = meta_.find(key);
+  if (it == meta_.end() || !it->second.synced || it->second.synced_epoch != CurrentEpoch()) {
+    return FailedPrecondition("replica: copy not certified for the current epoch");
+  }
+  // Mirror the master read path exactly: {0, whole-value} is a Get, anything
+  // else a ranged read. The replica store has no guard/filter/frozen state,
+  // so the answer is the copy's truth — NotFound included.
+  constexpr uint64_t kWholeValue = ~uint64_t{0};
+  Result<Bytes> result = offset == 0 && len == kWholeValue ? store_.Get(key)
+                                                           : store_.GetRange(key, offset, len);
+  if (result.ok() || result.status().code() == StatusCode::kNotFound) {
+    replica_reads_.Increment();
+  }
+  return result;
+}
+
+uint64_t ReplicaShard::FloorSeq(const std::string& key) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = meta_.find(key);
+  return it == meta_.end() ? 0 : it->second.floor;
 }
 
 void ReplicaShard::Erase(const std::string& key) {
   std::lock_guard<std::mutex> guard(mutex_);
-  floor_.erase(key);
+  meta_.erase(key);
   store_.EraseKey(key);
 }
 
 void ReplicaShard::Clear() {
   std::lock_guard<std::mutex> guard(mutex_);
-  floor_.clear();
+  meta_.clear();
   for (const std::string& key : store_.Keys()) {
     store_.EraseKey(key);
   }
@@ -105,8 +133,9 @@ void ReplicaShard::Fence() {
   std::lock_guard<std::mutex> guard(mutex_);
   fenced_ = true;
   // Drop the corpse's copies NOW, not at the eventual Clear: a second crash
-  // racing this failover must find nothing here to promote from.
-  floor_.clear();
+  // racing this failover must find nothing here to promote from — and a
+  // zombie read must find nothing certified to serve.
+  meta_.clear();
   for (const std::string& key : store_.Keys()) {
     store_.EraseKey(key);
   }
@@ -325,7 +354,7 @@ void ReplicationManager::AttachHost(const std::string& host, KvStore* primary) {
   auto it = hosts_.find(host);
   if (it == hosts_.end()) {
     HostState state;
-    state.replica = std::make_unique<ReplicaShard>();
+    state.replica = std::make_unique<ReplicaShard>(map_);
     state.server =
         std::make_unique<ReplicaServer>(state.replica.get(), network_, ReplicaEndpointForHost(host));
     state.replicator = std::make_unique<ShardReplicator>(
@@ -380,7 +409,11 @@ void ReplicationManager::MirrorKey(const std::string& key) {
     if (record.empty()) {
       replica->Erase(key);
     } else {
-      replica->Install(key, record, /*only_if_newer=*/true);
+      // Certify at the SNAPSHOT's epoch, not the live one: if a membership
+      // change slipped between Snapshot() and here, the stale stamp fails
+      // the current-epoch check instead of certifying a copy whose master
+      // may already have moved.
+      replica->InstallAt(key, record, /*only_if_newer=*/true, assignment.epoch());
     }
   }
 }
@@ -432,7 +465,10 @@ void ReplicationManager::Reconcile() {
         }
         const KeyExport have = replica->store()->ExportKey(key);
         if (have.SameContent(record)) {
-          replica->AnchorFloor(key, record.seq);
+          // Matching content re-certifies for replica reads at this epoch
+          // (Reconcile runs under the membership lock, so the snapshot epoch
+          // IS the live epoch — stamping it keeps the two flows uniform).
+          replica->AnchorFloorAt(key, record.seq, assignment.epoch());
           continue;
         }
         auto streamed =

@@ -48,6 +48,23 @@
 // forwards arrive reordered; the floor then keeps the newest write and the
 // next Reconcile converges the copies — the last-writer-wins relaxation
 // replicated KVS tiers (Anna, Cloudburst) make for exactly this case.
+//
+// REPLICA READS (ReplicaShard::ReadValue — the middle tier of the client's
+// cache → replica → master read path, kvs/kvs_client.h). A backup copy may
+// serve a read only when it is PROVABLY CURRENT, decided by an anchor-only
+// epoch stamp: each key carries the shard-map epoch at which a driver-side
+// flow (Install from a snapshot, AnchorFloor from a content match — both
+// serialised with membership changes) last certified the copy, and a read is
+// served only while that stamp equals the LIVE map epoch. Forwarded ops keep
+// a certified copy exact (between the anchor and the next membership change
+// the key's master — hence its sequence space — cannot change, and in sync
+// mode every acked write is applied here before its ack), but they never
+// re-certify: any epoch flip invalidates every stamp at once, exactly like
+// the (key, epoch)-keyed read cache, and the Reconcile that follows every
+// membership change re-certifies under the same serialisation. Fenced
+// replicas answer kUnavailable (crash evidence for the suspicion hook); in
+// ASYNC mode the stamp alone is not enough — the client additionally proves
+// per-key floor >= primary KeySeq before trusting a lagging copy.
 #ifndef FAASM_KVS_REPLICATION_H_
 #define FAASM_KVS_REPLICATION_H_
 
@@ -74,15 +91,17 @@ struct ReplicationConfig {
   // forward. Async: forwards queue per primary and ship every max_lag_ops.
   bool sync = true;
   int max_lag_ops = 32;
+  // Async mode: the advertised bound on how far (in virtual time) a backup
+  // copy may lag its primary. A replica read is policy-legal only when the
+  // read's ReadOptions::max_staleness covers this bound; the per-key
+  // floor-vs-KeySeq probe then proves actual freshness. Ignored in sync
+  // mode (an acked write is on every live backup before its ack).
+  TimeNs async_lag_bound_ns = 5 * kMillisecond;
 };
 
-// The R-1 backup endpoints for `primary`: the next distinct endpoints
-// clockwise from it in sorted order (wrapping), primary excluded. Pure
-// function of the endpoint set, so every host computes the same backups
-// with zero coordination — the same property mastership itself has. Works
-// when `primary` is absent from the set (mid-failover lookups).
-std::vector<std::string> BackupsFor(const std::set<std::string>& endpoints,
-                                    const std::string& primary, int factor);
+// BackupsFor (the R-1 clockwise backup endpoints of a primary) lives in
+// kvs/router.h with the rest of holder resolution; re-exported here via that
+// include for the replication callers that grew up with it.
 
 // Replica-channel endpoint of `host` ("rep:<host>"), beside its primary
 // shard endpoint "kvs:<host>".
@@ -133,26 +152,64 @@ struct FailoverStats {
 // elsewhere) and no update hook (backups never forward).
 class ReplicaShard {
  public:
+  // `map` keys replica-read certification to the live epoch; a map-less
+  // shard (unit tests) certifies against the constant epoch 0.
+  ReplicaShard() = default;
+  explicit ReplicaShard(const ShardMap* map) : map_(map) {}
+
   KvStore* store() { return &store_; }
   const KvStore* store() const { return &store_; }
 
   // Applies forwarded ops in order, dropping any whose seq is at or below
   // the key's floor (already folded into an installed snapshot, or an older
   // racing write). Applied ops raise the floor to their seq. Returns one
-  // result per op, index-aligned; dropped duplicates answer Ok.
+  // result per op, index-aligned; dropped duplicates answer Ok. Forwards
+  // keep a certified copy exact but never (re-)certify it for reads — only
+  // the membership-serialised Install/AnchorFloor flows stamp epochs.
   std::vector<KvsBatchResult> ApplyForwarded(const std::vector<KvsBatchOp>& ops);
 
-  // Installs a streamed snapshot and re-anchors the floor to its seq. With
-  // `only_if_newer` (the in-process mirror path) a snapshot older than the
-  // floor is skipped instead of regressing state a forward already applied;
-  // catch-up and failover installs force, because they re-anchor the floor
-  // across a primary change (a NEW sequence space).
+  // Installs a streamed snapshot, re-anchors the floor to its seq, and
+  // certifies the copy for replica reads at `synced_epoch` (the Install
+  // overload: the live map epoch — correct for network installs, whose
+  // senders hold the membership lock). With `only_if_newer` (the in-process
+  // mirror path) a snapshot older than the floor is skipped instead of
+  // regressing state a forward already applied — and the skip does NOT
+  // certify; catch-up and failover installs force, because they re-anchor
+  // the floor across a primary change (a NEW sequence space).
   void Install(const std::string& key, const KeyExport& record, bool only_if_newer = false);
+  void InstallAt(const std::string& key, const KeyExport& record, bool only_if_newer,
+                 uint64_t synced_epoch);
   // Re-anchors the floor without touching data (Reconcile, on content match:
-  // the primary changed but the bytes did not).
+  // the primary changed but the bytes did not) and certifies the copy at
+  // `synced_epoch` (the AnchorFloor overload: the live map epoch).
   void AnchorFloor(const std::string& key, uint64_t seq);
+  void AnchorFloorAt(const std::string& key, uint64_t seq, uint64_t synced_epoch);
   void Erase(const std::string& key);
   void Clear();
+
+  // The replica-read serving point (tier two of cache → replica → master).
+  // Serves the requested window of `key`'s value from this backup copy —
+  // `offset`/`len` follow ReadOptions exactly ({0, kWholeValue} = the whole
+  // value, anything else a ranged read) — iff the copy is provably current:
+  //   - fenced            → kUnavailable (this host failed over; callers
+  //                         feed the suspicion hook and fall through);
+  //   - not certified, or certified at a stale epoch → kFailedPrecondition
+  //                         (membership moved under the copy; fall through
+  //                         to the master, Reconcile re-certifies);
+  //   - certified current → the store's own answer, NotFound included (the
+  //                         copy is exact, so "no value" is the truth).
+  // In async mode callers must ALSO run the freshness probe (FloorSeq vs
+  // the primary's KeySeq) before trusting the answer; the stamp only proves
+  // the copy tracks the right sequence space.
+  Result<Bytes> ReadValue(const std::string& key, uint64_t offset, uint64_t len);
+
+  // Highest primary apply-seq folded into this copy of `key` (0 = none):
+  // the async freshness probe's replica half.
+  uint64_t FloorSeq(const std::string& key) const;
+
+  // Reads ReadValue served (the replica-tier twin of KvsServer's
+  // read_rpc_count; every one of these is a read RPC that never happened).
+  uint64_t replica_read_count() const { return replica_reads_.value(); }
 
   // Crash fence — the replica-side twin of the dead PRIMARY's migration
   // filter (FaasmCluster::HandleConfirmedDeath). The corpse's mirror store
@@ -169,13 +226,28 @@ class ReplicaShard {
   uint64_t skipped_op_count() const { return skipped_ops_.value(); }
 
  private:
+  // Per-key replication metadata: the duplicate-filter floor plus the
+  // replica-read certification stamp (see the header comment's REPLICA READS
+  // contract — `synced` epoch-stamps are written ONLY by Install/AnchorFloor,
+  // never by forwards).
+  struct KeyMeta {
+    uint64_t floor = 0;
+    uint64_t synced_epoch = 0;
+    bool synced = false;
+  };
+
+  // The live map epoch certification compares against (0 without a map).
+  uint64_t CurrentEpoch() const { return map_ == nullptr ? 0 : map_->epoch(); }
+
+  const ShardMap* map_ = nullptr;
   KvStore store_;
-  // Serialises floor reads/updates against installs; the store has its own
+  // Serialises meta reads/updates against installs; the store has its own
   // internal locking.
   mutable std::mutex mutex_;
-  std::map<std::string, uint64_t> floor_;
+  std::map<std::string, KeyMeta> meta_;
   bool fenced_ = false;
   Counter skipped_ops_;
+  Counter replica_reads_;
 };
 
 // Serves one host's ReplicaShard on "rep:<host>": kBatch carries replica-
@@ -192,6 +264,10 @@ class ReplicaServer {
   // overhead with this, the write-side twin of KvsServer::read_rpc_count).
   uint64_t forward_rpc_count() const { return forward_rpcs_.value(); }
   uint64_t forwarded_op_count() const { return forwarded_ops_.value(); }
+  // Reads the served shard answered in-process (ablation accounting: the
+  // read-side split between the serving tiers lives beside the RPC
+  // counters it offsets).
+  uint64_t replica_read_count() const { return shard_->replica_read_count(); }
 
  private:
   Bytes Handle(const Bytes& request);

@@ -53,10 +53,33 @@ const std::string& RingOwnerOf(const std::map<uint64_t, std::string>& ring, uint
 }
 }  // namespace
 
+// --- BackupsFor ---------------------------------------------------------------
+
+std::vector<std::string> BackupsFor(const std::set<std::string>& endpoints,
+                                    const std::string& primary, int factor) {
+  std::vector<std::string> backups;
+  if (factor <= 1 || endpoints.empty()) {
+    return backups;
+  }
+  const std::vector<std::string> ordered(endpoints.begin(), endpoints.end());
+  const size_t others = ordered.size() - (endpoints.count(primary) > 0 ? 1 : 0);
+  const size_t want = std::min<size_t>(static_cast<size_t>(factor - 1), others);
+  // First endpoint strictly after `primary` in sorted order, wrapping: the
+  // clockwise walk that mirrors ring succession.
+  size_t start = std::upper_bound(ordered.begin(), ordered.end(), primary) - ordered.begin();
+  for (size_t step = 0; step < ordered.size() && backups.size() < want; ++step) {
+    const std::string& candidate = ordered[(start + step) % ordered.size()];
+    if (candidate != primary) {
+      backups.push_back(candidate);
+    }
+  }
+  return backups;
+}
+
 // --- ShardAssignment ----------------------------------------------------------
 
-ShardAssignment::ShardAssignment(const std::set<std::string>& endpoints)
-    : endpoints_(endpoints) {
+ShardAssignment::ShardAssignment(const std::set<std::string>& endpoints, uint64_t epoch)
+    : endpoints_(endpoints), epoch_(epoch) {
   for (const std::string& endpoint : endpoints_) {
     InsertEndpointPoints(ring_, endpoint);
   }
@@ -183,6 +206,30 @@ std::string ShardMap::MasterFor(const std::string& key) const {
   return RingOwnerOf(ring_, HashString(key));
 }
 
+std::vector<std::string> ShardMap::HoldersFor(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  std::vector<std::string> holders;
+  if (ring_.empty()) {
+    return holders;
+  }
+  const std::string master = RingOwnerOf(ring_, HashString(key));
+  holders.push_back(master);
+  for (std::string& backup : BackupsFor(endpoints_, master, replication_factor_)) {
+    holders.push_back(std::move(backup));
+  }
+  return holders;
+}
+
+void ShardMap::set_replication_factor(int factor) {
+  std::unique_lock<std::shared_mutex> guard(mutex_);
+  replication_factor_ = factor < 1 ? 1 : factor;
+}
+
+int ShardMap::replication_factor() const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  return replication_factor_;
+}
+
 uint64_t ShardMap::epoch() const {
   std::shared_lock<std::shared_mutex> guard(mutex_);
   return epoch_;
@@ -190,7 +237,7 @@ uint64_t ShardMap::epoch() const {
 
 ShardAssignment ShardMap::Snapshot() const {
   std::shared_lock<std::shared_mutex> guard(mutex_);
-  return ShardAssignment(endpoints_);
+  return ShardAssignment(endpoints_, epoch_);
 }
 
 std::vector<std::string> ShardMap::shards() const {

@@ -60,18 +60,23 @@ namespace faasm {
 class ShardAssignment {
  public:
   ShardAssignment() = default;
-  explicit ShardAssignment(const std::set<std::string>& endpoints);
+  explicit ShardAssignment(const std::set<std::string>& endpoints, uint64_t epoch = 0);
 
   // Master shard endpoint for `key`; empty when there are no shards.
   std::string MasterFor(const std::string& key) const;
 
   // The assignment with `endpoint` added / removed (ring points are a pure
   // function of the endpoint set, so snapshots compose without the map).
+  // Derived assignments are hypothetical — they carry no epoch (0).
   ShardAssignment With(const std::string& endpoint) const;
   ShardAssignment Without(const std::string& endpoint) const;
 
   const std::set<std::string>& endpoints() const { return endpoints_; }
   bool empty() const { return ring_.empty(); }
+  // The map epoch this snapshot was taken at (ShardMap::Snapshot stamps it;
+  // replica-read validity stamps installs with it so a copy installed from a
+  // stale snapshot can never pass the current-epoch check).
+  uint64_t epoch() const { return epoch_; }
 
  private:
   friend std::vector<struct KeyMove> DiffKeys(const ShardAssignment& before,
@@ -82,7 +87,19 @@ class ShardAssignment {
 
   std::map<uint64_t, std::string> ring_;  // hash point -> endpoint
   std::set<std::string> endpoints_;
+  uint64_t epoch_ = 0;
 };
+
+// The R-1 backup endpoints for `primary`: the next distinct endpoints
+// clockwise from it in sorted order (wrapping), primary excluded. Pure
+// function of the endpoint set, so every host computes the same backups
+// with zero coordination — the same property mastership itself has. Works
+// when `primary` is absent from the set (mid-failover lookups). Lives with
+// the routing layer because holder resolution (master OR backup) is a
+// routing question: the replication substrate (kvs/replication.h) places
+// copies with it and the client/scheduler resolve read-serving hosts with it.
+std::vector<std::string> BackupsFor(const std::set<std::string>& endpoints,
+                                    const std::string& primary, int factor);
 
 // One key whose master changes between two assignments.
 struct KeyMove {
@@ -128,6 +145,18 @@ class ShardMap {
   // Master shard endpoint for `key`; empty when the map has no shards.
   std::string MasterFor(const std::string& key) const;
 
+  // The endpoints holding a copy of `key` under the current epoch: its
+  // master first, then its replication_factor()-1 backups in BackupsFor
+  // order. With factor 1 this is just {master}. Locality consumers (the
+  // scheduler's read-mostly affinity widening, the client's replica-read
+  // membership check) resolve serving hosts with this.
+  std::vector<std::string> HoldersFor(const std::string& key) const;
+
+  // The cluster's replication factor, used by HoldersFor. Set once at
+  // cluster construction (default 1 = no backups).
+  void set_replication_factor(int factor);
+  int replication_factor() const;
+
   // Monotonic assignment version: starts at 0, +1 per effective membership
   // change. Routing is deterministic within an epoch.
   uint64_t epoch() const;
@@ -145,6 +174,7 @@ class ShardMap {
   std::map<uint64_t, std::string> ring_;  // hash point -> endpoint
   std::set<std::string> endpoints_;
   uint64_t epoch_ = 0;
+  int replication_factor_ = 1;
 };
 
 // Direct in-process view over every shard of the global tier, routed by the

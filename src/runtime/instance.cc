@@ -294,11 +294,18 @@ Status FaasmInstance::ScheduleCall(uint64_t call_id, const std::string& function
 
   // State-affinity hint: the host mastering the function's declared state
   // key syncs that state with zero network bytes. Resolving the master is a
-  // pure hash over the shard map — no tier traffic.
-  std::string affinity_host;
+  // pure hash over the shard map — no tier traffic. Read-mostly functions
+  // widen the hint to every HOLDER (master or replica backup) — on any of
+  // them the key's reads are served in-process by the replica tier, so
+  // placement spreads across R hosts instead of funnelling at one.
+  std::vector<std::string> affinity_hosts;  // master first when non-empty
   if (const std::string affinity_key = registry_->StateAffinityKey(function);
       !affinity_key.empty()) {
-    affinity_host = kvs_.MasterHostFor(affinity_key);
+    if (registry_->StateAffinityReadMostly(function)) {
+      affinity_hosts = kvs_.HolderHostsFor(affinity_key);
+    } else if (std::string master = kvs_.MasterHostFor(affinity_key); !master.empty()) {
+      affinity_hosts.push_back(std::move(master));
+    }
   }
 
   // Not warm (or saturated): look for another warm host in the global tier
@@ -311,12 +318,18 @@ Status FaasmInstance::ScheduleCall(uint64_t call_id, const std::string& function
     }
   }
   if (!others.empty()) {
-    // Share with the state's master when it is warm, else a random warm host
+    // Share with a warm affinity host when one exists — the master first,
+    // then (read-mostly) any backup holder — else a random warm host
     // (paper: "share it with another warm host if one exists").
     const std::string* target = nullptr;
-    for (const std::string& host : others) {
-      if (!affinity_host.empty() && host == affinity_host) {
-        target = &host;
+    for (const std::string& affinity_host : affinity_hosts) {
+      for (const std::string& host : others) {
+        if (host == affinity_host) {
+          target = &host;
+          break;
+        }
+      }
+      if (target != nullptr) {
         break;
       }
     }
@@ -345,8 +358,11 @@ Status FaasmInstance::ScheduleCall(uint64_t call_id, const std::string& function
     std::lock_guard<std::mutex> guard(warm_cache_mutex_);
     function_seen_warm = warm_ever_.count(function) > 0;
   }
-  if (!function_seen_warm && !affinity_host.empty() && affinity_host != config_.name) {
-    Status forwarded = network_->Send(config_.name, affinity_host,
+  if (!function_seen_warm && !affinity_hosts.empty() && affinity_hosts[0] != config_.name) {
+    // Cold start forwards to the MASTER holder even for read-mostly
+    // functions: the first call writes the warm-set entry and often the
+    // state itself, and the master absorbs both without a forward hop.
+    Status forwarded = network_->Send(config_.name, affinity_hosts[0],
                                       EncodeSharedCall(call_id, function, input));
     if (forwarded.ok()) {
       return OkStatus();

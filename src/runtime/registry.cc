@@ -15,6 +15,7 @@ FunctionSpec SpecFromOptions(const std::string& name, const FunctionOptions& opt
   spec.max_memory_pages = options.max_memory_pages;
   spec.simulated_init_ns = options.simulated_init_ns;
   spec.state_affinity_key = options.state_affinity_key;
+  spec.state_affinity_read_mostly = options.state_affinity_read_mostly;
   return spec;
 }
 }  // namespace
@@ -54,6 +55,12 @@ std::string FunctionRegistry::StateAffinityKey(const std::string& name) const {
   std::lock_guard<std::mutex> guard(mutex_);
   auto it = functions_.find(name);
   return it == functions_.end() ? "" : it->second.state_affinity_key;
+}
+
+bool FunctionRegistry::StateAffinityReadMostly(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = functions_.find(name);
+  return it != functions_.end() && it->second.state_affinity_read_mostly;
 }
 
 Result<FunctionSpec> FunctionRegistry::Lookup(const std::string& name) const {

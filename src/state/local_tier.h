@@ -48,7 +48,9 @@ class LocalTier {
   // like DispatchBatch) and installs each into its replica via InstallPulled,
   // so the keys' next Pull() is free. With read batching disabled on the
   // client this degrades to a per-key Pull(). Returns the first error (a
-  // missing key is an error; prefetch what exists).
+  // missing key is an error; prefetch what exists). Rides the client's full
+  // read path: keys this host backs are served by the co-located replica
+  // in-process (DispatchBatch's tier two) and never reach a wire group.
   Status Prefetch(const std::vector<std::string>& keys);
 
   // Drops every replica (host teardown in tests). Flushes first: a pending

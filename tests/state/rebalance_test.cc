@@ -353,6 +353,125 @@ TEST(RebalanceTest, BatchedReadsSurviveHostChurnWithoutBadReads) {
   EXPECT_EQ(acked_calls, 24u);
 }
 
+TEST(RebalanceTest, ReplicaServedReadsSurviveChurnAndCrashesWithoutBadReads) {
+  // The replica-read chaos harness: the same byte-checked read_all workload,
+  // but with R=2 co-located replica serving ON (the default) while six
+  // membership changes churn the ring and two hosts crash with NO oracle —
+  // only the heartbeat detector notices. Acceptance: zero stale reads, zero
+  // torn reads (code 4 never comes back, even from calls racing a crash),
+  // the replica tier demonstrably served (its serves are what the churn is
+  // trying to poison), and no read was ever served by a fenced mirror.
+  ClusterConfig config;
+  config.hosts = 5;
+  config.replication_factor = 2;
+  config.failure_detection = true;
+  ASSERT_TRUE(config.replica_reads);       // the three-tier path is the default
+  ASSERT_TRUE(config.replication_sync);    // acked writes cover every backup
+  FaasmCluster cluster(config);
+  for (int i = 0; i < kFrozenKeys; ++i) {
+    ASSERT_TRUE(cluster.kvs().Set(FrozenKey(i), Bytes(kFrozenBytes, uint8_t(i + 1))).ok());
+  }
+  RegisterBatchedReadAll(cluster);
+
+  uint64_t clean_calls = 0;    // code 0
+  uint64_t refused_calls = 0;  // codes 2/3 or mail failure, crash rounds only
+  uint64_t fenced_mirror_serves = 0;
+  uint64_t deaths_confirmed = 0;
+
+  cluster.Run([&](Frontend& frontend) {
+    // '+' add, '-<name>' remove, '!<name>' crash (detector-confirmed).
+    const std::vector<std::string> schedule = {
+        "+", "!host-1", "-host-2", "+", "!host-5", "+", "-host-0", "+",
+    };
+    for (const std::string& step : schedule) {
+      const bool crash_round = step[0] == '!';
+      std::vector<uint64_t> batch_ids;
+      for (int i = 0; i < 3; ++i) {
+        auto id = frontend.Submit("read_all", Bytes{});
+        ASSERT_TRUE(id.ok());
+        batch_ids.push_back(id.value());
+      }
+
+      if (step == "+") {
+        auto added = cluster.AddHost();
+        ASSERT_TRUE(added.ok()) << added.status().ToString();
+      } else if (crash_round) {
+        const std::string victim = step.substr(1);
+        const TimeNs crashed_at = cluster.clock().Now();
+        ASSERT_TRUE(cluster.CrashHost(victim).ok());  // no oracle after this
+        const FailureDetector* detector = cluster.failure_detector();
+        ASSERT_NE(detector, nullptr);
+        deaths_confirmed += 1;
+        ASSERT_TRUE(cluster.clock().WaitFor(
+            [&] { return detector->death_count() >= deaths_confirmed; },
+            100 * kMicrosecond, crashed_at + 2 * kSecond))
+            << "detector never confirmed the crash of " << victim;
+        // The corpse's mirror is fenced by recovery; from here on its serve
+        // counter must not move (a fenced ReadValue bounces WITHOUT
+        // counting, so any tick would be a serve that escaped the fence).
+        const ReplicaShard* mirror = cluster.replication()->ReplicaForHost(victim);
+        ASSERT_NE(mirror, nullptr);
+        EXPECT_TRUE(mirror->fenced());
+        fenced_mirror_serves += mirror->replica_read_count();
+      } else {
+        Status removed = cluster.RemoveHost(step.substr(1));
+        ASSERT_TRUE(removed.ok()) << removed.ToString();
+      }
+
+      for (uint64_t id : batch_ids) {
+        auto code = frontend.Await(id);
+        if (code.ok() && code.value() == 0) {
+          clean_calls += 1;
+          continue;
+        }
+        // A call racing a crash may be refused (dead master, recovery in
+        // flight) or lost with the host running it — but it must NEVER
+        // return bad bytes: code 4 is a stale or torn read, the one
+        // outcome the replica tier is not allowed to produce.
+        ASSERT_TRUE(crash_round) << "read refused outside a crash round: "
+                                 << (code.ok() ? std::to_string(code.value())
+                                               : code.status().ToString());
+        if (code.ok()) {
+          ASSERT_NE(code.value(), 4) << "stale or torn read mid-crash";
+        }
+        refused_calls += 1;
+      }
+    }
+
+    // The replica tier actually served under churn: sum the per-client
+    // counters across the hosts still alive.
+    uint64_t replica_serves = 0;
+    for (size_t i = 0; i < cluster.host_count(); ++i) {
+      replica_serves += cluster.host(i).kvs().replica_served_count();
+    }
+    EXPECT_GT(replica_serves, 0u) << "churn suite never exercised the replica tier";
+
+    // The fenced mirrors stayed silent for the rest of the run.
+    uint64_t fenced_now = 0;
+    for (const std::string& victim : {std::string("host-1"), std::string("host-5")}) {
+      const ReplicaShard* mirror = cluster.replication()->ReplicaForHost(victim);
+      ASSERT_NE(mirror, nullptr);
+      EXPECT_TRUE(mirror->fenced());
+      fenced_now += mirror->replica_read_count();
+    }
+    EXPECT_EQ(fenced_now, fenced_mirror_serves) << "a fenced mirror served a read";
+  });
+
+  // Every call resolved; most ran clean. Refusals are bounded by the calls
+  // in flight across the two crash rounds.
+  EXPECT_EQ(clean_calls + refused_calls, 24u);
+  EXPECT_LE(refused_calls, 6u);
+  EXPECT_GT(cluster.migration_stats().keys_moved, 0u);
+  EXPECT_EQ(cluster.failover_stats().lost_keys, 0u);
+
+  // The frozen values themselves are intact after all eight disruptions.
+  for (int i = 0; i < kFrozenKeys; ++i) {
+    auto value = cluster.kvs().Get(FrozenKey(i));
+    ASSERT_TRUE(value.ok()) << FrozenKey(i) << ": " << value.status().ToString();
+    EXPECT_EQ(value.value(), Bytes(kFrozenBytes, uint8_t(i + 1)));
+  }
+}
+
 TEST(RebalanceTest, LockHeldAcrossMigrationStillExcludes) {
   ClusterConfig config;
   config.hosts = 4;
